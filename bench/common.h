@@ -1,0 +1,51 @@
+// Shared infrastructure for the figure-regeneration benches.
+//
+// Environment knobs:
+//   WANPLACE_BENCH_SCALE      = paper | small      (default: paper)
+//   WANPLACE_BENCH_TIME_LIMIT = seconds per LP     (default: 10)
+//   WANPLACE_BENCH_OUT        = CSV output dir     (default: bench_results)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bounds/engine.h"
+#include "core/case_study.h"
+#include "util/table.h"
+
+namespace wanplace::bench {
+
+/// The case study all benches share (built once per process).
+const core::CaseStudy& case_study();
+
+/// True when WANPLACE_BENCH_SCALE=small.
+bool small_scale();
+
+/// PDHG-tuned bound options with the env-configured per-solve time limit.
+bounds::BoundOptions bound_options();
+
+/// Per-solve LP wall-clock limit in seconds.
+double time_limit_s();
+
+/// Global results table for the running bench binary; printed (and written
+/// as CSV) by run_main() after all benchmarks finish.
+Table& results(std::vector<std::string> header_if_new = {});
+
+/// Format a QoS level the way the paper labels its x-axis (95, 99, 99.9...).
+std::string qos_label(double tqos);
+
+/// benchmark::Initialize + RunSpecifiedBenchmarks + table dump. `name` is
+/// the figure id used for the CSV file name.
+int run_main(const std::string& name, int argc, char** argv);
+
+/// Register the Figure 1 benchmarks (lower bound per heuristic class per
+/// QoS level) for the WEB or GROUP workload.
+void register_fig1(bool group_workload);
+
+/// Register the Figure 3 benchmarks (deployment scenario: phase-1 node
+/// opening with zeta = 10000, then reduced-topology class bounds per QoS
+/// plus the deployed heuristic).
+void register_fig3(bool group_workload);
+
+}  // namespace wanplace::bench

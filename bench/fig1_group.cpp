@@ -1,0 +1,12 @@
+// Figure 1 (right): lower bounds of the heuristic classes as a function of
+// the QoS goal, GROUP workload.
+//
+// Paper shape to reproduce: replica-constrained nearly overlaps the general
+// bound; storage-constrained and the caching classes overlap at several
+// times the replica-constrained cost.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  wanplace::bench::register_fig1(/*group_workload=*/true);
+  return wanplace::bench::run_main("fig1_group", argc, argv);
+}

@@ -1,0 +1,12 @@
+// Figure 1 (left): lower bounds of the heuristic classes as a function of
+// the QoS goal, WEB workload.
+//
+// Paper shape to reproduce: general < storage-constrained <
+// decentralized-local-routing < replica-constrained (the replica constraint
+// pays for the heavy tail); caching classes can only meet moderate QoS.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  wanplace::bench::register_fig1(/*group_workload=*/false);
+  return wanplace::bench::run_main("fig1_web", argc, argv);
+}

@@ -1,0 +1,80 @@
+// Figure 2 (left), WEB: cost of the chosen deployed heuristic
+// (greedy-global, storage-constrained class) vs its class lower bound, with
+// LRU caching for comparison. Also reports the paper's headline claim: the
+// method's pick saves a large factor (paper: up to 7.5x) over defaulting to
+// caching.
+#include "common.h"
+
+#include "sim/sweep.h"
+
+namespace {
+
+using namespace wanplace;
+
+void register_points() {
+  bench::results({"qos%", "sc-bound", "greedy-global", "lru-caching",
+                  "lru/greedy"});
+  for (double tqos : core::qos_sweep()) {
+    const std::string label = "fig2_web/qos=" + bench::qos_label(tqos);
+    ::benchmark::RegisterBenchmark(
+        label.c_str(),
+        [tqos](::benchmark::State& state) {
+          const auto& study = bench::case_study();
+          const auto instance = study.web_instance(tqos);
+
+          bounds::ClassBound bound;
+          sim::SweepResult greedy, lru;
+          for (auto _ : state) {
+            bound = bounds::compute_bound(
+                instance, mcperf::classes::storage_constrained(),
+                bench::bound_options());
+
+            sim::IntervalSimConfig config;
+            config.origin = study.origin;
+            config.tlat_ms = study.config.tlat_ms;
+            config.interval_count = study.config.interval_count;
+            greedy = sim::sweep_greedy_global(
+                study.web_trace, study.latencies, study.dist, config, tqos,
+                sim::geometric_candidates(study.config.object_count));
+
+            sim::CachingConfig caching;
+            caching.origin = study.origin;
+            caching.tlat_ms = study.config.tlat_ms;
+            caching.interval_count = study.config.interval_count;
+            lru = sim::sweep_caching(
+                study.web_trace, study.latencies, caching,
+                heuristics::lru_factory(), tqos,
+                sim::geometric_candidates(study.config.object_count));
+          }
+          if (bound.achievable)
+            state.counters["sc_bound"] = bound.lower_bound;
+          if (greedy.feasible)
+            state.counters["greedy"] = greedy.best.total_cost;
+          if (lru.feasible) state.counters["lru"] = lru.best.total_cost;
+
+          auto& table = bench::results();
+          table.cell(bench::qos_label(tqos))
+              .cell(bound.achievable ? format_number(bound.lower_bound, 1)
+                                     : std::string("unachievable"))
+              .cell(greedy.feasible
+                        ? format_number(greedy.best.total_cost, 1)
+                        : std::string("cannot meet goal"))
+              .cell(lru.feasible ? format_number(lru.best.total_cost, 1)
+                                 : std::string("cannot meet goal"));
+          if (greedy.feasible && lru.feasible)
+            table.cell(lru.best.total_cost / greedy.best.total_cost, 2);
+          else
+            table.cell("-");
+          table.finish_row();
+        })
+        ->Iterations(1)
+        ->Unit(::benchmark::kSecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_points();
+  return wanplace::bench::run_main("fig2_web", argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 3 (right), GROUP: the deployment scenario. On the reduced topology
+// the storage-constrained, replica-constrained and caching bounds converge,
+// making plain LRU caching the natural pick (the paper's conclusion).
+#include "common.h"
+
+int main(int argc, char** argv) {
+  wanplace::bench::register_fig3(/*group_workload=*/true);
+  return wanplace::bench::run_main("fig3_group", argc, argv);
+}

@@ -1,0 +1,10 @@
+// Figure 3 (left), WEB: the deployment scenario. Phase 1 picks the sites to
+// deploy (zeta = 10000); the figure shows reduced-topology lower bounds
+// (reactive, storage constrained, replica constrained, caching) and the
+// deployed greedy-global heuristic across the QoS sweep.
+#include "common.h"
+
+int main(int argc, char** argv) {
+  wanplace::bench::register_fig3(/*group_workload=*/false);
+  return wanplace::bench::run_main("fig3_web", argc, argv);
+}

@@ -1,0 +1,105 @@
+// Micro-benchmark of the LP substrate: dense bounded-variable simplex vs
+// restarted PDHG on random feasible LPs of growing size, reporting solve
+// time and the certified-bound agreement. Explains the engine's Auto
+// policy (simplex below ~1500 rows, PDHG above).
+#include "common.h"
+
+#include "lp/pdhg.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace wanplace;
+
+lp::LpModel random_lp(Rng& rng, std::size_t vars, std::size_t rows) {
+  lp::LpModel model;
+  std::vector<double> x0(vars);
+  for (std::size_t j = 0; j < vars; ++j) {
+    model.add_variable(0, 1, rng.uniform(-1, 1));
+    x0[j] = rng.uniform();
+  }
+  const double density = std::min(0.5, 20.0 / static_cast<double>(vars));
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::size_t> cols;
+    std::vector<double> coeffs;
+    double activity = 0;
+    for (std::size_t j = 0; j < vars; ++j) {
+      if (!rng.bernoulli(density)) continue;
+      const double a = rng.uniform(-2, 2);
+      cols.push_back(j);
+      coeffs.push_back(a);
+      activity += a * x0[j];
+    }
+    if (cols.empty()) continue;
+    if (rng.bernoulli(0.5))
+      model.add_row(lp::RowType::Ge, activity - rng.uniform(0, 1), cols,
+                    coeffs);
+    else
+      model.add_row(lp::RowType::Le, activity + rng.uniform(0, 1), cols,
+                    coeffs);
+  }
+  return model;
+}
+
+void register_points() {
+  bench::results({"vars", "rows", "simplex-s", "simplex-obj", "pdhg-s",
+                  "pdhg-bound", "rel-gap"});
+  struct Size {
+    std::size_t vars, rows;
+    bool run_simplex;
+  };
+  for (const Size size : {Size{60, 40, true}, Size{250, 180, true},
+                          Size{1000, 700, true}, Size{8000, 6000, false}}) {
+    const std::string label = "lp/" + std::to_string(size.vars) + "x" +
+                              std::to_string(size.rows);
+    ::benchmark::RegisterBenchmark(
+        label.c_str(),
+        [size](::benchmark::State& state) {
+          Rng rng(31337 + size.vars);
+          const auto model = random_lp(rng, size.vars, size.rows);
+
+          double simplex_s = 0, simplex_obj = 0;
+          lp::LpSolution pdhg;
+          for (auto _ : state) {
+            if (size.run_simplex) {
+              const auto exact = lp::solve_simplex(model);
+              simplex_s = exact.solve_seconds;
+              simplex_obj = exact.objective;
+            }
+            lp::PdhgOptions options;
+            options.tolerance = 1e-5;
+            options.max_iterations = 200'000;
+            options.time_limit_s = bench::time_limit_s();
+            pdhg = lp::solve_pdhg(model, options);
+          }
+          state.counters["pdhg_bound"] = pdhg.dual_bound;
+          const double gap =
+              size.run_simplex
+                  ? std::abs(simplex_obj - pdhg.dual_bound) /
+                        (1 + std::abs(simplex_obj))
+                  : 0;
+          bench::results()
+              .cell(static_cast<std::int64_t>(size.vars))
+              .cell(static_cast<std::int64_t>(size.rows))
+              .cell(size.run_simplex ? format_number(simplex_s, 3)
+                                     : std::string("-"))
+              .cell(size.run_simplex ? format_number(simplex_obj, 3)
+                                     : std::string("-"))
+              .cell(pdhg.solve_seconds, 3)
+              .cell(pdhg.dual_bound, 3)
+              .cell(size.run_simplex ? format_number(gap, 5)
+                                     : std::string("-"));
+          bench::results().finish_row();
+        })
+        ->Iterations(1)
+        ->Unit(::benchmark::kSecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_points();
+  return wanplace::bench::run_main("lp_solvers", argc, argv);
+}

@@ -1,0 +1,89 @@
+// Appendix C claims:
+//  (1) the domain-specific rounding stays close to the LP bound (paper:
+//      within ~10%) while generic rounding can be far worse (up to 80%);
+//  (2) rounding whole constant-value interval runs as one unit is over an
+//      order of magnitude faster with < 5% cost increase.
+#include "common.h"
+
+#include "bounds/rounding.h"
+#include "mcperf/builder.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace wanplace;
+
+void register_points() {
+  bench::results({"workload", "qos%", "lp-bound", "domain-gap",
+                  "generic-gap", "batched-gap", "domain-s", "batched-s"});
+  for (const bool group : {false, true}) {
+    for (double tqos : {0.95, 0.99}) {
+      const std::string label =
+          std::string("rounding/") + (group ? "group" : "web") +
+          "/qos=" + bench::qos_label(tqos);
+      ::benchmark::RegisterBenchmark(
+          label.c_str(),
+          [group, tqos](::benchmark::State& state) {
+            const auto& study = bench::case_study();
+            const auto instance = group ? study.group_instance(tqos)
+                                        : study.web_instance(tqos);
+            const auto spec = mcperf::classes::general();
+
+            double lp_bound = 0, domain_gap = 0, generic_gap = 0,
+                   batched_gap = 0, domain_s = 0, batched_s = 0;
+            for (auto _ : state) {
+              auto options = bench::bound_options();
+              options.run_rounding = false;
+              const auto detail =
+                  bounds::compute_bound_detail(instance, spec, options);
+              lp_bound = detail.bound.lower_bound;
+
+              Stopwatch watch;
+              const auto domain = bounds::round_solution(
+                  instance, spec, detail.built, detail.solution.x);
+              domain_s = watch.elapsed_seconds();
+              if (domain.feasible && lp_bound > 0)
+                domain_gap =
+                    (domain.evaluation.cost - lp_bound) / lp_bound;
+
+              const auto generic = bounds::round_generic(
+                  instance, spec, detail.built, detail.solution.x);
+              if (generic.feasible && lp_bound > 0)
+                generic_gap =
+                    (generic.evaluation.cost - lp_bound) / lp_bound;
+
+              watch.reset();
+              bounds::RoundingOptions batch;
+              batch.batch_runs = true;
+              const auto batched = bounds::round_solution(
+                  instance, spec, detail.built, detail.solution.x, batch);
+              batched_s = watch.elapsed_seconds();
+              if (batched.feasible && lp_bound > 0)
+                batched_gap =
+                    (batched.evaluation.cost - lp_bound) / lp_bound;
+            }
+            state.counters["domain_gap"] = domain_gap;
+            state.counters["generic_gap"] = generic_gap;
+            bench::results()
+                .cell(group ? "GROUP" : "WEB")
+                .cell(bench::qos_label(tqos))
+                .cell(lp_bound, 1)
+                .cell(domain_gap, 3)
+                .cell(generic_gap, 3)
+                .cell(batched_gap, 3)
+                .cell(domain_s, 2)
+                .cell(batched_s, 2);
+            bench::results().finish_row();
+          })
+          ->Iterations(1)
+          ->Unit(::benchmark::kSecond);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_points();
+  return wanplace::bench::run_main("rounding_ablation", argc, argv);
+}

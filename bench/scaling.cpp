@@ -1,0 +1,73 @@
+// Section 5 claim: the method scales to realistically sized systems (the
+// paper reports under 1 minute to ~12 hours with CPLEX on 2004 hardware,
+// with the rounding step taking seconds). This bench measures our solver
+// pipeline (PDHG + rounding) across instance sizes, reporting LP dimensions
+// and the bound/rounding split.
+#include "common.h"
+
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace wanplace;
+
+struct Size {
+  std::size_t nodes, intervals, objects, requests;
+};
+
+void register_points() {
+  bench::results({"nodes", "intervals", "objects", "lp-rows", "lp-vars",
+                  "bound-seconds", "round-ups", "gap"});
+  const std::vector<Size> sizes{
+      {6, 6, 30, 6'000},    {8, 8, 60, 16'000},  {12, 12, 120, 36'000},
+      {12, 12, 240, 72'000}, {16, 12, 240, 96'000},
+  };
+  for (const auto size : sizes) {
+    const std::string label = "scaling/N=" + std::to_string(size.nodes) +
+                              "/I=" + std::to_string(size.intervals) +
+                              "/K=" + std::to_string(size.objects);
+    ::benchmark::RegisterBenchmark(
+        label.c_str(),
+        [size](::benchmark::State& state) {
+          core::CaseStudyConfig config;
+          config.node_count = size.nodes;
+          config.interval_count = size.intervals;
+          config.object_count = size.objects;
+          config.web_requests = size.requests;
+          config.group_requests = size.requests;  // unused here
+          config.web_head_count = std::max<std::size_t>(4, size.objects / 10);
+          const auto study = core::make_case_study(config);
+          const auto instance = study.web_instance(0.99);
+
+          bounds::BoundDetail detail;
+          for (auto _ : state)
+            detail = bounds::compute_bound_detail(
+                instance, mcperf::classes::general(),
+                bench::bound_options());
+          state.counters["rows"] =
+              static_cast<double>(detail.bound.lp_rows);
+          state.counters["bound"] = detail.bound.lower_bound;
+          bench::results()
+              .cell(static_cast<std::int64_t>(size.nodes))
+              .cell(static_cast<std::int64_t>(size.intervals))
+              .cell(static_cast<std::int64_t>(size.objects))
+              .cell(static_cast<std::int64_t>(detail.bound.lp_rows))
+              .cell(static_cast<std::int64_t>(detail.bound.lp_variables))
+              .cell(detail.bound.solve_seconds, 2)
+              .cell(static_cast<std::int64_t>(detail.rounding.round_ups))
+              .cell(detail.bound.rounded_feasible
+                        ? format_number(detail.bound.gap, 3)
+                        : std::string("-"));
+          bench::results().finish_row();
+        })
+        ->Iterations(1)
+        ->Unit(::benchmark::kSecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_points();
+  return wanplace::bench::run_main("scaling", argc, argv);
+}

@@ -1,0 +1,91 @@
+#include "bounds/engine.h"
+
+#include <algorithm>
+
+#include "mcperf/builder.h"
+#include "util/check.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+namespace wanplace::bounds {
+
+BoundDetail compute_bound_detail(const mcperf::Instance& instance,
+                                 const mcperf::ClassSpec& spec,
+                                 const BoundOptions& options) {
+  Stopwatch watch;
+  BoundDetail detail;
+  detail.bound.class_name = spec.name;
+
+  // Structural feasibility first: can this class reach the QoS goal at all?
+  if (std::holds_alternative<mcperf::QosGoal>(instance.goal)) {
+    const auto reachability = mcperf::max_achievable_qos(instance, spec);
+    detail.bound.max_achievable_qos = reachability.min_qos;
+    detail.bound.achievable = reachability.achievable(
+        std::get<mcperf::QosGoal>(instance.goal).tqos);
+    if (!detail.bound.achievable) {
+      detail.bound.status = lp::SolveStatus::Infeasible;
+      detail.bound.solve_seconds = watch.elapsed_seconds();
+      return detail;
+    }
+  } else {
+    detail.bound.max_achievable_qos = 1.0;
+    detail.bound.achievable = true;  // average-latency feasibility is decided
+                                     // by the solver
+  }
+
+  detail.built = mcperf::build_lp(instance, spec);
+  detail.bound.lp_rows = detail.built.model.row_count();
+  detail.bound.lp_variables = detail.built.model.variable_count();
+
+  const bool use_simplex =
+      options.solver == BoundOptions::Solver::Simplex ||
+      (options.solver == BoundOptions::Solver::Auto &&
+       detail.bound.lp_rows <= options.simplex_row_limit);
+
+  if (use_simplex) {
+    detail.solution = lp::solve_simplex(detail.built.model, options.simplex);
+  } else {
+    lp::PdhgOptions pdhg = options.pdhg;
+    if (pdhg.infeasibility_threshold == lp::kInfinity)
+      pdhg.infeasibility_threshold = 2 * instance.max_possible_cost() + 1;
+    detail.solution = lp::solve_pdhg(detail.built.model, pdhg);
+  }
+  detail.bound.status = detail.solution.status;
+  detail.bound.solver_iterations = detail.solution.iterations;
+
+  if (detail.solution.status == lp::SolveStatus::Infeasible) {
+    detail.bound.achievable = false;
+    detail.bound.solve_seconds = watch.elapsed_seconds();
+    return detail;
+  }
+
+  // All costs are non-negative, so the bound is never below zero.
+  detail.bound.lower_bound = std::max(0.0, detail.solution.dual_bound);
+
+  if (options.run_rounding &&
+      std::holds_alternative<mcperf::QosGoal>(instance.goal)) {
+    detail.rounding = round_solution(instance, spec, detail.built,
+                                     detail.solution.x, options.rounding);
+    detail.bound.rounded_feasible = detail.rounding.feasible;
+    if (detail.rounding.feasible) {
+      detail.bound.rounded_cost = detail.rounding.evaluation.cost;
+      detail.bound.gap =
+          (detail.bound.rounded_cost - detail.bound.lower_bound) /
+          std::max(detail.bound.lower_bound, 1.0);
+    }
+  }
+  detail.bound.solve_seconds = watch.elapsed_seconds();
+  log_info("bound[", spec.name, "]: lb=", detail.bound.lower_bound,
+           " rounded=", detail.bound.rounded_cost,
+           " rows=", detail.bound.lp_rows, " time=",
+           detail.bound.solve_seconds, "s");
+  return detail;
+}
+
+ClassBound compute_bound(const mcperf::Instance& instance,
+                         const mcperf::ClassSpec& spec,
+                         const BoundOptions& options) {
+  return compute_bound_detail(instance, spec, options).bound;
+}
+
+}  // namespace wanplace::bounds

@@ -1,0 +1,72 @@
+// Lower-bound engine: the pipeline of Section 5.
+//
+// For one (instance, heuristic class): check achievability, build the LP
+// relaxation, solve it (simplex when small enough to be exact, PDHG
+// otherwise), extract the certified lower bound, and round the fractional
+// solution into a feasible placement that witnesses the bound's tightness.
+#pragma once
+
+#include <string>
+
+#include "bounds/rounding.h"
+#include "lp/pdhg.h"
+#include "lp/simplex.h"
+#include "mcperf/achievability.h"
+
+namespace wanplace::bounds {
+
+struct BoundOptions {
+  enum class Solver { Auto, Simplex, Pdhg };
+  Solver solver = Solver::Auto;
+  /// Auto picks simplex when the LP has at most this many rows (measured
+  /// crossover vs PDHG on this codebase: see bench/lp_solvers).
+  std::size_t simplex_row_limit = 600;
+  lp::SimplexOptions simplex;
+  lp::PdhgOptions pdhg;
+  RoundingOptions rounding;
+  bool run_rounding = true;
+};
+
+/// The inherent-cost estimate for one heuristic class.
+struct ClassBound {
+  std::string class_name;
+
+  /// Best-case QoS of the class; when below the goal the class simply
+  /// cannot meet it (the paper's missing curve points).
+  double max_achievable_qos = 0;
+  bool achievable = false;
+
+  lp::SolveStatus status = lp::SolveStatus::IterationLimit;
+  /// Certified lower bound on the cost of every heuristic in the class.
+  double lower_bound = 0;
+  /// Cost of the rounded feasible placement (tightness witness; an upper
+  /// bound on the class-optimal cost under LP semantics).
+  double rounded_cost = 0;
+  bool rounded_feasible = false;
+  /// (rounded_cost - lower_bound) / max(lower_bound, 1).
+  double gap = 0;
+
+  std::size_t lp_rows = 0;
+  std::size_t lp_variables = 0;
+  std::size_t solver_iterations = 0;
+  double solve_seconds = 0;
+};
+
+/// Full detail for callers that need the model/solution (e.g. the
+/// deployment planner reads the open variables).
+struct BoundDetail {
+  ClassBound bound;
+  mcperf::BuiltModel built;
+  lp::LpSolution solution;
+  RoundingResult rounding;
+};
+
+ClassBound compute_bound(const mcperf::Instance& instance,
+                         const mcperf::ClassSpec& spec,
+                         const BoundOptions& options = {});
+
+BoundDetail compute_bound_detail(const mcperf::Instance& instance,
+                                 const mcperf::ClassSpec& spec,
+                                 const BoundOptions& options = {});
+
+}  // namespace wanplace::bounds

@@ -1,0 +1,48 @@
+#include "bounds/exact.h"
+
+#include <array>
+#include <cstdint>
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace wanplace::bounds {
+
+ExactResult solve_exact(const mcperf::Instance& instance,
+                        const mcperf::ClassSpec& spec,
+                        std::size_t max_cells) {
+  instance.validate();
+  const std::size_t n_count = instance.node_count();
+  const std::size_t i_count = instance.interval_count();
+  const std::size_t k_count = instance.object_count();
+
+  // Free cells: all (n,i,k) of non-origin nodes.
+  std::vector<std::array<std::size_t, 3>> cells;
+  for (std::size_t n = 0; n < n_count; ++n) {
+    if (instance.is_origin(n)) continue;
+    for (std::size_t i = 0; i < i_count; ++i)
+      for (std::size_t k = 0; k < k_count; ++k) cells.push_back({n, i, k});
+  }
+  WANPLACE_REQUIRE(cells.size() <= max_cells,
+                   "instance too large for exhaustive search");
+
+  ExactResult best;
+  Placement placement(n_count, i_count, k_count);
+  const std::uint64_t limit = std::uint64_t{1} << cells.size();
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      placement(cells[c][0], cells[c][1], cells[c][2]) =
+          (mask >> c) & 1 ? 1 : 0;
+    const Evaluation eval = evaluate_placement(instance, spec, placement);
+    if (!eval.feasible()) continue;
+    if (!best.feasible || eval.cost < best.cost) {
+      best.feasible = true;
+      best.cost = eval.cost;
+      best.placement = placement;
+    }
+  }
+  return best;
+}
+
+}  // namespace wanplace::bounds

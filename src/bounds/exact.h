@@ -1,0 +1,29 @@
+// Exhaustive exact IP solver for tiny MC-PERF instances.
+//
+// Enumerates every 0/1 store schedule (2^(N*I*K) candidates), evaluates each
+// with the same semantics as the LP/rounding pipeline, and returns the true
+// optimum. Only usable when N*I*K is small (<= ~22); exists purely as a test
+// oracle: LP bound <= exact optimum <= rounded cost.
+#pragma once
+
+#include <optional>
+
+#include "bounds/feasible.h"
+#include "mcperf/heuristic_class.h"
+#include "mcperf/instance.h"
+
+namespace wanplace::bounds {
+
+struct ExactResult {
+  bool feasible = false;
+  double cost = 0;
+  Placement placement;  // an optimal schedule when feasible
+};
+
+/// Solve MC-PERF exactly by enumeration. Throws InvalidArgument when the
+/// instance has more than `max_cells` (default 22) free store cells.
+ExactResult solve_exact(const mcperf::Instance& instance,
+                        const mcperf::ClassSpec& spec,
+                        std::size_t max_cells = 22);
+
+}  // namespace wanplace::bounds

@@ -1,0 +1,178 @@
+#include "bounds/feasible.h"
+
+#include <algorithm>
+
+#include "mcperf/builder.h"
+#include "util/check.h"
+
+namespace wanplace::bounds {
+
+using mcperf::ClassSpec;
+using mcperf::Instance;
+
+Evaluation evaluate_placement(const Instance& instance, const ClassSpec& spec,
+                              const Placement& placement) {
+  instance.validate();
+  WANPLACE_REQUIRE(std::holds_alternative<mcperf::QosGoal>(instance.goal),
+                   "evaluate_placement supports the QoS metric");
+  const std::size_t n_count = instance.node_count();
+  const std::size_t i_count = instance.interval_count();
+  const std::size_t k_count = instance.object_count();
+  WANPLACE_REQUIRE(placement.dim_x() == n_count &&
+                       placement.dim_y() == i_count &&
+                       placement.dim_z() == k_count,
+                   "placement dimensions mismatch");
+
+  const BoolMatrix fetch = mcperf::compute_fetch(instance, spec);
+  const BoolCube allowed = mcperf::compute_create_allowed(instance, spec);
+  const double tqos = std::get<mcperf::QosGoal>(instance.goal).tqos;
+
+  Evaluation eval;
+  eval.create_valid = true;
+
+  auto stored = [&](std::size_t n, std::size_t i, std::size_t k) {
+    return instance.is_origin(n) || placement(n, i, k);
+  };
+
+  // Creation validity + creation/storage counts (non-origin nodes only).
+  double stored_cells = 0, creations = 0;
+  for (std::size_t n = 0; n < n_count; ++n) {
+    if (instance.is_origin(n)) continue;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      for (std::size_t i = 0; i < i_count; ++i) {
+        if (!placement(n, i, k)) continue;
+        stored_cells += 1;
+        const bool fresh = i == 0 || !placement(n, i - 1, k);
+        if (fresh) {
+          creations += 1;
+          if (!allowed(n, i, k)) eval.create_valid = false;
+        }
+      }
+    }
+  }
+
+  // Coverage / QoS per scope group.
+  const mcperf::QosGroups groups(
+      instance, std::get<mcperf::QosGoal>(instance.goal).scope);
+  std::vector<double> covered(groups.count(), 0.0);
+  for (std::size_t n = 0; n < n_count; ++n) {
+    for (std::size_t i = 0; i < i_count; ++i) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const double reads = instance.demand.read(n, i, k);
+        if (reads <= 0) continue;
+        for (std::size_t m = 0; m < n_count; ++m) {
+          if (instance.dist(n, m) && fetch(n, m) && stored(m, i, k)) {
+            covered[groups.group_of(n, k)] += reads;
+            break;
+          }
+        }
+      }
+    }
+  }
+  eval.min_qos = 1.0;
+  bool met = true;
+  for (std::size_t group = 0; group < groups.count(); ++group) {
+    const double total = groups.total_reads(group);
+    if (total <= 0) continue;
+    const double qos = covered[group] / total;
+    eval.min_qos = std::min(eval.min_qos, qos);
+    if (qos < tqos - 1e-9) met = false;
+  }
+  eval.goal_met = met;
+
+  // Cost under class semantics.
+  const auto& costs = instance.costs;
+  const std::size_t open_nodes =
+      n_count - (instance.origin.has_value() ? 1 : 0);
+  if (spec.storage) {
+    // Provisioned: every node pays for the peak capacity, every interval.
+    std::vector<double> node_peak(n_count, 0);
+    double global_peak = 0;
+    std::vector<double> usage(n_count, 0);
+    for (std::size_t i = 0; i < i_count; ++i) {
+      for (std::size_t n = 0; n < n_count; ++n) {
+        if (instance.is_origin(n)) continue;
+        double used = 0;
+        for (std::size_t k = 0; k < k_count; ++k) used += placement(n, i, k);
+        node_peak[n] = std::max(node_peak[n], used);
+        global_peak = std::max(global_peak, used);
+      }
+    }
+    (void)usage;
+    if (*spec.storage == mcperf::StorageConstraint::PerSystem) {
+      eval.storage_cost = costs.alpha * global_peak *
+                          static_cast<double>(open_nodes) *
+                          static_cast<double>(i_count);
+      // Fixed-capacity heuristics also create the replicas that fill the
+      // provisioned capacity at least once (Fig. 5 tail).
+      double padding = 0;
+      for (std::size_t n = 0; n < n_count; ++n) {
+        if (instance.is_origin(n)) continue;
+        padding += global_peak - node_peak[n];
+      }
+      eval.creation_cost = costs.beta * (creations + padding);
+    } else {
+      double storage = 0;
+      for (std::size_t n = 0; n < n_count; ++n) {
+        if (instance.is_origin(n)) continue;
+        storage += node_peak[n];
+      }
+      eval.storage_cost = costs.alpha * storage * static_cast<double>(i_count);
+      eval.creation_cost = costs.beta * creations;
+    }
+  } else if (spec.replicas) {
+    std::vector<double> object_peak(k_count, 0);
+    double global_peak = 0;
+    for (std::size_t i = 0; i < i_count; ++i) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        double replicas = 0;
+        for (std::size_t n = 0; n < n_count; ++n) {
+          if (instance.is_origin(n)) continue;
+          replicas += placement(n, i, k);
+        }
+        object_peak[k] = std::max(object_peak[k], replicas);
+        global_peak = std::max(global_peak, replicas);
+      }
+    }
+    if (*spec.replicas == mcperf::ReplicaConstraint::PerSystem) {
+      eval.storage_cost = costs.alpha * global_peak *
+                          static_cast<double>(k_count) *
+                          static_cast<double>(i_count);
+      double padding = 0;
+      for (std::size_t k = 0; k < k_count; ++k)
+        padding += global_peak - object_peak[k];
+      eval.creation_cost = costs.beta * (creations + padding);
+    } else {
+      double storage = 0;
+      for (std::size_t k = 0; k < k_count; ++k) storage += object_peak[k];
+      eval.storage_cost = costs.alpha * storage * static_cast<double>(i_count);
+      eval.creation_cost = costs.beta * creations;
+    }
+  } else {
+    eval.storage_cost = costs.alpha * stored_cells;
+    eval.creation_cost = costs.beta * creations;
+  }
+
+  if (costs.delta > 0) {
+    double updates = 0;
+    for (std::size_t i = 0; i < i_count; ++i)
+      for (std::size_t k = 0; k < k_count; ++k) {
+        double writes_ik = 0;
+        for (std::size_t n = 0; n < n_count; ++n)
+          writes_ik += instance.demand.write(n, i, k);
+        if (writes_ik <= 0) continue;
+        double replicas = 0;
+        for (std::size_t m = 0; m < n_count; ++m) {
+          if (instance.is_origin(m)) continue;
+          replicas += placement(m, i, k);
+        }
+        updates += writes_ik * replicas;
+      }
+    eval.write_cost = costs.delta * updates;
+  }
+
+  eval.cost = eval.storage_cost + eval.creation_cost + eval.write_cost;
+  return eval;
+}
+
+}  // namespace wanplace::bounds

@@ -1,0 +1,35 @@
+// Integral-placement evaluation: feasibility + cost of a 0/1 store schedule
+// under a heuristic class, with the same semantics as the LP bound.
+//
+// This is the ground truth the rounding algorithm and the exact solver are
+// both checked against.
+#pragma once
+
+#include "mcperf/heuristic_class.h"
+#include "mcperf/instance.h"
+#include "util/matrix.h"
+
+namespace wanplace::bounds {
+
+/// A 0/1 placement: store(n,i,k) == 1 iff node n holds object k during
+/// interval i. The origin's row is implicit (always 1) and ignored.
+using Placement = BoolCube;
+
+struct Evaluation {
+  bool create_valid = false;  // all up-transitions permitted by the class
+  bool goal_met = false;      // per-node QoS goal satisfied
+  double min_qos = 0;         // worst per-node covered fraction
+  double cost = 0;            // class-semantics cost (provisioned SC/RC)
+  double storage_cost = 0;
+  double creation_cost = 0;
+  double write_cost = 0;
+
+  bool feasible() const { return create_valid && goal_met; }
+};
+
+/// Evaluate `placement` for (instance, spec). QoS-metric instances only.
+Evaluation evaluate_placement(const mcperf::Instance& instance,
+                              const mcperf::ClassSpec& spec,
+                              const Placement& placement);
+
+}  // namespace wanplace::bounds

@@ -1,0 +1,99 @@
+#include "core/case_study.h"
+
+#include "graph/reachability.h"
+#include "graph/shortest_paths.h"
+#include "util/rng.h"
+#include "workload/demand.h"
+#include "workload/generators.h"
+
+namespace wanplace::core {
+
+CaseStudyConfig CaseStudyConfig::small() {
+  CaseStudyConfig config;
+  config.node_count = 8;
+  config.object_count = 48;
+  config.interval_count = 8;
+  config.web_requests = 14'000;
+  config.group_requests = 64'000;
+  config.web_head_count = 8;
+  return config;
+}
+
+namespace {
+
+mcperf::Instance build_instance(const CaseStudy& study,
+                                const workload::Trace& trace, double tqos) {
+  mcperf::Instance instance;
+  instance.demand =
+      workload::aggregate(trace, study.config.interval_count);
+  instance.dist = study.dist;
+  instance.latencies = study.latencies;
+  instance.goal = mcperf::QosGoal{tqos};
+  instance.origin = study.origin;
+  instance.costs.alpha = 1;
+  instance.costs.beta = 1;
+  return instance;
+}
+
+}  // namespace
+
+mcperf::Instance CaseStudy::web_instance(double tqos) const {
+  return build_instance(*this, web_trace, tqos);
+}
+
+mcperf::Instance CaseStudy::group_instance(double tqos) const {
+  return build_instance(*this, group_trace, tqos);
+}
+
+CaseStudy make_case_study(const CaseStudyConfig& config) {
+  CaseStudy study;
+  study.config = config;
+
+  Rng rng(config.seed);
+  graph::AsLikeParams as_params;
+  as_params.node_count = config.node_count;
+  as_params.min_link_latency_ms = 100;
+  as_params.max_link_latency_ms = 200;
+  study.topology = graph::as_like(as_params, rng);
+  study.latencies = graph::all_pairs_latencies(study.topology);
+  study.dist = graph::within_threshold(study.latencies, config.tlat_ms);
+  study.origin = 0;  // headquarters: the first (highest-degree seed) node
+
+  workload::WorkloadShape shape;
+  shape.node_count = config.node_count;
+  shape.object_count = config.object_count;
+  shape.duration_s = config.duration_s;
+  shape.interval_weights = workload::diurnal_interval_weights(
+      config.interval_count, config.diurnal_floor);
+  {
+    Rng node_rng(config.seed + 1);
+    shape.node_weights = workload::skewed_node_weights(
+        config.node_count, config.node_skew, node_rng);
+  }
+
+  {
+    workload::WebParams web;
+    web.shape = shape;
+    web.shape.request_count = config.web_requests;
+    web.zipf_s = config.web_zipf_s;
+    web.head_count = config.web_head_count;
+    web.tail_share = config.web_tail_share;
+    Rng web_rng(config.seed + 2);
+    study.web_trace = workload::generate_web(web, web_rng);
+  }
+  {
+    workload::GroupParams group;
+    group.shape = shape;
+    group.shape.request_count = config.group_requests;
+    Rng group_rng(config.seed + 3);
+    study.group_trace = workload::generate_group(group, group_rng);
+  }
+  return study;
+}
+
+const std::vector<double>& qos_sweep() {
+  static const std::vector<double> sweep{0.95, 0.99, 0.999, 0.9999, 0.99999};
+  return sweep;
+}
+
+}  // namespace wanplace::core

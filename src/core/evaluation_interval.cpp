@@ -1,0 +1,37 @@
+#include "core/evaluation_interval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wanplace::core {
+
+double interval_for_periodic(double min_period_s) {
+  WANPLACE_REQUIRE(min_period_s > 0, "period must be positive");
+  return min_period_s / 2;  // Delta <= P_min / 2 suffices (Theorem 2)
+}
+
+double interval_for_per_access(const workload::Trace& trace,
+                               const BoolMatrix& dist,
+                               const BoolMatrix& know) {
+  const std::size_t n_count = trace.node_count();
+  WANPLACE_REQUIRE(dist.rows() == n_count && know.rows() == n_count,
+                   "matrix dimensions mismatch");
+  // Lemma 1: node n interacts with m iff it can fetch from m or uses m's
+  // activity in its decisions.
+  BoolMatrix interaction(n_count, n_count);
+  for (std::size_t n = 0; n < n_count; ++n)
+    for (std::size_t m = 0; m < n_count; ++m)
+      interaction(n, m) = dist(n, m) || know(n, m);
+  const auto gaps = workload::access_gaps(trace, interaction);
+  return workload::per_access_evaluation_interval(gaps);
+}
+
+std::size_t interval_count_for(const workload::Trace& trace, double delta_s) {
+  WANPLACE_REQUIRE(delta_s > 0, "delta must be positive");
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(trace.duration_s() / delta_s)));
+}
+
+}  // namespace wanplace::core

@@ -1,0 +1,30 @@
+// Evaluation-interval selection (paper Section 4.3, Appendix B).
+//
+// Bounds computed with evaluation interval Delta are valid for heuristics
+// whose own evaluation period P satisfies Delta <= P/2 (Theorem 2). For
+// per-access heuristics (caching), Theorem 3 derives Delta from the minimum
+// inter-access gaps within each node's sphere of interaction.
+#pragma once
+
+#include "mcperf/heuristic_class.h"
+#include "util/matrix.h"
+#include "workload/analysis.h"
+#include "workload/trace.h"
+
+namespace wanplace::core {
+
+/// Delta for heuristics evaluated every `period_s` seconds: P_min / 2.
+double interval_for_periodic(double min_period_s);
+
+/// Delta for per-access heuristics, per Theorem 3. `dist` is the Tlat
+/// reachability matrix; `know` the knowledge matrix of the class — the
+/// interaction matrix is their element-wise OR (Lemma 1).
+double interval_for_per_access(const workload::Trace& trace,
+                               const BoolMatrix& dist,
+                               const BoolMatrix& know);
+
+/// Number of whole evaluation intervals covering the trace duration for a
+/// chosen Delta (at least 1).
+std::size_t interval_count_for(const workload::Trace& trace, double delta_s);
+
+}  // namespace wanplace::core

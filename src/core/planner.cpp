@@ -1,0 +1,147 @@
+#include "core/planner.h"
+
+#include <algorithm>
+
+#include "graph/reachability.h"
+#include "util/check.h"
+#include "util/log.h"
+
+namespace wanplace::core {
+
+DeploymentPlanner::DeploymentPlanner(PlannerOptions options)
+    : options_(std::move(options)) {
+  if (options_.phase2_classes.empty())
+    options_.phase2_classes = default_phase2_classes();
+}
+
+std::vector<mcperf::ClassSpec> DeploymentPlanner::default_phase2_classes() {
+  // Section 6.2: "In these experiments, we do not consider prefetching; all
+  // heuristics considered are reactive." The general reactive bound is a
+  // reference line in Figure 3, not a deployable class, so it is not part
+  // of the recommendation set.
+  auto storage = mcperf::classes::storage_constrained();
+  storage.reactive = true;
+  auto replicas = mcperf::classes::replica_constrained();
+  replicas.reactive = true;
+  return {storage, replicas, mcperf::classes::caching()};
+}
+
+DeploymentPlan DeploymentPlanner::plan(
+    const mcperf::Instance& instance) const {
+  instance.validate();
+  WANPLACE_REQUIRE(instance.origin.has_value(),
+                   "deployment planning needs the origin (headquarters)");
+  WANPLACE_REQUIRE(!instance.latencies.empty(),
+                   "deployment planning needs the latency matrix");
+  WANPLACE_REQUIRE(std::holds_alternative<mcperf::QosGoal>(instance.goal),
+                   "deployment planning supports the QoS metric");
+
+  // --- phase 1: which sites to open --------------------------------------
+  mcperf::Instance phase1 = instance;
+  phase1.costs.zeta = options_.zeta;
+  const auto detail = bounds::compute_bound_detail(
+      phase1, mcperf::classes::general(), options_.bounds);
+  WANPLACE_REQUIRE(detail.bound.achievable,
+                   "goal unachievable even for the general class");
+
+  DeploymentPlan plan;
+  plan.phase1_lower_bound = detail.bound.lower_bound;
+
+  // Rank sites by how strongly the LP wants them open, then keep the
+  // smallest prefix on which the goal is still achievable. This turns the
+  // fractional open variables into a deterministic minimal deployment.
+  const std::size_t n_count = instance.node_count();
+  const auto origin = static_cast<std::size_t>(*instance.origin);
+  std::vector<std::pair<double, std::size_t>> score;
+  for (std::size_t n = 0; n < n_count; ++n) {
+    if (n == origin) continue;
+    double value = 0;
+    if (!detail.built.open.empty() && detail.built.open[n] >= 0)
+      value = detail.solution.x[static_cast<std::size_t>(
+          detail.built.open[n])];
+    // Tie-break by total fractional storage placed on the node.
+    double mass = 0;
+    for (std::size_t i = 0; i < instance.interval_count(); ++i)
+      for (std::size_t k = 0; k < instance.object_count(); ++k)
+        mass += detail.solution.x[static_cast<std::size_t>(
+            detail.built.store(n, i, k))];
+    score.emplace_back(value + 1e-6 * mass, n);
+  }
+  std::sort(score.begin(), score.end(), std::greater<>());
+
+  // A candidate open set is feasible when every site with demand can reach
+  // some open node within Tlat — demand stays at the original sites during
+  // phase 1 (per-user QoS leaves no slack for a completely uncovered site).
+  auto achievable_with = [&](const std::vector<graph::NodeId>& nodes) {
+    for (std::size_t n = 0; n < n_count; ++n) {
+      if (instance.demand.total_reads(n) <= 0) continue;
+      bool reachable = false;
+      for (const auto m : nodes)
+        if (instance.dist(n, static_cast<std::size_t>(m))) {
+          reachable = true;
+          break;
+        }
+      if (!reachable) return false;
+    }
+    return true;
+  };
+
+  plan.open_nodes = {static_cast<graph::NodeId>(origin)};
+  for (const auto& [value, n] : score) {
+    if (achievable_with(plan.open_nodes)) break;
+    plan.open_nodes.push_back(static_cast<graph::NodeId>(n));
+    std::sort(plan.open_nodes.begin(), plan.open_nodes.end());
+  }
+  WANPLACE_REQUIRE(achievable_with(plan.open_nodes),
+                   "no prefix of ranked sites achieves the goal");
+  log_info("planner: phase 1 opened ", plan.open_nodes.size(), " of ",
+           n_count, " sites");
+
+  // --- assignment: users go to the nearest deployed node ------------------
+  plan.assignment =
+      graph::nearest_assignment(instance.latencies, plan.open_nodes);
+
+  // --- phase 2: reduced instance -----------------------------------------
+  const std::size_t reduced_n = plan.open_nodes.size();
+  std::vector<std::size_t> index_of(n_count, SIZE_MAX);
+  for (std::size_t r = 0; r < reduced_n; ++r)
+    index_of[static_cast<std::size_t>(plan.open_nodes[r])] = r;
+
+  plan.reduced.latencies =
+      graph::restrict_latencies(instance.latencies, plan.open_nodes);
+  plan.reduced.dist = BoolMatrix(reduced_n, reduced_n);
+  for (std::size_t a = 0; a < reduced_n; ++a)
+    for (std::size_t b = 0; b < reduced_n; ++b)
+      plan.reduced.dist(a, b) =
+          instance.dist(plan.open_nodes[a], plan.open_nodes[b]);
+  plan.reduced.demand = workload::Demand(
+      reduced_n, instance.interval_count(), instance.object_count());
+  for (std::size_t n = 0; n < n_count; ++n) {
+    const auto serving =
+        index_of[static_cast<std::size_t>(plan.assignment[n])];
+    WANPLACE_CHECK(serving != SIZE_MAX, "assignment to closed node");
+    for (std::size_t i = 0; i < instance.interval_count(); ++i)
+      for (std::size_t k = 0; k < instance.object_count(); ++k) {
+        plan.reduced.demand.read(serving, i, k) +=
+            instance.demand.read(n, i, k);
+        plan.reduced.demand.write(serving, i, k) +=
+            instance.demand.write(n, i, k);
+      }
+  }
+  plan.reduced.costs = instance.costs;
+  plan.reduced.costs.zeta = 0;  // sites are decided; no opening cost now
+  plan.reduced.goal = instance.goal;
+  plan.reduced.origin = static_cast<graph::NodeId>(
+      index_of[static_cast<std::size_t>(*instance.origin)]);
+
+  if (options_.run_phase2) {
+    SelectorOptions selector_options;
+    selector_options.classes = options_.phase2_classes;
+    selector_options.bounds = options_.bounds;
+    plan.selection =
+        HeuristicSelector(selector_options).select(plan.reduced);
+  }
+  return plan;
+}
+
+}  // namespace wanplace::core

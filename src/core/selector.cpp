@@ -1,0 +1,98 @@
+#include "core/selector.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wanplace::core {
+
+const bounds::ClassBound& SelectionReport::recommended_bound() const {
+  WANPLACE_REQUIRE(has_recommendation(), "no class met the goal");
+  return classes[recommended];
+}
+
+Table SelectionReport::to_table() const {
+  Table table({"class", "max-qos", "achievable", "lower-bound",
+               "rounded-cost", "gap"});
+  auto add = [&](const bounds::ClassBound& bound) {
+    table.cell(bound.class_name)
+        .cell(bound.max_achievable_qos, 6)
+        .cell(bound.achievable ? "yes" : "no");
+    if (bound.achievable) {
+      table.cell(bound.lower_bound, 1)
+          .cell(bound.rounded_feasible ? format_number(bound.rounded_cost, 1)
+                                       : std::string("-"))
+          .cell(bound.rounded_feasible ? format_number(bound.gap, 3)
+                                       : std::string("-"));
+    } else {
+      table.cell("-").cell("-").cell("-");
+    }
+    table.finish_row();
+  };
+  add(general);
+  for (const auto& bound : classes) add(bound);
+  return table;
+}
+
+HeuristicSelector::HeuristicSelector(SelectorOptions options)
+    : options_(std::move(options)) {
+  if (options_.classes.empty()) options_.classes = default_classes();
+}
+
+std::vector<mcperf::ClassSpec> HeuristicSelector::default_classes() {
+  return {mcperf::classes::storage_constrained(),
+          mcperf::classes::replica_constrained(),
+          mcperf::classes::decentralized_local_routing(),
+          mcperf::classes::caching(),
+          mcperf::classes::cooperative_caching()};
+}
+
+std::string HeuristicSelector::suggested_heuristic(
+    const std::string& class_name) {
+  if (class_name == "storage-constrained")
+    return "greedy-global placement (Kangasharju et al.)";
+  if (class_name == "replica-constrained" ||
+      class_name == "replica-constrained-per-object")
+    return "greedy replica placement (Qiu et al.)";
+  if (class_name == "decentral-local-routing")
+    return "decentralized per-node greedy with origin routing";
+  if (class_name == "caching") return "LRU caching";
+  if (class_name == "coop-caching") return "cooperative LRU caching";
+  if (class_name == "caching-prefetch") return "LRU caching with prefetching";
+  if (class_name == "coop-caching-prefetch")
+    return "cooperative caching with prefetching";
+  return "custom heuristic from class " + class_name;
+}
+
+SelectionReport HeuristicSelector::select(
+    const mcperf::Instance& instance) const {
+  SelectionReport report;
+  report.general = bounds::compute_bound(
+      instance, mcperf::classes::general(), options_.bounds);
+
+  report.classes.reserve(options_.classes.size());
+  for (const auto& spec : options_.classes)
+    report.classes.push_back(
+        bounds::compute_bound(instance, spec, options_.bounds));
+
+  double best = lp::kInfinity;
+  for (std::size_t idx = 0; idx < report.classes.size(); ++idx) {
+    const auto& bound = report.classes[idx];
+    if (!bound.achievable) continue;
+    if (bound.lower_bound < best) {
+      best = bound.lower_bound;
+      report.recommended = idx;
+    }
+  }
+  if (report.has_recommendation()) {
+    const auto& chosen = report.classes[report.recommended];
+    report.suggestion = suggested_heuristic(chosen.class_name);
+    report.optimality_ratio =
+        report.general.lower_bound > 0
+            ? chosen.lower_bound / report.general.lower_bound
+            : 1.0;
+  }
+  return report;
+}
+
+}  // namespace wanplace::core

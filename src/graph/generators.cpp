@@ -1,0 +1,158 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wanplace::graph {
+
+Topology as_like(const AsLikeParams& params, Rng& rng) {
+  WANPLACE_REQUIRE(params.node_count >= 2, "need at least two nodes");
+  WANPLACE_REQUIRE(params.attach_links >= 1, "attach_links must be >= 1");
+  WANPLACE_REQUIRE(
+      params.min_link_latency_ms > 0 &&
+          params.min_link_latency_ms <= params.max_link_latency_ms,
+      "invalid latency range");
+
+  Topology topology(params.node_count, params.local_latency_ms);
+  auto latency = [&] {
+    return rng.uniform(params.min_link_latency_ms,
+                       params.max_link_latency_ms);
+  };
+
+  const std::size_t seed =
+      std::min(params.node_count, params.attach_links + 1);
+  for (std::size_t a = 0; a < seed; ++a)
+    for (std::size_t b = a + 1; b < seed; ++b)
+      topology.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                        latency());
+
+  // degree-weighted endpoint selection for each joining node
+  std::vector<double> degree(params.node_count, 0);
+  for (std::size_t n = 0; n < seed; ++n)
+    degree[n] = static_cast<double>(seed - 1);
+
+  for (std::size_t joining = seed; joining < params.node_count; ++joining) {
+    std::set<std::size_t> targets;
+    const std::size_t want = std::min(params.attach_links, joining);
+    while (targets.size() < want) {
+      std::vector<double> weights(joining);
+      for (std::size_t n = 0; n < joining; ++n)
+        weights[n] = targets.count(n) ? 0.0 : degree[n];
+      targets.insert(rng.weighted_index(weights));
+    }
+    for (std::size_t target : targets) {
+      topology.add_edge(static_cast<NodeId>(joining),
+                        static_cast<NodeId>(target), latency());
+      degree[joining] += 1;
+      degree[target] += 1;
+    }
+  }
+  WANPLACE_CHECK(topology.connected(), "as_like produced disconnected graph");
+  return topology;
+}
+
+Topology waxman(const WaxmanParams& params, Rng& rng) {
+  WANPLACE_REQUIRE(params.node_count >= 2, "need at least two nodes");
+  WANPLACE_REQUIRE(params.alpha > 0 && params.alpha <= 1, "alpha in (0,1]");
+  WANPLACE_REQUIRE(params.beta > 0, "beta must be positive");
+
+  struct Point {
+    double x, y;
+  };
+  std::vector<Point> points(params.node_count);
+  for (auto& p : points) p = {rng.uniform(), rng.uniform()};
+
+  auto distance = [&](std::size_t a, std::size_t b) {
+    const double dx = points[a].x - points[b].x;
+    const double dy = points[a].y - points[b].y;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  const double max_dist = std::sqrt(2.0);
+  auto link_latency = [&](double dist) {
+    const double t = dist / max_dist;
+    return params.min_link_latency_ms +
+           t * (params.max_link_latency_ms - params.min_link_latency_ms);
+  };
+
+  Topology topology(params.node_count, params.local_latency_ms);
+  for (std::size_t a = 0; a < params.node_count; ++a) {
+    for (std::size_t b = a + 1; b < params.node_count; ++b) {
+      const double d = distance(a, b);
+      const double p = params.alpha * std::exp(-d / (params.beta * max_dist));
+      if (rng.bernoulli(p))
+        topology.add_edge(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                          link_latency(d));
+    }
+  }
+
+  // Stitch disconnected components together via nearest pairs so callers
+  // always get a usable topology.
+  while (!topology.connected()) {
+    std::vector<char> seen(params.node_count, 0);
+    std::vector<NodeId> stack{0};
+    seen[0] = 1;
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (const auto& nb : topology.neighbors(u))
+        if (!seen[nb.node]) {
+          seen[nb.node] = 1;
+          stack.push_back(nb.node);
+        }
+    }
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_a = 0, best_b = 0;
+    for (std::size_t a = 0; a < params.node_count; ++a) {
+      if (!seen[a]) continue;
+      for (std::size_t b = 0; b < params.node_count; ++b) {
+        if (seen[b]) continue;
+        const double d = distance(a, b);
+        if (d < best) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    topology.add_edge(static_cast<NodeId>(best_a),
+                      static_cast<NodeId>(best_b), link_latency(best));
+  }
+  return topology;
+}
+
+Topology ring(std::size_t node_count, double link_latency_ms,
+              double local_latency_ms) {
+  WANPLACE_REQUIRE(node_count >= 3, "ring needs at least three nodes");
+  Topology topology(node_count, local_latency_ms);
+  for (std::size_t n = 0; n < node_count; ++n)
+    topology.add_edge(static_cast<NodeId>(n),
+                      static_cast<NodeId>((n + 1) % node_count),
+                      link_latency_ms);
+  return topology;
+}
+
+Topology star(std::size_t node_count, double link_latency_ms,
+              double local_latency_ms) {
+  WANPLACE_REQUIRE(node_count >= 2, "star needs at least two nodes");
+  Topology topology(node_count, local_latency_ms);
+  for (std::size_t leaf = 1; leaf < node_count; ++leaf)
+    topology.add_edge(0, static_cast<NodeId>(leaf), link_latency_ms);
+  return topology;
+}
+
+Topology line(std::size_t node_count, double link_latency_ms,
+              double local_latency_ms) {
+  WANPLACE_REQUIRE(node_count >= 2, "line needs at least two nodes");
+  Topology topology(node_count, local_latency_ms);
+  for (std::size_t n = 0; n + 1 < node_count; ++n)
+    topology.add_edge(static_cast<NodeId>(n), static_cast<NodeId>(n + 1),
+                      link_latency_ms);
+  return topology;
+}
+
+}  // namespace wanplace::graph

@@ -1,0 +1,54 @@
+// Deterministic topology generators.
+//
+// The paper's case study uses a 20-node Internet AS-level topology with
+// single-hop latencies of 100-200 ms. as_like() reproduces that shape with a
+// preferential-attachment graph; waxman() and the regular shapes support
+// tests and sensitivity studies.
+#pragma once
+
+#include "graph/topology.h"
+#include "util/rng.h"
+
+namespace wanplace::graph {
+
+/// Parameters for the AS-like generator.
+struct AsLikeParams {
+  std::size_t node_count = 20;
+  /// Links added per joining node (Barabasi-Albert m); the first
+  /// `attach_links + 1` nodes form a clique seed.
+  std::size_t attach_links = 2;
+  double min_link_latency_ms = 100.0;
+  double max_link_latency_ms = 200.0;
+  double local_latency_ms = 10.0;
+};
+
+/// Preferential-attachment graph mimicking AS-level degree skew. Always
+/// connected; deterministic for a given rng state.
+Topology as_like(const AsLikeParams& params, Rng& rng);
+
+/// Waxman random graph on the unit square: P(edge) = alpha *
+/// exp(-euclidean/(beta*sqrt(2))); latencies proportional to distance scaled
+/// into [min,max]. Extra edges are added if needed to connect the result.
+struct WaxmanParams {
+  std::size_t node_count = 20;
+  double alpha = 0.6;
+  double beta = 0.4;
+  double min_link_latency_ms = 100.0;
+  double max_link_latency_ms = 200.0;
+  double local_latency_ms = 10.0;
+};
+Topology waxman(const WaxmanParams& params, Rng& rng);
+
+/// Ring of n nodes with uniform link latency (test topology).
+Topology ring(std::size_t node_count, double link_latency_ms,
+              double local_latency_ms = 10.0);
+
+/// Star with `node_count - 1` leaves around hub 0 (test topology).
+Topology star(std::size_t node_count, double link_latency_ms,
+              double local_latency_ms = 10.0);
+
+/// Path 0-1-...-n-1 with uniform link latency (test topology).
+Topology line(std::size_t node_count, double link_latency_ms,
+              double local_latency_ms = 10.0);
+
+}  // namespace wanplace::graph

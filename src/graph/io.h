@@ -1,0 +1,27 @@
+// Topology file I/O.
+//
+// Plain-text format, one directive per line, '#' comments:
+//
+//   nodes 20
+//   local_latency 10
+//   edge 0 1 120.5        # endpoints and one-way latency in ms
+//   edge 1 2 98
+//
+// The format is intentionally trivial so real deployments can export their
+// measured inter-site latencies into it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/topology.h"
+
+namespace wanplace::graph {
+
+Topology load_topology(std::istream& in);
+Topology load_topology_file(const std::string& path);
+
+void save_topology(const Topology& topology, std::ostream& out);
+void save_topology_file(const Topology& topology, const std::string& path);
+
+}  // namespace wanplace::graph

@@ -1,0 +1,71 @@
+#include "graph/reachability.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace wanplace::graph {
+
+BoolMatrix within_threshold(const LatencyMatrix& latencies, double tlat_ms) {
+  WANPLACE_REQUIRE(tlat_ms > 0, "latency threshold must be positive");
+  BoolMatrix dist(latencies.rows(), latencies.cols());
+  for (std::size_t n = 0; n < latencies.rows(); ++n)
+    for (std::size_t m = 0; m < latencies.cols(); ++m)
+      dist(n, m) = latencies(n, m) <= tlat_ms ? 1 : 0;
+  return dist;
+}
+
+BoolMatrix fetch_all(std::size_t node_count) {
+  BoolMatrix fetch(node_count, node_count);
+  fetch.fill(1);
+  return fetch;
+}
+
+BoolMatrix fetch_origin_only(std::size_t node_count, NodeId origin) {
+  WANPLACE_REQUIRE(
+      origin >= 0 && static_cast<std::size_t>(origin) < node_count,
+      "origin out of range");
+  BoolMatrix fetch(node_count, node_count);
+  for (std::size_t n = 0; n < node_count; ++n) {
+    fetch(n, n) = 1;
+    fetch(n, origin) = 1;
+  }
+  return fetch;
+}
+
+std::vector<NodeId> nearest_assignment(
+    const LatencyMatrix& latencies, const std::vector<NodeId>& open_nodes) {
+  WANPLACE_REQUIRE(!open_nodes.empty(), "need at least one open node");
+  const std::size_t n_count = latencies.rows();
+  std::vector<NodeId> assignment(n_count, -1);
+  for (std::size_t n = 0; n < n_count; ++n) {
+    double best = std::numeric_limits<double>::infinity();
+    for (NodeId open : open_nodes) {
+      WANPLACE_REQUIRE(
+          open >= 0 && static_cast<std::size_t>(open) < n_count,
+          "open node out of range");
+      const double lat = static_cast<std::size_t>(open) == n
+                             ? 0.0  // a site with its own node serves locally
+                             : latencies(n, open);
+      if (lat < best) {
+        best = lat;
+        assignment[n] = open;
+      }
+    }
+    WANPLACE_REQUIRE(assignment[n] >= 0,
+                     "node cannot reach any open node");
+  }
+  return assignment;
+}
+
+LatencyMatrix restrict_latencies(const LatencyMatrix& latencies,
+                                 const std::vector<NodeId>& nodes) {
+  WANPLACE_REQUIRE(!nodes.empty(), "node subset must be non-empty");
+  LatencyMatrix reduced(nodes.size(), nodes.size());
+  for (std::size_t a = 0; a < nodes.size(); ++a)
+    for (std::size_t b = 0; b < nodes.size(); ++b)
+      reduced(a, b) = latencies.at(nodes[a], nodes[b]);
+  return reduced;
+}
+
+}  // namespace wanplace::graph

@@ -1,0 +1,38 @@
+// Derived matrices consumed by the MC-PERF model.
+//
+// dist[n][m] (paper Table 1) says whether node n can reach node m within the
+// latency threshold Tlat. fetch[n][m] (Section 4.1, "routing knowledge")
+// says whether n knows the contents of m and may fetch from it. Both are
+// inputs to the IP/LP model and the simulator.
+#pragma once
+
+#include <vector>
+
+#include "graph/shortest_paths.h"
+#include "graph/topology.h"
+#include "util/matrix.h"
+
+namespace wanplace::graph {
+
+/// dist matrix: reachable within `tlat_ms` under the given latencies.
+BoolMatrix within_threshold(const LatencyMatrix& latencies, double tlat_ms);
+
+/// Full routing knowledge: every node may fetch from every node (centralized
+/// heuristics, cooperative caching).
+BoolMatrix fetch_all(std::size_t node_count);
+
+/// Local routing knowledge: a node knows only its own contents plus a
+/// designated origin node that stores everything (plain caching).
+BoolMatrix fetch_origin_only(std::size_t node_count, NodeId origin);
+
+/// For each node, the open node with the lowest access latency (ties break
+/// to the lower node id). Open nodes map to themselves. Requires at least
+/// one open node reachable from every node.
+std::vector<NodeId> nearest_assignment(const LatencyMatrix& latencies,
+                                       const std::vector<NodeId>& open_nodes);
+
+/// Restriction of a latency matrix to a node subset, in subset order.
+LatencyMatrix restrict_latencies(const LatencyMatrix& latencies,
+                                 const std::vector<NodeId>& nodes);
+
+}  // namespace wanplace::graph

@@ -1,0 +1,48 @@
+#include "graph/shortest_paths.h"
+
+#include <limits>
+#include <queue>
+#include <utility>
+
+namespace wanplace::graph {
+
+std::vector<double> shortest_latencies(const Topology& topology,
+                                       NodeId source) {
+  const std::size_t n = topology.node_count();
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, inf);
+
+  using Item = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  dist[source] = 0;
+  frontier.emplace(0.0, source);
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (const auto& nb : topology.neighbors(u)) {
+      const double nd = d + nb.latency_ms;
+      if (nd < dist[nb.node]) {
+        dist[nb.node] = nd;
+        frontier.emplace(nd, nb.node);
+      }
+    }
+  }
+  // Distances are network path costs; accessing your own replica costs the
+  // local (LAN) latency rather than zero.
+  dist[source] = topology.local_latency_ms();
+  return dist;
+}
+
+LatencyMatrix all_pairs_latencies(const Topology& topology) {
+  const std::size_t n = topology.node_count();
+  LatencyMatrix matrix(n, n);
+  for (std::size_t src = 0; src < n; ++src) {
+    const auto row = shortest_latencies(topology, static_cast<NodeId>(src));
+    for (std::size_t dst = 0; dst < n; ++dst)
+      matrix(src, dst) = row[dst];
+  }
+  return matrix;
+}
+
+}  // namespace wanplace::graph

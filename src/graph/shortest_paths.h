@@ -1,0 +1,21 @@
+// All-pairs shortest-path latencies over a Topology.
+#pragma once
+
+#include "graph/topology.h"
+#include "util/matrix.h"
+
+namespace wanplace::graph {
+
+/// Node-to-node latency matrix. Diagonal entries are the topology's local
+/// latency; unreachable pairs are +infinity.
+using LatencyMatrix = DenseMatrix<double>;
+
+/// Single-source shortest-path latencies from `source` (Dijkstra).
+/// result[source] is the local latency.
+std::vector<double> shortest_latencies(const Topology& topology,
+                                       NodeId source);
+
+/// All-pairs latency matrix (Dijkstra from every node).
+LatencyMatrix all_pairs_latencies(const Topology& topology);
+
+}  // namespace wanplace::graph

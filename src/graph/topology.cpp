@@ -1,0 +1,77 @@
+#include "graph/topology.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wanplace::graph {
+
+Topology::Topology(std::size_t node_count, double local_latency_ms)
+    : adjacency_(node_count), local_latency_ms_(local_latency_ms) {
+  WANPLACE_REQUIRE(node_count > 0, "topology needs at least one node");
+  WANPLACE_REQUIRE(local_latency_ms >= 0, "local latency must be >= 0");
+}
+
+void Topology::require_valid(NodeId n) const {
+  WANPLACE_REQUIRE(n >= 0 && static_cast<std::size_t>(n) < adjacency_.size(),
+                   "node id out of range");
+}
+
+void Topology::add_edge(NodeId a, NodeId b, double latency_ms) {
+  require_valid(a);
+  require_valid(b);
+  WANPLACE_REQUIRE(a != b, "self loops are not allowed");
+  WANPLACE_REQUIRE(latency_ms > 0, "edge latency must be positive");
+  adjacency_[a].push_back({b, latency_ms});
+  adjacency_[b].push_back({a, latency_ms});
+  ++edge_count_;
+}
+
+const std::vector<Topology::Neighbor>& Topology::neighbors(NodeId n) const {
+  require_valid(n);
+  return adjacency_[n];
+}
+
+bool Topology::connected() const {
+  if (adjacency_.empty()) return true;
+  std::vector<char> seen(adjacency_.size(), 0);
+  std::vector<NodeId> stack{0};
+  seen[0] = 1;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    for (const auto& nb : adjacency_[n]) {
+      if (!seen[nb.node]) {
+        seen[nb.node] = 1;
+        ++visited;
+        stack.push_back(nb.node);
+      }
+    }
+  }
+  return visited == adjacency_.size();
+}
+
+std::string Topology::summary() const {
+  double lo = 0, hi = 0;
+  bool first = true;
+  for (const auto& nbrs : adjacency_) {
+    for (const auto& nb : nbrs) {
+      if (first) {
+        lo = hi = nb.latency_ms;
+        first = false;
+      } else {
+        lo = std::min(lo, nb.latency_ms);
+        hi = std::max(hi, nb.latency_ms);
+      }
+    }
+  }
+  std::ostringstream out;
+  out << node_count() << " nodes, " << edge_count() << " edges";
+  if (!first) out << ", link latency " << lo << "-" << hi << "ms";
+  return out.str();
+}
+
+}  // namespace wanplace::graph

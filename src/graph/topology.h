@@ -1,0 +1,63 @@
+// Wide-area system topology: sites (nodes) joined by latency-weighted links.
+//
+// The paper models the system as interconnected nodes; what the MC-PERF
+// formulation ultimately consumes is the node-to-node latency matrix and the
+// Tlat-reachability matrix derived from it. Topology is the graph itself;
+// shortest_paths.h and reachability.h derive the matrices.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wanplace::graph {
+
+using NodeId = std::int32_t;
+
+/// An undirected link between two sites with a fixed one-way latency.
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  double latency_ms = 0;
+};
+
+/// An undirected latency-weighted graph of sites.
+///
+/// `local_latency_ms` is the cost of a node accessing a replica it stores
+/// itself (LAN access); it appears on the latency-matrix diagonal.
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::size_t node_count, double local_latency_ms = 10.0);
+
+  std::size_t node_count() const { return adjacency_.size(); }
+  double local_latency_ms() const { return local_latency_ms_; }
+
+  /// Add an undirected edge. Requires distinct valid endpoints and a
+  /// positive latency. Parallel edges are allowed (shortest wins in paths).
+  void add_edge(NodeId a, NodeId b, double latency_ms);
+
+  /// Neighbors of n as (neighbor, latency) pairs.
+  struct Neighbor {
+    NodeId node;
+    double latency_ms;
+  };
+  const std::vector<Neighbor>& neighbors(NodeId n) const;
+
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// True if every node can reach every other node.
+  bool connected() const;
+
+  /// Human-readable summary ("20 nodes, 34 edges, latency 100-200ms").
+  std::string summary() const;
+
+ private:
+  void require_valid(NodeId n) const;
+
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::size_t edge_count_ = 0;
+  double local_latency_ms_ = 10.0;
+};
+
+}  // namespace wanplace::graph

@@ -1,0 +1,80 @@
+#include "heuristics/cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wanplace::heuristics {
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool LruCache::contains(ObjectId object) const {
+  return map_.find(object) != map_.end();
+}
+
+void LruCache::touch(ObjectId object) {
+  const auto it = map_.find(object);
+  WANPLACE_REQUIRE(it != map_.end(), "touch on non-resident object");
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+std::optional<ObjectId> LruCache::insert(ObjectId object) {
+  if (capacity_ == 0) return std::nullopt;
+  WANPLACE_REQUIRE(!contains(object), "insert of resident object");
+  std::optional<ObjectId> evicted;
+  if (map_.size() >= capacity_) {
+    const ObjectId victim = order_.back();
+    order_.pop_back();
+    map_.erase(victim);
+    evicted = victim;
+  }
+  order_.push_front(object);
+  map_[object] = order_.begin();
+  return evicted;
+}
+
+LfuCache::LfuCache(std::size_t capacity) : capacity_(capacity) {}
+
+bool LfuCache::contains(ObjectId object) const {
+  return entries_.find(object) != entries_.end();
+}
+
+void LfuCache::touch(ObjectId object) {
+  const auto it = entries_.find(object);
+  WANPLACE_REQUIRE(it != entries_.end(), "touch on non-resident object");
+  it->second.frequency += 1;
+  it->second.last_touch = ++clock_;
+}
+
+std::optional<ObjectId> LfuCache::insert(ObjectId object) {
+  if (capacity_ == 0) return std::nullopt;
+  WANPLACE_REQUIRE(!contains(object), "insert of resident object");
+  std::optional<ObjectId> evicted;
+  if (entries_.size() >= capacity_) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.frequency < victim->second.frequency ||
+          (it->second.frequency == victim->second.frequency &&
+           it->second.last_touch < victim->second.last_touch))
+        victim = it;
+    }
+    evicted = victim->first;
+    entries_.erase(victim);
+  }
+  entries_[object] = Entry{1, ++clock_};
+  return evicted;
+}
+
+CacheFactory lru_factory() {
+  return [](std::size_t capacity) {
+    return std::make_unique<LruCache>(capacity);
+  };
+}
+
+CacheFactory lfu_factory() {
+  return [](std::size_t capacity) {
+    return std::make_unique<LfuCache>(capacity);
+  };
+}
+
+}  // namespace wanplace::heuristics

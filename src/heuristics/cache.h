@@ -1,0 +1,83 @@
+// Per-node cache replacement policies for the caching heuristic family
+// (paper Table 3, rows "caching" and "cooperative caching").
+//
+// A CachePolicy models one node's cache of objects with a fixed capacity;
+// the simulator owns one per node and a shared directory for the
+// cooperative variant.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "workload/trace.h"
+
+namespace wanplace::heuristics {
+
+using workload::ObjectId;
+
+/// One node's fixed-capacity object cache.
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  virtual bool contains(ObjectId object) const = 0;
+  /// Record a hit on a resident object.
+  virtual void touch(ObjectId object) = 0;
+  /// Insert a (missing) object; returns the evicted object if the cache was
+  /// full, nullopt otherwise. No-op returning nullopt when capacity is 0.
+  virtual std::optional<ObjectId> insert(ObjectId object) = 0;
+  virtual std::size_t size() const = 0;
+  virtual std::size_t capacity() const = 0;
+};
+
+/// Least-recently-used eviction (Smith [14] in the paper).
+class LruCache : public CachePolicy {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  bool contains(ObjectId object) const override;
+  void touch(ObjectId object) override;
+  std::optional<ObjectId> insert(ObjectId object) override;
+  std::size_t size() const override { return map_.size(); }
+  std::size_t capacity() const override { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<ObjectId> order_;  // front = most recent
+  std::unordered_map<ObjectId, std::list<ObjectId>::iterator> map_;
+};
+
+/// Least-frequently-used eviction with recency tie-break.
+class LfuCache : public CachePolicy {
+ public:
+  explicit LfuCache(std::size_t capacity);
+
+  bool contains(ObjectId object) const override;
+  void touch(ObjectId object) override;
+  std::optional<ObjectId> insert(ObjectId object) override;
+  std::size_t size() const override { return entries_.size(); }
+  std::size_t capacity() const override { return capacity_; }
+
+ private:
+  struct Entry {
+    std::size_t frequency = 1;
+    std::uint64_t last_touch = 0;
+  };
+  std::size_t capacity_;
+  std::uint64_t clock_ = 0;
+  std::unordered_map<ObjectId, Entry> entries_;
+};
+
+/// Factory used by the simulator to build one cache per node.
+using CacheFactory =
+    std::function<std::unique_ptr<CachePolicy>(std::size_t capacity)>;
+
+CacheFactory lru_factory();
+CacheFactory lfu_factory();
+
+}  // namespace wanplace::heuristics

@@ -1,0 +1,242 @@
+#include "heuristics/interval.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wanplace::heuristics {
+
+namespace {
+
+/// Demand weights per (node, object) over the history window [i-W, i), or
+/// [i-W, i] for proactive (prefetching) heuristics.
+DenseMatrix<double> window_weights(std::size_t interval,
+                                   const workload::Demand& demand,
+                                   std::size_t window,
+                                   bool include_current = false) {
+  const std::size_t n_count = demand.node_count();
+  const std::size_t k_count = demand.object_count();
+  DenseMatrix<double> weights(n_count, k_count, 0.0);
+  const std::size_t first =
+      window == 0 ? 0 : (interval > window ? interval - window : 0);
+  const std::size_t last = include_current ? interval + 1 : interval;
+  for (std::size_t n = 0; n < n_count; ++n)
+    for (std::size_t j = first; j < last; ++j)
+      for (std::size_t k = 0; k < k_count; ++k)
+        weights(n, k) += demand.read(n, j, k);
+  return weights;
+}
+
+}  // namespace
+
+GreedyGlobalPlacement::GreedyGlobalPlacement(BoolMatrix dist,
+                                             graph::NodeId origin,
+                                             GreedyGlobalOptions options)
+    : dist_(std::move(dist)), origin_(origin), options_(options) {
+  WANPLACE_REQUIRE(dist_.rows() == dist_.cols(), "dist must be square");
+}
+
+void GreedyGlobalPlacement::place_interval(std::size_t interval,
+                                           const workload::Demand& demand,
+                                           bounds::Placement& placement) {
+  const std::size_t n_count = demand.node_count();
+  const std::size_t k_count = demand.object_count();
+  const auto weights = window_weights(interval, demand,
+                                      options_.window_intervals,
+                                      options_.proactive);
+  const auto is_origin = [&](std::size_t n) {
+    return origin_ >= 0 && static_cast<std::size_t>(origin_) == n;
+  };
+
+  // covered(m,k): demand at m for k already served within Tlat.
+  DenseMatrix<unsigned char> covered(n_count, k_count, 0);
+  for (std::size_t m = 0; m < n_count; ++m)
+    if (origin_ >= 0 && dist_(m, static_cast<std::size_t>(origin_)))
+      for (std::size_t k = 0; k < k_count; ++k) covered(m, k) = 1;
+
+  std::vector<std::size_t> slots(n_count, options_.capacity);
+
+  auto gain = [&](std::size_t n, std::size_t k) {
+    double total = 0;
+    for (std::size_t m = 0; m < n_count; ++m)
+      if (dist_(m, n) && !covered(m, k)) total += weights(m, k);
+    return total;
+  };
+  auto place = [&](std::size_t n, std::size_t k) {
+    placement(n, interval, k) = 1;
+    WANPLACE_CHECK(slots[n] > 0, "greedy overfilled a node");
+    --slots[n];
+    for (std::size_t m = 0; m < n_count; ++m)
+      if (dist_(m, n)) covered(m, k) = 1;
+  };
+
+  // Phase 1: keep beneficial placements from the previous interval to avoid
+  // replica re-creation churn.
+  if (interval > 0) {
+    using Kept = std::tuple<double, std::size_t, std::size_t>;
+    std::vector<Kept> carried;
+    for (std::size_t n = 0; n < n_count; ++n) {
+      if (is_origin(n)) continue;
+      for (std::size_t k = 0; k < k_count; ++k)
+        if (placement(n, interval - 1, k))
+          carried.emplace_back(gain(n, k), n, k);
+    }
+    std::sort(carried.begin(), carried.end(), std::greater<>());
+    for (const auto& [g0, n, k] : carried) {
+      if (slots[n] == 0) continue;
+      const double g = gain(n, k);  // earlier keeps may have covered it
+      if (g > 0) place(n, k);
+    }
+  }
+
+  // Phase 2: lazy greedy over all (node, object) pairs by marginal gain.
+  struct Candidate {
+    double gain;
+    std::size_t version;  // object version when evaluated
+    std::size_t n, k;
+  };
+  const auto cmp = [](const Candidate& a, const Candidate& b) {
+    return a.gain < b.gain;
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, decltype(cmp)> queue(
+      cmp);
+  std::vector<std::size_t> version(k_count, 0);
+  for (std::size_t n = 0; n < n_count; ++n) {
+    if (is_origin(n)) continue;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      if (placement(n, interval, k)) continue;
+      const double g = gain(n, k);
+      if (g > 0) queue.push({g, 0, n, k});
+    }
+  }
+  while (!queue.empty()) {
+    Candidate top = queue.top();
+    queue.pop();
+    if (slots[top.n] == 0 || placement(top.n, interval, top.k)) continue;
+    if (top.version != version[top.k]) {
+      top.gain = gain(top.n, top.k);
+      top.version = version[top.k];
+      if (top.gain > 0) queue.push(top);
+      continue;
+    }
+    if (top.gain <= 0) continue;
+    place(top.n, top.k);
+    ++version[top.k];
+  }
+}
+
+ReplicaGreedyPlacement::ReplicaGreedyPlacement(BoolMatrix dist,
+                                               graph::NodeId origin,
+                                               ReplicaGreedyOptions options)
+    : dist_(std::move(dist)), origin_(origin), options_(options) {
+  WANPLACE_REQUIRE(dist_.rows() == dist_.cols(), "dist must be square");
+}
+
+void ReplicaGreedyPlacement::place_interval(std::size_t interval,
+                                            const workload::Demand& demand,
+                                            bounds::Placement& placement) {
+  const std::size_t n_count = demand.node_count();
+  const std::size_t k_count = demand.object_count();
+  const auto weights =
+      window_weights(interval, demand, options_.window_intervals);
+  const auto is_origin = [&](std::size_t n) {
+    return origin_ >= 0 && static_cast<std::size_t>(origin_) == n;
+  };
+
+  for (std::size_t k = 0; k < k_count; ++k) {
+    double seen = 0;
+    for (std::size_t m = 0; m < n_count; ++m) seen += weights(m, k);
+    if (seen <= 0) continue;  // reactive: never-seen objects stay unplaced
+
+    std::vector<unsigned char> covered(n_count, 0);
+    for (std::size_t m = 0; m < n_count; ++m)
+      if (origin_ >= 0 && dist_(m, static_cast<std::size_t>(origin_)))
+        covered[m] = 1;
+
+    std::size_t placed = 0;
+    // Prefer last interval's replica set for stability.
+    std::vector<std::size_t> order;
+    if (interval > 0)
+      for (std::size_t n = 0; n < n_count; ++n)
+        if (!is_origin(n) && placement(n, interval - 1, k))
+          order.push_back(n);
+
+    auto gain = [&](std::size_t n) {
+      double total = 0;
+      for (std::size_t m = 0; m < n_count; ++m)
+        if (dist_(m, n) && !covered[m]) total += weights(m, k);
+      return total;
+    };
+    auto place = [&](std::size_t n) {
+      placement(n, interval, k) = 1;
+      ++placed;
+      for (std::size_t m = 0; m < n_count; ++m)
+        if (dist_(m, n)) covered[m] = 1;
+    };
+
+    for (std::size_t n : order) {
+      if (placed >= options_.replicas) break;
+      if (gain(n) > 0) place(n);
+    }
+    while (placed < options_.replicas) {
+      double best_gain = 0;
+      std::size_t best = SIZE_MAX;
+      for (std::size_t n = 0; n < n_count; ++n) {
+        if (is_origin(n) || placement(n, interval, k)) continue;
+        const double g = gain(n);
+        if (g > best_gain) {
+          best_gain = g;
+          best = n;
+        }
+      }
+      if (best == SIZE_MAX) break;  // no remaining beneficial location
+      place(best);
+    }
+  }
+}
+
+RandomPlacement::RandomPlacement(graph::NodeId origin, std::size_t replicas,
+                                 std::uint64_t seed)
+    : origin_(origin), replicas_(replicas), rng_(seed) {}
+
+void RandomPlacement::place_interval(std::size_t interval,
+                                     const workload::Demand& demand,
+                                     bounds::Placement& placement) {
+  const std::size_t n_count = demand.node_count();
+  const std::size_t k_count = demand.object_count();
+  const auto weights = window_weights(interval, demand, 0);
+  const auto is_origin = [&](std::size_t n) {
+    return origin_ >= 0 && static_cast<std::size_t>(origin_) == n;
+  };
+
+  for (std::size_t k = 0; k < k_count; ++k) {
+    // Stability: carry the previous interval's replicas forward.
+    bool carried = false;
+    if (interval > 0) {
+      for (std::size_t n = 0; n < n_count; ++n)
+        if (placement(n, interval - 1, k)) {
+          placement(n, interval, k) = 1;
+          carried = true;
+        }
+    }
+    if (carried) continue;
+
+    double seen = 0;
+    for (std::size_t m = 0; m < n_count; ++m) seen += weights(m, k);
+    if (seen <= 0) continue;  // reactive
+
+    std::size_t placed = 0, guard = 0;
+    while (placed < replicas_ && guard++ < 16 * n_count) {
+      const auto n =
+          static_cast<std::size_t>(rng_.uniform_index(n_count));
+      if (is_origin(n) || placement(n, interval, k)) continue;
+      placement(n, interval, k) = 1;
+      ++placed;
+    }
+  }
+}
+
+}  // namespace wanplace::heuristics

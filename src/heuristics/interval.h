@@ -1,0 +1,103 @@
+// Interval-driven (centralized) placement heuristics.
+//
+// These are the deployable heuristics of the paper's Table 3: at the start
+// of each evaluation interval they decide the full replica placement from
+// demand observed in *past* intervals (reactive — the deployment-scenario
+// assumption of Section 6.2).
+//
+//  - GreedyGlobalPlacement: the storage-constrained greedy of Kangasharju
+//    et al. [4]: every node has capacity C; (node, object) placements are
+//    chosen globally by marginal covered demand.
+//  - ReplicaGreedyPlacement: the replica-constrained greedy of Qiu et
+//    al. [11]: every object gets R replicas placed to maximize demand
+//    served within the latency threshold.
+//  - RandomPlacement: a baseline that places R random replicas per object.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bounds/feasible.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "workload/demand.h"
+
+namespace wanplace::heuristics {
+
+/// Decides placement one interval at a time. Implementations must only read
+/// demand from intervals strictly before `interval` (reactive placement).
+class IntervalHeuristic {
+ public:
+  virtual ~IntervalHeuristic() = default;
+  virtual std::string name() const = 0;
+
+  /// Fill placement(:, interval, :). Entries for earlier intervals are
+  /// already final and may be read (e.g. to stay stable and avoid replica
+  /// re-creation).
+  virtual void place_interval(std::size_t interval,
+                              const workload::Demand& demand,
+                              bounds::Placement& placement) = 0;
+};
+
+struct GreedyGlobalOptions {
+  std::size_t capacity = 1;          // objects per node
+  std::size_t window_intervals = 0;  // demand history window; 0 = all past
+  /// Prefetching (proactive) placement: also use the current interval's
+  /// demand, modeling a heuristic with workload foreknowledge (the
+  /// "with prefetching" classes of Table 3).
+  bool proactive = false;
+};
+
+class GreedyGlobalPlacement : public IntervalHeuristic {
+ public:
+  /// `dist` is the Tlat reachability matrix; `origin` (if >= 0) always
+  /// stores everything and consumes no capacity.
+  GreedyGlobalPlacement(BoolMatrix dist, graph::NodeId origin,
+                        GreedyGlobalOptions options);
+
+  std::string name() const override { return "greedy-global"; }
+  void place_interval(std::size_t interval, const workload::Demand& demand,
+                      bounds::Placement& placement) override;
+
+ private:
+  BoolMatrix dist_;
+  graph::NodeId origin_;
+  GreedyGlobalOptions options_;
+};
+
+struct ReplicaGreedyOptions {
+  std::size_t replicas = 1;          // per object
+  std::size_t window_intervals = 0;  // 0 = all past
+};
+
+class ReplicaGreedyPlacement : public IntervalHeuristic {
+ public:
+  ReplicaGreedyPlacement(BoolMatrix dist, graph::NodeId origin,
+                         ReplicaGreedyOptions options);
+
+  std::string name() const override { return "replica-greedy"; }
+  void place_interval(std::size_t interval, const workload::Demand& demand,
+                      bounds::Placement& placement) override;
+
+ private:
+  BoolMatrix dist_;
+  graph::NodeId origin_;
+  ReplicaGreedyOptions options_;
+};
+
+class RandomPlacement : public IntervalHeuristic {
+ public:
+  RandomPlacement(graph::NodeId origin, std::size_t replicas,
+                  std::uint64_t seed);
+
+  std::string name() const override { return "random"; }
+  void place_interval(std::size_t interval, const workload::Demand& demand,
+                      bounds::Placement& placement) override;
+
+ private:
+  graph::NodeId origin_;
+  std::size_t replicas_;
+  Rng rng_;
+};
+
+}  // namespace wanplace::heuristics

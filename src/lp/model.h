@@ -1,0 +1,114 @@
+// LP model container shared by both solvers.
+//
+//   minimize    c^T x
+//   subject to  row_i: a_i^T x  (>=|=|<=)  rhs_i      for every row
+//               lo_j <= x_j <= up_j                   for every variable
+//
+// Models are assembled incrementally (add_variable / add_row) and frozen
+// into CSR form on demand. Variable and row names are optional and used only
+// for diagnostics.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "lp/sparse.h"
+
+namespace wanplace::lp {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class RowType { Ge, Le, Eq };
+
+/// Outcome of a solve.
+enum class SolveStatus {
+  Optimal,         // converged within tolerance
+  Infeasible,      // no feasible point exists
+  Unbounded,       // objective decreases without limit
+  IterationLimit   // stopped early; bounds still valid where certified
+};
+
+const char* to_string(SolveStatus status);
+const char* to_string(RowType type);
+
+/// A single linear constraint under assembly.
+struct RowSpec {
+  RowType type = RowType::Ge;
+  double rhs = 0;
+  std::vector<std::size_t> cols;
+  std::vector<double> coeffs;
+};
+
+class LpModel {
+ public:
+  /// Add a variable with bounds and objective coefficient; returns its index.
+  std::size_t add_variable(double lower, double upper, double objective,
+                           std::string name = {});
+
+  /// Add a constraint row; returns its index. Column indices must reference
+  /// existing variables; duplicated columns are summed.
+  std::size_t add_row(RowType type, double rhs,
+                      const std::vector<std::size_t>& cols,
+                      const std::vector<double>& coeffs,
+                      std::string name = {});
+
+  std::size_t variable_count() const { return lower_.size(); }
+  std::size_t row_count() const { return rows_.size(); }
+
+  double lower(std::size_t j) const { return lower_[j]; }
+  double upper(std::size_t j) const { return upper_[j]; }
+  double objective(std::size_t j) const { return objective_[j]; }
+  const RowSpec& row(std::size_t r) const { return rows_[r]; }
+  const std::string& variable_name(std::size_t j) const { return var_names_[j]; }
+  const std::string& row_name(std::size_t r) const { return row_names_[r]; }
+
+  /// Tighten variable bounds after creation (used for class constraints that
+  /// reduce to variable fixing). Keeps lower <= upper.
+  void set_bounds(std::size_t j, double lower, double upper);
+
+  /// Fix a variable to a value.
+  void fix_variable(std::size_t j, double value) {
+    set_bounds(j, value, value);
+  }
+
+  /// Change the objective coefficient of a variable.
+  void set_objective(std::size_t j, double objective);
+
+  /// Constraint matrix in CSR form (rows in insertion order).
+  SparseMatrix matrix() const;
+
+  /// Objective value of a point (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Maximum relative constraint violation + bound violation of a point.
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> lower_, upper_, objective_;
+  std::vector<std::string> var_names_;
+  std::vector<RowSpec> rows_;
+  std::vector<std::string> row_names_;
+};
+
+/// Result of a solve. `dual_bound` is a weak-duality certificate: a value
+/// proven <= the optimal objective (for minimization), valid even when the
+/// solver stopped before convergence.
+struct LpSolution {
+  SolveStatus status = SolveStatus::IterationLimit;
+  double objective = 0;
+  double dual_bound = -kInfinity;
+  std::vector<double> x;
+  std::vector<double> y;  // row duals (>=0 for Ge, <=0 for Le, free for Eq)
+  std::size_t iterations = 0;
+  double solve_seconds = 0;
+};
+
+/// Weak-duality certificate: for ANY vector y (clamped to the correct sign
+/// per row type), returns a value provably <= min c^T x over the feasible
+/// region. This is what makes approximate dual iterates usable as rigorous
+/// lower bounds. Returns -infinity if an unbounded variable makes the inner
+/// minimization diverge for this y.
+double certified_dual_bound(const LpModel& model, const std::vector<double>& y);
+
+}  // namespace wanplace::lp

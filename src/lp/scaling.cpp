@@ -1,0 +1,44 @@
+#include "lp/scaling.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wanplace::lp {
+
+ScalingResult ruiz_scaling(std::size_t rows, std::size_t cols,
+                           const std::vector<Triplet>& triplets,
+                           int iterations) {
+  ScalingResult result;
+  result.row_scale.assign(rows, 1.0);
+  result.col_scale.assign(cols, 1.0);
+
+  std::vector<double> row_max(rows), col_max(cols);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(row_max.begin(), row_max.end(), 0.0);
+    std::fill(col_max.begin(), col_max.end(), 0.0);
+    for (const auto& t : triplets) {
+      const double v = std::abs(t.value) * result.row_scale[t.row] *
+                       result.col_scale[t.col];
+      row_max[t.row] = std::max(row_max[t.row], v);
+      col_max[t.col] = std::max(col_max[t.col], v);
+    }
+    bool changed = false;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (row_max[r] > 0) {
+        result.row_scale[r] /= std::sqrt(row_max[r]);
+        changed = changed || std::abs(row_max[r] - 1) > 1e-3;
+      }
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (col_max[c] > 0) {
+        result.col_scale[c] /= std::sqrt(col_max[c]);
+        changed = changed || std::abs(col_max[c] - 1) > 1e-3;
+      }
+    }
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace wanplace::lp

@@ -1,0 +1,484 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+#include "util/log.h"
+#include "util/stopwatch.h"
+
+namespace wanplace::lp {
+
+namespace {
+
+constexpr double kInf = kInfinity;
+
+enum class VarStatus : unsigned char { Basic, AtLower, AtUpper, FreeZero };
+
+/// Column-compressed copy of [A | slacks | artificials].
+struct Columns {
+  // structural columns
+  std::vector<std::size_t> start;  // n+1
+  std::vector<std::size_t> row;
+  std::vector<double> value;
+  std::size_t n = 0;  // structural count
+  std::size_t m = 0;  // row count
+  std::vector<double> art_sign;  // per-row artificial coefficient (+1/-1)
+
+  // Iterate column j (structural, slack or artificial) as (row, value).
+  template <typename Fn>
+  void for_column(std::size_t j, Fn&& fn) const {
+    if (j < n) {
+      for (std::size_t i = start[j]; i < start[j + 1]; ++i)
+        fn(row[i], value[i]);
+    } else if (j < n + m) {
+      fn(j - n, 1.0);  // slack
+    } else {
+      fn(j - n - m, art_sign[j - n - m]);  // artificial
+    }
+  }
+};
+
+class Simplex {
+ public:
+  Simplex(const LpModel& model, const SimplexOptions& options)
+      : model_(model), options_(options) {
+    build();
+  }
+
+  LpSolution run() {
+    Stopwatch watch;
+    LpSolution solution;
+
+    // Phase 1: drive artificial infeasibility to zero.
+    set_phase_costs(/*phase1=*/true);
+    const SolveStatus phase1 = iterate();
+    if (phase1 == SolveStatus::IterationLimit) {
+      solution.status = SolveStatus::IterationLimit;
+      fill_solution(solution);
+      solution.solve_seconds = watch.elapsed_seconds();
+      return solution;
+    }
+    if (phase_objective() > feasibility_tol()) {
+      solution.status = SolveStatus::Infeasible;
+      solution.iterations = iterations_;
+      solution.solve_seconds = watch.elapsed_seconds();
+      return solution;
+    }
+    // Pin artificials to zero and optimize the real objective.
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::size_t j = cols_.n + m_ + r;
+      lower_[j] = upper_[j] = 0;
+      if (status_[j] != VarStatus::Basic) {
+        x_[j] = 0;
+        status_[j] = VarStatus::AtLower;
+      }
+    }
+    set_phase_costs(/*phase1=*/false);
+    stall_count_ = 0;
+    bland_ = false;
+    const SolveStatus phase2 = iterate();
+    solution.status = phase2;
+    fill_solution(solution);
+    solution.solve_seconds = watch.elapsed_seconds();
+    return solution;
+  }
+
+ private:
+  std::size_t total_columns() const { return cols_.n + 2 * m_; }
+
+  double feasibility_tol() const {
+    return options_.tolerance * 10 * (1 + rhs_scale_);
+  }
+
+  void build() {
+    const std::size_t n = model_.variable_count();
+    m_ = model_.row_count();
+    cols_.n = n;
+    cols_.m = m_;
+
+    // Structural columns via a row->column transpose of the model rows.
+    std::vector<std::size_t> count(n, 0);
+    for (std::size_t r = 0; r < m_; ++r)
+      for (std::size_t c : model_.row(r).cols) ++count[c];
+    cols_.start.assign(n + 1, 0);
+    for (std::size_t j = 0; j < n; ++j)
+      cols_.start[j + 1] = cols_.start[j] + count[j];
+    cols_.row.resize(cols_.start[n]);
+    cols_.value.resize(cols_.start[n]);
+    std::vector<std::size_t> cursor(cols_.start.begin(),
+                                    cols_.start.end() - 1);
+    for (std::size_t r = 0; r < m_; ++r) {
+      const auto& row = model_.row(r);
+      for (std::size_t i = 0; i < row.cols.size(); ++i) {
+        const std::size_t j = row.cols[i];
+        cols_.row[cursor[j]] = r;
+        cols_.value[cursor[j]] = row.coeffs[i];
+        ++cursor[j];
+      }
+    }
+
+    // Bounds: structural, then slack, then artificial.
+    const std::size_t total = total_columns();
+    lower_.assign(total, 0);
+    upper_.assign(total, 0);
+    x_.assign(total, 0);
+    status_.assign(total, VarStatus::AtLower);
+    for (std::size_t j = 0; j < n; ++j) {
+      lower_[j] = model_.lower(j);
+      upper_[j] = model_.upper(j);
+    }
+    rhs_.resize(m_);
+    rhs_scale_ = 0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      rhs_[r] = model_.row(r).rhs;
+      rhs_scale_ = std::max(rhs_scale_, std::abs(rhs_[r]));
+      const std::size_t s = n + r;
+      switch (model_.row(r).type) {
+        case RowType::Ge:
+          lower_[s] = -kInf;
+          upper_[s] = 0;
+          break;
+        case RowType::Le:
+          lower_[s] = 0;
+          upper_[s] = kInf;
+          break;
+        case RowType::Eq:
+          lower_[s] = upper_[s] = 0;
+          break;
+      }
+    }
+
+    // Nonbasic structural variables start at their bound nearest zero.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (lower_[j] > -kInf) {
+        x_[j] = lower_[j];
+        status_[j] = VarStatus::AtLower;
+      } else if (upper_[j] < kInf) {
+        x_[j] = upper_[j];
+        status_[j] = VarStatus::AtUpper;
+      } else {
+        x_[j] = 0;
+        status_[j] = VarStatus::FreeZero;
+      }
+    }
+
+    // Row activities of the structural start point.
+    std::vector<double> activity(m_, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (x_[j] == 0) continue;
+      for (std::size_t i = cols_.start[j]; i < cols_.start[j + 1]; ++i)
+        activity[cols_.row[i]] += cols_.value[i] * x_[j];
+    }
+
+    // Initial basis: slack where it absorbs the residual, artificial where
+    // the slack bounds cannot.
+    basis_.resize(m_);
+    cols_.art_sign.assign(m_, 1.0);
+    binv_.assign(m_ * m_, 0.0);
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::size_t s = n + r;
+      const std::size_t a = n + m_ + r;
+      const double need = rhs_[r] - activity[r];
+      if (need >= lower_[s] - options_.tolerance &&
+          need <= upper_[s] + options_.tolerance) {
+        x_[s] = need;
+        status_[s] = VarStatus::Basic;
+        basis_[r] = s;
+        lower_[a] = upper_[a] = 0;
+        status_[a] = VarStatus::AtLower;
+        binv_[r * m_ + r] = 1.0;
+      } else {
+        const double pinned = std::clamp(need, lower_[s], upper_[s]);
+        x_[s] = pinned;
+        status_[s] =
+            pinned == lower_[s] ? VarStatus::AtLower : VarStatus::AtUpper;
+        const double residual = need - pinned;
+        cols_.art_sign[r] = residual >= 0 ? 1.0 : -1.0;
+        lower_[a] = 0;
+        upper_[a] = kInf;
+        x_[a] = std::abs(residual);
+        status_[a] = VarStatus::Basic;
+        basis_[r] = a;
+        binv_[r * m_ + r] = cols_.art_sign[r];
+      }
+    }
+    cost_.assign(total, 0.0);
+  }
+
+  void set_phase_costs(bool phase1) {
+    std::fill(cost_.begin(), cost_.end(), 0.0);
+    if (phase1) {
+      for (std::size_t r = 0; r < m_; ++r) cost_[cols_.n + m_ + r] = 1.0;
+    } else {
+      for (std::size_t j = 0; j < cols_.n; ++j) cost_[j] = model_.objective(j);
+    }
+  }
+
+  double phase_objective() const {
+    double total = 0;
+    for (std::size_t j = 0; j < total_columns(); ++j)
+      total += cost_[j] * x_[j];
+    return total;
+  }
+
+  void compute_duals(std::vector<double>& y) const {
+    y.assign(m_, 0.0);
+    for (std::size_t p = 0; p < m_; ++p) {
+      const double cb = cost_[basis_[p]];
+      if (cb == 0) continue;
+      const double* binv_row = &binv_[p * m_];
+      for (std::size_t i = 0; i < m_; ++i) y[i] += cb * binv_row[i];
+    }
+  }
+
+  double reduced_cost(std::size_t j, const std::vector<double>& y) const {
+    double d = cost_[j];
+    cols_.for_column(j, [&](std::size_t r, double v) { d -= y[r] * v; });
+    return d;
+  }
+
+  /// w = Binv * A_q
+  void compute_direction(std::size_t q, std::vector<double>& w) const {
+    w.assign(m_, 0.0);
+    cols_.for_column(q, [&](std::size_t r, double v) {
+      for (std::size_t p = 0; p < m_; ++p) w[p] += v * binv_[p * m_ + r];
+    });
+  }
+
+  void refactorize() {
+    // Gauss-Jordan inversion of the basis matrix with partial pivoting.
+    std::vector<double> b(m_ * m_, 0.0);
+    for (std::size_t p = 0; p < m_; ++p)
+      cols_.for_column(basis_[p],
+                       [&](std::size_t r, double v) { b[r * m_ + p] = v; });
+    std::vector<double> inv(m_ * m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
+    for (std::size_t col = 0; col < m_; ++col) {
+      std::size_t piv = col;
+      for (std::size_t r = col + 1; r < m_; ++r)
+        if (std::abs(b[r * m_ + col]) > std::abs(b[piv * m_ + col])) piv = r;
+      WANPLACE_CHECK(std::abs(b[piv * m_ + col]) > 1e-12,
+                     "singular basis during refactorization");
+      if (piv != col) {
+        for (std::size_t cidx = 0; cidx < m_; ++cidx) {
+          std::swap(b[piv * m_ + cidx], b[col * m_ + cidx]);
+          std::swap(inv[piv * m_ + cidx], inv[col * m_ + cidx]);
+        }
+      }
+      const double scale = 1.0 / b[col * m_ + col];
+      for (std::size_t cidx = 0; cidx < m_; ++cidx) {
+        b[col * m_ + cidx] *= scale;
+        inv[col * m_ + cidx] *= scale;
+      }
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double factor = b[r * m_ + col];
+        if (factor == 0) continue;
+        for (std::size_t cidx = 0; cidx < m_; ++cidx) {
+          b[r * m_ + cidx] -= factor * b[col * m_ + cidx];
+          inv[r * m_ + cidx] -= factor * inv[col * m_ + cidx];
+        }
+      }
+    }
+    binv_ = std::move(inv);
+    recompute_basic_values();
+  }
+
+  void recompute_basic_values() {
+    // x_B = Binv * (b - A_N x_N)
+    std::vector<double> residual(rhs_);
+    for (std::size_t j = 0; j < total_columns(); ++j) {
+      if (status_[j] == VarStatus::Basic || x_[j] == 0) continue;
+      cols_.for_column(
+          j, [&](std::size_t r, double v) { residual[r] -= v * x_[j]; });
+    }
+    for (std::size_t p = 0; p < m_; ++p) {
+      double value = 0;
+      const double* binv_row = &binv_[p * m_];
+      for (std::size_t r = 0; r < m_; ++r) value += binv_row[r] * residual[r];
+      x_[basis_[p]] = value;
+    }
+  }
+
+  SolveStatus iterate() {
+    const std::size_t max_iters =
+        options_.max_iterations > 0
+            ? options_.max_iterations
+            : std::max<std::size_t>(5000, 60 * (m_ + cols_.n));
+    std::vector<double> y, w;
+    double last_objective = phase_objective();
+    std::size_t pivots_since_refactor = 0;
+
+    for (; iterations_ < max_iters; ++iterations_) {
+      compute_duals(y);
+
+      // Pricing.
+      std::size_t entering = SIZE_MAX;
+      double best_score = options_.tolerance;
+      bool increasing = true;
+      for (std::size_t j = 0; j < total_columns(); ++j) {
+        const VarStatus st = status_[j];
+        if (st == VarStatus::Basic || lower_[j] == upper_[j]) continue;
+        const double d = reduced_cost(j, y);
+        bool eligible = false;
+        bool inc = true;
+        if (st == VarStatus::AtLower && d < -options_.tolerance) {
+          eligible = true;
+          inc = true;
+        } else if (st == VarStatus::AtUpper && d > options_.tolerance) {
+          eligible = true;
+          inc = false;
+        } else if (st == VarStatus::FreeZero &&
+                   std::abs(d) > options_.tolerance) {
+          eligible = true;
+          inc = d < 0;
+        }
+        if (!eligible) continue;
+        if (bland_) {
+          entering = j;
+          increasing = inc;
+          break;
+        }
+        if (std::abs(d) > best_score) {
+          best_score = std::abs(d);
+          entering = j;
+          increasing = inc;
+        }
+      }
+      if (entering == SIZE_MAX) return SolveStatus::Optimal;
+
+      compute_direction(entering, w);
+      const double sigma = increasing ? 1.0 : -1.0;
+
+      // Ratio test.
+      double step = upper_[entering] - lower_[entering];  // bound-flip cap
+      std::size_t leaving_pos = SIZE_MAX;
+      double leaving_bound = 0;
+      constexpr double pivot_tol = 1e-9;
+      for (std::size_t p = 0; p < m_; ++p) {
+        const double delta = sigma * w[p];
+        if (std::abs(delta) <= pivot_tol) continue;
+        const std::size_t jb = basis_[p];
+        double t, bound;
+        if (delta > 0) {
+          if (lower_[jb] == -kInf) continue;
+          t = (x_[jb] - lower_[jb]) / delta;
+          bound = lower_[jb];
+        } else {
+          if (upper_[jb] == kInf) continue;
+          t = (x_[jb] - upper_[jb]) / delta;  // delta < 0 -> t >= 0
+          bound = upper_[jb];
+        }
+        t = std::max(t, 0.0);
+        const bool better =
+            t < step - 1e-12 ||
+            (t < step + 1e-12 && leaving_pos != SIZE_MAX &&
+             std::abs(w[p]) > std::abs(w[leaving_pos]));
+        if (bland_) {
+          const bool strict = t < step - 1e-12;
+          const bool tie =
+              t <= step + 1e-12 &&
+              (leaving_pos == SIZE_MAX || basis_[p] < basis_[leaving_pos]);
+          if (strict || tie) {
+            step = std::min(step, std::max(t, 0.0));
+            leaving_pos = p;
+            leaving_bound = bound;
+          }
+        } else if (better) {
+          step = std::min(t, step);
+          leaving_pos = p;
+          leaving_bound = bound;
+        }
+      }
+
+      if (step == kInf) return SolveStatus::Unbounded;
+
+      // Apply the step to all basic variables.
+      if (step != 0) {
+        for (std::size_t p = 0; p < m_; ++p)
+          if (w[p] != 0) x_[basis_[p]] -= sigma * step * w[p];
+        x_[entering] += sigma * step;
+      }
+
+      if (leaving_pos == SIZE_MAX) {
+        // Bound flip: entering hit its opposite bound; basis unchanged.
+        status_[entering] =
+            increasing ? VarStatus::AtUpper : VarStatus::AtLower;
+        x_[entering] = increasing ? upper_[entering] : lower_[entering];
+      } else {
+        const std::size_t leaving = basis_[leaving_pos];
+        x_[leaving] = leaving_bound;
+        status_[leaving] = leaving_bound == lower_[leaving]
+                               ? VarStatus::AtLower
+                               : VarStatus::AtUpper;
+        status_[entering] = VarStatus::Basic;
+        basis_[leaving_pos] = entering;
+
+        // Product-form update of the dense inverse.
+        const double pivot = w[leaving_pos];
+        WANPLACE_CHECK(std::abs(pivot) > pivot_tol, "zero pivot");
+        double* pivot_row = &binv_[leaving_pos * m_];
+        for (std::size_t i = 0; i < m_; ++i) pivot_row[i] /= pivot;
+        for (std::size_t p = 0; p < m_; ++p) {
+          if (p == leaving_pos || w[p] == 0) continue;
+          double* row = &binv_[p * m_];
+          const double factor = w[p];
+          for (std::size_t i = 0; i < m_; ++i)
+            row[i] -= factor * pivot_row[i];
+        }
+        if (++pivots_since_refactor >= options_.refactor_period) {
+          refactorize();
+          pivots_since_refactor = 0;
+        }
+      }
+
+      // Stall / cycling protection.
+      const double objective = phase_objective();
+      if (objective < last_objective - options_.tolerance) {
+        last_objective = objective;
+        stall_count_ = 0;
+        bland_ = false;
+      } else if (++stall_count_ > options_.stall_limit) {
+        bland_ = true;
+      }
+    }
+    return SolveStatus::IterationLimit;
+  }
+
+  void fill_solution(LpSolution& solution) {
+    solution.iterations = iterations_;
+    solution.x.assign(x_.begin(), x_.begin() + cols_.n);
+    set_phase_costs(/*phase1=*/false);
+    std::vector<double> y;
+    compute_duals(y);
+    solution.y = y;
+    solution.objective = model_.objective_value(solution.x);
+    solution.dual_bound = certified_dual_bound(model_, y);
+  }
+
+  const LpModel& model_;
+  SimplexOptions options_;
+  std::size_t m_ = 0;
+  Columns cols_;
+  std::vector<double> lower_, upper_, x_, cost_, rhs_;
+  std::vector<VarStatus> status_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> binv_;
+  std::size_t iterations_ = 0;
+  std::size_t stall_count_ = 0;
+  bool bland_ = false;
+  double rhs_scale_ = 0;
+};
+
+}  // namespace
+
+LpSolution solve_simplex(const LpModel& model, const SimplexOptions& options) {
+  WANPLACE_REQUIRE(model.variable_count() > 0, "empty model");
+  Simplex solver(model, options);
+  return solver.run();
+}
+
+}  // namespace wanplace::lp

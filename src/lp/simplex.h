@@ -1,0 +1,33 @@
+// Dense bounded-variable two-phase primal simplex.
+//
+// Exact (to numerical tolerance) LP oracle used for small and medium
+// instances: unit tests, tiny-instance cross-validation of the PDHG solver,
+// and rounding-algorithm verification. Maintains an explicit dense basis
+// inverse with periodic refactorization, so memory and per-iteration cost
+// are O(m^2) in the row count — fine up to a few thousand rows, which is the
+// regime it is used in.
+#pragma once
+
+#include <cstddef>
+
+#include "lp/model.h"
+
+namespace wanplace::lp {
+
+struct SimplexOptions {
+  std::size_t max_iterations = 0;  // 0 = automatic (scales with model size)
+  double tolerance = 1e-7;
+  /// Refactorize the basis inverse every this many pivots.
+  std::size_t refactor_period = 128;
+  /// Switch to Bland's rule after this many non-improving iterations.
+  std::size_t stall_limit = 512;
+};
+
+/// Solve min c^T x subject to the model's rows and bounds.
+///
+/// On Optimal: x is primal optimal, y are row duals, and dual_bound equals
+/// the objective up to tolerance (it is always a certified lower bound).
+/// On Infeasible/Unbounded the solution vectors are meaningless.
+LpSolution solve_simplex(const LpModel& model, const SimplexOptions& options = {});
+
+}  // namespace wanplace::lp

@@ -1,0 +1,111 @@
+#include "lp/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wanplace::lp {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
+                           std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const auto& t : triplets) {
+    WANPLACE_REQUIRE(t.row < rows && t.col < cols,
+                     "triplet index out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  row_start_.assign(rows + 1, 0);
+  col_index_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  std::size_t idx = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    row_start_[r] = values_.size();
+    while (idx < triplets.size() && triplets[idx].row == r) {
+      const std::size_t col = triplets[idx].col;
+      double sum = 0;
+      while (idx < triplets.size() && triplets[idx].row == r &&
+             triplets[idx].col == col) {
+        sum += triplets[idx].value;
+        ++idx;
+      }
+      if (sum != 0) {
+        col_index_.push_back(col);
+        values_.push_back(sum);
+      }
+    }
+  }
+  row_start_[rows] = values_.size();
+}
+
+void SparseMatrix::multiply(const std::vector<double>& x,
+                            std::vector<double>& out) const {
+  WANPLACE_REQUIRE(x.size() == cols_, "dimension mismatch in A*x");
+  out.assign(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0;
+    for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i)
+      sum += values_[i] * x[col_index_[i]];
+    out[r] = sum;
+  }
+}
+
+void SparseMatrix::multiply_transpose(const std::vector<double>& y,
+                                      std::vector<double>& out) const {
+  WANPLACE_REQUIRE(y.size() == rows_, "dimension mismatch in A^T*y");
+  out.assign(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double yr = y[r];
+    if (yr == 0) continue;
+    for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i)
+      out[col_index_[i]] += values_[i] * yr;
+  }
+}
+
+double SparseMatrix::row_dot(std::size_t r,
+                             const std::vector<double>& x) const {
+  WANPLACE_REQUIRE(r < rows_, "row out of range");
+  double sum = 0;
+  for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i)
+    sum += values_[i] * x[col_index_[i]];
+  return sum;
+}
+
+double SparseMatrix::max_abs() const {
+  double best = 0;
+  for (double v : values_) best = std::max(best, std::abs(v));
+  return best;
+}
+
+double SparseMatrix::frobenius_norm_squared() const {
+  double sum = 0;
+  for (double v : values_) sum += v * v;
+  return sum;
+}
+
+double SparseMatrix::spectral_norm_estimate(int iterations) const {
+  if (values_.empty()) return 0;
+  // Power iteration on A^T A starting from a deterministic vector.
+  std::vector<double> x(cols_, 1.0), ax, atax;
+  double norm = 0;
+  for (int it = 0; it < iterations; ++it) {
+    multiply(x, ax);
+    multiply_transpose(ax, atax);
+    double len = 0;
+    for (double v : atax) len += v * v;
+    len = std::sqrt(len);
+    if (len == 0) break;
+    norm = std::sqrt(len);  // ||A^T A x|| ~ sigma^2 for unit x
+    for (std::size_t j = 0; j < cols_; ++j) x[j] = atax[j] / len;
+  }
+  // Guard: never report below the max entry / above Frobenius.
+  norm = std::max(norm, max_abs());
+  norm = std::min(norm, std::sqrt(frobenius_norm_squared()) + 1e-12);
+  return norm;
+}
+
+}  // namespace wanplace::lp

@@ -1,0 +1,77 @@
+// Sparse matrix support for the LP solvers.
+//
+// Matrices are assembled as triplets and compressed to CSR. The PDHG solver
+// needs only y += A x and x += A^T y products; both are provided without
+// materializing the transpose (a column-major pass over CSR).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wanplace::lp {
+
+/// One nonzero entry during assembly.
+struct Triplet {
+  std::size_t row;
+  std::size_t col;
+  double value;
+};
+
+/// Immutable CSR matrix.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Build from triplets; duplicate (row, col) entries are summed, zeros
+  /// dropped. Triplets may be in any order.
+  SparseMatrix(std::size_t rows, std::size_t cols,
+               std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  /// out = A * x (out resized to rows()).
+  void multiply(const std::vector<double>& x, std::vector<double>& out) const;
+
+  /// out = A^T * y (out resized to cols()).
+  void multiply_transpose(const std::vector<double>& y,
+                          std::vector<double>& out) const;
+
+  /// Dot product of row r with x.
+  double row_dot(std::size_t r, const std::vector<double>& x) const;
+
+  /// Iterate the nonzeros of row r.
+  struct RowEntry {
+    std::size_t col;
+    double value;
+  };
+  std::size_t row_size(std::size_t r) const {
+    return row_start_[r + 1] - row_start_[r];
+  }
+  RowEntry row_entry(std::size_t r, std::size_t idx) const {
+    const std::size_t at = row_start_[r] + idx;
+    return {col_index_[at], values_[at]};
+  }
+
+  /// Largest absolute entry (0 for an empty matrix).
+  double max_abs() const;
+
+  /// Squared Frobenius norm — a cheap upper bound on ||A||_2^2 used to set
+  /// PDHG step sizes safely.
+  double frobenius_norm_squared() const;
+
+  /// Power-iteration estimate of ||A||_2 (tighter than Frobenius).
+  double spectral_norm_estimate(int iterations = 30) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_start_;
+  std::vector<std::size_t> col_index_;
+  std::vector<double> values_;
+
+  friend class RowScaler;
+};
+
+}  // namespace wanplace::lp

@@ -1,0 +1,63 @@
+#include "mcperf/achievability.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wanplace::mcperf {
+
+Achievability max_achievable_qos(const Instance& instance,
+                                 const ClassSpec& spec) {
+  instance.validate();
+  const std::size_t n_count = instance.node_count();
+  const std::size_t i_count = instance.interval_count();
+  const std::size_t k_count = instance.object_count();
+
+  const BoolMatrix fetch = compute_fetch(instance, spec);
+  const BoolCube allowed = compute_create_allowed(instance, spec);
+
+  // possible(m,i,k): a replica of k can exist on m during interval i —
+  // the origin always has one; otherwise some interval i' <= i must allow
+  // creation (prefix OR over intervals).
+  BoolCube possible(n_count, i_count, k_count);
+  for (std::size_t m = 0; m < n_count; ++m) {
+    const bool origin = instance.is_origin(m);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      unsigned char so_far = origin ? 1 : 0;
+      for (std::size_t i = 0; i < i_count; ++i) {
+        so_far = so_far || allowed(m, i, k);
+        possible(m, i, k) = so_far;
+      }
+    }
+  }
+
+  const auto scope = std::holds_alternative<QosGoal>(instance.goal)
+                         ? std::get<QosGoal>(instance.goal).scope
+                         : QosScope::PerUser;
+  const QosGroups groups(instance, scope);
+  std::vector<double> coverable(groups.count(), 0.0);
+  for (std::size_t n = 0; n < n_count; ++n) {
+    for (std::size_t i = 0; i < i_count; ++i) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const double reads = instance.demand.read(n, i, k);
+        if (reads <= 0) continue;
+        bool ok = false;
+        for (std::size_t m = 0; m < n_count && !ok; ++m)
+          ok = instance.dist(n, m) && fetch(n, m) && possible(m, i, k);
+        if (ok) coverable[groups.group_of(n, k)] += reads;
+      }
+    }
+  }
+
+  Achievability result;
+  result.max_qos.assign(groups.count(), 1.0);
+  for (std::size_t group = 0; group < groups.count(); ++group) {
+    const double total = groups.total_reads(group);
+    if (total <= 0) continue;
+    result.max_qos[group] = coverable[group] / total;
+    result.min_qos = std::min(result.min_qos, result.max_qos[group]);
+  }
+  return result;
+}
+
+}  // namespace wanplace::mcperf

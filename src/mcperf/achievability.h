@@ -1,0 +1,36 @@
+// Feasibility pre-analysis: the highest QoS a heuristic class can possibly
+// reach on an instance.
+//
+// A class's knowledge/history/reactive properties bound *when* a replica can
+// first exist on a node; routing bounds *who* can serve whom. Ignoring
+// capacity-style constraints (which never block coverage — capacity is a
+// free variable), demand at (n,i,k) is coverable iff some reachable node
+// could hold object k by interval i. This mirrors the paper's observation
+// that "for WEB, local caching cannot even achieve a QoS goal above 99%":
+// first-ever accesses are uncoverable for reactive, locally-informed
+// classes.
+#pragma once
+
+#include <vector>
+
+#include "mcperf/builder.h"
+#include "mcperf/heuristic_class.h"
+#include "mcperf/instance.h"
+
+namespace wanplace::mcperf {
+
+struct Achievability {
+  /// Highest coverable read fraction per QoS scope group (for the default
+  /// PerUser scope: one entry per node; 1.0 for groups with no demand).
+  std::vector<double> max_qos;
+  /// min over groups with demand — the binding value for the goal.
+  double min_qos = 1.0;
+
+  bool achievable(double tqos) const { return min_qos >= tqos - 1e-12; }
+};
+
+/// Compute the best-case QoS of `spec` on `instance` (QoS metric only).
+Achievability max_achievable_qos(const Instance& instance,
+                                 const ClassSpec& spec);
+
+}  // namespace wanplace::mcperf

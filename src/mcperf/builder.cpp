@@ -1,0 +1,341 @@
+#include "mcperf/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/check.h"
+#include "workload/history.h"
+
+namespace wanplace::mcperf {
+
+namespace {
+
+std::string nik_name(const char* prefix, std::size_t n, std::size_t i,
+                     std::size_t k) {
+  return std::string(prefix) + "[" + std::to_string(n) + "," +
+         std::to_string(i) + "," + std::to_string(k) + "]";
+}
+
+}  // namespace
+
+BoolMatrix compute_fetch(const Instance& instance, const ClassSpec& spec) {
+  const std::size_t n_count = instance.node_count();
+  if (spec.routing == Routing::Global) return graph::fetch_all(n_count);
+  WANPLACE_REQUIRE(instance.origin.has_value(),
+                   "Routing::OriginOnly requires an origin node");
+  return graph::fetch_origin_only(n_count, *instance.origin);
+}
+
+BoolCube compute_create_allowed(const Instance& instance,
+                                const ClassSpec& spec) {
+  const std::size_t n_count = instance.node_count();
+  const std::size_t i_count = instance.interval_count();
+  const std::size_t k_count = instance.object_count();
+  BoolCube allowed(n_count, i_count, k_count, 1);
+  if (!spec.restricts_creation()) return allowed;
+
+  BoolMatrix know;
+  switch (spec.knowledge) {
+    case Knowledge::Global:
+      know = workload::know_global(n_count);
+      break;
+    case Knowledge::Local:
+      know = workload::know_local(n_count);
+      break;
+    case Knowledge::Neighborhood:
+      know = instance.dist;  // activity of Tlat-reachable nodes (+ self)
+      for (std::size_t n = 0; n < n_count; ++n) know(n, n) = 1;
+      break;
+  }
+  const BoolCube hist =
+      workload::history(instance.demand, spec.history_intervals);
+  const BoolCube sphere = workload::knowledge_history(hist, know);
+
+  for (std::size_t n = 0; n < n_count; ++n)
+    for (std::size_t i = 0; i < i_count; ++i)
+      for (std::size_t k = 0; k < k_count; ++k) {
+        if (spec.reactive) {
+          // (20a): only activity strictly before interval i counts.
+          allowed(n, i, k) = i > 0 ? sphere(n, i - 1, k) : 0;
+        } else {
+          // (20): activity up to and including interval i.
+          allowed(n, i, k) = sphere(n, i, k);
+        }
+      }
+  return allowed;
+}
+
+BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
+  instance.validate();
+  WANPLACE_REQUIRE(!(spec.storage && spec.replicas),
+                   "a class cannot have both storage and replica constraints");
+
+  const std::size_t n_count = instance.node_count();
+  const std::size_t i_count = instance.interval_count();
+  const std::size_t k_count = instance.object_count();
+  const auto& demand = instance.demand;
+  const CostModel& costs = instance.costs;
+  const bool qos_metric = std::holds_alternative<QosGoal>(instance.goal);
+  const bool needs_routes =
+      !qos_metric || (qos_metric && costs.gamma > 0);
+
+  BuiltModel built;
+  built.fetch = compute_fetch(instance, spec);
+  built.create_allowed = compute_create_allowed(instance, spec);
+  built.store = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
+  built.create = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
+  built.covered = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
+
+  lp::LpModel& model = built.model;
+
+  // Reach sets: which stores can cover demand at n within Tlat.
+  built.reach.resize(n_count);
+  for (std::size_t n = 0; n < n_count; ++n)
+    for (std::size_t m = 0; m < n_count; ++m)
+      if (instance.dist(n, m) && built.fetch(n, m))
+        built.reach[n].push_back(m);
+
+  // Total writes per (i,k) for the update-cost term (12).
+  std::vector<double> writes_ik;
+  if (costs.delta > 0) {
+    writes_ik.assign(i_count * k_count, 0.0);
+    for (std::size_t n = 0; n < n_count; ++n)
+      for (std::size_t i = 0; i < i_count; ++i)
+        for (std::size_t k = 0; k < k_count; ++k)
+          writes_ik[i * k_count + k] += demand.write(n, i, k);
+  }
+
+  // Storage cost per store variable: alpha unless a provisioned-capacity
+  // constraint replaces it, plus the update-message term.
+  const bool provisioned = spec.storage || spec.replicas;
+
+  // --- store / create variables -------------------------------------------
+  for (std::size_t n = 0; n < n_count; ++n) {
+    const bool origin = instance.is_origin(n);
+    for (std::size_t i = 0; i < i_count; ++i) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        double store_cost = provisioned ? 0.0 : costs.alpha;
+        if (costs.delta > 0)
+          store_cost += costs.delta * writes_ik[i * k_count + k];
+        if (origin) {
+          // The headquarters stores everything as pre-existing
+          // infrastructure: fixed, free, never created.
+          built.store(n, i, k) = static_cast<std::int32_t>(
+              model.add_variable(1, 1, 0, nik_name("store", n, i, k)));
+          built.create(n, i, k) = static_cast<std::int32_t>(
+              model.add_variable(0, 0, 0, nik_name("create", n, i, k)));
+        } else {
+          built.store(n, i, k) = static_cast<std::int32_t>(model.add_variable(
+              0, 1, store_cost, nik_name("store", n, i, k)));
+          const double create_ub = built.create_allowed(n, i, k) ? 1.0 : 0.0;
+          built.create(n, i, k) = static_cast<std::int32_t>(model.add_variable(
+              0, create_ub, costs.beta, nik_name("create", n, i, k)));
+        }
+      }
+    }
+  }
+
+  // --- creation-conservation rows (3): store_i - store_{i-1} <= create ----
+  for (std::size_t n = 0; n < n_count; ++n) {
+    if (instance.is_origin(n)) continue;
+    for (std::size_t i = 0; i < i_count; ++i) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        std::vector<std::size_t> cols{
+            static_cast<std::size_t>(built.store(n, i, k)),
+            static_cast<std::size_t>(built.create(n, i, k))};
+        std::vector<double> coeffs{1, -1};
+        if (i > 0) {
+          cols.push_back(static_cast<std::size_t>(built.store(n, i - 1, k)));
+          coeffs.push_back(-1);
+        }
+        model.add_row(lp::RowType::Le, 0, cols, coeffs);
+      }
+    }
+  }
+
+  // --- QoS metric: covered variables, coverage rows, QoS rows per scope
+  // group (constraint (2) and its three variations) ------------------------
+  if (qos_metric) {
+    const auto& goal = std::get<QosGoal>(instance.goal);
+    const QosGroups groups(instance, goal.scope);
+    std::vector<std::vector<std::size_t>> qos_cols(groups.count());
+    std::vector<std::vector<double>> qos_coeffs(groups.count());
+    for (std::size_t n = 0; n < n_count; ++n) {
+      for (std::size_t i = 0; i < i_count; ++i) {
+        for (std::size_t k = 0; k < k_count; ++k) {
+          const double reads = demand.read(n, i, k);
+          if (reads <= 0) continue;
+          const auto cov = static_cast<std::int32_t>(
+              model.add_variable(0, 1, 0, nik_name("covered", n, i, k)));
+          built.covered(n, i, k) = cov;
+          if (built.reach[n].empty()) {
+            model.fix_variable(cov, 0);
+          } else {
+            // (5)/(18): covered <= sum of reachable stores.
+            std::vector<std::size_t> cols{static_cast<std::size_t>(cov)};
+            std::vector<double> coeffs{-1};
+            for (std::size_t m : built.reach[n]) {
+              cols.push_back(static_cast<std::size_t>(built.store(m, i, k)));
+              coeffs.push_back(1);
+            }
+            model.add_row(lp::RowType::Ge, 0, cols, coeffs);
+          }
+          const std::size_t group = groups.group_of(n, k);
+          qos_cols[group].push_back(static_cast<std::size_t>(cov));
+          // normalized by group volume for solver conditioning
+          qos_coeffs[group].push_back(reads / groups.total_reads(group));
+        }
+      }
+    }
+    for (std::size_t group = 0; group < groups.count(); ++group) {
+      if (groups.total_reads(group) <= 0) continue;
+      // (2): fraction of the group's reads covered >= tqos.
+      model.add_row(lp::RowType::Ge, goal.tqos, qos_cols[group],
+                    qos_coeffs[group], "qos[" + std::to_string(group) + "]");
+    }
+  }
+
+  // --- route variables (avg-latency goal (7)-(10), penalty term (11)) -----
+  if (needs_routes) {
+    WANPLACE_REQUIRE(instance.origin.has_value(),
+                     "route-based models need an origin so every request "
+                     "has a server");
+    const double tlat_proxy = 0;  // penalty threshold handled via coefficients
+    (void)tlat_proxy;
+    for (std::size_t n = 0; n < n_count; ++n) {
+      const double total = demand.total_reads(n);
+      std::vector<std::size_t> avg_cols;
+      std::vector<double> avg_coeffs;
+      for (std::size_t i = 0; i < i_count; ++i) {
+        for (std::size_t k = 0; k < k_count; ++k) {
+          const double reads = demand.read(n, i, k);
+          if (reads <= 0) continue;
+          std::vector<std::size_t> sum_cols;
+          for (std::size_t m = 0; m < n_count; ++m) {
+            if (!built.fetch(n, m)) continue;
+            const double latency = instance.latencies(n, m);
+            if (!std::isfinite(latency)) continue;
+            double route_cost = 0;
+            if (costs.gamma > 0) {
+              // Linearized penalty: late service costs gamma per excess ms
+              // per request; in-threshold routes cost nothing, so the model
+              // routes within Tlat whenever a covered replica exists.
+              const double excess = instance.dist(n, m) ? 0.0 : latency;
+              route_cost = costs.gamma * reads * excess;
+            }
+            const auto var = static_cast<std::int32_t>(model.add_variable(
+                0, 1, route_cost,
+                "route[" + std::to_string(n) + "," + std::to_string(m) + "," +
+                    std::to_string(i) + "," + std::to_string(k) + "]"));
+            built.routes.push_back(RouteVar{n, m, i, k, var});
+            sum_cols.push_back(static_cast<std::size_t>(var));
+            // (9): route <= store at the server.
+            model.add_row(
+                lp::RowType::Le, 0,
+                {static_cast<std::size_t>(var),
+                 static_cast<std::size_t>(built.store(m, i, k))},
+                {1, -1});
+            if (!qos_metric && total > 0) {
+              avg_cols.push_back(static_cast<std::size_t>(var));
+              avg_coeffs.push_back(reads * latency / total);
+            }
+          }
+          // (8): demand is served by exactly one replica.
+          WANPLACE_CHECK(!sum_cols.empty(), "no feasible route for demand");
+          model.add_row(lp::RowType::Eq, 1, sum_cols,
+                        std::vector<double>(sum_cols.size(), 1.0));
+        }
+      }
+      if (!qos_metric && total > 0) {
+        // (7): mean latency <= tavg.
+        const double tavg = std::get<AvgLatencyGoal>(instance.goal).tavg_ms;
+        model.add_row(lp::RowType::Le, tavg, avg_cols, avg_coeffs,
+                      "avg[" + std::to_string(n) + "]");
+      }
+    }
+  }
+
+  // --- provisioned storage constraint (16)/(16a) ---------------------------
+  const std::size_t open_nodes =
+      n_count - (instance.origin.has_value() ? 1 : 0);
+  if (spec.storage) {
+    const bool per_system = *spec.storage == StorageConstraint::PerSystem;
+    const std::size_t cap_count = per_system ? 1 : n_count;
+    for (std::size_t c = 0; c < cap_count; ++c) {
+      const double weight =
+          costs.alpha * static_cast<double>(i_count) *
+          (per_system ? static_cast<double>(open_nodes) : 1.0);
+      built.capacity.push_back(static_cast<std::int32_t>(model.add_variable(
+          0, static_cast<double>(k_count), weight,
+          "cap[" + std::to_string(c) + "]")));
+    }
+    for (std::size_t n = 0; n < n_count; ++n) {
+      if (instance.is_origin(n)) continue;
+      const std::int32_t cap = per_system ? built.capacity[0]
+                                          : built.capacity[n];
+      for (std::size_t i = 0; i < i_count; ++i) {
+        std::vector<std::size_t> cols;
+        std::vector<double> coeffs;
+        for (std::size_t k = 0; k < k_count; ++k) {
+          cols.push_back(static_cast<std::size_t>(built.store(n, i, k)));
+          coeffs.push_back(1);
+        }
+        cols.push_back(static_cast<std::size_t>(cap));
+        coeffs.push_back(-1);
+        model.add_row(lp::RowType::Le, 0, cols, coeffs);
+      }
+    }
+  }
+
+  // --- provisioned replica constraint (17)/(17a) ---------------------------
+  if (spec.replicas) {
+    const bool per_system = *spec.replicas == ReplicaConstraint::PerSystem;
+    const std::size_t rep_count = per_system ? 1 : k_count;
+    for (std::size_t c = 0; c < rep_count; ++c) {
+      const double weight =
+          costs.alpha * static_cast<double>(i_count) *
+          (per_system ? static_cast<double>(k_count) : 1.0);
+      built.replication.push_back(static_cast<std::int32_t>(
+          model.add_variable(0, static_cast<double>(open_nodes), weight,
+                             "rep[" + std::to_string(c) + "]")));
+    }
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const std::int32_t rep = per_system ? built.replication[0]
+                                          : built.replication[k];
+      for (std::size_t i = 0; i < i_count; ++i) {
+        std::vector<std::size_t> cols;
+        std::vector<double> coeffs;
+        for (std::size_t n = 0; n < n_count; ++n) {
+          if (instance.is_origin(n)) continue;
+          cols.push_back(static_cast<std::size_t>(built.store(n, i, k)));
+          coeffs.push_back(1);
+        }
+        cols.push_back(static_cast<std::size_t>(rep));
+        coeffs.push_back(-1);
+        model.add_row(lp::RowType::Le, 0, cols, coeffs);
+      }
+    }
+  }
+
+  // --- node-opening cost (13)/(14) -----------------------------------------
+  if (costs.zeta > 0) {
+    built.open.assign(n_count, -1);
+    for (std::size_t n = 0; n < n_count; ++n) {
+      if (instance.is_origin(n)) continue;  // headquarters is already open
+      built.open[n] = static_cast<std::int32_t>(model.add_variable(
+          0, 1, costs.zeta, "open[" + std::to_string(n) + "]"));
+      for (std::size_t i = 0; i < i_count; ++i)
+        for (std::size_t k = 0; k < k_count; ++k)
+          model.add_row(
+              lp::RowType::Le, 0,
+              {static_cast<std::size_t>(built.store(n, i, k)),
+               static_cast<std::size_t>(built.open[n])},
+              {1, -1});
+    }
+  }
+
+  return built;
+}
+
+}  // namespace wanplace::mcperf

@@ -1,0 +1,77 @@
+// MC-PERF to LP translation (paper Section 3 + Section 4 class constraints).
+//
+// The builder produces the LP relaxation of MC-PERF for a given heuristic
+// class. Binary variables become [0,1] continuous; heuristic properties map
+// to:
+//   - routing knowledge  -> sparsity of the coverage rows (fetch matrix),
+//   - knowledge/history/reactive -> upper-bound fixing of create variables,
+//   - storage/replica constraints -> provisioned-capacity variables
+//     (see DESIGN.md, "SC/RC as provisioned capacity").
+//
+// Solving the result with the simplex or PDHG solver yields the class lower
+// bound; the store-variable cube feeds the rounding algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.h"
+#include "mcperf/heuristic_class.h"
+#include "mcperf/instance.h"
+#include "util/matrix.h"
+
+namespace wanplace::mcperf {
+
+/// A route variable (average-latency metric / penalty term): node n serves
+/// its (i,k) demand from node m.
+struct RouteVar {
+  std::size_t n, m, i, k;
+  std::int32_t var;
+};
+
+/// The LP plus the variable layout needed to interpret its solution.
+struct BuiltModel {
+  lp::LpModel model;
+
+  /// Variable indices per (n,i,k); -1 where no variable was created.
+  DenseCube<std::int32_t> store;
+  DenseCube<std::int32_t> create;
+  DenseCube<std::int32_t> covered;  // QoS metric only; -1 where read == 0
+
+  /// Capacity variables (SC): one (PerSystem) or one per node (PerNode).
+  std::vector<std::int32_t> capacity;
+  /// Replication-degree variables (RC): one (PerSystem) or one per object.
+  std::vector<std::int32_t> replication;
+  /// Node-opening variables (only when costs.zeta > 0); -1 for the origin.
+  std::vector<std::int32_t> open;
+  /// Route variables (only for AvgLatencyGoal or gamma > 0).
+  std::vector<RouteVar> routes;
+
+  /// create[n][i][k] upper bounds implied by knowledge/history/reactive; 1
+  /// means unconstrained. Kept for the achievability analysis and rounding.
+  BoolCube create_allowed;
+
+  /// reach[n] = nodes m with dist(n,m) && fetch(n,m): the replicas that
+  /// cover demand at n.
+  std::vector<std::vector<std::size_t>> reach;
+
+  /// fetch[n][m] actually used (derived from the class routing property).
+  BoolMatrix fetch;
+};
+
+/// Build the LP relaxation of MC-PERF for `spec`. The instance must satisfy
+/// validate(); classes with Routing::OriginOnly require instance.origin.
+/// Combining storage and replica constraints in one spec is rejected
+/// (no heuristic class in the paper does both).
+BuiltModel build_lp(const Instance& instance, const ClassSpec& spec);
+
+/// The create-permission cube for (instance, spec): create_allowed(n,i,k)=1
+/// iff constraint (20)/(20a) lets a heuristic of this class create a replica
+/// of k on n at the start of interval i.
+BoolCube compute_create_allowed(const Instance& instance,
+                                const ClassSpec& spec);
+
+/// The fetch matrix implied by the class routing property.
+BoolMatrix compute_fetch(const Instance& instance, const ClassSpec& spec);
+
+}  // namespace wanplace::mcperf

@@ -1,0 +1,85 @@
+#include "mcperf/heuristic_class.h"
+
+namespace wanplace::mcperf::classes {
+
+ClassSpec general() { return ClassSpec{}; }
+
+ClassSpec storage_constrained() {
+  ClassSpec spec;
+  spec.name = "storage-constrained";
+  spec.storage = StorageConstraint::PerSystem;
+  return spec;
+}
+
+ClassSpec replica_constrained() {
+  ClassSpec spec;
+  spec.name = "replica-constrained";
+  spec.replicas = ReplicaConstraint::PerSystem;
+  return spec;
+}
+
+ClassSpec replica_constrained_per_object() {
+  ClassSpec spec;
+  spec.name = "replica-constrained-per-object";
+  spec.replicas = ReplicaConstraint::PerObject;
+  return spec;
+}
+
+ClassSpec decentralized_local_routing() {
+  ClassSpec spec;
+  spec.name = "decentral-local-routing";
+  spec.storage = StorageConstraint::PerNode;
+  spec.routing = Routing::OriginOnly;
+  spec.knowledge = Knowledge::Local;
+  return spec;
+}
+
+ClassSpec caching_with_prefetching() {
+  ClassSpec spec;
+  spec.name = "caching-prefetch";
+  spec.storage = StorageConstraint::PerSystem;
+  spec.routing = Routing::OriginOnly;
+  spec.knowledge = Knowledge::Local;
+  spec.history_intervals = 1;
+  return spec;
+}
+
+ClassSpec caching() {
+  ClassSpec spec = caching_with_prefetching();
+  spec.name = "caching";
+  spec.reactive = true;
+  return spec;
+}
+
+ClassSpec cooperative_caching_with_prefetching() {
+  ClassSpec spec;
+  spec.name = "coop-caching-prefetch";
+  spec.storage = StorageConstraint::PerSystem;
+  spec.routing = Routing::Global;
+  spec.knowledge = Knowledge::Global;
+  spec.history_intervals = 1;
+  return spec;
+}
+
+ClassSpec cooperative_caching() {
+  ClassSpec spec = cooperative_caching_with_prefetching();
+  spec.name = "coop-caching";
+  spec.reactive = true;
+  return spec;
+}
+
+ClassSpec neighborhood_caching() {
+  ClassSpec spec = cooperative_caching();
+  spec.name = "neighborhood-caching";
+  spec.knowledge = Knowledge::Neighborhood;
+  return spec;
+}
+
+ClassSpec reactive() {
+  ClassSpec spec;
+  spec.name = "reactive";
+  spec.reactive = true;
+  return spec;
+}
+
+}  // namespace wanplace::mcperf::classes

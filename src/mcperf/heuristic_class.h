@@ -1,0 +1,87 @@
+// Heuristic classes as constraint bundles (paper Section 4, Tables 2-3).
+//
+// A ClassSpec selects which of the six heuristic properties constrain the
+// MC-PERF solution space. Solving the LP relaxation with a ClassSpec yields
+// the inherent-cost lower bound for every heuristic in that class.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/matrix.h"
+
+namespace wanplace::mcperf {
+
+/// Storage constraint (16)/(16a): fixed storage across intervals, either the
+/// same for all nodes (PerSystem) or fixed per node (PerNode).
+enum class StorageConstraint { PerSystem, PerNode };
+
+/// Replica constraint (17)/(17a): fixed replica count across intervals,
+/// either the same for all objects (PerSystem) or fixed per object
+/// (PerObject).
+enum class ReplicaConstraint { PerSystem, PerObject };
+
+/// Routing knowledge (constraints (18)-(19)): which nodes' contents a node
+/// knows and may fetch from.
+enum class Routing {
+  Global,      // fetch[n][m] = 1 everywhere (cooperative / centralized)
+  OriginOnly,  // fetch[n][m] = 1 only for m = n and m = origin (caching)
+};
+
+/// Placement knowledge (Section 4.1 "Global/Local knowledge" — the know
+/// matrix "represents these two cases and anything in between").
+enum class Knowledge {
+  Global,        // know[n][m] = 1 everywhere
+  Local,         // know[n][n] = 1 only
+  Neighborhood,  // know = dist: activity of Tlat-reachable nodes
+};
+
+struct ClassSpec {
+  std::string name = "general";
+  std::optional<StorageConstraint> storage;
+  std::optional<ReplicaConstraint> replicas;
+  Routing routing = Routing::Global;
+  Knowledge knowledge = Knowledge::Global;
+  /// Activity history length in intervals; 0 = unbounded (constraint (20)).
+  /// History only constrains placement when bounded or when `reactive`.
+  std::size_t history_intervals = 0;
+  /// Reactive placement (constraint (20a)): an object may only be created
+  /// from activity strictly before the current interval.
+  bool reactive = false;
+
+  /// True when hist/know/react impose any create restriction at all.
+  bool restricts_creation() const {
+    return reactive || history_intervals > 0 ||
+           knowledge != Knowledge::Global;
+  }
+};
+
+/// Presets mirroring Table 3 of the paper (top to bottom).
+namespace classes {
+/// No property constraints: the general lower bound.
+ClassSpec general();
+/// Storage constrained heuristics (global knowledge/routing, multi-interval
+/// history) — e.g. greedy-global placement.
+ClassSpec storage_constrained();
+/// Replica constrained heuristics — e.g. Qiu et al. greedy placement.
+ClassSpec replica_constrained();
+/// Per-object replica constraint (17a) variation.
+ClassSpec replica_constrained_per_object();
+/// Decentralized storage constrained heuristics with local routing.
+ClassSpec decentralized_local_routing();
+/// Plain local caching (LRU & friends).
+ClassSpec caching();
+/// Cooperative caching.
+ClassSpec cooperative_caching();
+/// Cooperative caching whose sphere of knowledge is only the Tlat
+/// neighborhood (between plain and fully cooperative caching).
+ClassSpec neighborhood_caching();
+/// Local caching with prefetching (proactive).
+ClassSpec caching_with_prefetching();
+/// Cooperative caching with prefetching.
+ClassSpec cooperative_caching_with_prefetching();
+/// The reactive general bound used in the deployment scenario (Section 6.2).
+ClassSpec reactive();
+}  // namespace classes
+
+}  // namespace wanplace::mcperf

@@ -1,0 +1,83 @@
+#include "mcperf/instance.h"
+
+#include "util/check.h"
+
+namespace wanplace::mcperf {
+
+void Instance::validate() const {
+  const std::size_t n = node_count();
+  WANPLACE_REQUIRE(n > 0 && interval_count() > 0 && object_count() > 0,
+                   "empty instance");
+  WANPLACE_REQUIRE(dist.rows() == n && dist.cols() == n,
+                   "dist matrix does not match node count");
+  if (!latencies.empty())
+    WANPLACE_REQUIRE(latencies.rows() == n && latencies.cols() == n,
+                     "latency matrix does not match node count");
+  const bool needs_latencies =
+      std::holds_alternative<AvgLatencyGoal>(goal) || costs.gamma > 0;
+  WANPLACE_REQUIRE(!needs_latencies || !latencies.empty(),
+                   "goal/penalty requires the latency matrix");
+  if (origin)
+    WANPLACE_REQUIRE(*origin >= 0 && static_cast<std::size_t>(*origin) < n,
+                     "origin out of range");
+  if (const auto* qos = std::get_if<QosGoal>(&goal))
+    WANPLACE_REQUIRE(qos->tqos > 0 && qos->tqos <= 1,
+                     "tqos must be in (0, 1]");
+  if (const auto* avg = std::get_if<AvgLatencyGoal>(&goal))
+    WANPLACE_REQUIRE(avg->tavg_ms > 0, "tavg must be positive");
+  WANPLACE_REQUIRE(costs.alpha >= 0 && costs.beta >= 0 && costs.gamma >= 0 &&
+                       costs.delta >= 0 && costs.zeta >= 0,
+                   "unit costs must be non-negative");
+}
+
+QosGroups::QosGroups(const Instance& instance, QosScope scope)
+    : scope_(scope),
+      node_count_(instance.node_count()),
+      object_count_(instance.object_count()) {
+  std::size_t groups = 1;
+  switch (scope_) {
+    case QosScope::PerUser: groups = node_count_; break;
+    case QosScope::Overall: groups = 1; break;
+    case QosScope::PerObject: groups = object_count_; break;
+    case QosScope::PerUserPerObject:
+      groups = node_count_ * object_count_;
+      break;
+  }
+  totals_.assign(groups, 0.0);
+  for (std::size_t n = 0; n < node_count_; ++n)
+    for (std::size_t i = 0; i < instance.interval_count(); ++i)
+      for (std::size_t k = 0; k < object_count_; ++k)
+        totals_[group_of(n, k)] += instance.demand.read(n, i, k);
+}
+
+std::size_t QosGroups::group_of(std::size_t node, std::size_t object) const {
+  WANPLACE_REQUIRE(node < node_count_ && object < object_count_,
+                   "group index out of range");
+  switch (scope_) {
+    case QosScope::PerUser: return node;
+    case QosScope::Overall: return 0;
+    case QosScope::PerObject: return object;
+    case QosScope::PerUserPerObject:
+      return node * object_count_ + object;
+  }
+  return 0;
+}
+
+double Instance::max_possible_cost() const {
+  const auto n = static_cast<double>(node_count());
+  const auto i = static_cast<double>(interval_count());
+  const auto k = static_cast<double>(object_count());
+  double total = (costs.alpha + costs.beta) * n * i * k;
+  total += costs.zeta * n;
+  if (costs.delta > 0) {
+    double writes = 0;
+    for (std::size_t nn = 0; nn < node_count(); ++nn)
+      for (std::size_t ii = 0; ii < interval_count(); ++ii)
+        for (std::size_t kk = 0; kk < object_count(); ++kk)
+          writes += demand.write(nn, ii, kk);
+    total += costs.delta * writes * n;
+  }
+  return total;
+}
+
+}  // namespace wanplace::mcperf

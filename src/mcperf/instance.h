@@ -1,0 +1,103 @@
+// The MC-PERF problem instance (paper Section 3).
+//
+// An instance bundles everything the IP formulation needs: the demand
+// matrices read/write[n,i,k], the Tlat-reachability matrix dist[n,m], the
+// latency matrix (for the average-latency metric and the penalty term), the
+// unit costs (alpha, beta, gamma, delta, zeta from Table 1) and the
+// performance goal.
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "graph/reachability.h"
+#include "graph/shortest_paths.h"
+#include "util/matrix.h"
+#include "workload/demand.h"
+
+namespace wanplace::mcperf {
+
+/// Unit costs of the cost function (1) and its extensions (11)-(13).
+struct CostModel {
+  double alpha = 1;   // storing one object for one interval
+  double beta = 1;    // creating one replica
+  double gamma = 0;   // penalty per (latency-ms over Tlat) of a late access
+  double delta = 0;   // per update message (writes)
+  double zeta = 0;    // enabling (opening) a node
+};
+
+/// Who the QoS ratio is accounted for (Section 3.1: "This performance goal
+/// can be defined for a single user or for an entire group of users, as
+/// well as for a single data object or for a set of objects").
+enum class QosScope {
+  PerUser,           // constraint (2) as printed: one ratio per node
+  Overall,           // one ratio over every read in the system
+  PerObject,         // one ratio per object, over all users
+  PerUserPerObject,  // one ratio per (node, object) pair
+};
+
+/// QoS goal: at least `tqos` of the reads in every scope group served
+/// within Tlat (constraint (2); Tlat is baked into Instance::dist).
+struct QosGoal {
+  double tqos = 0.99;
+  QosScope scope = QosScope::PerUser;
+};
+
+/// Average-latency goal: every node's mean read latency <= tavg_ms
+/// (constraints (7)-(10)).
+struct AvgLatencyGoal {
+  double tavg_ms = 250;
+};
+
+using Goal = std::variant<QosGoal, AvgLatencyGoal>;
+
+/// A complete MC-PERF instance.
+struct Instance {
+  workload::Demand demand;
+  /// dist[n][m]: n reaches m within Tlat (paper Table 1).
+  BoolMatrix dist;
+  /// Full latency matrix; required when the goal is AvgLatencyGoal or when
+  /// gamma > 0, otherwise optional.
+  graph::LatencyMatrix latencies;
+  CostModel costs;
+  Goal goal = QosGoal{};
+  /// Optional origin (headquarters) node that permanently stores every
+  /// object at no model cost. Requests can always fall back to it (whether
+  /// they meet the latency goal depends on dist/latencies).
+  std::optional<graph::NodeId> origin;
+
+  std::size_t node_count() const { return demand.node_count(); }
+  std::size_t interval_count() const { return demand.interval_count(); }
+  std::size_t object_count() const { return demand.object_count(); }
+
+  bool is_origin(std::size_t n) const {
+    return origin && static_cast<std::size_t>(*origin) == n;
+  }
+
+  /// Validate dimension consistency; throws InvalidArgument on mismatch.
+  void validate() const;
+
+  /// An upper bound on the cost of any 0/1 placement: every non-origin node
+  /// stores and re-creates everything in every interval (plus write/open
+  /// costs). Used as the PDHG infeasibility threshold.
+  double max_possible_cost() const;
+};
+
+/// Partition of the demand cells into QoS accounting groups for a scope.
+/// Groups with zero reads are present but never constrain anything.
+class QosGroups {
+ public:
+  QosGroups(const Instance& instance, QosScope scope);
+
+  std::size_t count() const { return totals_.size(); }
+  std::size_t group_of(std::size_t node, std::size_t object) const;
+  double total_reads(std::size_t group) const { return totals_[group]; }
+
+ private:
+  QosScope scope_;
+  std::size_t node_count_ = 0;
+  std::size_t object_count_ = 0;
+  std::vector<double> totals_;
+};
+
+}  // namespace wanplace::mcperf

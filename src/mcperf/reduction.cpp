@@ -1,0 +1,64 @@
+#include "mcperf/reduction.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace wanplace::mcperf {
+
+Instance reduce_set_cover(const SetCoverInstance& cover) {
+  WANPLACE_REQUIRE(cover.element_count > 0, "need at least one element");
+  WANPLACE_REQUIRE(!cover.sets.empty(), "need at least one candidate set");
+  const std::size_t set_count = cover.sets.size();
+  const std::size_t node_count = set_count + cover.element_count;
+
+  Instance instance;
+  instance.demand = workload::Demand(node_count, 1, 1);
+  for (std::size_t e = 0; e < cover.element_count; ++e)
+    instance.demand.read(set_count + e, 0, 0) = 1;
+
+  instance.dist = BoolMatrix(node_count, node_count);
+  for (std::size_t s = 0; s < set_count; ++s) {
+    for (const std::size_t e : cover.sets[s]) {
+      WANPLACE_REQUIRE(e < cover.element_count, "element out of range");
+      instance.dist(set_count + e, s) = 1;  // element reaches covering set
+      instance.dist(s, set_count + e) = 1;
+    }
+  }
+
+  instance.goal = QosGoal{1.0};
+  instance.costs.alpha = 1;
+  instance.costs.beta = 0;
+  return instance;
+}
+
+bool covers(const SetCoverInstance& cover,
+            const std::vector<std::size_t>& chosen) {
+  std::vector<char> hit(cover.element_count, 0);
+  for (const std::size_t s : chosen) {
+    WANPLACE_REQUIRE(s < cover.sets.size(), "set index out of range");
+    for (const std::size_t e : cover.sets[s]) hit[e] = 1;
+  }
+  for (const char h : hit)
+    if (!h) return false;
+  return true;
+}
+
+std::size_t min_set_cover_exhaustive(const SetCoverInstance& cover) {
+  const std::size_t set_count = cover.sets.size();
+  WANPLACE_REQUIRE(set_count <= 20, "too many sets for exhaustive search");
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  const std::uint32_t limit = 1u << set_count;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    const auto size =
+        static_cast<std::size_t>(__builtin_popcount(mask));
+    if (size >= best) continue;
+    std::vector<std::size_t> chosen;
+    for (std::size_t s = 0; s < set_count; ++s)
+      if (mask & (1u << s)) chosen.push_back(s);
+    if (covers(cover, chosen)) best = size;
+  }
+  return best;
+}
+
+}  // namespace wanplace::mcperf

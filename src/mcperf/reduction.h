@@ -1,0 +1,35 @@
+// The Appendix A reduction: SET-COVER -> MC-PERF.
+//
+// Candidate sets and elements each become a node; dist connects an element
+// to the candidate sets covering it; one object, one interval, demand 1 at
+// every element node, 100% QoS, alpha = 1, beta = 0. The minimal
+// replication cost of the resulting instance equals the minimum set cover —
+// this is the paper's NP-hardness proof, made executable (and testable
+// against an exhaustive set-cover oracle).
+#pragma once
+
+#include <vector>
+
+#include "mcperf/instance.h"
+
+namespace wanplace::mcperf {
+
+struct SetCoverInstance {
+  std::size_t element_count = 0;
+  /// sets[s] lists the elements covered by candidate set s.
+  std::vector<std::vector<std::size_t>> sets;
+};
+
+/// Build the MC-PERF instance of Theorem 1. Nodes [0, |sets|) are the
+/// candidate sets, nodes [|sets|, |sets|+element_count) the elements.
+Instance reduce_set_cover(const SetCoverInstance& cover);
+
+/// True if choosing `chosen` (indices into cover.sets) covers everything.
+bool covers(const SetCoverInstance& cover,
+            const std::vector<std::size_t>& chosen);
+
+/// Exhaustive minimum-cover oracle for tests (requires |sets| <= ~20).
+/// Returns SIZE_MAX when no cover exists.
+std::size_t min_set_cover_exhaustive(const SetCoverInstance& cover);
+
+}  // namespace wanplace::mcperf

@@ -1,0 +1,212 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+#include "workload/demand.h"
+
+namespace wanplace::sim {
+
+namespace {
+
+void finalize_qos(SimResult& result, const std::vector<double>& covered_reads,
+                  const std::vector<double>& total_reads) {
+  const std::size_t n_count = total_reads.size();
+  result.qos.assign(n_count, 1.0);
+  double covered_sum = 0, total_sum = 0;
+  result.min_qos = 1.0;
+  for (std::size_t n = 0; n < n_count; ++n) {
+    covered_sum += covered_reads[n];
+    total_sum += total_reads[n];
+    if (total_reads[n] > 0) {
+      result.qos[n] = covered_reads[n] / total_reads[n];
+      result.min_qos = std::min(result.min_qos, result.qos[n]);
+    }
+  }
+  result.overall_qos = total_sum > 0 ? covered_sum / total_sum : 1.0;
+}
+
+}  // namespace
+
+SimResult simulate_caching(const workload::Trace& trace,
+                           const graph::LatencyMatrix& latencies,
+                           const CachingConfig& config,
+                           const heuristics::CacheFactory& factory) {
+  const std::size_t n_count = trace.node_count();
+  WANPLACE_REQUIRE(latencies.rows() == n_count, "latency matrix mismatch");
+  WANPLACE_REQUIRE(
+      config.origin >= 0 &&
+          static_cast<std::size_t>(config.origin) < n_count,
+      "origin out of range");
+  WANPLACE_REQUIRE(config.interval_count > 0, "need at least one interval");
+
+  std::vector<std::unique_ptr<heuristics::CachePolicy>> caches;
+  caches.reserve(n_count);
+  for (std::size_t n = 0; n < n_count; ++n)
+    caches.push_back(factory(config.capacity));
+
+  // Directory for cooperative lookup: holders per object.
+  std::vector<std::vector<std::size_t>> holders(
+      config.cooperative ? trace.object_count() : 0);
+  auto directory_add = [&](std::size_t node, workload::ObjectId k) {
+    if (!config.cooperative) return;
+    holders[static_cast<std::size_t>(k)].push_back(node);
+  };
+  auto directory_remove = [&](std::size_t node, workload::ObjectId k) {
+    if (!config.cooperative) return;
+    auto& list = holders[static_cast<std::size_t>(k)];
+    list.erase(std::remove(list.begin(), list.end(), node), list.end());
+  };
+
+  SimResult result;
+  std::vector<double> covered_reads(n_count, 0), total_reads(n_count, 0);
+  const auto origin = static_cast<std::size_t>(config.origin);
+
+  for (const auto& req : trace.requests()) {
+    if (req.is_write) continue;  // caching reacts to reads
+    const auto n = static_cast<std::size_t>(req.node);
+    total_reads[n] += 1;
+    ++result.served;
+
+    double latency;
+    auto& cache = *caches[n];
+    if (n == origin) {
+      latency = latencies(n, n);
+    } else if (cache.contains(req.object)) {
+      cache.touch(req.object);
+      latency = latencies(n, n);
+    } else {
+      // Miss: fetch from the nearest known holder (cooperative) or origin.
+      double source_latency = latencies(n, origin);
+      if (config.cooperative) {
+        for (std::size_t holder :
+             holders[static_cast<std::size_t>(req.object)]) {
+          if (holder == n) continue;
+          source_latency = std::min(source_latency, latencies(n, holder));
+        }
+      }
+      latency = source_latency;
+      if (config.capacity > 0) {
+        const auto evicted = cache.insert(req.object);
+        ++result.creations;
+        directory_add(n, req.object);
+        if (evicted) directory_remove(n, *evicted);
+      }
+    }
+    if (latency <= config.tlat_ms) {
+      covered_reads[n] += 1;
+      ++result.covered;
+    }
+  }
+
+  finalize_qos(result, covered_reads, total_reads);
+  // Provisioned storage: each non-origin node pays its configured capacity
+  // for the whole execution — identical units to the class bounds.
+  result.storage_cost = config.alpha * static_cast<double>(config.capacity) *
+                        static_cast<double>(n_count - 1) *
+                        static_cast<double>(config.interval_count);
+  result.creation_cost = config.beta * static_cast<double>(result.creations);
+  result.total_cost = result.storage_cost + result.creation_cost;
+  return result;
+}
+
+IntervalSimResult simulate_interval_heuristic(
+    const workload::Trace& trace, const graph::LatencyMatrix& latencies,
+    const IntervalSimConfig& config,
+    heuristics::IntervalHeuristic& heuristic) {
+  const std::size_t n_count = trace.node_count();
+  const std::size_t k_count = trace.object_count();
+  const std::size_t i_count = config.interval_count;
+  WANPLACE_REQUIRE(latencies.rows() == n_count, "latency matrix mismatch");
+  WANPLACE_REQUIRE(i_count > 0, "need at least one interval");
+  WANPLACE_REQUIRE(
+      config.origin >= 0 &&
+          static_cast<std::size_t>(config.origin) < n_count,
+      "origin out of range");
+
+  const auto demand = workload::aggregate(trace, i_count);
+  const auto origin = static_cast<std::size_t>(config.origin);
+
+  IntervalSimResult out;
+  out.placement = bounds::Placement(n_count, i_count, k_count);
+  for (std::size_t i = 0; i < i_count; ++i)
+    heuristic.place_interval(i, demand, out.placement);
+
+  // Serve the aggregated demand: covered iff some replica (or the origin)
+  // is within Tlat.
+  std::vector<double> covered_reads(n_count, 0), total_reads(n_count, 0);
+  for (std::size_t n = 0; n < n_count; ++n) {
+    for (std::size_t i = 0; i < i_count; ++i) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const double reads = demand.read(n, i, k);
+        if (reads <= 0) continue;
+        total_reads[n] += reads;
+        out.result.served += static_cast<std::size_t>(reads);
+        bool within = latencies(n, origin) <= config.tlat_ms;
+        for (std::size_t m = 0; m < n_count && !within; ++m)
+          within = out.placement(m, i, k) &&
+                   latencies(n, m) <= config.tlat_ms;
+        if (within) {
+          covered_reads[n] += reads;
+          out.result.covered += static_cast<std::size_t>(reads);
+        }
+      }
+    }
+  }
+  finalize_qos(out.result, covered_reads, total_reads);
+
+  // Creations: fresh appearances in the placement cube.
+  std::size_t creations = 0;
+  double peak_node_usage = 0, usage_cells = 0;
+  std::vector<double> object_peak(k_count, 0);
+  for (std::size_t n = 0; n < n_count; ++n) {
+    for (std::size_t i = 0; i < i_count; ++i) {
+      double used = 0;
+      for (std::size_t k = 0; k < k_count; ++k) {
+        if (!out.placement(n, i, k)) continue;
+        used += 1;
+        usage_cells += 1;
+        if (i == 0 || !out.placement(n, i - 1, k)) ++creations;
+      }
+      peak_node_usage = std::max(peak_node_usage, used);
+    }
+  }
+  for (std::size_t k = 0; k < k_count; ++k)
+    for (std::size_t i = 0; i < i_count; ++i) {
+      double replicas = 0;
+      for (std::size_t n = 0; n < n_count; ++n)
+        replicas += out.placement(n, i, k);
+      object_peak[k] = std::max(object_peak[k], replicas);
+    }
+
+  out.result.creations = creations;
+  out.result.creation_cost = config.beta * static_cast<double>(creations);
+  switch (config.accounting) {
+    case IntervalSimConfig::StorageAccounting::Capacity: {
+      const double capacity = config.provisioned > 0
+                                  ? static_cast<double>(config.provisioned)
+                                  : peak_node_usage;
+      out.result.storage_cost = config.alpha * capacity *
+                                static_cast<double>(n_count - 1) *
+                                static_cast<double>(i_count);
+      break;
+    }
+    case IntervalSimConfig::StorageAccounting::Replicas: {
+      double replicas = static_cast<double>(config.provisioned);
+      if (config.provisioned == 0)
+        for (double peak : object_peak) replicas = std::max(replicas, peak);
+      out.result.storage_cost = config.alpha * replicas *
+                                static_cast<double>(k_count) *
+                                static_cast<double>(i_count);
+      break;
+    }
+    case IntervalSimConfig::StorageAccounting::Usage:
+      out.result.storage_cost = config.alpha * usage_cells;
+      break;
+  }
+  out.result.total_cost = out.result.storage_cost + out.result.creation_cost;
+  return out;
+}
+
+}  // namespace wanplace::sim

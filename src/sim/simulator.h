@@ -1,0 +1,87 @@
+// Trace-driven simulation of deployed placement heuristics.
+//
+// The paper evaluates *actual* heuristics by simulation at their real
+// evaluation granularity (Section 6: "Deployed heuristics are evaluated
+// using simulation... their actual evaluation interval, e.g. every single
+// access in the case of caching"). Two drivers:
+//
+//  - simulate_caching: per-access replay of the caching family (LRU/LFU,
+//    optionally cooperative). Costs: provisioned storage (capacity x nodes
+//    x intervals, the same units as the bounds) + one creation per cache
+//    insertion.
+//  - simulate_interval_heuristic: per-interval replay of centralized
+//    heuristics; produces a placement cube and serves each request from the
+//    nearest replica within the latency threshold.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bounds/feasible.h"
+#include "graph/shortest_paths.h"
+#include "heuristics/cache.h"
+#include "heuristics/interval.h"
+#include "workload/trace.h"
+
+namespace wanplace::sim {
+
+struct SimResult {
+  std::vector<double> qos;  // covered read fraction per node
+  double min_qos = 1.0;     // worst node (per-user goals)
+  double overall_qos = 1.0;
+  double storage_cost = 0;
+  double creation_cost = 0;
+  double total_cost = 0;
+  std::size_t served = 0;
+  std::size_t covered = 0;
+  std::size_t creations = 0;
+
+  bool meets(double tqos) const { return min_qos >= tqos - 1e-12; }
+};
+
+struct CachingConfig {
+  std::size_t capacity = 1;  // objects per node
+  bool cooperative = false;  // nearest-holder fetch via a global directory
+  graph::NodeId origin = 0;  // stores everything; misses fall back to it
+  double tlat_ms = 150;
+  /// Number of accounting intervals (storage is charged per interval, like
+  /// the bounds; typically trace duration / 1h).
+  std::size_t interval_count = 24;
+  double alpha = 1;
+  double beta = 1;
+};
+
+/// Replay `trace` against per-node caches built by `factory`.
+SimResult simulate_caching(const workload::Trace& trace,
+                           const graph::LatencyMatrix& latencies,
+                           const CachingConfig& config,
+                           const heuristics::CacheFactory& factory);
+
+struct IntervalSimConfig {
+  graph::NodeId origin = 0;
+  double tlat_ms = 150;
+  std::size_t interval_count = 24;
+  double alpha = 1;
+  double beta = 1;
+  /// Storage accounting: provisioned capacity per node ("capacity" mode,
+  /// storage-constrained heuristics), provisioned replicas per object
+  /// ("replicas" mode), or actual usage ("usage").
+  enum class StorageAccounting { Capacity, Replicas, Usage };
+  StorageAccounting accounting = StorageAccounting::Usage;
+  /// The provisioned amount for Capacity/Replicas accounting.
+  std::size_t provisioned = 0;
+};
+
+struct IntervalSimResult {
+  SimResult result;
+  bounds::Placement placement;  // what the heuristic chose
+};
+
+/// Drive an interval heuristic over the trace: placement decisions at each
+/// interval boundary from past demand, request routing to the nearest
+/// replica within Tlat (origin included).
+IntervalSimResult simulate_interval_heuristic(
+    const workload::Trace& trace, const graph::LatencyMatrix& latencies,
+    const IntervalSimConfig& config, heuristics::IntervalHeuristic& heuristic);
+
+}  // namespace wanplace::sim

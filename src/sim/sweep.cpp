@@ -1,0 +1,129 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/log.h"
+
+namespace wanplace::sim {
+
+std::vector<std::size_t> exhaustive_candidates(std::size_t max) {
+  std::vector<std::size_t> out(max + 1);
+  for (std::size_t c = 0; c <= max; ++c) out[c] = c;
+  return out;
+}
+
+std::vector<std::size_t> geometric_candidates(std::size_t max) {
+  std::vector<std::size_t> out{0, 1, 2, 3, 4};
+  std::size_t step = 2;
+  std::size_t value = 4;
+  while (value < max) {
+    value += step;
+    out.push_back(std::min(value, max));
+    step = std::max<std::size_t>(step + step / 2, step + 1);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  while (!out.empty() && out.back() > max) out.pop_back();
+  if (out.empty() || out.back() != max) out.push_back(max);
+  return out;
+}
+
+SweepResult sweep_caching(const workload::Trace& trace,
+                          const graph::LatencyMatrix& latencies,
+                          const CachingConfig& base,
+                          const heuristics::CacheFactory& factory,
+                          double tqos,
+                          const std::vector<std::size_t>& candidates) {
+  WANPLACE_REQUIRE(tqos > 0 && tqos <= 1, "tqos must be in (0,1]");
+  SweepResult out;
+  for (std::size_t capacity : candidates) {
+    CachingConfig config = base;
+    config.capacity = capacity;
+    // Storage alone already beats the best known config: no cheaper
+    // qualifying configuration can follow (storage grows with capacity).
+    const double storage_floor =
+        config.alpha * static_cast<double>(capacity) *
+        static_cast<double>(trace.node_count() - 1) *
+        static_cast<double>(config.interval_count);
+    if (out.feasible && storage_floor >= out.best.total_cost) break;
+    const SimResult result =
+        simulate_caching(trace, latencies, config, factory);
+    if (!result.meets(tqos)) continue;
+    if (!out.feasible || result.total_cost < out.best.total_cost) {
+      out.feasible = true;
+      out.provisioned = capacity;
+      out.best = result;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+template <typename MakeHeuristic>
+SweepResult sweep_interval(const workload::Trace& trace,
+                           const graph::LatencyMatrix& latencies,
+                           const IntervalSimConfig& base, double tqos,
+                           const std::vector<std::size_t>& candidates,
+                           MakeHeuristic&& make) {
+  WANPLACE_REQUIRE(tqos > 0 && tqos <= 1, "tqos must be in (0,1]");
+  SweepResult out;
+  for (std::size_t amount : candidates) {
+    IntervalSimConfig config = base;
+    config.provisioned = amount;
+    auto heuristic = make(amount);
+    const auto sim =
+        simulate_interval_heuristic(trace, latencies, config, *heuristic);
+    if (!sim.result.meets(tqos)) continue;
+    if (!out.feasible || sim.result.total_cost < out.best.total_cost) {
+      out.feasible = true;
+      out.provisioned = amount;
+      out.best = sim.result;
+    }
+    // QoS is monotone in the provisioned amount for these greedy heuristics
+    // and storage dominates cost growth: the first qualifying step is the
+    // cheapest up to schedule granularity.
+    if (out.feasible && amount > out.provisioned) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepResult sweep_greedy_global(const workload::Trace& trace,
+                                const graph::LatencyMatrix& latencies,
+                                const BoolMatrix& dist,
+                                const IntervalSimConfig& base, double tqos,
+                                const std::vector<std::size_t>& candidates,
+                                std::size_t window_intervals) {
+  IntervalSimConfig config = base;
+  config.accounting = IntervalSimConfig::StorageAccounting::Capacity;
+  return sweep_interval(
+      trace, latencies, config, tqos, candidates, [&](std::size_t amount) {
+        heuristics::GreedyGlobalOptions options;
+        options.capacity = amount;
+        options.window_intervals = window_intervals;
+        return std::make_unique<heuristics::GreedyGlobalPlacement>(
+            dist, config.origin, options);
+      });
+}
+
+SweepResult sweep_replica_greedy(const workload::Trace& trace,
+                                 const graph::LatencyMatrix& latencies,
+                                 const BoolMatrix& dist,
+                                 const IntervalSimConfig& base, double tqos,
+                                 const std::vector<std::size_t>& candidates,
+                                 std::size_t window_intervals) {
+  IntervalSimConfig config = base;
+  config.accounting = IntervalSimConfig::StorageAccounting::Replicas;
+  return sweep_interval(
+      trace, latencies, config, tqos, candidates, [&](std::size_t amount) {
+        heuristics::ReplicaGreedyOptions options;
+        options.replicas = amount;
+        options.window_intervals = window_intervals;
+        return std::make_unique<heuristics::ReplicaGreedyPlacement>(
+            dist, config.origin, options);
+      });
+}
+
+}  // namespace wanplace::sim

@@ -1,0 +1,54 @@
+// Configuration sweeps: find the cheapest deployable configuration of a
+// heuristic that meets a QoS goal.
+//
+// This is the simulation counterpart of the lower-bound engine: the paper's
+// Figure 2 plots, for each QoS goal, the cost of the chosen heuristic when
+// deployed — i.e. the cheapest capacity / replication degree whose simulated
+// per-user QoS reaches the goal.
+#pragma once
+
+#include "sim/simulator.h"
+#include "util/matrix.h"
+
+namespace wanplace::sim {
+
+struct SweepResult {
+  bool feasible = false;
+  /// Capacity (objects/node) or replication degree that met the goal.
+  std::size_t provisioned = 0;
+  SimResult best;
+};
+
+/// Candidate provisioning amounts to try: 0, 1, 2, ... exhaustively up to
+/// `max`, or a geometric schedule (0,1,2,3,4,6,8,12,...) that trades a few
+/// percent of optimality for an order of magnitude fewer simulations.
+std::vector<std::size_t> exhaustive_candidates(std::size_t max);
+std::vector<std::size_t> geometric_candidates(std::size_t max);
+
+/// Cheapest cache capacity among `candidates` meeting `tqos` per user.
+SweepResult sweep_caching(const workload::Trace& trace,
+                          const graph::LatencyMatrix& latencies,
+                          const CachingConfig& base,
+                          const heuristics::CacheFactory& factory,
+                          double tqos,
+                          const std::vector<std::size_t>& candidates);
+
+/// Cheapest per-node capacity for the greedy-global (storage-constrained)
+/// heuristic meeting `tqos`.
+SweepResult sweep_greedy_global(const workload::Trace& trace,
+                                const graph::LatencyMatrix& latencies,
+                                const BoolMatrix& dist,
+                                const IntervalSimConfig& base, double tqos,
+                                const std::vector<std::size_t>& candidates,
+                                std::size_t window_intervals = 0);
+
+/// Cheapest replication degree for the replica-constrained greedy heuristic
+/// meeting `tqos`.
+SweepResult sweep_replica_greedy(const workload::Trace& trace,
+                                 const graph::LatencyMatrix& latencies,
+                                 const BoolMatrix& dist,
+                                 const IntervalSimConfig& base, double tqos,
+                                 const std::vector<std::size_t>& candidates,
+                                 std::size_t window_intervals = 0);
+
+}  // namespace wanplace::sim

@@ -1,0 +1,59 @@
+// Lightweight precondition / invariant checking.
+//
+// Library code throws wanplace::Error on contract violations so that callers
+// (examples, benches, tests) can report failures instead of aborting. The
+// CHECK macros capture the failing expression and location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wanplace {
+
+/// Base error type for all failures raised by the wanplace libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an internal invariant fails (a bug in this library).
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::string what = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  if (kind == std::string("precondition")) throw InvalidArgument(what);
+  throw InternalError(what);
+}
+}  // namespace detail
+
+}  // namespace wanplace
+
+/// Validate a caller-supplied argument; throws wanplace::InvalidArgument.
+#define WANPLACE_REQUIRE(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::wanplace::detail::throw_check_failure("precondition", #expr,      \
+                                              __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Validate an internal invariant; throws wanplace::InternalError.
+#define WANPLACE_CHECK(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::wanplace::detail::throw_check_failure("invariant", #expr,        \
+                                              __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,32 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace wanplace {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace wanplace

@@ -1,0 +1,49 @@
+// Minimal leveled logging to stderr.
+//
+// The solvers emit progress at Debug level; benches flip the global level to
+// Info. Logging is deliberately tiny: no sinks, no formatting library — just
+// enough to trace long solves.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace wanplace {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line ("[level] message") to stderr if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() <= LogLevel::Debug)
+    log_message(LogLevel::Debug, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() <= LogLevel::Info)
+    log_message(LogLevel::Info, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  if (log_level() <= LogLevel::Warn)
+    log_message(LogLevel::Warn, detail::concat(args...));
+}
+
+}  // namespace wanplace

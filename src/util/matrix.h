@@ -1,0 +1,98 @@
+// Dense row-major 2-D array used for latency/reachability/demand matrices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wanplace {
+
+/// Fixed-size rectangular matrix with bounds-checked access.
+template <typename T>
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  DenseMatrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  T& at(std::size_t r, std::size_t c) {
+    WANPLACE_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    WANPLACE_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked access for hot loops.
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  const std::vector<T>& data() const { return data_; }
+
+  friend bool operator==(const DenseMatrix&, const DenseMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using BoolMatrix = DenseMatrix<unsigned char>;
+
+/// Dense 3-D array indexed (x, y, z); used for per-(node, interval, object)
+/// quantities such as read counts and activity history.
+template <typename T>
+class DenseCube {
+ public:
+  DenseCube() = default;
+
+  DenseCube(std::size_t dim_x, std::size_t dim_y, std::size_t dim_z,
+            T fill = T{})
+      : x_(dim_x), y_(dim_y), z_(dim_z), data_(dim_x * dim_y * dim_z, fill) {}
+
+  std::size_t dim_x() const { return x_; }
+  std::size_t dim_y() const { return y_; }
+  std::size_t dim_z() const { return z_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& at(std::size_t x, std::size_t y, std::size_t z) {
+    WANPLACE_REQUIRE(x < x_ && y < y_ && z < z_, "cube index out of range");
+    return (*this)(x, y, z);
+  }
+  const T& at(std::size_t x, std::size_t y, std::size_t z) const {
+    WANPLACE_REQUIRE(x < x_ && y < y_ && z < z_, "cube index out of range");
+    return (*this)(x, y, z);
+  }
+
+  T& operator()(std::size_t x, std::size_t y, std::size_t z) {
+    return data_[(x * y_ + y) * z_ + z];
+  }
+  const T& operator()(std::size_t x, std::size_t y, std::size_t z) const {
+    return data_[(x * y_ + y) * z_ + z];
+  }
+
+  void fill(T value) { data_.assign(data_.size(), value); }
+
+  const std::vector<T>& data() const { return data_; }
+
+  friend bool operator==(const DenseCube&, const DenseCube&) = default;
+
+ private:
+  std::size_t x_ = 0, y_ = 0, z_ = 0;
+  std::vector<T> data_;
+};
+
+using BoolCube = DenseCube<unsigned char>;
+
+}  // namespace wanplace

@@ -1,0 +1,59 @@
+// Deterministic random number generation.
+//
+// All stochastic components of the library (topology generation, workload
+// synthesis) take an explicit Rng so every experiment is reproducible from a
+// seed. The generator is xoshiro256** seeded via SplitMix64, which is fast,
+// has a long period, and is identical across platforms (unlike
+// std::mt19937 + std::uniform_*_distribution whose outputs are
+// implementation-defined for some distributions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace wanplace {
+
+/// xoshiro256** pseudo-random generator with deterministic cross-platform
+/// output. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Sample an index from an unnormalized non-negative weight vector.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Split off an independent child generator (for parallel streams).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace wanplace

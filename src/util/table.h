@@ -1,0 +1,53 @@
+// Tabular result reporting.
+//
+// Benches and examples print figure/table series both as aligned ASCII (for
+// humans) and CSV (for plotting). Table collects rows of heterogeneous cells
+// and renders either form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wanplace {
+
+/// A simple column-aligned table with a header row.
+///
+/// Cells are stored as strings; numeric helpers format with sensible
+/// precision. Rendering never throws on well-formed tables; adding a row of
+/// the wrong arity throws InvalidArgument.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  std::size_t columns() const { return header_.size(); }
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Append a fully formed row. Must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Begin building a row cell by cell; finish_row() validates arity.
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 4);
+  Table& cell(std::int64_t value);
+  void finish_row();
+
+  /// Render as an aligned ASCII table.
+  std::string to_ascii() const;
+
+  /// Render as RFC-4180-ish CSV (quotes cells containing separators).
+  std::string to_csv() const;
+
+  /// Write CSV to a file; throws Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> pending_;
+};
+
+/// Format a double trimming trailing zeros ("12.5", "3", "0.001").
+std::string format_number(double value, int precision = 4);
+
+}  // namespace wanplace

@@ -1,0 +1,62 @@
+#include "workload/analysis.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wanplace::workload {
+
+GapAnalysis access_gaps(const Trace& trace, const BoolMatrix& interaction) {
+  const std::size_t n_count = trace.node_count();
+  WANPLACE_REQUIRE(
+      interaction.rows() == n_count && interaction.cols() == n_count,
+      "interaction matrix does not match trace");
+
+  // Per-node access time lists (trace requests are already time-sorted).
+  std::vector<std::vector<double>> times(n_count);
+  for (const auto& req : trace.requests()) times[req.node].push_back(req.time_s);
+
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  double m1 = inf, m2 = inf;
+  auto consider = [&](double gap) {
+    if (gap <= 0) return;  // simultaneous accesses carry no interval info
+    if (gap < m1) {
+      if (m1 < inf && m1 != gap) m2 = m1;
+      m1 = gap;
+    } else if (gap > m1 && gap < m2) {
+      m2 = gap;
+    }
+  };
+
+  std::vector<double> merged;
+  for (std::size_t n = 0; n < n_count; ++n) {
+    merged.clear();
+    for (std::size_t m = 0; m < n_count; ++m)
+      if (interaction(n, m))
+        merged.insert(merged.end(), times[m].begin(), times[m].end());
+    std::sort(merged.begin(), merged.end());
+    for (std::size_t j = 1; j < merged.size(); ++j)
+      consider(merged[j] - merged[j - 1]);
+  }
+  return GapAnalysis{.m1_s = m1, .m2_s = m2};
+}
+
+double per_access_evaluation_interval(const GapAnalysis& gaps) {
+  WANPLACE_REQUIRE(gaps.m1_s > 0, "gap analysis found no positive gap");
+  // Theorem 3: Delta = m1/2 when 2*m1 >= m2 (gaps in [m1, 2m1) exist or may
+  // matter), Delta = m1 when the next distinct gap is beyond 2*m1.
+  if (2 * gaps.m1_s >= gaps.m2_s) return gaps.m1_s / 2;
+  return gaps.m1_s;
+}
+
+bool bound_applies(double delta, double delta_prime) {
+  WANPLACE_REQUIRE(delta > 0 && delta_prime > 0,
+                   "intervals must be positive");
+  // Theorem 2: a bound for Delta holds for Delta' >= 2*Delta or Delta' ==
+  // Delta.
+  return delta_prime == delta || delta_prime >= 2 * delta;
+}
+
+}  // namespace wanplace::workload

@@ -1,0 +1,37 @@
+// Workload analysis supporting the evaluation-interval theory (Section 4.3,
+// Appendix B): the minimum inter-access gaps m1 and m2 across interacting
+// node pairs determine the evaluation interval Delta for per-access
+// heuristics (Theorem 3).
+#pragma once
+
+#include <cstddef>
+
+#include "util/matrix.h"
+#include "workload/trace.h"
+
+namespace wanplace::workload {
+
+/// Result of the Theorem 3 gap analysis.
+struct GapAnalysis {
+  /// Smallest positive gap between two accesses within any sphere of
+  /// interaction (m1 in the paper); +inf if fewer than two accesses.
+  double m1_s = 0;
+  /// Next-smallest distinct gap (m2); +inf if none.
+  double m2_s = 0;
+};
+
+/// Compute m1/m2 over the trace. interaction[n][m] = 1 when node n's
+/// placement can be affected by node m (A_nm in Lemma 1: dist or knowledge).
+/// Gaps are measured between consecutive accesses in the merged access
+/// sequence of each node's interaction sphere.
+GapAnalysis access_gaps(const Trace& trace, const BoolMatrix& interaction);
+
+/// Theorem 3: the evaluation interval to use for per-access heuristics:
+/// m1/2 when 2*m1 >= m2, m1 otherwise.
+double per_access_evaluation_interval(const GapAnalysis& gaps);
+
+/// Theorem 2 predicate: a bound computed with interval `delta` also applies
+/// to interval `delta_prime`.
+bool bound_applies(double delta, double delta_prime);
+
+}  // namespace wanplace::workload

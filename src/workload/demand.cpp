@@ -1,0 +1,54 @@
+#include "workload/demand.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wanplace::workload {
+
+Demand::Demand(std::size_t node_count, std::size_t interval_count,
+               std::size_t object_count)
+    : reads_(node_count, interval_count, object_count),
+      writes_(node_count, interval_count, object_count) {
+  WANPLACE_REQUIRE(node_count > 0 && interval_count > 0 && object_count > 0,
+                   "demand dimensions must be positive");
+}
+
+double Demand::total_reads(std::size_t n) const {
+  double total = 0;
+  for (std::size_t i = 0; i < interval_count(); ++i)
+    for (std::size_t k = 0; k < object_count(); ++k)
+      total += reads_(n, i, k);
+  return total;
+}
+
+double Demand::total_reads() const {
+  double total = 0;
+  for (double value : reads_.data()) total += value;
+  return total;
+}
+
+double Demand::object_reads(std::size_t k) const {
+  double total = 0;
+  for (std::size_t n = 0; n < node_count(); ++n)
+    for (std::size_t i = 0; i < interval_count(); ++i)
+      total += reads_(n, i, k);
+  return total;
+}
+
+Demand aggregate(const Trace& trace, std::size_t interval_count) {
+  WANPLACE_REQUIRE(interval_count > 0, "need at least one interval");
+  Demand demand(trace.node_count(), interval_count, trace.object_count());
+  const double interval_s = trace.duration_s() / interval_count;
+  for (const auto& req : trace.requests()) {
+    auto interval = static_cast<std::size_t>(req.time_s / interval_s);
+    interval = std::min(interval, interval_count - 1);  // t == horizon edge
+    if (req.is_write)
+      demand.write(req.node, interval, req.object) += 1;
+    else
+      demand.read(req.node, interval, req.object) += 1;
+  }
+  return demand;
+}
+
+}  // namespace wanplace::workload

@@ -1,0 +1,56 @@
+// Per-interval demand: the read/write[n,i,k] matrices of the MC-PERF model.
+#pragma once
+
+#include <cstddef>
+
+#include "util/matrix.h"
+#include "workload/trace.h"
+
+namespace wanplace::workload {
+
+/// Read (and optionally write) counts per (node, interval, object), obtained
+/// by bucketing a trace into `interval_count` equal evaluation intervals.
+class Demand {
+ public:
+  Demand() = default;
+  Demand(std::size_t node_count, std::size_t interval_count,
+         std::size_t object_count);
+
+  std::size_t node_count() const { return reads_.dim_x(); }
+  std::size_t interval_count() const { return reads_.dim_y(); }
+  std::size_t object_count() const { return reads_.dim_z(); }
+
+  double read(std::size_t n, std::size_t i, std::size_t k) const {
+    return reads_(n, i, k);
+  }
+  double& read(std::size_t n, std::size_t i, std::size_t k) {
+    return reads_(n, i, k);
+  }
+  double write(std::size_t n, std::size_t i, std::size_t k) const {
+    return writes_(n, i, k);
+  }
+  double& write(std::size_t n, std::size_t i, std::size_t k) {
+    return writes_(n, i, k);
+  }
+
+  /// Total reads originating at node n.
+  double total_reads(std::size_t n) const;
+  /// Total reads in the whole system.
+  double total_reads() const;
+  /// Total reads of object k across all nodes and intervals.
+  double object_reads(std::size_t k) const;
+
+  /// True if any read of object k happens at (n, i).
+  bool accessed(std::size_t n, std::size_t i, std::size_t k) const {
+    return reads_(n, i, k) > 0;
+  }
+
+ private:
+  DenseCube<double> reads_;
+  DenseCube<double> writes_;
+};
+
+/// Bucket a trace into `interval_count` equal intervals.
+Demand aggregate(const Trace& trace, std::size_t interval_count);
+
+}  // namespace wanplace::workload

@@ -1,0 +1,170 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <optional>
+
+#include "util/check.h"
+
+namespace wanplace::workload {
+
+std::vector<double> skewed_node_weights(std::size_t node_count, double skew,
+                                        Rng& rng) {
+  WANPLACE_REQUIRE(node_count > 0, "need at least one node");
+  WANPLACE_REQUIRE(skew > 0 && skew <= 1, "skew must be in (0, 1]");
+  std::vector<double> weights(node_count);
+  double w = 1;
+  for (auto& weight : weights) {
+    weight = w;
+    w *= skew;
+  }
+  // Fisher-Yates shuffle so the busy sites land at random topology positions.
+  for (std::size_t i = node_count - 1; i > 0; --i) {
+    const auto j = static_cast<std::size_t>(rng.uniform_index(i + 1));
+    std::swap(weights[i], weights[j]);
+  }
+  return weights;
+}
+
+std::vector<double> zipf_weights(std::size_t object_count, double s) {
+  WANPLACE_REQUIRE(object_count > 0, "need at least one object");
+  WANPLACE_REQUIRE(s >= 0, "zipf exponent must be >= 0");
+  std::vector<double> weights(object_count);
+  for (std::size_t k = 0; k < object_count; ++k)
+    weights[k] = std::pow(static_cast<double>(k + 1), -s);
+  return weights;
+}
+
+std::vector<double> diurnal_interval_weights(std::size_t slices,
+                                             double floor) {
+  WANPLACE_REQUIRE(slices > 0, "need at least one slice");
+  WANPLACE_REQUIRE(floor >= 0 && floor < 1, "floor must be in [0,1)");
+  std::vector<double> weights(slices);
+  const double pi = 3.14159265358979323846;
+  for (std::size_t i = 0; i < slices; ++i) {
+    const double phase = std::sin(pi * (static_cast<double>(i) + 0.5) /
+                                  static_cast<double>(slices));
+    weights[i] = floor + (1 - floor) * phase * phase;
+  }
+  return weights;
+}
+
+namespace {
+
+/// Cumulative-distribution sampler over fixed weights.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights) {
+    cumulative_.reserve(weights.size());
+    double total = 0;
+    for (double w : weights) {
+      WANPLACE_REQUIRE(w >= 0, "negative weight");
+      total += w;
+      cumulative_.push_back(total);
+    }
+    WANPLACE_REQUIRE(total > 0, "weights sum to zero");
+  }
+
+  std::size_t sample(Rng& rng) const {
+    const double r = rng.uniform() * cumulative_.back();
+    const auto it =
+        std::upper_bound(cumulative_.begin(), cumulative_.end(), r);
+    return static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     cumulative_.size() - 1)));
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+Trace generate(const WorkloadShape& shape,
+               const std::vector<double>& object_weights, Rng& rng,
+               bool cover_all_objects) {
+  WANPLACE_REQUIRE(shape.request_count >= shape.object_count ||
+                       !cover_all_objects,
+                   "need at least one request per object");
+  std::vector<double> node_weights = shape.node_weights;
+  if (node_weights.empty())
+    node_weights = skewed_node_weights(shape.node_count, 0.8, rng);
+  WANPLACE_REQUIRE(node_weights.size() == shape.node_count,
+                   "node weight arity mismatch");
+
+  DiscreteSampler node_sampler(node_weights);
+  DiscreteSampler object_sampler(object_weights);
+  std::optional<DiscreteSampler> slice_sampler;
+  if (!shape.interval_weights.empty())
+    slice_sampler.emplace(shape.interval_weights);
+
+  auto sample_time = [&] {
+    if (!slice_sampler) return rng.uniform(0, shape.duration_s);
+    const std::size_t slice = slice_sampler->sample(rng);
+    const double width =
+        shape.duration_s / static_cast<double>(shape.interval_weights.size());
+    return static_cast<double>(slice) * width + rng.uniform(0, width);
+  };
+
+  std::vector<Request> requests;
+  requests.reserve(shape.request_count);
+
+  std::size_t remaining = shape.request_count;
+  if (cover_all_objects) {
+    // One guaranteed read per object so the least popular object has
+    // exactly >= 1 access, matching the WEB workload description.
+    for (std::size_t k = 0; k < shape.object_count && remaining > 0;
+         ++k, --remaining) {
+      requests.push_back(Request{
+          .time_s = sample_time(),
+          .node = static_cast<graph::NodeId>(node_sampler.sample(rng)),
+          .object = static_cast<ObjectId>(k),
+          .is_write = false,
+      });
+    }
+  }
+  for (; remaining > 0; --remaining) {
+    requests.push_back(Request{
+        .time_s = sample_time(),
+        .node = static_cast<graph::NodeId>(node_sampler.sample(rng)),
+        .object = static_cast<ObjectId>(object_sampler.sample(rng)),
+        .is_write = rng.bernoulli(shape.write_fraction),
+    });
+  }
+  return Trace(std::move(requests), shape.duration_s, shape.node_count,
+               shape.object_count);
+}
+
+}  // namespace
+
+Trace generate_web(const WebParams& params, Rng& rng) {
+  const std::size_t k_count = params.shape.object_count;
+  std::vector<double> weights;
+  if (params.head_count == 0 || params.head_count >= k_count) {
+    weights = zipf_weights(k_count, params.zipf_s);
+  } else {
+    WANPLACE_REQUIRE(params.tail_share >= 0 && params.tail_share < 1,
+                     "tail_share must be in [0,1)");
+    // Two-segment popularity: a Zipf head with most of the traffic and a
+    // thin uniform tail (WorldCup-style: a few hot pages, many dead ones).
+    weights.assign(k_count, 0.0);
+    const auto head = zipf_weights(params.head_count, params.zipf_s);
+    double head_total = 0;
+    for (double w : head) head_total += w;
+    for (std::size_t k = 0; k < params.head_count; ++k)
+      weights[k] = (1 - params.tail_share) * head[k] / head_total;
+    const double tail_each =
+        params.tail_share /
+        static_cast<double>(k_count - params.head_count);
+    for (std::size_t k = params.head_count; k < k_count; ++k)
+      weights[k] = tail_each;
+  }
+  return generate(params.shape, weights, rng, /*cover_all_objects=*/true);
+}
+
+Trace generate_group(const GroupParams& params, Rng& rng) {
+  const std::vector<double> weights(params.shape.object_count, 1.0);
+  return generate(params.shape, weights, rng, /*cover_all_objects=*/false);
+}
+
+}  // namespace wanplace::workload

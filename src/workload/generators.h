@@ -1,0 +1,69 @@
+// Synthetic workload generators for the paper's two case-study workloads.
+//
+// WEB mirrors the WorldCup'98-derived workload: Zipf object popularity with
+// a heavy tail (the least popular object is read once). GROUP mirrors the
+// collaborative-project workload: uniform popularity, every object popular.
+// Per-node demand is skewed in both ("some sites are bigger or more active
+// than others", Section 6).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/trace.h"
+
+namespace wanplace::workload {
+
+/// Unnormalized per-node activity weights with a geometric skew: node j gets
+/// weight `skew^j`, shuffled. skew = 1 gives uniform activity.
+std::vector<double> skewed_node_weights(std::size_t node_count, double skew,
+                                        Rng& rng);
+
+/// Parameters shared by both generators.
+struct WorkloadShape {
+  std::size_t node_count = 20;
+  std::size_t object_count = 100;
+  std::size_t request_count = 30'000;
+  double duration_s = 86'400;  // one day, as in the paper
+  /// Per-node activity weights; empty means skewed_node_weights(0.8).
+  std::vector<double> node_weights;
+  /// Relative traffic intensity per equal time slice (diurnal shape);
+  /// empty means uniform arrivals. The WorldCup-style day starts quiet —
+  /// see diurnal_interval_weights().
+  std::vector<double> interval_weights;
+  /// Fraction of requests that are writes (paper experiments use 0).
+  double write_fraction = 0;
+};
+
+/// A day-shaped traffic profile over `slices` time slices: quiet at the
+/// start/end, peaking mid-day (w_i = floor + (1-floor) * sin^2(pi (i+.5)/S)).
+/// Matters for reactive heuristic classes: the share of traffic in the first
+/// evaluation interval bounds the QoS they can reach (cold start).
+std::vector<double> diurnal_interval_weights(std::size_t slices,
+                                             double floor = 0.05);
+
+/// WEB: heavy-tailed popularity over `object_count` objects. The head
+/// (`head_count` objects, Zipf with exponent `zipf_s`) carries
+/// `1 - tail_share` of the traffic; the remaining objects split
+/// `tail_share` uniformly. Every object is read at least once (the paper's
+/// "least popular object has just 1 access"). head_count = 0 means a pure
+/// Zipf over all objects.
+struct WebParams {
+  WorkloadShape shape;
+  double zipf_s = 0.9;
+  std::size_t head_count = 0;
+  double tail_share = 0.0;
+};
+Trace generate_web(const WebParams& params, Rng& rng);
+
+/// GROUP: uniform popularity over all objects — all objects popular, as in
+/// the paper's active collaborative project.
+struct GroupParams {
+  WorkloadShape shape;
+};
+Trace generate_group(const GroupParams& params, Rng& rng);
+
+/// Zipf sampling weights w_k = (k+1)^-s for k in [0, object_count).
+std::vector<double> zipf_weights(std::size_t object_count, double s);
+
+}  // namespace wanplace::workload

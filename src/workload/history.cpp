@@ -1,0 +1,58 @@
+#include "workload/history.h"
+
+#include "util/check.h"
+
+namespace wanplace::workload {
+
+BoolCube history(const Demand& demand, std::size_t window_intervals) {
+  const std::size_t n_count = demand.node_count();
+  const std::size_t i_count = demand.interval_count();
+  const std::size_t k_count = demand.object_count();
+  BoolCube hist(n_count, i_count, k_count);
+  for (std::size_t n = 0; n < n_count; ++n) {
+    for (std::size_t k = 0; k < k_count; ++k) {
+      // last_access[i]: most recent interval <= i with a read, or -1.
+      std::ptrdiff_t last = -1;
+      for (std::size_t i = 0; i < i_count; ++i) {
+        if (demand.accessed(n, i, k)) last = static_cast<std::ptrdiff_t>(i);
+        if (last < 0) continue;
+        const bool in_window =
+            window_intervals == 0 ||
+            static_cast<std::size_t>(static_cast<std::ptrdiff_t>(i) - last) <
+                window_intervals;
+        hist(n, i, k) = in_window ? 1 : 0;
+      }
+    }
+  }
+  return hist;
+}
+
+BoolCube knowledge_history(const BoolCube& hist, const BoolMatrix& know) {
+  const std::size_t n_count = hist.dim_x();
+  WANPLACE_REQUIRE(know.rows() == n_count && know.cols() == n_count,
+                   "know matrix does not match hist dimensions");
+  BoolCube sphere(n_count, hist.dim_y(), hist.dim_z());
+  for (std::size_t n = 0; n < n_count; ++n) {
+    for (std::size_t m = 0; m < n_count; ++m) {
+      if (!know(n, m)) continue;
+      for (std::size_t i = 0; i < hist.dim_y(); ++i)
+        for (std::size_t k = 0; k < hist.dim_z(); ++k)
+          if (hist(m, i, k)) sphere(n, i, k) = 1;
+    }
+  }
+  return sphere;
+}
+
+BoolMatrix know_local(std::size_t node_count) {
+  BoolMatrix know(node_count, node_count);
+  for (std::size_t n = 0; n < node_count; ++n) know(n, n) = 1;
+  return know;
+}
+
+BoolMatrix know_global(std::size_t node_count) {
+  BoolMatrix know(node_count, node_count);
+  know.fill(1);
+  return know;
+}
+
+}  // namespace wanplace::workload

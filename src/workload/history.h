@@ -1,0 +1,27 @@
+// Activity history (paper Section 4.1, "Activity history").
+//
+// hist[n,i,k] = 1 iff node n accessed object k during interval i or one of
+// the `window - 1` intervals before it (window = 0 means unbounded history:
+// any interval <= i). The MC-PERF model combines hist with the knowledge
+// matrix `know` to bound which objects a heuristic may place.
+#pragma once
+
+#include "util/matrix.h"
+#include "workload/demand.h"
+
+namespace wanplace::workload {
+
+/// Build the hist cube from aggregated demand (reads only — placement reacts
+/// to read activity). window_intervals = 0 means unbounded history.
+BoolCube history(const Demand& demand, std::size_t window_intervals);
+
+/// sphere[n,i,k] = 1 iff hist[m,i,k] = 1 for some m in n's sphere of
+/// knowledge (know[n][m] = 1). This is the right-hand side of constraint
+/// (20): create[n,i,k] <= sphere[n,i,k].
+BoolCube knowledge_history(const BoolCube& hist, const BoolMatrix& know);
+
+/// know matrices for the two extremes of Section 4.1.
+BoolMatrix know_local(std::size_t node_count);
+BoolMatrix know_global(std::size_t node_count);
+
+}  // namespace wanplace::workload

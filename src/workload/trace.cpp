@@ -1,0 +1,107 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace wanplace::workload {
+
+Trace::Trace(std::vector<Request> requests, double duration_s,
+             std::size_t node_count, std::size_t object_count)
+    : requests_(std::move(requests)),
+      duration_s_(duration_s),
+      node_count_(node_count),
+      object_count_(object_count) {
+  WANPLACE_REQUIRE(duration_s > 0, "trace duration must be positive");
+  WANPLACE_REQUIRE(node_count > 0 && object_count > 0,
+                   "trace needs nodes and objects");
+  for (const auto& req : requests_) {
+    WANPLACE_REQUIRE(req.time_s >= 0 && req.time_s < duration_s_,
+                     "request time outside trace horizon");
+    WANPLACE_REQUIRE(
+        req.node >= 0 && static_cast<std::size_t>(req.node) < node_count_,
+        "request node out of range");
+    WANPLACE_REQUIRE(req.object >= 0 &&
+                         static_cast<std::size_t>(req.object) < object_count_,
+                     "request object out of range");
+    if (!req.is_write) ++read_count_;
+  }
+  std::stable_sort(
+      requests_.begin(), requests_.end(),
+      [](const Request& a, const Request& b) { return a.time_s < b.time_s; });
+}
+
+std::size_t Trace::max_object_reads() const {
+  std::vector<std::size_t> counts(object_count_, 0);
+  for (const auto& req : requests_)
+    if (!req.is_write) ++counts[req.object];
+  return counts.empty() ? 0 : *std::max_element(counts.begin(), counts.end());
+}
+
+std::size_t Trace::min_object_reads() const {
+  std::vector<std::size_t> counts(object_count_, 0);
+  for (const auto& req : requests_)
+    if (!req.is_write) ++counts[req.object];
+  return counts.empty() ? 0 : *std::min_element(counts.begin(), counts.end());
+}
+
+Trace Trace::remap_nodes(const std::vector<graph::NodeId>& node_mapping,
+                         std::size_t new_node_count) const {
+  WANPLACE_REQUIRE(node_mapping.size() == node_count_,
+                   "mapping arity mismatch");
+  std::vector<Request> remapped(requests_);
+  for (auto& req : remapped) {
+    req.node = node_mapping[static_cast<std::size_t>(req.node)];
+    WANPLACE_REQUIRE(req.node >= 0 &&
+                         static_cast<std::size_t>(req.node) < new_node_count,
+                     "mapping target out of range");
+  }
+  return Trace(std::move(remapped), duration_s_, new_node_count,
+               object_count_);
+}
+
+void Trace::save(std::ostream& out) const {
+  out.precision(17);  // round-trippable doubles
+  out << "wanplace-trace v1 " << duration_s_ << ' ' << node_count_ << ' '
+      << object_count_ << '\n';
+  for (const auto& req : requests_)
+    out << req.time_s << ' ' << req.node << ' ' << req.object << ' '
+        << (req.is_write ? 'w' : 'r') << '\n';
+}
+
+Trace Trace::load(std::istream& in) {
+  std::string magic, version;
+  double duration = 0;
+  std::size_t nodes = 0, objects = 0;
+  in >> magic >> version >> duration >> nodes >> objects;
+  if (!in || magic != "wanplace-trace" || version != "v1")
+    throw Error("not a wanplace trace stream");
+  std::vector<Request> requests;
+  Request req;
+  char kind = 'r';
+  while (in >> req.time_s >> req.node >> req.object >> kind) {
+    if (kind != 'r' && kind != 'w') throw Error("bad request kind in trace");
+    req.is_write = kind == 'w';
+    requests.push_back(req);
+  }
+  return Trace(std::move(requests), duration, nodes, objects);
+}
+
+void Trace::save_file(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) throw Error("cannot open " + path + " for writing");
+  save(file);
+  if (!file) throw Error("failed writing " + path);
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw Error("cannot open " + path);
+  return load(file);
+}
+
+}  // namespace wanplace::workload

@@ -1,0 +1,69 @@
+// Access traces: the raw workload consumed by the simulator and aggregated
+// into per-interval demand for the MC-PERF model.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "graph/topology.h"
+
+namespace wanplace::workload {
+
+using ObjectId = std::int32_t;
+
+/// One data access: `node` requests `object` at `time_s` seconds from the
+/// start of the trace.
+struct Request {
+  double time_s = 0;
+  graph::NodeId node = 0;
+  ObjectId object = 0;
+  bool is_write = false;
+};
+
+/// A time-ordered sequence of requests over a fixed horizon.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Takes ownership of requests; sorts them by time. All requests must lie
+  /// in [0, duration_s) and reference valid node/object ids.
+  Trace(std::vector<Request> requests, double duration_s,
+        std::size_t node_count, std::size_t object_count);
+
+  const std::vector<Request>& requests() const { return requests_; }
+  double duration_s() const { return duration_s_; }
+  std::size_t node_count() const { return node_count_; }
+  std::size_t object_count() const { return object_count_; }
+
+  std::size_t read_count() const { return read_count_; }
+  std::size_t write_count() const { return requests_.size() - read_count_; }
+
+  /// Number of reads of the most / least read object (0 if unread).
+  std::size_t max_object_reads() const;
+  std::size_t min_object_reads() const;
+
+  /// Re-home every request according to `node_mapping` (old node id -> new
+  /// node id) into a trace over `new_node_count` nodes. Used by the
+  /// deployment scenario where users of closed sites are served by their
+  /// assigned open node.
+  Trace remap_nodes(const std::vector<graph::NodeId>& node_mapping,
+                    std::size_t new_node_count) const;
+
+  /// Plain text serialization: one "time node object r|w" line per request,
+  /// preceded by a header line "wanplace-trace v1 <duration> <N> <K>".
+  void save(std::ostream& out) const;
+  static Trace load(std::istream& in);
+  void save_file(const std::string& path) const;
+  static Trace load_file(const std::string& path);
+
+ private:
+  std::vector<Request> requests_;
+  double duration_s_ = 0;
+  std::size_t node_count_ = 0;
+  std::size_t object_count_ = 0;
+  std::size_t read_count_ = 0;
+};
+
+}  // namespace wanplace::workload

@@ -1,0 +1,60 @@
+// Shared MC-PERF instance builders for the test suites.
+#pragma once
+
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "graph/shortest_paths.h"
+#include "mcperf/instance.h"
+#include "util/rng.h"
+#include "workload/demand.h"
+#include "workload/generators.h"
+
+namespace wanplace::test {
+
+/// A line topology of `nodes` sites with 100ms links and Tlat 150ms, so each
+/// node reaches exactly itself and its direct neighbors. The last node is
+/// the origin unless `with_origin` is false.
+inline mcperf::Instance line_instance(std::size_t nodes,
+                                      std::size_t intervals,
+                                      std::size_t objects, double tqos,
+                                      bool with_origin = true) {
+  mcperf::Instance instance;
+  const auto topology = graph::line(nodes, 100, 10);
+  instance.latencies = graph::all_pairs_latencies(topology);
+  instance.dist = graph::within_threshold(instance.latencies, 150);
+  instance.demand = workload::Demand(nodes, intervals, objects);
+  instance.goal = mcperf::QosGoal{tqos};
+  if (with_origin) instance.origin = static_cast<graph::NodeId>(nodes - 1);
+  return instance;
+}
+
+/// A small randomly generated instance over a Waxman topology with a Zipf
+/// workload — used by property tests.
+inline mcperf::Instance random_instance(std::uint64_t seed,
+                                        std::size_t nodes = 6,
+                                        std::size_t intervals = 4,
+                                        std::size_t objects = 5,
+                                        double tqos = 0.9,
+                                        std::size_t requests = 400) {
+  Rng rng(seed);
+  graph::WaxmanParams wax;
+  wax.node_count = nodes;
+  const auto topology = graph::waxman(wax, rng);
+
+  mcperf::Instance instance;
+  instance.latencies = graph::all_pairs_latencies(topology);
+  instance.dist = graph::within_threshold(instance.latencies, 150);
+
+  workload::WebParams web;
+  web.shape.node_count = nodes;
+  web.shape.object_count = objects;
+  web.shape.request_count = requests;
+  web.shape.duration_s = 3600.0 * intervals;
+  const auto trace = workload::generate_web(web, rng);
+  instance.demand = workload::aggregate(trace, intervals);
+  instance.goal = mcperf::QosGoal{tqos};
+  instance.origin = 0;
+  return instance;
+}
+
+}  // namespace wanplace::test

@@ -1,0 +1,89 @@
+// Cross-layer consistency properties.
+//
+// The structural achievability analysis claims to decide LP feasibility for
+// QoS instances (gamma = 0): coverage is the only constraint that can be
+// violated, and capacity-style constraints never block coverage. This suite
+// verifies that claim against the exact simplex across random instances and
+// every heuristic class, plus PDHG-vs-simplex agreement under class
+// constraints.
+#include <gtest/gtest.h>
+
+#include "bounds/engine.h"
+#include "instance_helpers.h"
+#include "lp/simplex.h"
+#include "mcperf/achievability.h"
+#include "mcperf/builder.h"
+
+namespace wanplace::mcperf {
+namespace {
+
+std::vector<ClassSpec> all_classes() {
+  return {classes::general(),
+          classes::storage_constrained(),
+          classes::replica_constrained(),
+          classes::replica_constrained_per_object(),
+          classes::decentralized_local_routing(),
+          classes::caching(),
+          classes::cooperative_caching(),
+          classes::neighborhood_caching(),
+          classes::caching_with_prefetching(),
+          classes::cooperative_caching_with_prefetching(),
+          classes::reactive()};
+}
+
+class ConsistencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencySweep, AchievabilityDecidesLpFeasibility) {
+  const auto instance =
+      test::random_instance(500 + GetParam(), 6, 3, 4, 0.9, 400);
+  for (const auto& spec : all_classes()) {
+    const auto reach = max_achievable_qos(instance, spec);
+    const auto built = build_lp(instance, spec);
+    const auto sol = lp::solve_simplex(built.model);
+    const bool lp_feasible = sol.status == lp::SolveStatus::Optimal;
+    const bool predicted = reach.achievable(0.9);
+    EXPECT_EQ(predicted, lp_feasible)
+        << spec.name << " seed " << GetParam() << " maxqos "
+        << reach.min_qos << " lp " << lp::to_string(sol.status);
+  }
+}
+
+TEST_P(ConsistencySweep, PdhgBoundBelowSimplexUnderClassConstraints) {
+  const auto instance =
+      test::random_instance(700 + GetParam(), 6, 3, 4, 0.85, 400);
+  for (const auto& spec :
+       {classes::storage_constrained(), classes::caching(),
+        classes::cooperative_caching()}) {
+    const auto reach = max_achievable_qos(instance, spec);
+    if (!reach.achievable(0.85)) continue;
+    const auto built = build_lp(instance, spec);
+    const auto exact = lp::solve_simplex(built.model);
+    ASSERT_EQ(exact.status, lp::SolveStatus::Optimal) << spec.name;
+    lp::PdhgOptions options;
+    options.max_iterations = 60'000;
+    const auto approx = lp::solve_pdhg(built.model, options);
+    EXPECT_LE(approx.dual_bound,
+              exact.objective + 1e-5 * (1 + std::abs(exact.objective)))
+        << spec.name << " seed " << GetParam();
+  }
+}
+
+TEST_P(ConsistencySweep, AchievabilityThresholdIsSharp) {
+  // At exactly max_qos the goal is achievable; just above it is not.
+  auto instance = test::random_instance(900 + GetParam(), 6, 3, 4, 0.9, 400);
+  const auto spec = classes::caching();
+  const auto reach = max_achievable_qos(instance, spec);
+  if (reach.min_qos <= 0 || reach.min_qos >= 1) GTEST_SKIP();
+
+  instance.goal = QosGoal{reach.min_qos};
+  EXPECT_TRUE(
+      max_achievable_qos(instance, spec).achievable(reach.min_qos));
+  const double above = std::min(1.0, reach.min_qos + 1e-6);
+  instance.goal = QosGoal{above};
+  EXPECT_FALSE(max_achievable_qos(instance, spec).achievable(above));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencySweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace wanplace::mcperf

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluation_interval.h"
+#include "core/planner.h"
+#include "core/selector.h"
+#include "instance_helpers.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "util/check.h"
+#include "workload/history.h"
+
+namespace wanplace::core {
+namespace {
+
+using test::random_instance;
+
+TEST(Selector, DefaultClassesMatchFigure1) {
+  const auto classes = HeuristicSelector::default_classes();
+  ASSERT_EQ(classes.size(), 5u);
+  EXPECT_EQ(classes[0].name, "storage-constrained");
+  EXPECT_EQ(classes[1].name, "replica-constrained");
+  EXPECT_EQ(classes[2].name, "decentral-local-routing");
+  EXPECT_EQ(classes[3].name, "caching");
+  EXPECT_EQ(classes[4].name, "coop-caching");
+}
+
+TEST(Selector, GeneralBoundNeverAboveRecommendation) {
+  const auto instance = random_instance(7, 6, 4, 5, 0.9, 500);
+  SelectorOptions options;
+  options.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto report = HeuristicSelector(options).select(instance);
+  ASSERT_TRUE(report.has_recommendation());
+  EXPECT_LE(report.general.lower_bound,
+            report.recommended_bound().lower_bound + 1e-6);
+  EXPECT_GE(report.optimality_ratio, 1.0 - 1e-9);
+  EXPECT_FALSE(report.suggestion.empty());
+}
+
+TEST(Selector, RecommendsLowestBoundClass) {
+  const auto instance = random_instance(17, 6, 4, 5, 0.9, 500);
+  SelectorOptions options;
+  options.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto report = HeuristicSelector(options).select(instance);
+  ASSERT_TRUE(report.has_recommendation());
+  const double chosen = report.recommended_bound().lower_bound;
+  for (const auto& bound : report.classes)
+    if (bound.achievable) EXPECT_LE(chosen, bound.lower_bound + 1e-9);
+}
+
+TEST(Selector, TableContainsAllClasses) {
+  const auto instance = random_instance(27, 5, 3, 4, 0.85, 300);
+  SelectorOptions options;
+  options.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto report = HeuristicSelector(options).select(instance);
+  const auto ascii = report.to_table().to_ascii();
+  EXPECT_NE(ascii.find("general"), std::string::npos);
+  EXPECT_NE(ascii.find("caching"), std::string::npos);
+  EXPECT_NE(ascii.find("storage-constrained"), std::string::npos);
+}
+
+TEST(Selector, SuggestionsCoverTable3) {
+  EXPECT_NE(HeuristicSelector::suggested_heuristic("caching").find("LRU"),
+            std::string::npos);
+  EXPECT_NE(HeuristicSelector::suggested_heuristic("storage-constrained")
+                .find("greedy-global"),
+            std::string::npos);
+  EXPECT_NE(HeuristicSelector::suggested_heuristic("replica-constrained")
+                .find("Qiu"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The Figure-2 invariant: a deployed heuristic can never beat its class
+// bound.
+
+TEST(Integration, DeployedGreedyRespectsClassBound) {
+  // With 4 intervals a reactive class cannot cover interval-0 demand, so
+  // the achievable target is moderate (see DESIGN.md, cold start).
+  const double tqos = 0.6;
+  const auto instance = random_instance(97, 6, 4, 6, tqos, 800);
+
+  bounds::BoundOptions options;
+  options.solver = bounds::BoundOptions::Solver::Simplex;
+  auto sc = mcperf::classes::storage_constrained();
+  sc.reactive = true;  // the deployed greedy is reactive
+  const auto bound = bounds::compute_bound(instance, sc, options);
+  ASSERT_TRUE(bound.achievable) << "max qos " << bound.max_achievable_qos;
+
+  // Re-derive the trace the instance was generated from (same seed path as
+  // random_instance) and deploy the greedy-global heuristic on it.
+  Rng rng(97);
+  graph::WaxmanParams wax;
+  wax.node_count = 6;
+  const auto topology = graph::waxman(wax, rng);
+  const auto latencies = graph::all_pairs_latencies(topology);
+  const auto dist = graph::within_threshold(latencies, 150);
+  workload::WebParams web;
+  web.shape.node_count = 6;
+  web.shape.object_count = 6;
+  web.shape.request_count = 800;
+  web.shape.duration_s = 3600.0 * 4;
+  const auto trace = workload::generate_web(web, rng);
+
+  sim::IntervalSimConfig config;
+  config.origin = 0;
+  config.interval_count = 4;
+  const auto sweep =
+      sim::sweep_greedy_global(trace, latencies, dist, config, tqos, sim::exhaustive_candidates(6));
+  if (!sweep.feasible) GTEST_SKIP() << "heuristic cannot reach the goal";
+  EXPECT_GE(sweep.best.total_cost, bound.lower_bound - 1e-6)
+      << "deployed heuristic beat its own class lower bound";
+}
+
+// ---------------------------------------------------------------------------
+// Deployment planner.
+
+TEST(Planner, OpensSubsetIncludingOrigin) {
+  const auto instance = random_instance(41, 8, 4, 6, 0.9, 800);
+  PlannerOptions options;
+  options.zeta = 50;
+  options.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto plan = DeploymentPlanner(options).plan(instance);
+  EXPECT_GE(plan.open_nodes.size(), 1u);
+  EXPECT_LE(plan.open_nodes.size(), 8u);
+  EXPECT_NE(std::find(plan.open_nodes.begin(), plan.open_nodes.end(),
+                      *instance.origin),
+            plan.open_nodes.end());
+}
+
+TEST(Planner, AssignmentTargetsOpenNodes) {
+  const auto instance = random_instance(43, 8, 4, 6, 0.9, 800);
+  PlannerOptions options;
+  options.zeta = 50;
+  options.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto plan = DeploymentPlanner(options).plan(instance);
+  for (const auto target : plan.assignment)
+    EXPECT_NE(std::find(plan.open_nodes.begin(), plan.open_nodes.end(),
+                        target),
+              plan.open_nodes.end());
+}
+
+TEST(Planner, ReducedDemandConserved) {
+  const auto instance = random_instance(47, 8, 4, 6, 0.9, 800);
+  PlannerOptions options;
+  options.zeta = 50;
+  options.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto plan = DeploymentPlanner(options).plan(instance);
+  EXPECT_NEAR(plan.reduced.demand.total_reads(),
+              instance.demand.total_reads(), 1e-9);
+}
+
+TEST(Planner, HighZetaOpensFewerNodes) {
+  const auto instance = random_instance(53, 8, 4, 6, 0.9, 800);
+  PlannerOptions cheap;
+  cheap.zeta = 1;
+  cheap.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  PlannerOptions expensive;
+  expensive.zeta = 500;
+  expensive.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto plan_cheap = DeploymentPlanner(cheap).plan(instance);
+  const auto plan_expensive = DeploymentPlanner(expensive).plan(instance);
+  EXPECT_LE(plan_expensive.open_nodes.size(),
+            plan_cheap.open_nodes.size() + 1);
+}
+
+TEST(Planner, Phase2UsesReactiveClasses) {
+  const auto classes = DeploymentPlanner::default_phase2_classes();
+  ASSERT_EQ(classes.size(), 3u);
+  for (const auto& spec : classes)
+    EXPECT_TRUE(spec.reactive) << spec.name;
+}
+
+TEST(Planner, Phase2ReportsOnReducedSystem) {
+  const auto instance = random_instance(59, 8, 4, 6, 0.85, 800);
+  PlannerOptions options;
+  options.zeta = 50;
+  options.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto plan = DeploymentPlanner(options).plan(instance);
+  EXPECT_EQ(plan.reduced.node_count(), plan.open_nodes.size());
+  EXPECT_EQ(plan.selection.classes.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation-interval selection.
+
+TEST(EvaluationInterval, PeriodicHalvesMinimumPeriod) {
+  EXPECT_DOUBLE_EQ(interval_for_periodic(3600), 1800);
+  EXPECT_THROW(interval_for_periodic(0), InvalidArgument);
+}
+
+TEST(EvaluationInterval, PerAccessUsesGapAnalysis) {
+  std::vector<workload::Request> requests{
+      {.time_s = 0, .node = 0, .object = 0},
+      {.time_s = 4, .node = 0, .object = 0},
+      {.time_s = 10, .node = 0, .object = 0},
+  };
+  const workload::Trace trace(std::move(requests), 100, 2, 1);
+  BoolMatrix dist(2, 2);
+  dist(0, 0) = dist(1, 1) = 1;
+  const auto know = workload::know_local(2);
+  // Gaps {4, 6}: 2*4 >= 6, so Delta = m1/2 = 2.
+  EXPECT_DOUBLE_EQ(interval_for_per_access(trace, dist, know), 2);
+}
+
+TEST(EvaluationInterval, CountCoversDuration) {
+  std::vector<workload::Request> requests{
+      {.time_s = 0, .node = 0, .object = 0}};
+  const workload::Trace trace(std::move(requests), 100, 1, 1);
+  EXPECT_EQ(interval_count_for(trace, 10), 10u);
+  EXPECT_EQ(interval_count_for(trace, 33), 4u);
+  EXPECT_EQ(interval_count_for(trace, 1000), 1u);
+}
+
+}  // namespace
+}  // namespace wanplace::core

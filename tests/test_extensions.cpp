@@ -1,0 +1,227 @@
+// Coverage for the MC-PERF model extensions (Section 3.2): the
+// average-latency metric (7)-(10), the lateness penalty (11), the update
+// cost (12), and node-opening costs (13)-(14) — plus the case-study builder
+// and trace remapping used by the Figure 3 pipeline.
+#include <gtest/gtest.h>
+
+#include "bounds/engine.h"
+#include "core/case_study.h"
+#include "instance_helpers.h"
+#include "lp/simplex.h"
+#include "mcperf/builder.h"
+#include "sim/sweep.h"
+#include "util/check.h"
+
+namespace wanplace {
+namespace {
+
+using mcperf::AvgLatencyGoal;
+using mcperf::QosGoal;
+using test::line_instance;
+
+// ---------------------------------------------------------------------------
+// Average-latency metric.
+
+TEST(AvgLatency, TightGoalForcesNearbyReplica) {
+  // Line 0-1-2, origin 2 (200ms from node 0). Node 0 reads object 0 ten
+  // times. A 50ms average cannot be met from the origin alone; a local
+  // replica (10ms) is needed: cost 2 (store + create).
+  auto instance = line_instance(3, 1, 1, 0.9);
+  instance.demand.read(0, 0, 0) = 10;
+  instance.goal = AvgLatencyGoal{50};
+  const auto built = mcperf::build_lp(instance, mcperf::classes::general());
+  EXPECT_FALSE(built.routes.empty());
+  const auto sol = lp::solve_simplex(built.model);
+  ASSERT_EQ(sol.status, lp::SolveStatus::Optimal);
+  // LP relaxation: serve fraction f from the origin (200ms) and 1-f from a
+  // local replica (10ms); 200f + 10(1-f) <= 50 gives f = 40/190, and the
+  // fractional replica costs 2*(1 - 40/190).
+  EXPECT_NEAR(sol.objective, 2.0 * 150.0 / 190.0, 1e-6);
+}
+
+TEST(AvgLatency, LooseGoalNeedsNoReplicas) {
+  auto instance = line_instance(3, 1, 1, 0.9);
+  instance.demand.read(0, 0, 0) = 10;
+  instance.goal = AvgLatencyGoal{500};  // origin at 200ms is fine
+  const auto built = mcperf::build_lp(instance, mcperf::classes::general());
+  const auto sol = lp::solve_simplex(built.model);
+  ASSERT_EQ(sol.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 0, 1e-8);
+}
+
+TEST(AvgLatency, IntermediateGoalAllowsFractionalMix) {
+  // With demand at two nodes and a goal between the two extremes the LP
+  // optimum sits strictly between 0 and the full-replication cost.
+  auto instance = line_instance(3, 1, 1, 0.9);
+  instance.demand.read(0, 0, 0) = 10;
+  instance.demand.read(1, 0, 0) = 10;
+  instance.goal = AvgLatencyGoal{120};
+  const auto built = mcperf::build_lp(instance, mcperf::classes::general());
+  const auto sol = lp::solve_simplex(built.model);
+  ASSERT_EQ(sol.status, lp::SolveStatus::Optimal);
+  EXPECT_GT(sol.objective, 0);
+  EXPECT_LE(sol.objective, 4 + 1e-9);
+}
+
+TEST(AvgLatency, InfeasibleWhenBelowLocalLatency) {
+  auto instance = line_instance(3, 1, 1, 0.9);
+  instance.demand.read(0, 0, 0) = 10;
+  instance.goal = AvgLatencyGoal{5};  // below even the 10ms local access
+  const auto built = mcperf::build_lp(instance, mcperf::classes::general());
+  const auto sol = lp::solve_simplex(built.model);
+  EXPECT_EQ(sol.status, lp::SolveStatus::Infeasible);
+}
+
+// ---------------------------------------------------------------------------
+// Penalty term (gamma).
+
+TEST(Penalty, UncoveredAccessesCostGamma) {
+  // 4-node line, origin 3. Node 0's reads cannot be covered within Tlat by
+  // the origin; with a loose QoS goal and gamma > 0, serving them remotely
+  // costs gamma * reads * latency — unless a replica makes it cheaper.
+  auto instance = line_instance(4, 1, 1, 0.5);
+  instance.demand.read(0, 0, 0) = 1;  // one read only
+  instance.demand.read(2, 0, 0) = 1;  // adjacent to origin: covered free
+  instance.goal = QosGoal{0.5};
+  instance.costs.gamma = 0.001;  // mild: cheaper to pay than replicate
+  const auto built = mcperf::build_lp(instance, mcperf::classes::general());
+  const auto cheap = lp::solve_simplex(built.model);
+  ASSERT_EQ(cheap.status, lp::SolveStatus::Optimal);
+  // Node 0's per-user 50% QoS forces covered >= 0.5, i.e. a half replica
+  // (cost 1); the remaining half read routes to the origin at 300ms excess:
+  // penalty 0.001 * 1 * 300 * 0.5 = 0.15.
+  EXPECT_NEAR(cheap.objective, 1.15, 1e-6);
+
+  instance.costs.gamma = 1.0;  // harsh: replicating beats paying
+  const auto built2 = mcperf::build_lp(instance, mcperf::classes::general());
+  const auto harsh = lp::solve_simplex(built2.model);
+  ASSERT_EQ(harsh.status, lp::SolveStatus::Optimal);
+  EXPECT_NEAR(harsh.objective, 2, 1e-6);  // store + create near node 0
+}
+
+// ---------------------------------------------------------------------------
+// Update (write) cost.
+
+TEST(Writes, DeltaRaisesBound) {
+  auto instance = test::random_instance(5, 5, 3, 4, 0.9, 300);
+  for (std::size_t i = 0; i < 3; ++i)
+    instance.demand.write(1, i, 0) = 10;
+  bounds::BoundOptions options;
+  options.solver = bounds::BoundOptions::Solver::Simplex;
+
+  const auto base =
+      bounds::compute_bound(instance, mcperf::classes::general(), options);
+  instance.costs.delta = 0.5;
+  const auto with_writes =
+      bounds::compute_bound(instance, mcperf::classes::general(), options);
+  ASSERT_TRUE(base.achievable && with_writes.achievable);
+  EXPECT_GE(with_writes.lower_bound, base.lower_bound - 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Node-opening cost.
+
+TEST(Opening, ZetaRaisesBound) {
+  auto instance = test::random_instance(13, 5, 3, 4, 0.9, 300);
+  bounds::BoundOptions options;
+  options.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto base =
+      bounds::compute_bound(instance, mcperf::classes::general(), options);
+  instance.costs.zeta = 20;
+  const auto opened =
+      bounds::compute_bound(instance, mcperf::classes::general(), options);
+  ASSERT_TRUE(base.achievable && opened.achievable);
+  EXPECT_GT(opened.lower_bound, base.lower_bound);
+}
+
+// ---------------------------------------------------------------------------
+// Case study construction.
+
+TEST(CaseStudy, DimensionsAndDeterminism) {
+  const auto config = core::CaseStudyConfig::small();
+  const auto a = core::make_case_study(config);
+  const auto b = core::make_case_study(config);
+  EXPECT_EQ(a.topology.node_count(), config.node_count);
+  EXPECT_EQ(a.web_trace.read_count() + a.web_trace.write_count(),
+            config.web_requests);
+  EXPECT_EQ(a.group_trace.requests().size(), config.group_requests);
+  EXPECT_EQ(a.latencies, b.latencies);
+  EXPECT_EQ(a.web_trace.max_object_reads(), b.web_trace.max_object_reads());
+}
+
+TEST(CaseStudy, WebIsHeavyTailedGroupIsUniform) {
+  const auto study = core::make_case_study(core::CaseStudyConfig::small());
+  EXPECT_EQ(study.web_trace.min_object_reads(), 1u);
+  EXPECT_GT(study.web_trace.max_object_reads(),
+            100 * study.web_trace.min_object_reads());
+  const double group_ratio =
+      static_cast<double>(study.group_trace.max_object_reads()) /
+      static_cast<double>(study.group_trace.min_object_reads());
+  EXPECT_LT(group_ratio, 1.5);
+}
+
+TEST(CaseStudy, InstancesValidate) {
+  const auto study = core::make_case_study(core::CaseStudyConfig::small());
+  EXPECT_NO_THROW(study.web_instance(0.95).validate());
+  EXPECT_NO_THROW(study.group_instance(0.999).validate());
+  EXPECT_EQ(*study.web_instance(0.95).origin, study.origin);
+}
+
+TEST(CaseStudy, QosSweepMatchesPaper) {
+  const auto& sweep = core::qos_sweep();
+  ASSERT_EQ(sweep.size(), 5u);
+  EXPECT_DOUBLE_EQ(sweep.front(), 0.95);
+  EXPECT_DOUBLE_EQ(sweep.back(), 0.99999);
+}
+
+// ---------------------------------------------------------------------------
+// Trace remapping (Figure 3 pipeline).
+
+TEST(TraceRemap, MovesRequestsToAssignedNodes) {
+  std::vector<workload::Request> requests{
+      {.time_s = 1, .node = 0, .object = 0},
+      {.time_s = 2, .node = 1, .object = 0},
+      {.time_s = 3, .node = 2, .object = 0},
+  };
+  const workload::Trace trace(std::move(requests), 10, 3, 1);
+  const auto remapped = trace.remap_nodes({0, 0, 1}, 2);
+  EXPECT_EQ(remapped.node_count(), 2u);
+  EXPECT_EQ(remapped.requests()[0].node, 0);
+  EXPECT_EQ(remapped.requests()[1].node, 0);
+  EXPECT_EQ(remapped.requests()[2].node, 1);
+}
+
+TEST(TraceRemap, RejectsBadMapping) {
+  std::vector<workload::Request> requests{
+      {.time_s = 1, .node = 0, .object = 0}};
+  const workload::Trace trace(std::move(requests), 10, 1, 1);
+  EXPECT_THROW(trace.remap_nodes({5}, 2), InvalidArgument);
+  EXPECT_THROW(trace.remap_nodes({0, 0}, 2), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep candidate schedules.
+
+TEST(Candidates, ExhaustiveCoversRange) {
+  const auto c = sim::exhaustive_candidates(5);
+  ASSERT_EQ(c.size(), 6u);
+  EXPECT_EQ(c.front(), 0u);
+  EXPECT_EQ(c.back(), 5u);
+}
+
+TEST(Candidates, GeometricIsSortedEndsAtMax) {
+  const auto c = sim::geometric_candidates(240);
+  EXPECT_EQ(c.front(), 0u);
+  EXPECT_EQ(c.back(), 240u);
+  for (std::size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+  EXPECT_LT(c.size(), 30u);  // much sparser than exhaustive
+}
+
+TEST(Candidates, GeometricSmallMax) {
+  const auto c = sim::geometric_candidates(2);
+  EXPECT_EQ(c.front(), 0u);
+  EXPECT_EQ(c.back(), 2u);
+}
+
+}  // namespace
+}  // namespace wanplace

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "graph/shortest_paths.h"
+#include "heuristics/cache.h"
+#include "heuristics/interval.h"
+#include "util/check.h"
+
+namespace wanplace::heuristics {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  EXPECT_FALSE(cache.insert(1).has_value());
+  EXPECT_FALSE(cache.insert(2).has_value());
+  const auto evicted = cache.insert(3);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 1);
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(Lru, TouchRefreshesRecency) {
+  LruCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  cache.touch(1);  // now 2 is the LRU entry
+  const auto evicted = cache.insert(3);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 2);
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(Lru, ZeroCapacityNeverStores) {
+  LruCache cache(0);
+  EXPECT_FALSE(cache.insert(1).has_value());
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(Lru, RejectsBadOperations) {
+  LruCache cache(2);
+  cache.insert(1);
+  EXPECT_THROW(cache.insert(1), InvalidArgument);  // already resident
+  EXPECT_THROW(cache.touch(9), InvalidArgument);   // not resident
+}
+
+TEST(Lfu, EvictsLeastFrequent) {
+  LfuCache cache(2);
+  cache.insert(1);
+  cache.insert(2);
+  cache.touch(1);
+  cache.touch(1);
+  const auto evicted = cache.insert(3);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 2);
+}
+
+TEST(Lfu, FrequencyTieBreaksByRecency) {
+  LfuCache cache(2);
+  cache.insert(1);
+  cache.insert(2);  // equal frequency; 1 is older
+  const auto evicted = cache.insert(3);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 1);
+}
+
+TEST(Factories, ProduceRequestedCapacity) {
+  const auto lru = lru_factory()(5);
+  EXPECT_EQ(lru->capacity(), 5u);
+  const auto lfu = lfu_factory()(3);
+  EXPECT_EQ(lfu->capacity(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Interval heuristics. Topology: line of 4 nodes, node 3 = origin.
+
+struct Fixture {
+  BoolMatrix dist;
+  graph::NodeId origin = 3;
+
+  Fixture() {
+    const auto topology = graph::line(4, 100, 10);
+    const auto latencies = graph::all_pairs_latencies(topology);
+    dist = graph::within_threshold(latencies, 150);
+  }
+};
+
+TEST(GreedyGlobal, ReactiveColdStartPlacesNothing) {
+  Fixture fix;
+  workload::Demand demand(4, 3, 2);
+  demand.read(0, 0, 0) = 10;
+  GreedyGlobalPlacement greedy(fix.dist, fix.origin, {.capacity = 2});
+  bounds::Placement placement(4, 3, 2);
+  greedy.place_interval(0, demand, placement);
+  for (std::size_t n = 0; n < 4; ++n)
+    for (std::size_t k = 0; k < 2; ++k) EXPECT_FALSE(placement(n, 0, k));
+}
+
+TEST(GreedyGlobal, PlacesPopularObjectNearDemand) {
+  Fixture fix;
+  workload::Demand demand(4, 2, 2);
+  demand.read(0, 0, 0) = 10;  // node 0 wants object 0
+  GreedyGlobalPlacement greedy(fix.dist, fix.origin, {.capacity = 1});
+  bounds::Placement placement(4, 2, 2);
+  greedy.place_interval(0, demand, placement);
+  greedy.place_interval(1, demand, placement);
+  // Object 0 must be stored within reach of node 0 (nodes 0 or 1).
+  EXPECT_TRUE(placement(0, 1, 0) || placement(1, 1, 0));
+}
+
+TEST(GreedyGlobal, RespectsCapacity) {
+  Fixture fix;
+  workload::Demand demand(4, 2, 5);
+  for (std::size_t k = 0; k < 5; ++k) demand.read(0, 0, k) = 5;
+  GreedyGlobalPlacement greedy(fix.dist, fix.origin, {.capacity = 2});
+  bounds::Placement placement(4, 2, 5);
+  greedy.place_interval(0, demand, placement);
+  greedy.place_interval(1, demand, placement);
+  for (std::size_t n = 0; n < 4; ++n) {
+    std::size_t used = 0;
+    for (std::size_t k = 0; k < 5; ++k) used += placement(n, 1, k);
+    EXPECT_LE(used, 2u);
+  }
+}
+
+TEST(GreedyGlobal, StablePlacementAvoidsChurn) {
+  Fixture fix;
+  workload::Demand demand(4, 4, 2);
+  for (std::size_t i = 0; i < 4; ++i) demand.read(0, i, 0) = 10;
+  GreedyGlobalPlacement greedy(fix.dist, fix.origin, {.capacity = 1});
+  bounds::Placement placement(4, 4, 2);
+  for (std::size_t i = 0; i < 4; ++i) greedy.place_interval(i, demand, placement);
+  // After the first placement, the object should stay on the same node.
+  std::size_t creations = 0;
+  for (std::size_t n = 0; n < 4; ++n)
+    for (std::size_t i = 0; i < 4; ++i)
+      if (placement(n, i, 0) && (i == 0 || !placement(n, i - 1, 0)))
+        ++creations;
+  EXPECT_EQ(creations, 1u);
+}
+
+TEST(GreedyGlobal, DoesNotDuplicateOriginCoverage) {
+  Fixture fix;
+  workload::Demand demand(4, 2, 1);
+  demand.read(2, 0, 0) = 10;  // node 2 is adjacent to the origin
+  GreedyGlobalPlacement greedy(fix.dist, fix.origin, {.capacity = 1});
+  bounds::Placement placement(4, 2, 1);
+  greedy.place_interval(0, demand, placement);
+  greedy.place_interval(1, demand, placement);
+  // Node 2's demand is already covered by the origin: no replica needed.
+  for (std::size_t n = 0; n < 4; ++n) EXPECT_FALSE(placement(n, 1, 0));
+}
+
+TEST(GreedyGlobal, ProactiveCoversFirstInterval) {
+  Fixture fix;
+  workload::Demand demand(4, 2, 1);
+  demand.read(0, 0, 0) = 10;
+  GreedyGlobalPlacement proactive(
+      fix.dist, fix.origin, {.capacity = 1, .proactive = true});
+  bounds::Placement placement(4, 2, 1);
+  proactive.place_interval(0, demand, placement);
+  // Prefetching sees interval 0's demand and places before it happens.
+  EXPECT_TRUE(placement(0, 0, 0) || placement(1, 0, 0));
+}
+
+TEST(ReplicaGreedy, PlacesConfiguredReplicaCount) {
+  Fixture fix;
+  workload::Demand demand(4, 2, 1);
+  demand.read(0, 0, 0) = 5;
+  demand.read(1, 0, 0) = 5;
+  ReplicaGreedyPlacement greedy(fix.dist, fix.origin, {.replicas = 2});
+  bounds::Placement placement(4, 2, 1);
+  greedy.place_interval(0, demand, placement);
+  greedy.place_interval(1, demand, placement);
+  std::size_t replicas = 0;
+  for (std::size_t n = 0; n < 4; ++n) replicas += placement(n, 1, 0);
+  EXPECT_GE(replicas, 1u);
+  EXPECT_LE(replicas, 2u);
+}
+
+TEST(ReplicaGreedy, SkipsUnseenObjects) {
+  Fixture fix;
+  workload::Demand demand(4, 2, 2);
+  demand.read(0, 0, 0) = 5;  // object 1 never accessed
+  ReplicaGreedyPlacement greedy(fix.dist, fix.origin, {.replicas = 1});
+  bounds::Placement placement(4, 2, 2);
+  greedy.place_interval(0, demand, placement);
+  greedy.place_interval(1, demand, placement);
+  for (std::size_t n = 0; n < 4; ++n)
+    for (std::size_t i = 0; i < 2; ++i) EXPECT_FALSE(placement(n, i, 1));
+}
+
+TEST(ReplicaGreedy, CoversDistinctNeighborhoods) {
+  Fixture fix;
+  workload::Demand demand(4, 2, 1);
+  demand.read(0, 0, 0) = 5;  // far side of the line
+  ReplicaGreedyPlacement greedy(fix.dist, fix.origin, {.replicas = 1});
+  bounds::Placement placement(4, 2, 1);
+  greedy.place_interval(0, demand, placement);
+  greedy.place_interval(1, demand, placement);
+  EXPECT_TRUE(placement(0, 1, 0) || placement(1, 1, 0));
+}
+
+TEST(Random, ReactiveAndStable) {
+  Fixture fix;
+  workload::Demand demand(4, 3, 2);
+  demand.read(0, 0, 0) = 5;
+  RandomPlacement random(fix.origin, 1, 42);
+  bounds::Placement placement(4, 3, 2);
+  random.place_interval(0, demand, placement);
+  for (std::size_t n = 0; n < 4; ++n) EXPECT_FALSE(placement(n, 0, 0));
+  random.place_interval(1, demand, placement);
+  random.place_interval(2, demand, placement);
+  // Placed somewhere after being seen, and stays put.
+  std::size_t at1 = 0, at2 = 0;
+  for (std::size_t n = 0; n < 4; ++n) {
+    at1 += placement(n, 1, 0);
+    at2 += placement(n, 2, 0);
+  }
+  EXPECT_EQ(at1, 1u);
+  EXPECT_EQ(at2, 1u);
+  for (std::size_t n = 0; n < 4; ++n)
+    EXPECT_EQ(placement(n, 1, 0), placement(n, 2, 0));
+}
+
+}  // namespace
+}  // namespace wanplace::heuristics

@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/pdhg.h"
+#include "lp/scaling.h"
+#include "lp/simplex.h"
+#include "lp/sparse.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wanplace::lp {
+namespace {
+
+TEST(Sparse, MultiplyAndTranspose) {
+  // [1 2 0]
+  // [0 0 3]
+  SparseMatrix m(2, 3, {{0, 0, 1}, {0, 1, 2}, {1, 2, 3}});
+  EXPECT_EQ(m.nonzeros(), 3u);
+  std::vector<double> x{1, 10, 100}, out;
+  m.multiply(x, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 21);
+  EXPECT_DOUBLE_EQ(out[1], 300);
+
+  std::vector<double> y{2, 5}, outT;
+  m.multiply_transpose(y, outT);
+  ASSERT_EQ(outT.size(), 3u);
+  EXPECT_DOUBLE_EQ(outT[0], 2);
+  EXPECT_DOUBLE_EQ(outT[1], 4);
+  EXPECT_DOUBLE_EQ(outT[2], 15);
+}
+
+TEST(Sparse, DuplicatesSummedZerosDropped) {
+  SparseMatrix m(1, 2, {{0, 0, 1}, {0, 0, 2}, {0, 1, 5}, {0, 1, -5}});
+  EXPECT_EQ(m.nonzeros(), 1u);
+  std::vector<double> x{1, 1}, out;
+  m.multiply(x, out);
+  EXPECT_DOUBLE_EQ(out[0], 3);
+}
+
+TEST(Sparse, RowDotAndEntries) {
+  SparseMatrix m(2, 3, {{1, 0, 4}, {1, 2, -1}});
+  std::vector<double> x{2, 0, 3};
+  EXPECT_DOUBLE_EQ(m.row_dot(1, x), 5);
+  EXPECT_DOUBLE_EQ(m.row_dot(0, x), 0);
+  EXPECT_EQ(m.row_size(1), 2u);
+  EXPECT_EQ(m.row_entry(1, 0).col, 0u);
+  EXPECT_DOUBLE_EQ(m.row_entry(1, 1).value, -1);
+}
+
+TEST(Sparse, NormEstimates) {
+  SparseMatrix m(2, 2, {{0, 0, 3}, {1, 1, 4}});
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4);
+  EXPECT_DOUBLE_EQ(m.frobenius_norm_squared(), 25);
+  // Diagonal matrix: spectral norm is the max entry.
+  EXPECT_NEAR(m.spectral_norm_estimate(), 4, 1e-6);
+}
+
+TEST(Scaling, RuizEquilibratesRowsAndCols) {
+  std::vector<Triplet> triplets{
+      {0, 0, 1000}, {0, 1, 2000}, {1, 0, 0.001}, {1, 1, 0.004}};
+  const auto scaling = ruiz_scaling(2, 2, triplets, 20);
+  double row_max[2] = {0, 0}, col_max[2] = {0, 0};
+  for (const auto& t : triplets) {
+    const double v =
+        std::abs(t.value) * scaling.row_scale[t.row] * scaling.col_scale[t.col];
+    row_max[t.row] = std::max(row_max[t.row], v);
+    col_max[t.col] = std::max(col_max[t.col], v);
+  }
+  for (double v : row_max) EXPECT_NEAR(v, 1.0, 0.05);
+  for (double v : col_max) EXPECT_NEAR(v, 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Simplex on hand-checkable LPs.
+
+TEST(Simplex, SimpleTwoVariable) {
+  // min -x - 2y  s.t.  x + y <= 4, x <= 3, y <= 2  =>  x=2? check: maximize
+  // x + 2y over the region: y=2, x=2 -> objective -6.
+  LpModel model;
+  const auto x = model.add_variable(0, 3, -1, "x");
+  const auto y = model.add_variable(0, 2, -2, "y");
+  model.add_row(RowType::Le, 4, {x, y}, {1, 1});
+  const auto sol = solve_simplex(model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -6, 1e-8);
+  EXPECT_NEAR(sol.x[x], 2, 1e-8);
+  EXPECT_NEAR(sol.x[y], 2, 1e-8);
+}
+
+TEST(Simplex, GeRowsRequireCoverage) {
+  // min x + 3y  s.t. x + y >= 2, y >= 0.5
+  LpModel model;
+  const auto x = model.add_variable(0, kInfinity, 1, "x");
+  const auto y = model.add_variable(0, kInfinity, 3, "y");
+  model.add_row(RowType::Ge, 2, {x, y}, {1, 1});
+  model.add_row(RowType::Ge, 0.5, {y}, {1});
+  const auto sol = solve_simplex(model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 1.5 + 1.5, 1e-8);  // x=1.5, y=0.5
+}
+
+TEST(Simplex, EqualityRow) {
+  // min x + y  s.t. x + 2y = 3, x,y in [0, 10]
+  LpModel model;
+  const auto x = model.add_variable(0, 10, 1);
+  const auto y = model.add_variable(0, 10, 1);
+  model.add_row(RowType::Eq, 3, {x, y}, {1, 2});
+  const auto sol = solve_simplex(model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 1.5, 1e-8);  // all weight on y
+  EXPECT_NEAR(sol.x[y], 1.5, 1e-8);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x  s.t. x >= -5 (bound), x + y >= 0, y <= 2.
+  LpModel model;
+  const auto x = model.add_variable(-5, 5, 1);
+  const auto y = model.add_variable(0, 2, 0);
+  model.add_row(RowType::Ge, 0, {x, y}, {1, 1});
+  const auto sol = solve_simplex(model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -2, 1e-8);  // x=-2, y=2
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  LpModel model;
+  const auto x = model.add_variable(0, 1, 1);
+  model.add_row(RowType::Ge, 5, {x}, {1});  // x >= 5 impossible with x <= 1
+  const auto sol = solve_simplex(model);
+  EXPECT_EQ(sol.status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, ConflictingRowsInfeasible) {
+  LpModel model;
+  const auto x = model.add_variable(0, 10, 1);
+  const auto y = model.add_variable(0, 10, 1);
+  model.add_row(RowType::Ge, 8, {x, y}, {1, 1});
+  model.add_row(RowType::Le, 2, {x, y}, {1, 1});
+  const auto sol = solve_simplex(model);
+  EXPECT_EQ(sol.status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  LpModel model;
+  const auto x = model.add_variable(0, kInfinity, -1);
+  model.add_row(RowType::Ge, 0, {x}, {1});
+  const auto sol = solve_simplex(model);
+  EXPECT_EQ(sol.status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, FixedVariablesRespected) {
+  LpModel model;
+  const auto x = model.add_variable(0, 1, -10);
+  const auto y = model.add_variable(0, 1, 1);
+  model.fix_variable(x, 0.25);
+  model.add_row(RowType::Ge, 1, {x, y}, {1, 1});
+  const auto sol = solve_simplex(model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.x[x], 0.25, 1e-9);
+  EXPECT_NEAR(sol.x[y], 0.75, 1e-8);
+}
+
+TEST(Simplex, DualBoundMatchesObjectiveAtOptimum) {
+  LpModel model;
+  const auto x = model.add_variable(0, 3, 2);
+  const auto y = model.add_variable(0, 3, 5);
+  model.add_row(RowType::Ge, 4, {x, y}, {1, 1});
+  const auto sol = solve_simplex(model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 11, 1e-8);  // x=3, y=1
+  EXPECT_NEAR(sol.dual_bound, sol.objective, 1e-6);
+}
+
+TEST(Simplex, SetCoverRelaxationFractional) {
+  // Classic LP-relaxation of set cover: 3 elements, 3 sets each covering 2
+  // elements; LP optimum 1.5, IP optimum 2.
+  LpModel model;
+  std::vector<std::size_t> sets;
+  for (int s = 0; s < 3; ++s) sets.push_back(model.add_variable(0, 1, 1));
+  model.add_row(RowType::Ge, 1, {sets[0], sets[1]}, {1, 1});
+  model.add_row(RowType::Ge, 1, {sets[0], sets[2]}, {1, 1});
+  model.add_row(RowType::Ge, 1, {sets[1], sets[2]}, {1, 1});
+  const auto sol = solve_simplex(model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 1.5, 1e-8);
+}
+
+// ---------------------------------------------------------------------------
+// Certified dual bound.
+
+TEST(DualBound, ArbitraryDualsAreValidLowerBounds) {
+  LpModel model;
+  const auto x = model.add_variable(0, 3, 2);
+  const auto y = model.add_variable(0, 3, 5);
+  model.add_row(RowType::Ge, 4, {x, y}, {1, 1});
+  const auto opt = solve_simplex(model);
+  ASSERT_EQ(opt.status, SolveStatus::Optimal);
+
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> arbitrary{rng.uniform(-5, 5)};
+    const double bound = certified_dual_bound(model, arbitrary);
+    EXPECT_LE(bound, opt.objective + 1e-9);
+  }
+}
+
+TEST(DualBound, ClampsWrongSignDuals) {
+  LpModel model;
+  model.add_variable(0, 1, 1);
+  model.add_row(RowType::Le, 1, {0}, {1});
+  // Positive dual on a Le row would be invalid; must be clamped, yielding
+  // the trivial bound 0 (variables at lower bound).
+  const double bound = certified_dual_bound(model, {100.0});
+  EXPECT_DOUBLE_EQ(bound, 0);
+}
+
+TEST(DualBound, InfiniteBoxGivesMinusInfinity) {
+  LpModel model;
+  model.add_variable(-kInfinity, kInfinity, 1);
+  model.add_row(RowType::Ge, 0, {0}, {2});
+  // Dual 0 leaves reduced cost 1 on an unbounded-below variable.
+  EXPECT_EQ(certified_dual_bound(model, {0.0}), -kInfinity);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized cross-validation: simplex is the oracle, PDHG must agree.
+
+struct RandomLp {
+  LpModel model;
+};
+
+RandomLp random_feasible_lp(Rng& rng, std::size_t vars, std::size_t rows,
+                            bool with_equalities) {
+  RandomLp out;
+  std::vector<double> x0(vars);
+  for (std::size_t j = 0; j < vars; ++j) {
+    const double up = rng.uniform(0.5, 2.0);
+    out.model.add_variable(0, up, rng.uniform(-1, 1));
+    x0[j] = rng.uniform(0, up);
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<std::size_t> cols;
+    std::vector<double> coeffs;
+    double activity = 0;
+    for (std::size_t j = 0; j < vars; ++j) {
+      if (!rng.bernoulli(0.4)) continue;
+      const double a = rng.uniform(-2, 2);
+      cols.push_back(j);
+      coeffs.push_back(a);
+      activity += a * x0[j];
+    }
+    if (cols.empty()) continue;
+    const int kind = with_equalities ? static_cast<int>(rng.uniform_index(3))
+                                     : static_cast<int>(rng.uniform_index(2));
+    if (kind == 0)
+      out.model.add_row(RowType::Ge, activity - rng.uniform(0, 1), cols,
+                        coeffs);
+    else if (kind == 1)
+      out.model.add_row(RowType::Le, activity + rng.uniform(0, 1), cols,
+                        coeffs);
+    else
+      out.model.add_row(RowType::Eq, activity, cols, coeffs);
+  }
+  return out;
+}
+
+class RandomLpSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpSweep, SimplexOptimalAndSelfConsistent) {
+  Rng rng(1000 + GetParam());
+  auto lp = random_feasible_lp(rng, 12, 10, /*with_equalities=*/true);
+  const auto sol = solve_simplex(lp.model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal) << "seed " << GetParam();
+  EXPECT_LE(lp.model.max_violation(sol.x), 1e-6);
+  // Strong duality at optimum.
+  EXPECT_NEAR(sol.dual_bound, sol.objective,
+              1e-5 * (1 + std::abs(sol.objective)));
+}
+
+TEST_P(RandomLpSweep, PdhgBoundNeverExceedsOptimum) {
+  Rng rng(2000 + GetParam());
+  auto lp = random_feasible_lp(rng, 10, 8, /*with_equalities=*/true);
+  const auto exact = solve_simplex(lp.model);
+  ASSERT_EQ(exact.status, SolveStatus::Optimal);
+
+  PdhgOptions options;
+  options.max_iterations = 30000;
+  options.tolerance = 1e-6;
+  const auto approx = solve_pdhg(lp.model, options);
+  // The certificate may be loose but must never overstate.
+  EXPECT_LE(approx.dual_bound,
+            exact.objective + 1e-6 * (1 + std::abs(exact.objective)))
+      << "seed " << GetParam();
+}
+
+TEST_P(RandomLpSweep, PdhgConvergesToOptimum) {
+  Rng rng(3000 + GetParam());
+  auto lp = random_feasible_lp(rng, 8, 6, /*with_equalities=*/false);
+  const auto exact = solve_simplex(lp.model);
+  ASSERT_EQ(exact.status, SolveStatus::Optimal);
+
+  PdhgOptions options;
+  options.max_iterations = 120000;
+  options.tolerance = 1e-6;
+  const auto approx = solve_pdhg(lp.model, options);
+  const double scale = 1 + std::abs(exact.objective);
+  EXPECT_NEAR(approx.dual_bound, exact.objective, 2e-3 * scale)
+      << "seed " << GetParam();
+  EXPECT_NEAR(approx.objective, exact.objective, 2e-3 * scale)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpSweep, ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// PDHG-specific behaviour.
+
+TEST(Pdhg, SolvesBoxOnlyProblem) {
+  LpModel model;
+  model.add_variable(0, 2, -3);
+  model.add_variable(-1, 1, 4);
+  const auto sol = solve_pdhg(model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_DOUBLE_EQ(sol.objective, -6 - 4);
+  EXPECT_DOUBLE_EQ(sol.dual_bound, sol.objective);
+}
+
+TEST(Pdhg, DetectsInfeasibilityViaThreshold) {
+  LpModel model;
+  const auto x = model.add_variable(0, 1, 1);
+  model.add_row(RowType::Ge, 5, {x}, {1});
+  PdhgOptions options;
+  options.infeasibility_threshold = 10;  // any feasible point costs <= 1
+  options.max_iterations = 50000;
+  const auto sol = solve_pdhg(model, options);
+  EXPECT_EQ(sol.status, SolveStatus::Infeasible);
+}
+
+TEST(Pdhg, BadlyScaledProblemStillConverges) {
+  // Coefficients spread over 6 orders of magnitude — Ruiz scaling territory.
+  LpModel model;
+  const auto x = model.add_variable(0, 1, 1);
+  const auto y = model.add_variable(0, 1, 1000);
+  model.add_row(RowType::Ge, 500, {x, y}, {1000, 2000});
+  const auto exact = solve_simplex(model);
+  ASSERT_EQ(exact.status, SolveStatus::Optimal);
+  PdhgOptions options;
+  options.max_iterations = 100000;
+  options.tolerance = 1e-6;
+  const auto sol = solve_pdhg(model, options);
+  EXPECT_NEAR(sol.dual_bound, exact.objective,
+              1e-2 * (1 + std::abs(exact.objective)));
+}
+
+TEST(Pdhg, IterationLimitStillCertifies) {
+  LpModel model;
+  const auto x = model.add_variable(0, 3, 2);
+  const auto y = model.add_variable(0, 3, 5);
+  model.add_row(RowType::Ge, 4, {x, y}, {1, 1});
+  PdhgOptions options;
+  options.max_iterations = 50;  // far too few to converge
+  options.check_period = 10;
+  const auto sol = solve_pdhg(model, options);
+  // Bound is certified whatever the status says: optimum is 11.
+  EXPECT_LE(sol.dual_bound, 11 + 1e-9);
+}
+
+}  // namespace
+}  // namespace wanplace::lp

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "instance_helpers.h"
+#include "lp/simplex.h"
+#include "mcperf/achievability.h"
+#include "mcperf/builder.h"
+#include "mcperf/heuristic_class.h"
+#include "mcperf/instance.h"
+#include "util/check.h"
+
+namespace wanplace::mcperf {
+namespace {
+
+using test::line_instance;
+
+TEST(Instance, ValidateCatchesMismatches) {
+  auto instance = line_instance(3, 2, 2, 0.9);
+  instance.dist = BoolMatrix(2, 2);  // wrong size
+  EXPECT_THROW(instance.validate(), InvalidArgument);
+}
+
+TEST(Instance, ValidateCatchesBadGoal) {
+  auto instance = line_instance(3, 2, 2, 0.9);
+  instance.goal = QosGoal{0.0};
+  EXPECT_THROW(instance.validate(), InvalidArgument);
+  instance.goal = QosGoal{1.5};
+  EXPECT_THROW(instance.validate(), InvalidArgument);
+}
+
+TEST(Instance, MaxPossibleCostScalesWithDimensions) {
+  const auto small = line_instance(3, 2, 2, 0.9);
+  const auto large = line_instance(3, 4, 2, 0.9);
+  EXPECT_GT(large.max_possible_cost(), small.max_possible_cost());
+}
+
+// ---------------------------------------------------------------------------
+// Class presets (Table 3).
+
+TEST(Classes, PresetsMatchTable3) {
+  const auto caching = classes::caching();
+  EXPECT_TRUE(caching.storage.has_value());
+  EXPECT_FALSE(caching.replicas.has_value());
+  EXPECT_EQ(caching.routing, Routing::OriginOnly);
+  EXPECT_EQ(caching.knowledge, Knowledge::Local);
+  EXPECT_EQ(caching.history_intervals, 1u);
+  EXPECT_TRUE(caching.reactive);
+
+  const auto coop = classes::cooperative_caching();
+  EXPECT_EQ(coop.routing, Routing::Global);
+  EXPECT_EQ(coop.knowledge, Knowledge::Global);
+  EXPECT_TRUE(coop.reactive);
+
+  const auto prefetch = classes::caching_with_prefetching();
+  EXPECT_FALSE(prefetch.reactive);
+  EXPECT_EQ(prefetch.history_intervals, 1u);
+
+  const auto sc = classes::storage_constrained();
+  EXPECT_TRUE(sc.storage.has_value());
+  EXPECT_FALSE(sc.reactive);
+  EXPECT_EQ(sc.routing, Routing::Global);
+
+  const auto rc = classes::replica_constrained();
+  EXPECT_TRUE(rc.replicas.has_value());
+  EXPECT_EQ(*rc.replicas, ReplicaConstraint::PerSystem);
+
+  const auto general = classes::general();
+  EXPECT_FALSE(general.storage || general.replicas);
+  EXPECT_FALSE(general.restricts_creation());
+}
+
+TEST(Classes, CombinedStorageAndReplicaRejected) {
+  auto instance = line_instance(3, 2, 2, 0.9);
+  instance.demand.read(0, 0, 0) = 1;
+  ClassSpec both;
+  both.storage = StorageConstraint::PerSystem;
+  both.replicas = ReplicaConstraint::PerSystem;
+  EXPECT_THROW(build_lp(instance, both), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// create_allowed (constraints (20)/(20a)).
+
+TEST(CreateAllowed, GeneralClassUnrestricted) {
+  auto instance = line_instance(2, 3, 1, 0.9, /*with_origin=*/false);
+  const auto allowed = compute_create_allowed(instance, classes::general());
+  for (std::size_t n = 0; n < 2; ++n)
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(allowed(n, i, 0));
+}
+
+TEST(CreateAllowed, ReactiveShiftsByOneInterval) {
+  auto instance = line_instance(2, 3, 1, 0.9, /*with_origin=*/false);
+  instance.demand.read(0, 0, 0) = 1;
+  ClassSpec spec = classes::reactive();
+  const auto allowed = compute_create_allowed(instance, spec);
+  EXPECT_FALSE(allowed(0, 0, 0));  // nothing before interval 0
+  EXPECT_TRUE(allowed(0, 1, 0));   // accessed during interval 0
+  EXPECT_TRUE(allowed(0, 2, 0));   // unbounded history keeps it alive
+}
+
+TEST(CreateAllowed, CachingIsLocalReactiveSingleInterval) {
+  auto instance = line_instance(2, 4, 1, 0.9);
+  instance.demand.read(0, 0, 0) = 1;
+  instance.demand.read(1, 2, 0) = 1;
+  const auto allowed = compute_create_allowed(instance, classes::caching());
+  // Node 0 accessed during interval 0 -> may create during interval 1 only.
+  EXPECT_FALSE(allowed(0, 0, 0));
+  EXPECT_TRUE(allowed(0, 1, 0));
+  EXPECT_FALSE(allowed(0, 2, 0));
+  // Node 1's access at interval 2 does not help node 0 (local knowledge).
+  EXPECT_FALSE(allowed(0, 3, 0));
+  EXPECT_TRUE(allowed(1, 3, 0));
+}
+
+TEST(CreateAllowed, CooperativeCachingSharesKnowledge) {
+  auto instance = line_instance(2, 3, 1, 0.9);
+  instance.demand.read(0, 0, 0) = 1;
+  const auto allowed =
+      compute_create_allowed(instance, classes::cooperative_caching());
+  // Node 1 learns about node 0's access (global knowledge).
+  EXPECT_TRUE(allowed(1, 1, 0));
+  EXPECT_FALSE(allowed(1, 0, 0));
+}
+
+TEST(CreateAllowed, PrefetchingSeesCurrentInterval) {
+  auto instance = line_instance(2, 3, 1, 0.9);
+  instance.demand.read(0, 1, 0) = 1;
+  const auto allowed =
+      compute_create_allowed(instance, classes::caching_with_prefetching());
+  EXPECT_FALSE(allowed(0, 0, 0));
+  EXPECT_TRUE(allowed(0, 1, 0));  // proactive: current interval counts
+}
+
+// ---------------------------------------------------------------------------
+// Builder structure.
+
+TEST(Builder, OriginStoreFixedFree) {
+  auto instance = line_instance(3, 2, 2, 0.9);
+  instance.demand.read(0, 0, 0) = 5;
+  const auto built = build_lp(instance, classes::general());
+  const auto origin = static_cast<std::size_t>(*instance.origin);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t k = 0; k < 2; ++k) {
+      const auto var =
+          static_cast<std::size_t>(built.store(origin, i, k));
+      EXPECT_DOUBLE_EQ(built.model.lower(var), 1);
+      EXPECT_DOUBLE_EQ(built.model.upper(var), 1);
+      EXPECT_DOUBLE_EQ(built.model.objective(var), 0);
+    }
+}
+
+TEST(Builder, CoveredOnlyWhereDemand) {
+  auto instance = line_instance(3, 2, 2, 0.9);
+  instance.demand.read(0, 0, 0) = 5;
+  const auto built = build_lp(instance, classes::general());
+  EXPECT_GE(built.covered(0, 0, 0), 0);
+  EXPECT_EQ(built.covered(0, 1, 0), -1);
+  EXPECT_EQ(built.covered(1, 0, 0), -1);
+}
+
+TEST(Builder, CachingReachIsSelfAndOrigin) {
+  auto instance = line_instance(4, 2, 1, 0.9);  // origin = node 3
+  instance.demand.read(0, 0, 0) = 1;
+  const auto built = build_lp(instance, classes::caching());
+  // Node 0 reaches itself (local) — origin is 3 hops away (> Tlat).
+  EXPECT_EQ(built.reach[0].size(), 1u);
+  EXPECT_EQ(built.reach[0][0], 0u);
+  // Node 2 is adjacent to the origin: reaches itself and the origin.
+  EXPECT_EQ(built.reach[2].size(), 2u);
+}
+
+TEST(Builder, CooperativeReachIsAllNeighbors) {
+  auto instance = line_instance(4, 2, 1, 0.9);
+  instance.demand.read(1, 0, 0) = 1;
+  const auto built = build_lp(instance, classes::cooperative_caching());
+  // Node 1 reaches nodes 0,1,2 within 150ms.
+  EXPECT_EQ(built.reach[1].size(), 3u);
+}
+
+TEST(Builder, StorageClassAddsCapacityVariable) {
+  auto instance = line_instance(3, 2, 2, 0.9);
+  instance.demand.read(0, 0, 0) = 1;
+  const auto sc = build_lp(instance, classes::storage_constrained());
+  ASSERT_EQ(sc.capacity.size(), 1u);
+  EXPECT_TRUE(sc.replication.empty());
+
+  ClassSpec per_node;
+  per_node.storage = StorageConstraint::PerNode;
+  const auto scn = build_lp(instance, per_node);
+  EXPECT_EQ(scn.capacity.size(), 3u);
+}
+
+TEST(Builder, ReplicaClassAddsReplicationVariable) {
+  auto instance = line_instance(3, 2, 2, 0.9);
+  instance.demand.read(0, 0, 0) = 1;
+  const auto rc = build_lp(instance, classes::replica_constrained());
+  ASSERT_EQ(rc.replication.size(), 1u);
+  const auto rco =
+      build_lp(instance, classes::replica_constrained_per_object());
+  EXPECT_EQ(rco.replication.size(), 2u);
+}
+
+TEST(Builder, OpenVariablesOnlyWithZeta) {
+  auto instance = line_instance(3, 2, 1, 0.9);
+  instance.demand.read(0, 0, 0) = 1;
+  const auto no_open = build_lp(instance, classes::general());
+  EXPECT_TRUE(no_open.open.empty());
+
+  instance.costs.zeta = 100;
+  const auto with_open = build_lp(instance, classes::general());
+  ASSERT_EQ(with_open.open.size(), 3u);
+  EXPECT_EQ(with_open.open[static_cast<std::size_t>(*instance.origin)], -1);
+  EXPECT_GE(with_open.open[0], 0);
+}
+
+TEST(Builder, OriginOnlyRoutingRequiresOrigin) {
+  auto instance = line_instance(3, 2, 1, 0.9, /*with_origin=*/false);
+  instance.demand.read(0, 0, 0) = 1;
+  EXPECT_THROW(build_lp(instance, classes::caching()), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Achievability (the paper's "caching cannot exceed X%" effect).
+
+TEST(Achievability, GeneralClassCoversEverything) {
+  auto instance = line_instance(3, 3, 2, 0.999);
+  instance.demand.read(0, 0, 0) = 10;
+  instance.demand.read(1, 1, 1) = 5;
+  const auto result = max_achievable_qos(instance, classes::general());
+  EXPECT_DOUBLE_EQ(result.min_qos, 1.0);
+}
+
+TEST(Achievability, ReactiveCannotCoverColdStart) {
+  // Node 0 is 2+ hops from the origin; its interval-0 access of a
+  // never-before-seen object cannot be covered by any reactive heuristic.
+  auto instance = line_instance(4, 3, 1, 0.999);
+  instance.demand.read(0, 0, 0) = 1;  // cold access
+  instance.demand.read(0, 1, 0) = 9;  // later accesses are coverable
+  const auto result = max_achievable_qos(instance, classes::reactive());
+  EXPECT_NEAR(result.min_qos, 0.9, 1e-12);
+
+  // Proactive general class covers everything.
+  const auto proactive = max_achievable_qos(instance, classes::general());
+  EXPECT_DOUBLE_EQ(proactive.min_qos, 1.0);
+}
+
+TEST(Achievability, OriginNeighborhoodAlwaysCovered) {
+  auto instance = line_instance(4, 2, 1, 0.999);
+  instance.demand.read(2, 0, 0) = 7;  // node 2 is adjacent to origin (3)
+  const auto result = max_achievable_qos(instance, classes::caching());
+  EXPECT_DOUBLE_EQ(result.min_qos, 1.0);
+}
+
+TEST(Achievability, CachingWorseThanCooperative) {
+  // Node 1's object was accessed by node 0 earlier; cooperative caching can
+  // exploit that, local caching cannot.
+  auto instance = line_instance(4, 3, 1, 0.999);
+  instance.demand.read(0, 0, 0) = 1;
+  instance.demand.read(1, 1, 0) = 1;
+  const auto caching = max_achievable_qos(instance, classes::caching());
+  const auto coop =
+      max_achievable_qos(instance, classes::cooperative_caching());
+  EXPECT_GE(coop.min_qos, caching.min_qos);
+  EXPECT_LT(caching.max_qos[0], 1.0);  // node 0 cold start uncoverable
+}
+
+// ---------------------------------------------------------------------------
+// Appendix A: SET-COVER reduction sanity check via the LP relaxation.
+
+TEST(Reduction, SetCoverLpBoundAtMostIp) {
+  // Universe {a,b,c}; sets S0={a,b}, S1={b,c}, S2={c}. Optimal cover: {S0,
+  // S1} = 2. Build the MC-PERF instance per Appendix A: candidate nodes
+  // 0..2, element nodes 3..5, dist edges where the set covers the element.
+  mcperf::Instance instance;
+  const std::size_t nodes = 6;
+  instance.demand = workload::Demand(nodes, 1, 1);
+  instance.demand.read(3, 0, 0) = 1;  // element a
+  instance.demand.read(4, 0, 0) = 1;  // element b
+  instance.demand.read(5, 0, 0) = 1;  // element c
+  instance.dist = BoolMatrix(nodes, nodes);
+  auto cover = [&](std::size_t set, std::size_t element) {
+    instance.dist(element, set) = 1;
+    instance.dist(set, element) = 1;
+  };
+  cover(0, 3);
+  cover(0, 4);
+  cover(1, 4);
+  cover(1, 5);
+  cover(2, 5);
+  instance.goal = QosGoal{1.0};
+  instance.costs.alpha = 1;
+  instance.costs.beta = 0;
+
+  const auto built = build_lp(instance, classes::general());
+  const auto sol = lp::solve_simplex(built.model);
+  ASSERT_EQ(sol.status, lp::SolveStatus::Optimal);
+  EXPECT_LE(sol.objective, 2.0 + 1e-9);  // LP <= IP
+  EXPECT_GE(sol.objective, 1.0 - 1e-9);  // must open something
+}
+
+}  // namespace
+}  // namespace wanplace::mcperf

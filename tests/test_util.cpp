@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+#include "util/matrix.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace wanplace {
+namespace {
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(WANPLACE_REQUIRE(false, "boom"), InvalidArgument);
+  EXPECT_NO_THROW(WANPLACE_REQUIRE(true, "fine"));
+}
+
+TEST(Check, CheckThrowsInternalError) {
+  EXPECT_THROW(WANPLACE_CHECK(false, "boom"), InternalError);
+}
+
+TEST(Check, MessageContainsExpressionAndLocation) {
+  try {
+    WANPLACE_REQUIRE(1 == 2, "context");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("context"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_index(0), InvalidArgument);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights{1, 0, 3};
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(1);
+  std::vector<double> zeros{0, 0};
+  EXPECT_THROW(rng.weighted_index(zeros), InvalidArgument);
+  std::vector<double> negative{1, -1};
+  EXPECT_THROW(rng.weighted_index(negative), InvalidArgument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  Rng b(42);
+  b.split();
+  // The parent continues deterministically after a split.
+  EXPECT_EQ(a(), b());
+  // Child differs from parent stream.
+  Rng c(42);
+  c.split();
+  EXPECT_NE(child(), c());
+}
+
+TEST(Matrix, StoreAndRetrieve) {
+  DenseMatrix<int> m(2, 3, -1);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(1, 2), -1);
+  m.at(1, 2) = 7;
+  EXPECT_EQ(m.at(1, 2), 7);
+  EXPECT_EQ(m(1, 2), 7);
+}
+
+TEST(Matrix, BoundsChecked) {
+  DenseMatrix<int> m(2, 3);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(m.at(0, 3), InvalidArgument);
+}
+
+TEST(Matrix, Equality) {
+  DenseMatrix<int> a(2, 2, 1), b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b.at(0, 1) = 5;
+  EXPECT_NE(a, b);
+}
+
+TEST(Cube, StoreAndRetrieve) {
+  DenseCube<double> cube(2, 3, 4, 0.5);
+  EXPECT_EQ(cube.dim_x(), 2u);
+  EXPECT_EQ(cube.dim_y(), 3u);
+  EXPECT_EQ(cube.dim_z(), 4u);
+  EXPECT_DOUBLE_EQ(cube.at(1, 2, 3), 0.5);
+  cube.at(1, 2, 3) = 9;
+  EXPECT_DOUBLE_EQ(cube(1, 2, 3), 9);
+}
+
+TEST(Cube, BoundsChecked) {
+  DenseCube<int> cube(2, 2, 2);
+  EXPECT_THROW(cube.at(2, 0, 0), InvalidArgument);
+  EXPECT_THROW(cube.at(0, 2, 0), InvalidArgument);
+  EXPECT_THROW(cube.at(0, 0, 2), InvalidArgument);
+}
+
+TEST(Cube, DistinctIndicesDistinctSlots) {
+  DenseCube<int> cube(3, 4, 5);
+  int v = 0;
+  for (std::size_t x = 0; x < 3; ++x)
+    for (std::size_t y = 0; y < 4; ++y)
+      for (std::size_t z = 0; z < 5; ++z) cube(x, y, z) = v++;
+  v = 0;
+  for (std::size_t x = 0; x < 3; ++x)
+    for (std::size_t y = 0; y < 4; ++y)
+      for (std::size_t z = 0; z < 5; ++z) EXPECT_EQ(cube(x, y, z), v++);
+}
+
+TEST(Table, AsciiAlignment) {
+  Table t({"name", "cost"});
+  t.cell("caching").cell(12.5).finish_row();
+  t.cell("greedy").cell(std::int64_t{7}).finish_row();
+  const std::string ascii = t.to_ascii();
+  EXPECT_NE(ascii.find("caching"), std::string::npos);
+  EXPECT_NE(ascii.find("12.5"), std::string::npos);
+  EXPECT_NE(ascii.find("greedy"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"x"});
+  t.add_row({"hello, \"world\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"hello, \"\"world\"\"\""), std::string::npos);
+}
+
+TEST(Table, FormatNumberTrimsZeros) {
+  EXPECT_EQ(format_number(12.5000), "12.5");
+  EXPECT_EQ(format_number(3.0), "3");
+  EXPECT_EQ(format_number(0.25, 2), "0.25");
+  EXPECT_EQ(format_number(std::nan("")), "nan");
+}
+
+}  // namespace
+}  // namespace wanplace

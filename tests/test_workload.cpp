@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/analysis.h"
+#include "workload/demand.h"
+#include "workload/generators.h"
+#include "workload/history.h"
+#include "workload/trace.h"
+
+namespace wanplace::workload {
+namespace {
+
+Trace tiny_trace() {
+  std::vector<Request> reqs{
+      {.time_s = 10, .node = 0, .object = 0, .is_write = false},
+      {.time_s = 5, .node = 1, .object = 1, .is_write = false},
+      {.time_s = 90, .node = 0, .object = 1, .is_write = true},
+  };
+  return Trace(std::move(reqs), 100, 2, 2);
+}
+
+TEST(Trace, SortsByTime) {
+  const auto t = tiny_trace();
+  ASSERT_EQ(t.requests().size(), 3u);
+  EXPECT_DOUBLE_EQ(t.requests()[0].time_s, 5);
+  EXPECT_DOUBLE_EQ(t.requests()[2].time_s, 90);
+}
+
+TEST(Trace, CountsReadsAndWrites) {
+  const auto t = tiny_trace();
+  EXPECT_EQ(t.read_count(), 2u);
+  EXPECT_EQ(t.write_count(), 1u);
+}
+
+TEST(Trace, RejectsOutOfRange) {
+  std::vector<Request> bad_time{{.time_s = 100, .node = 0, .object = 0}};
+  EXPECT_THROW(Trace(bad_time, 100, 1, 1), InvalidArgument);
+  std::vector<Request> bad_node{{.time_s = 0, .node = 5, .object = 0}};
+  EXPECT_THROW(Trace(bad_node, 100, 1, 1), InvalidArgument);
+  std::vector<Request> bad_object{{.time_s = 0, .node = 0, .object = 9}};
+  EXPECT_THROW(Trace(bad_object, 100, 1, 1), InvalidArgument);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const auto t = tiny_trace();
+  std::stringstream buffer;
+  t.save(buffer);
+  const auto loaded = Trace::load(buffer);
+  EXPECT_EQ(loaded.node_count(), t.node_count());
+  EXPECT_EQ(loaded.object_count(), t.object_count());
+  ASSERT_EQ(loaded.requests().size(), t.requests().size());
+  for (std::size_t i = 0; i < t.requests().size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.requests()[i].time_s, t.requests()[i].time_s);
+    EXPECT_EQ(loaded.requests()[i].node, t.requests()[i].node);
+    EXPECT_EQ(loaded.requests()[i].object, t.requests()[i].object);
+    EXPECT_EQ(loaded.requests()[i].is_write, t.requests()[i].is_write);
+  }
+}
+
+TEST(Trace, LoadRejectsGarbage) {
+  std::stringstream buffer("not a trace at all");
+  EXPECT_THROW(Trace::load(buffer), Error);
+}
+
+TEST(Demand, AggregationBucketsCorrectly) {
+  const auto t = tiny_trace();
+  const auto d = aggregate(t, 10);  // 10s intervals
+  EXPECT_DOUBLE_EQ(d.read(0, 1, 0), 1);   // t=10 -> interval 1
+  EXPECT_DOUBLE_EQ(d.read(1, 0, 1), 1);   // t=5 -> interval 0
+  EXPECT_DOUBLE_EQ(d.write(0, 9, 1), 1);  // t=90 -> interval 9
+  EXPECT_DOUBLE_EQ(d.read(0, 9, 1), 0);
+}
+
+TEST(Demand, TotalsConsistent) {
+  Rng rng(42);
+  WebParams params;
+  params.shape.node_count = 5;
+  params.shape.object_count = 20;
+  params.shape.request_count = 1000;
+  const auto trace = generate_web(params, rng);
+  const auto demand = aggregate(trace, 12);
+  EXPECT_DOUBLE_EQ(demand.total_reads(), 1000);
+  double per_node = 0;
+  for (std::size_t n = 0; n < 5; ++n) per_node += demand.total_reads(n);
+  EXPECT_DOUBLE_EQ(per_node, 1000);
+  double per_object = 0;
+  for (std::size_t k = 0; k < 20; ++k) per_object += demand.object_reads(k);
+  EXPECT_DOUBLE_EQ(per_object, 1000);
+}
+
+TEST(Generators, WebEveryObjectAccessed) {
+  Rng rng(1);
+  WebParams params;
+  params.shape.node_count = 4;
+  params.shape.object_count = 50;
+  params.shape.request_count = 500;
+  const auto trace = generate_web(params, rng);
+  EXPECT_GE(trace.min_object_reads(), 1u);
+}
+
+TEST(Generators, WebIsHeavyTailed) {
+  Rng rng(2);
+  WebParams params;
+  params.shape.node_count = 4;
+  params.shape.object_count = 100;
+  params.shape.request_count = 10000;
+  params.zipf_s = 0.9;
+  const auto trace = generate_web(params, rng);
+  // Most popular object should dominate the least popular by a large factor.
+  EXPECT_GE(trace.max_object_reads(), 50 * trace.min_object_reads());
+}
+
+TEST(Generators, GroupIsRoughlyUniform) {
+  Rng rng(3);
+  GroupParams params;
+  params.shape.node_count = 4;
+  params.shape.object_count = 20;
+  params.shape.request_count = 20000;
+  const auto trace = generate_group(params, rng);
+  const double expected = 20000.0 / 20;
+  EXPECT_GE(trace.min_object_reads(), expected * 0.7);
+  EXPECT_LE(trace.max_object_reads(), expected * 1.3);
+}
+
+TEST(Generators, WritesFollowFraction) {
+  Rng rng(4);
+  GroupParams params;
+  params.shape.node_count = 3;
+  params.shape.object_count = 5;
+  params.shape.request_count = 10000;
+  params.shape.write_fraction = 0.2;
+  const auto trace = generate_group(params, rng);
+  EXPECT_NEAR(static_cast<double>(trace.write_count()) / 10000, 0.2, 0.03);
+}
+
+TEST(Generators, NodeWeightsSkewActivity) {
+  Rng rng(5);
+  WebParams params;
+  params.shape.node_count = 3;
+  params.shape.object_count = 10;
+  params.shape.request_count = 9000;
+  params.shape.node_weights = {8, 1, 1};
+  const auto trace = generate_web(params, rng);
+  const auto demand = aggregate(trace, 1);
+  EXPECT_GT(demand.total_reads(0), 3 * demand.total_reads(1));
+}
+
+TEST(Generators, ZipfWeightsDecreasing) {
+  const auto w = zipf_weights(10, 0.9);
+  for (std::size_t k = 1; k < w.size(); ++k) EXPECT_LT(w[k], w[k - 1]);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(Generators, DiurnalWeightsQuietAtEdgesPeakMidday) {
+  const auto weights = diurnal_interval_weights(24, 0.05);
+  ASSERT_EQ(weights.size(), 24u);
+  EXPECT_LT(weights.front(), weights[12]);
+  EXPECT_LT(weights.back(), weights[12]);
+  double total = 0;
+  for (double w : weights) total += w;
+  // The first interval carries a small share of traffic — this is what lets
+  // reactive classes reach high QoS despite the cold start.
+  EXPECT_LT(weights.front() / total, 0.02);
+}
+
+TEST(Generators, IntervalWeightsShapeArrivals) {
+  Rng rng(77);
+  GroupParams params;
+  params.shape.node_count = 3;
+  params.shape.object_count = 5;
+  params.shape.request_count = 20000;
+  params.shape.duration_s = 2400;
+  params.shape.interval_weights = {1, 0, 3};  // no arrivals in middle third
+  const auto trace = generate_group(params, rng);
+  const auto demand = aggregate(trace, 3);
+  double per_interval[3] = {0, 0, 0};
+  for (std::size_t n = 0; n < 3; ++n)
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t k = 0; k < 5; ++k)
+        per_interval[i] += demand.read(n, i, k);
+  EXPECT_DOUBLE_EQ(per_interval[1], 0);
+  EXPECT_NEAR(per_interval[2] / per_interval[0], 3.0, 0.2);
+}
+
+TEST(Generators, SkewedNodeWeightsDeterministic) {
+  Rng a(9), b(9);
+  EXPECT_EQ(skewed_node_weights(10, 0.8, a), skewed_node_weights(10, 0.8, b));
+}
+
+TEST(History, SingleIntervalWindow) {
+  Demand demand(1, 4, 1);
+  demand.read(0, 1, 0) = 5;
+  const auto hist = history(demand, 1);
+  EXPECT_FALSE(hist(0, 0, 0));
+  EXPECT_TRUE(hist(0, 1, 0));
+  EXPECT_FALSE(hist(0, 2, 0));  // window of 1: only the access interval
+  EXPECT_FALSE(hist(0, 3, 0));
+}
+
+TEST(History, WiderWindow) {
+  Demand demand(1, 5, 1);
+  demand.read(0, 1, 0) = 1;
+  const auto hist = history(demand, 3);
+  EXPECT_FALSE(hist(0, 0, 0));
+  EXPECT_TRUE(hist(0, 1, 0));
+  EXPECT_TRUE(hist(0, 2, 0));
+  EXPECT_TRUE(hist(0, 3, 0));
+  EXPECT_FALSE(hist(0, 4, 0));
+}
+
+TEST(History, UnboundedWindow) {
+  Demand demand(1, 5, 1);
+  demand.read(0, 1, 0) = 1;
+  const auto hist = history(demand, 0);
+  EXPECT_FALSE(hist(0, 0, 0));
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_TRUE(hist(0, i, 0));
+}
+
+TEST(History, RenewedAccessExtendsWindow) {
+  Demand demand(1, 6, 1);
+  demand.read(0, 0, 0) = 1;
+  demand.read(0, 3, 0) = 1;
+  const auto hist = history(demand, 2);
+  EXPECT_TRUE(hist(0, 0, 0));
+  EXPECT_TRUE(hist(0, 1, 0));
+  EXPECT_FALSE(hist(0, 2, 0));
+  EXPECT_TRUE(hist(0, 3, 0));
+  EXPECT_TRUE(hist(0, 4, 0));
+  EXPECT_FALSE(hist(0, 5, 0));
+}
+
+TEST(History, KnowledgeHistoryUnionsSpheres) {
+  Demand demand(2, 2, 1);
+  demand.read(1, 0, 0) = 1;  // only node 1 accesses the object
+  const auto hist = history(demand, 0);
+
+  const auto local = knowledge_history(hist, know_local(2));
+  EXPECT_FALSE(local(0, 0, 0));  // node 0 never saw it
+  EXPECT_TRUE(local(1, 0, 0));
+
+  const auto global = knowledge_history(hist, know_global(2));
+  EXPECT_TRUE(global(0, 0, 0));  // global knowledge sees node 1's access
+  EXPECT_TRUE(global(1, 0, 0));
+}
+
+TEST(Analysis, GapAnalysisFindsMinimumGaps) {
+  std::vector<Request> reqs{
+      {.time_s = 0, .node = 0, .object = 0},
+      {.time_s = 10, .node = 0, .object = 0},
+      {.time_s = 13, .node = 0, .object = 0},
+      {.time_s = 40, .node = 1, .object = 0},
+  };
+  const Trace trace(std::move(reqs), 100, 2, 1);
+  BoolMatrix local(2, 2);
+  local(0, 0) = local(1, 1) = 1;
+  const auto gaps = access_gaps(trace, local);
+  EXPECT_DOUBLE_EQ(gaps.m1_s, 3);
+  EXPECT_DOUBLE_EQ(gaps.m2_s, 10);
+}
+
+TEST(Analysis, InteractionWidensSphere) {
+  std::vector<Request> reqs{
+      {.time_s = 0, .node = 0, .object = 0},
+      {.time_s = 1, .node = 1, .object = 0},
+  };
+  const Trace trace(std::move(reqs), 10, 2, 1);
+  BoolMatrix local(2, 2);
+  local(0, 0) = local(1, 1) = 1;
+  const auto isolated = access_gaps(trace, local);
+  EXPECT_TRUE(std::isinf(isolated.m1_s));  // one access per node
+
+  BoolMatrix joint(2, 2);
+  joint.fill(1);
+  const auto combined = access_gaps(trace, joint);
+  EXPECT_DOUBLE_EQ(combined.m1_s, 1);
+}
+
+TEST(Analysis, PerAccessIntervalTheorem3) {
+  // 2*m1 >= m2: use m1/2.
+  GapAnalysis close{.m1_s = 4, .m2_s = 6};
+  EXPECT_DOUBLE_EQ(per_access_evaluation_interval(close), 2);
+  // 2*m1 < m2: m1 suffices.
+  GapAnalysis sparse{.m1_s = 4, .m2_s = 10};
+  EXPECT_DOUBLE_EQ(per_access_evaluation_interval(sparse), 4);
+}
+
+TEST(Analysis, BoundAppliesTheorem2) {
+  EXPECT_TRUE(bound_applies(1.0, 1.0));   // same interval
+  EXPECT_TRUE(bound_applies(1.0, 2.0));   // 2x
+  EXPECT_TRUE(bound_applies(1.0, 5.0));   // beyond 2x
+  EXPECT_FALSE(bound_applies(1.0, 1.5));  // in (Delta, 2*Delta)
+  EXPECT_FALSE(bound_applies(2.0, 1.0));  // smaller interval
+}
+
+}  // namespace
+}  // namespace wanplace::workload

@@ -1,0 +1,243 @@
+// wanplace_cli — run the paper's methodology on files from your system.
+//
+//   wanplace_cli gen-example --out DIR
+//       Write a sample topology + trace pair to experiment with.
+//
+//   wanplace_cli select --topology T --trace R [options]
+//       Section 6.1: class lower bounds + heuristic recommendation.
+//
+//   wanplace_cli plan --topology T --trace R [--zeta 10000] [options]
+//       Section 6.2: pick deployment sites, then the heuristic.
+//
+//   wanplace_cli bound --class NAME --topology T --trace R [options]
+//       Lower bound for one heuristic class.
+//
+// Common options:
+//   --tqos 0.99        QoS target (fraction of reads within the threshold)
+//   --tlat 150         latency threshold in ms
+//   --intervals 24     evaluation intervals over the trace horizon
+//   --origin 0         node id of the origin/headquarters
+//   --scope per-user | overall | per-object | per-user-object
+//   --time-limit 10    seconds per LP solve
+#include <filesystem>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/planner.h"
+#include "core/selector.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/reachability.h"
+#include "graph/shortest_paths.h"
+#include "mcperf/builder.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace wanplace;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback
+                               : static_cast<std::size_t>(
+                                     std::stoul(it->second));
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0)
+      throw Error("expected --flag, got '" + flag + "'");
+    flag.erase(0, 2);
+    if (i + 1 >= argc) throw Error("missing value for --" + flag);
+    args.options[flag] = argv[++i];
+  }
+  return args;
+}
+
+mcperf::QosScope parse_scope(const std::string& name) {
+  if (name == "per-user") return mcperf::QosScope::PerUser;
+  if (name == "overall") return mcperf::QosScope::Overall;
+  if (name == "per-object") return mcperf::QosScope::PerObject;
+  if (name == "per-user-object") return mcperf::QosScope::PerUserPerObject;
+  throw Error("unknown scope '" + name + "'");
+}
+
+mcperf::ClassSpec parse_class(const std::string& name) {
+  for (const auto& spec :
+       {mcperf::classes::general(), mcperf::classes::storage_constrained(),
+        mcperf::classes::replica_constrained(),
+        mcperf::classes::replica_constrained_per_object(),
+        mcperf::classes::decentralized_local_routing(),
+        mcperf::classes::caching(), mcperf::classes::cooperative_caching(),
+        mcperf::classes::neighborhood_caching(),
+        mcperf::classes::caching_with_prefetching(),
+        mcperf::classes::cooperative_caching_with_prefetching(),
+        mcperf::classes::reactive()}) {
+    if (spec.name == name) return spec;
+  }
+  throw Error("unknown class '" + name + "' (try: general, "
+              "storage-constrained, replica-constrained, caching, "
+              "coop-caching, ...)");
+}
+
+struct Loaded {
+  graph::Topology topology;
+  graph::LatencyMatrix latencies;
+  mcperf::Instance instance;
+};
+
+Loaded load(const Args& args) {
+  const std::string topology_path = args.get("topology", "");
+  const std::string trace_path = args.get("trace", "");
+  WANPLACE_REQUIRE(!topology_path.empty() && !trace_path.empty(),
+                   "--topology and --trace are required");
+  Loaded loaded{graph::load_topology_file(topology_path), {}, {}};
+  loaded.latencies = graph::all_pairs_latencies(loaded.topology);
+
+  const auto trace = workload::Trace::load_file(trace_path);
+  WANPLACE_REQUIRE(trace.node_count() == loaded.topology.node_count(),
+                   "trace and topology node counts differ");
+
+  const double tlat = args.get_double("tlat", 150);
+  const auto intervals = args.get_size("intervals", 24);
+  loaded.instance.demand = workload::aggregate(trace, intervals);
+  loaded.instance.dist = graph::within_threshold(loaded.latencies, tlat);
+  loaded.instance.latencies = loaded.latencies;
+  loaded.instance.goal = mcperf::QosGoal{
+      args.get_double("tqos", 0.99),
+      parse_scope(args.get("scope", "per-user"))};
+  loaded.instance.origin =
+      static_cast<graph::NodeId>(args.get_size("origin", 0));
+  return loaded;
+}
+
+bounds::BoundOptions bound_options(const Args& args) {
+  bounds::BoundOptions options;
+  options.pdhg.time_limit_s = args.get_double("time-limit", 10);
+  return options;
+}
+
+int cmd_gen_example(const Args& args) {
+  const std::string out = args.get("out", "wanplace-example");
+  std::filesystem::create_directories(out);
+
+  Rng rng(args.get_size("seed", 42));
+  graph::AsLikeParams params;
+  params.node_count = args.get_size("nodes", 12);
+  const auto topology = graph::as_like(params, rng);
+  graph::save_topology_file(topology, out + "/topology.txt");
+
+  workload::WebParams web;
+  web.shape.node_count = params.node_count;
+  web.shape.object_count = args.get_size("objects", 60);
+  web.shape.request_count = args.get_size("requests", 20'000);
+  web.shape.interval_weights = workload::diurnal_interval_weights(24);
+  const auto trace = workload::generate_web(web, rng);
+  trace.save_file(out + "/trace.txt");
+
+  std::cout << "wrote " << out << "/topology.txt ("
+            << topology.summary() << ")\n"
+            << "wrote " << out << "/trace.txt (" << trace.read_count()
+            << " reads over " << web.shape.object_count << " objects)\n"
+            << "try: wanplace_cli select --topology " << out
+            << "/topology.txt --trace " << out << "/trace.txt\n";
+  return 0;
+}
+
+int cmd_select(const Args& args) {
+  const auto loaded = load(args);
+  core::SelectorOptions options;
+  options.bounds = bound_options(args);
+  const auto report =
+      core::HeuristicSelector(options).select(loaded.instance);
+  std::cout << report.to_table().to_ascii() << "\n";
+  if (report.has_recommendation()) {
+    std::cout << "recommended class: "
+              << report.recommended_bound().class_name << "\n"
+              << "suggested heuristic: " << report.suggestion << "\n"
+              << "bound vs general floor: "
+              << format_number(report.optimality_ratio, 3) << "x\n";
+  } else {
+    std::cout << "no candidate class can meet this goal.\n";
+  }
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  const auto loaded = load(args);
+  core::PlannerOptions options;
+  options.zeta = args.get_double("zeta", 10'000);
+  options.bounds = bound_options(args);
+  const auto plan = core::DeploymentPlanner(options).plan(loaded.instance);
+  std::cout << "deploy " << plan.open_nodes.size() << " nodes:";
+  for (const auto node : plan.open_nodes) std::cout << ' ' << node;
+  std::cout << "\nassignment:";
+  for (std::size_t n = 0; n < plan.assignment.size(); ++n)
+    std::cout << ' ' << n << "->" << plan.assignment[n];
+  std::cout << "\n\n" << plan.selection.to_table().to_ascii() << "\n";
+  if (plan.selection.has_recommendation())
+    std::cout << "suggested heuristic: " << plan.selection.suggestion
+              << "\n";
+  return 0;
+}
+
+int cmd_bound(const Args& args) {
+  const auto loaded = load(args);
+  const auto spec = parse_class(args.get("class", "general"));
+  const auto bound =
+      bounds::compute_bound(loaded.instance, spec, bound_options(args));
+  std::cout << "class " << spec.name << ": ";
+  if (!bound.achievable) {
+    std::cout << "cannot meet the goal (max achievable QoS "
+              << format_number(bound.max_achievable_qos * 100, 4) << "%)\n";
+    return 0;
+  }
+  std::cout << "lower bound " << format_number(bound.lower_bound, 1);
+  if (bound.rounded_feasible)
+    std::cout << ", feasible placement at "
+              << format_number(bound.rounded_cost, 1) << " (gap "
+              << format_number(bound.gap * 100, 1) << "%)";
+  std::cout << " [" << bound.lp_rows << " rows, "
+            << format_number(bound.solve_seconds, 1) << "s]\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse(argc, argv);
+    if (args.command == "gen-example") return cmd_gen_example(args);
+    if (args.command == "select") return cmd_select(args);
+    if (args.command == "plan") return cmd_plan(args);
+    if (args.command == "bound") return cmd_bound(args);
+    std::cerr << "usage: wanplace_cli <gen-example|select|plan|bound> "
+                 "[--flag value ...]\n(see the header of tools/"
+                 "wanplace_cli.cpp for details)\n";
+    return args.command.empty() ? 1 : 2;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}
