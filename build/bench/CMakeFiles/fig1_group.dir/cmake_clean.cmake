@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_group.dir/fig1_group.cpp.o"
+  "CMakeFiles/fig1_group.dir/fig1_group.cpp.o.d"
+  "fig1_group"
+  "fig1_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_web.dir/fig1_web.cpp.o"
+  "CMakeFiles/fig1_web.dir/fig1_web.cpp.o.d"
+  "fig1_web"
+  "fig1_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_group.dir/fig2_group.cpp.o"
+  "CMakeFiles/fig2_group.dir/fig2_group.cpp.o.d"
+  "fig2_group"
+  "fig2_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

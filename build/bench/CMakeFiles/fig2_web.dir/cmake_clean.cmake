@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_web.dir/fig2_web.cpp.o"
+  "CMakeFiles/fig2_web.dir/fig2_web.cpp.o.d"
+  "fig2_web"
+  "fig2_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

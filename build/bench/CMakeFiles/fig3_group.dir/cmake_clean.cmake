@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_group.dir/fig3_group.cpp.o"
+  "CMakeFiles/fig3_group.dir/fig3_group.cpp.o.d"
+  "fig3_group"
+  "fig3_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

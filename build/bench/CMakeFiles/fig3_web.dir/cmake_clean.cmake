@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_web.dir/fig3_web.cpp.o"
+  "CMakeFiles/fig3_web.dir/fig3_web.cpp.o.d"
+  "fig3_web"
+  "fig3_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_ablation.dir/interval_ablation.cpp.o"
+  "CMakeFiles/interval_ablation.dir/interval_ablation.cpp.o.d"
+  "interval_ablation"
+  "interval_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lp_solvers.dir/lp_solvers.cpp.o"
+  "CMakeFiles/lp_solvers.dir/lp_solvers.cpp.o.d"
+  "lp_solvers"
+  "lp_solvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lp_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rounding_ablation.dir/rounding_ablation.cpp.o"
+  "CMakeFiles/rounding_ablation.dir/rounding_ablation.cpp.o.d"
+  "rounding_ablation"
+  "rounding_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rounding_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/scaling.cpp" "bench/CMakeFiles/scaling.dir/scaling.cpp.o" "gcc" "bench/CMakeFiles/scaling.dir/scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/wanplace_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wanplace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wanplace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/wanplace_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/wanplace_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcperf/CMakeFiles/wanplace_mcperf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/wanplace_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wanplace_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wanplace_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wanplace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

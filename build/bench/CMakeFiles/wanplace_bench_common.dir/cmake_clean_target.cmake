@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libwanplace_bench_common.a"
+)

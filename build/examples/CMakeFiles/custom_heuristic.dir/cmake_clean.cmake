@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_heuristic.dir/custom_heuristic.cpp.o"
+  "CMakeFiles/custom_heuristic.dir/custom_heuristic.cpp.o.d"
+  "custom_heuristic"
+  "custom_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_planning.dir/deployment_planning.cpp.o"
+  "CMakeFiles/deployment_planning.dir/deployment_planning.cpp.o.d"
+  "deployment_planning"
+  "deployment_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

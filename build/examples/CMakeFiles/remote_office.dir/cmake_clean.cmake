@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_office.dir/remote_office.cpp.o"
+  "CMakeFiles/remote_office.dir/remote_office.cpp.o.d"
+  "remote_office"
+  "remote_office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

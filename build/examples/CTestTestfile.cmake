@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "recommended class|no candidate class" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_deployment_planning "/root/repo/build/examples/deployment_planning")
+set_tests_properties(example_deployment_planning PROPERTIES  PASS_REGULAR_EXPRESSION "phase 1: deploy file servers" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_heuristic "/root/repo/build/examples/custom_heuristic")
+set_tests_properties(example_custom_heuristic PROPERTIES  PASS_REGULAR_EXPRESSION "class bound|cannot meet" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/branch_and_bound.cpp" "src/bounds/CMakeFiles/wanplace_bounds.dir/branch_and_bound.cpp.o" "gcc" "src/bounds/CMakeFiles/wanplace_bounds.dir/branch_and_bound.cpp.o.d"
+  "/root/repo/src/bounds/engine.cpp" "src/bounds/CMakeFiles/wanplace_bounds.dir/engine.cpp.o" "gcc" "src/bounds/CMakeFiles/wanplace_bounds.dir/engine.cpp.o.d"
+  "/root/repo/src/bounds/exact.cpp" "src/bounds/CMakeFiles/wanplace_bounds.dir/exact.cpp.o" "gcc" "src/bounds/CMakeFiles/wanplace_bounds.dir/exact.cpp.o.d"
+  "/root/repo/src/bounds/feasible.cpp" "src/bounds/CMakeFiles/wanplace_bounds.dir/feasible.cpp.o" "gcc" "src/bounds/CMakeFiles/wanplace_bounds.dir/feasible.cpp.o.d"
+  "/root/repo/src/bounds/rounding.cpp" "src/bounds/CMakeFiles/wanplace_bounds.dir/rounding.cpp.o" "gcc" "src/bounds/CMakeFiles/wanplace_bounds.dir/rounding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcperf/CMakeFiles/wanplace_mcperf.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/wanplace_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wanplace_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wanplace_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wanplace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

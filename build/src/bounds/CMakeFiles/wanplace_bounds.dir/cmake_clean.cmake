@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanplace_bounds.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/wanplace_bounds.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/wanplace_bounds.dir/engine.cpp.o"
+  "CMakeFiles/wanplace_bounds.dir/engine.cpp.o.d"
+  "CMakeFiles/wanplace_bounds.dir/exact.cpp.o"
+  "CMakeFiles/wanplace_bounds.dir/exact.cpp.o.d"
+  "CMakeFiles/wanplace_bounds.dir/feasible.cpp.o"
+  "CMakeFiles/wanplace_bounds.dir/feasible.cpp.o.d"
+  "CMakeFiles/wanplace_bounds.dir/rounding.cpp.o"
+  "CMakeFiles/wanplace_bounds.dir/rounding.cpp.o.d"
+  "libwanplace_bounds.a"
+  "libwanplace_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanplace_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanplace_core.dir/case_study.cpp.o"
+  "CMakeFiles/wanplace_core.dir/case_study.cpp.o.d"
+  "CMakeFiles/wanplace_core.dir/evaluation_interval.cpp.o"
+  "CMakeFiles/wanplace_core.dir/evaluation_interval.cpp.o.d"
+  "CMakeFiles/wanplace_core.dir/planner.cpp.o"
+  "CMakeFiles/wanplace_core.dir/planner.cpp.o.d"
+  "CMakeFiles/wanplace_core.dir/selector.cpp.o"
+  "CMakeFiles/wanplace_core.dir/selector.cpp.o.d"
+  "libwanplace_core.a"
+  "libwanplace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanplace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

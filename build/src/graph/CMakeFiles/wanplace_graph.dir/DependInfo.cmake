@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/wanplace_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/wanplace_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/wanplace_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/wanplace_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/reachability.cpp" "src/graph/CMakeFiles/wanplace_graph.dir/reachability.cpp.o" "gcc" "src/graph/CMakeFiles/wanplace_graph.dir/reachability.cpp.o.d"
+  "/root/repo/src/graph/shortest_paths.cpp" "src/graph/CMakeFiles/wanplace_graph.dir/shortest_paths.cpp.o" "gcc" "src/graph/CMakeFiles/wanplace_graph.dir/shortest_paths.cpp.o.d"
+  "/root/repo/src/graph/topology.cpp" "src/graph/CMakeFiles/wanplace_graph.dir/topology.cpp.o" "gcc" "src/graph/CMakeFiles/wanplace_graph.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wanplace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

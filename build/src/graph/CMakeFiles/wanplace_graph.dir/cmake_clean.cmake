@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanplace_graph.dir/generators.cpp.o"
+  "CMakeFiles/wanplace_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/wanplace_graph.dir/io.cpp.o"
+  "CMakeFiles/wanplace_graph.dir/io.cpp.o.d"
+  "CMakeFiles/wanplace_graph.dir/reachability.cpp.o"
+  "CMakeFiles/wanplace_graph.dir/reachability.cpp.o.d"
+  "CMakeFiles/wanplace_graph.dir/shortest_paths.cpp.o"
+  "CMakeFiles/wanplace_graph.dir/shortest_paths.cpp.o.d"
+  "CMakeFiles/wanplace_graph.dir/topology.cpp.o"
+  "CMakeFiles/wanplace_graph.dir/topology.cpp.o.d"
+  "libwanplace_graph.a"
+  "libwanplace_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanplace_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanplace_heuristics.dir/cache.cpp.o"
+  "CMakeFiles/wanplace_heuristics.dir/cache.cpp.o.d"
+  "CMakeFiles/wanplace_heuristics.dir/interval.cpp.o"
+  "CMakeFiles/wanplace_heuristics.dir/interval.cpp.o.d"
+  "libwanplace_heuristics.a"
+  "libwanplace_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanplace_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanplace_lp.dir/model.cpp.o"
+  "CMakeFiles/wanplace_lp.dir/model.cpp.o.d"
+  "CMakeFiles/wanplace_lp.dir/pdhg.cpp.o"
+  "CMakeFiles/wanplace_lp.dir/pdhg.cpp.o.d"
+  "CMakeFiles/wanplace_lp.dir/scaling.cpp.o"
+  "CMakeFiles/wanplace_lp.dir/scaling.cpp.o.d"
+  "CMakeFiles/wanplace_lp.dir/simplex.cpp.o"
+  "CMakeFiles/wanplace_lp.dir/simplex.cpp.o.d"
+  "CMakeFiles/wanplace_lp.dir/sparse.cpp.o"
+  "CMakeFiles/wanplace_lp.dir/sparse.cpp.o.d"
+  "libwanplace_lp.a"
+  "libwanplace_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanplace_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcperf/achievability.cpp" "src/mcperf/CMakeFiles/wanplace_mcperf.dir/achievability.cpp.o" "gcc" "src/mcperf/CMakeFiles/wanplace_mcperf.dir/achievability.cpp.o.d"
+  "/root/repo/src/mcperf/builder.cpp" "src/mcperf/CMakeFiles/wanplace_mcperf.dir/builder.cpp.o" "gcc" "src/mcperf/CMakeFiles/wanplace_mcperf.dir/builder.cpp.o.d"
+  "/root/repo/src/mcperf/heuristic_class.cpp" "src/mcperf/CMakeFiles/wanplace_mcperf.dir/heuristic_class.cpp.o" "gcc" "src/mcperf/CMakeFiles/wanplace_mcperf.dir/heuristic_class.cpp.o.d"
+  "/root/repo/src/mcperf/instance.cpp" "src/mcperf/CMakeFiles/wanplace_mcperf.dir/instance.cpp.o" "gcc" "src/mcperf/CMakeFiles/wanplace_mcperf.dir/instance.cpp.o.d"
+  "/root/repo/src/mcperf/reduction.cpp" "src/mcperf/CMakeFiles/wanplace_mcperf.dir/reduction.cpp.o" "gcc" "src/mcperf/CMakeFiles/wanplace_mcperf.dir/reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lp/CMakeFiles/wanplace_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wanplace_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wanplace_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wanplace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

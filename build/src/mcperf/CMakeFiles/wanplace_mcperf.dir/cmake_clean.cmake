@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanplace_mcperf.dir/achievability.cpp.o"
+  "CMakeFiles/wanplace_mcperf.dir/achievability.cpp.o.d"
+  "CMakeFiles/wanplace_mcperf.dir/builder.cpp.o"
+  "CMakeFiles/wanplace_mcperf.dir/builder.cpp.o.d"
+  "CMakeFiles/wanplace_mcperf.dir/heuristic_class.cpp.o"
+  "CMakeFiles/wanplace_mcperf.dir/heuristic_class.cpp.o.d"
+  "CMakeFiles/wanplace_mcperf.dir/instance.cpp.o"
+  "CMakeFiles/wanplace_mcperf.dir/instance.cpp.o.d"
+  "CMakeFiles/wanplace_mcperf.dir/reduction.cpp.o"
+  "CMakeFiles/wanplace_mcperf.dir/reduction.cpp.o.d"
+  "libwanplace_mcperf.a"
+  "libwanplace_mcperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanplace_mcperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwanplace_mcperf.a"
+)

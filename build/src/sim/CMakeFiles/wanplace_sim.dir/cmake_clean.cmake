@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanplace_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wanplace_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/wanplace_sim.dir/sweep.cpp.o"
+  "CMakeFiles/wanplace_sim.dir/sweep.cpp.o.d"
+  "libwanplace_sim.a"
+  "libwanplace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanplace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

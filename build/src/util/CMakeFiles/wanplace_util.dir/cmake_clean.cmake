@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanplace_util.dir/log.cpp.o"
+  "CMakeFiles/wanplace_util.dir/log.cpp.o.d"
+  "CMakeFiles/wanplace_util.dir/rng.cpp.o"
+  "CMakeFiles/wanplace_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wanplace_util.dir/table.cpp.o"
+  "CMakeFiles/wanplace_util.dir/table.cpp.o.d"
+  "libwanplace_util.a"
+  "libwanplace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanplace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/analysis.cpp" "src/workload/CMakeFiles/wanplace_workload.dir/analysis.cpp.o" "gcc" "src/workload/CMakeFiles/wanplace_workload.dir/analysis.cpp.o.d"
+  "/root/repo/src/workload/demand.cpp" "src/workload/CMakeFiles/wanplace_workload.dir/demand.cpp.o" "gcc" "src/workload/CMakeFiles/wanplace_workload.dir/demand.cpp.o.d"
+  "/root/repo/src/workload/generators.cpp" "src/workload/CMakeFiles/wanplace_workload.dir/generators.cpp.o" "gcc" "src/workload/CMakeFiles/wanplace_workload.dir/generators.cpp.o.d"
+  "/root/repo/src/workload/history.cpp" "src/workload/CMakeFiles/wanplace_workload.dir/history.cpp.o" "gcc" "src/workload/CMakeFiles/wanplace_workload.dir/history.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/wanplace_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/wanplace_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wanplace_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/wanplace_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

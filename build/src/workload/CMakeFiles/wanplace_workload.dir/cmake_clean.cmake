@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanplace_workload.dir/analysis.cpp.o"
+  "CMakeFiles/wanplace_workload.dir/analysis.cpp.o.d"
+  "CMakeFiles/wanplace_workload.dir/demand.cpp.o"
+  "CMakeFiles/wanplace_workload.dir/demand.cpp.o.d"
+  "CMakeFiles/wanplace_workload.dir/generators.cpp.o"
+  "CMakeFiles/wanplace_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/wanplace_workload.dir/history.cpp.o"
+  "CMakeFiles/wanplace_workload.dir/history.cpp.o.d"
+  "CMakeFiles/wanplace_workload.dir/trace.cpp.o"
+  "CMakeFiles/wanplace_workload.dir/trace.cpp.o.d"
+  "libwanplace_workload.a"
+  "libwanplace_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanplace_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcperf.dir/test_mcperf.cpp.o"
+  "CMakeFiles/test_mcperf.dir/test_mcperf.cpp.o.d"
+  "test_mcperf"
+  "test_mcperf.pdb"
+  "test_mcperf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scopes.dir/test_scopes.cpp.o"
+  "CMakeFiles/test_scopes.dir/test_scopes.cpp.o.d"
+  "test_scopes"
+  "test_scopes.pdb"
+  "test_scopes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wanplace_cli.dir/wanplace_cli.cpp.o"
+  "CMakeFiles/wanplace_cli.dir/wanplace_cli.cpp.o.d"
+  "wanplace_cli"
+  "wanplace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wanplace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_gen_example "/root/repo/build/tools/wanplace_cli" "gen-example" "--out" "/root/repo/build/cli_example" "--nodes" "6" "--objects" "20" "--requests" "4000" "--seed" "7")
+set_tests_properties(cli_gen_example PROPERTIES  FIXTURES_SETUP "cli_files" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_select "/root/repo/build/tools/wanplace_cli" "select" "--topology" "/root/repo/build/cli_example/topology.txt" "--trace" "/root/repo/build/cli_example/trace.txt" "--tqos" "0.9" "--intervals" "6" "--time-limit" "2")
+set_tests_properties(cli_select PROPERTIES  FIXTURES_REQUIRED "cli_files" PASS_REGULAR_EXPRESSION "recommended class|no candidate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bound "/root/repo/build/tools/wanplace_cli" "bound" "--class" "caching" "--topology" "/root/repo/build/cli_example/topology.txt" "--trace" "/root/repo/build/cli_example/trace.txt" "--tqos" "0.9" "--intervals" "6" "--time-limit" "2")
+set_tests_properties(cli_bound PROPERTIES  FIXTURES_REQUIRED "cli_files" PASS_REGULAR_EXPRESSION "lower bound|cannot meet the goal" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_plan "/root/repo/build/tools/wanplace_cli" "plan" "--topology" "/root/repo/build/cli_example/topology.txt" "--trace" "/root/repo/build/cli_example/trace.txt" "--tqos" "0.9" "--intervals" "6" "--zeta" "100" "--time-limit" "2")
+set_tests_properties(cli_plan PROPERTIES  FIXTURES_REQUIRED "cli_files" PASS_REGULAR_EXPRESSION "deploy [0-9]+ nodes" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_unknown_command "/root/repo/build/tools/wanplace_cli" "frobnicate")
+set_tests_properties(cli_rejects_unknown_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;39;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_class "/root/repo/build/tools/wanplace_cli" "bound" "--class" "not-a-class" "--topology" "/root/repo/build/cli_example/topology.txt" "--trace" "/root/repo/build/cli_example/trace.txt")
+set_tests_properties(cli_rejects_bad_class PROPERTIES  FIXTURES_REQUIRED "cli_files" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;43;add_test;/root/repo/tools/CMakeLists.txt;0;")
