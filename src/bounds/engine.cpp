@@ -48,6 +48,7 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
     lp::PdhgOptions pdhg = options.pdhg;
     if (pdhg.infeasibility_threshold == lp::kInfinity)
       pdhg.infeasibility_threshold = 2 * instance.max_possible_cost() + 1;
+    pdhg.parallelism = options.parallelism;
     detail.solution = lp::solve_pdhg(detail.built.model, pdhg);
   }
   detail.bound.status = detail.solution.status;

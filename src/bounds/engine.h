@@ -25,6 +25,10 @@ struct BoundOptions {
   lp::PdhgOptions pdhg;
   RoundingOptions rounding;
   bool run_rounding = true;
+  /// Worker threads for the solve (currently the PDHG matvec pair):
+  /// 0 = hardware concurrency, 1 = fully serial. Purely a wall-clock knob —
+  /// bounds are bit-identical for every value (see PdhgOptions).
+  std::size_t parallelism = 0;
 };
 
 /// The inherent-cost estimate for one heuristic class.

@@ -1,8 +1,10 @@
 #include "core/selector.h"
 
 #include <algorithm>
+#include <future>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace wanplace::core {
 
@@ -67,13 +69,38 @@ std::string HeuristicSelector::suggested_heuristic(
 SelectionReport HeuristicSelector::select(
     const mcperf::Instance& instance) const {
   SelectionReport report;
-  report.general = bounds::compute_bound(
-      instance, mcperf::classes::general(), options_.bounds);
-
-  report.classes.reserve(options_.classes.size());
-  for (const auto& spec : options_.classes)
-    report.classes.push_back(
-        bounds::compute_bound(instance, spec, options_.bounds));
+  const std::size_t parallelism =
+      options_.parallelism == 0 ? util::ThreadPool::default_parallelism()
+                                : options_.parallelism;
+  if (parallelism <= 1) {
+    report.general = bounds::compute_bound(
+        instance, mcperf::classes::general(), options_.bounds);
+    report.classes.reserve(options_.classes.size());
+    for (const auto& spec : options_.classes)
+      report.classes.push_back(
+          bounds::compute_bound(instance, spec, options_.bounds));
+  } else {
+    // The general bound and every class bound are independent solves over
+    // separately built LpModels — fan them out. Nested solver parallelism
+    // is disabled so the knob caps total concurrency.
+    bounds::BoundOptions nested = options_.bounds;
+    nested.parallelism = 1;
+    util::ThreadPool pool(
+        std::min<std::size_t>(parallelism, 1 + options_.classes.size()));
+    auto general_future = pool.submit([&] {
+      return bounds::compute_bound(instance, mcperf::classes::general(),
+                                   nested);
+    });
+    std::vector<std::future<bounds::ClassBound>> class_futures;
+    class_futures.reserve(options_.classes.size());
+    for (const auto& spec : options_.classes)
+      class_futures.push_back(pool.submit(
+          [&, spec] { return bounds::compute_bound(instance, spec, nested); }));
+    report.general = general_future.get();
+    report.classes.reserve(options_.classes.size());
+    for (auto& future : class_futures)
+      report.classes.push_back(future.get());
+  }
 
   double best = lp::kInfinity;
   for (std::size_t idx = 0; idx < report.classes.size(); ++idx) {

@@ -24,6 +24,11 @@ struct SelectorOptions {
   /// Classes to evaluate; empty means default_classes().
   std::vector<mcperf::ClassSpec> classes;
   bounds::BoundOptions bounds;
+  /// Concurrent class-bound solves (each class builds and solves its own
+  /// independent LP): 0 = hardware concurrency, 1 = the sequential seed
+  /// path. Reports are bit-identical for every value; when solving classes
+  /// concurrently each per-class solve runs serially (no nested pools).
+  std::size_t parallelism = 0;
 };
 
 struct SelectionReport {

@@ -93,6 +93,10 @@ class Simplex {
     return options_.tolerance * 10 * (1 + rhs_scale_);
   }
 
+  bool partial_pricing() const {
+    return options_.pricing == SimplexOptions::Pricing::PartialDevex;
+  }
+
   void build() {
     const std::size_t n = model_.variable_count();
     m_ = model_.row_count();
@@ -149,6 +153,18 @@ class Simplex {
           lower_[s] = upper_[s] = 0;
           break;
       }
+    }
+
+    // Devex-style static reference weights: gamma_j = 1 + ||A_j||^2, from
+    // the cached sparse column norms (slacks and artificials have unit
+    // columns). Computed once; pricing scores candidates by d^2 / gamma_j,
+    // which approximates steepest-edge at Dantzig cost.
+    devex_weight_.assign(total, 2.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      double norm2 = 0;
+      for (std::size_t i = cols_.start[j]; i < cols_.start[j + 1]; ++i)
+        norm2 += cols_.value[i] * cols_.value[i];
+      devex_weight_[j] = 1.0 + norm2;
     }
 
     // Nonbasic structural variables start at their bound nearest zero.
@@ -303,61 +319,148 @@ class Simplex {
     }
   }
 
+  /// Recompute the incremental state (duals + phase objective) from the
+  /// current basis inverse, discarding accumulated pivot drift.
+  void refresh_incremental_state() {
+    compute_duals(y_);
+    objective_ = phase_objective();
+    duals_clean_ = true;
+  }
+
+  struct PricingChoice {
+    std::size_t entering = SIZE_MAX;
+    double reduced = 0;
+    bool increasing = true;
+  };
+
+  /// Eligibility of nonbasic column j given its reduced cost. Returns true
+  /// and sets `increasing` when moving j improves the phase objective.
+  bool eligible(std::size_t j, double d, bool& increasing) const {
+    const VarStatus st = status_[j];
+    if (st == VarStatus::Basic || lower_[j] == upper_[j]) return false;
+    if (st == VarStatus::AtLower && d < -options_.tolerance) {
+      increasing = true;
+      return true;
+    }
+    if (st == VarStatus::AtUpper && d > options_.tolerance) {
+      increasing = false;
+      return true;
+    }
+    if (st == VarStatus::FreeZero && std::abs(d) > options_.tolerance) {
+      increasing = d < 0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Bland's rule: lowest-index eligible column (anti-cycling; used after
+  /// stalls). Always a full scan.
+  PricingChoice price_bland() const {
+    PricingChoice choice;
+    for (std::size_t j = 0; j < total_columns(); ++j) {
+      bool inc = true;
+      const double d = reduced_cost(j, y_);
+      if (!eligible(j, d, inc)) continue;
+      choice.entering = j;
+      choice.reduced = d;
+      choice.increasing = inc;
+      break;
+    }
+    return choice;
+  }
+
+  /// Full Dantzig scan: most-violating reduced cost (the reference path).
+  PricingChoice price_full() const {
+    PricingChoice choice;
+    double best_score = options_.tolerance;
+    for (std::size_t j = 0; j < total_columns(); ++j) {
+      bool inc = true;
+      const double d = reduced_cost(j, y_);
+      if (!eligible(j, d, inc)) continue;
+      if (std::abs(d) > best_score) {
+        best_score = std::abs(d);
+        choice.entering = j;
+        choice.reduced = d;
+        choice.increasing = inc;
+      }
+    }
+    return choice;
+  }
+
+  /// Partial pricing: scan a rotating window starting at the cursor and
+  /// keep the best candidate by the reference-weight score d^2 / gamma_j.
+  /// Extends past the window until a candidate is found; a full wrap with
+  /// no candidate means no eligible column exists (w.r.t. current duals).
+  PricingChoice price_partial() {
+    const std::size_t total = total_columns();
+    const std::size_t window =
+        options_.pricing_window > 0
+            ? options_.pricing_window
+            : std::max<std::size_t>(128, total / 8);
+    PricingChoice choice;
+    double best_score = 0;
+    std::size_t j = pricing_cursor_ < total ? pricing_cursor_ : 0;
+    for (std::size_t scanned = 0; scanned < total; ++scanned, ++j) {
+      if (j >= total) j = 0;
+      bool inc = true;
+      const double d = reduced_cost(j, y_);
+      if (eligible(j, d, inc)) {
+        const double score = d * d / devex_weight_[j];
+        if (score > best_score) {
+          best_score = score;
+          choice.entering = j;
+          choice.reduced = d;
+          choice.increasing = inc;
+        }
+      }
+      if (choice.entering != SIZE_MAX && scanned + 1 >= window) break;
+    }
+    pricing_cursor_ = j + 1 < total ? j + 1 : 0;
+    return choice;
+  }
+
   SolveStatus iterate() {
     const std::size_t max_iters =
         options_.max_iterations > 0
             ? options_.max_iterations
             : std::max<std::size_t>(5000, 60 * (m_ + cols_.n));
-    std::vector<double> y, w;
-    double last_objective = phase_objective();
+    std::vector<double> w;
+    refresh_incremental_state();
+    double last_objective = objective_;
     std::size_t pivots_since_refactor = 0;
 
     for (; iterations_ < max_iters; ++iterations_) {
-      compute_duals(y);
+      if (options_.pricing == SimplexOptions::Pricing::DantzigFull)
+        refresh_incremental_state();
 
-      // Pricing.
-      std::size_t entering = SIZE_MAX;
-      double best_score = options_.tolerance;
-      bool increasing = true;
-      for (std::size_t j = 0; j < total_columns(); ++j) {
-        const VarStatus st = status_[j];
-        if (st == VarStatus::Basic || lower_[j] == upper_[j]) continue;
-        const double d = reduced_cost(j, y);
-        bool eligible = false;
-        bool inc = true;
-        if (st == VarStatus::AtLower && d < -options_.tolerance) {
-          eligible = true;
-          inc = true;
-        } else if (st == VarStatus::AtUpper && d > options_.tolerance) {
-          eligible = true;
-          inc = false;
-        } else if (st == VarStatus::FreeZero &&
-                   std::abs(d) > options_.tolerance) {
-          eligible = true;
-          inc = d < 0;
-        }
-        if (!eligible) continue;
-        if (bland_) {
-          entering = j;
-          increasing = inc;
-          break;
-        }
-        if (std::abs(d) > best_score) {
-          best_score = std::abs(d);
-          entering = j;
-          increasing = inc;
-        }
+      const PricingChoice choice = bland_          ? price_bland()
+                                   : partial_pricing() ? price_partial()
+                                                       : price_full();
+      if (choice.entering == SIZE_MAX) {
+        // No candidate under the incrementally maintained duals. Before
+        // declaring optimality, rebuild the inverse and duals from scratch
+        // and re-price: pivot drift must never certify a false optimum.
+        if (duals_clean_) return SolveStatus::Optimal;
+        refactorize();
+        refresh_incremental_state();
+        pivots_since_refactor = 0;
+        continue;
       }
-      if (entering == SIZE_MAX) return SolveStatus::Optimal;
+      const std::size_t entering = choice.entering;
+      const bool increasing = choice.increasing;
 
       compute_direction(entering, w);
       const double sigma = increasing ? 1.0 : -1.0;
 
-      // Ratio test.
+      // Ratio test: the largest step before a basic variable (or the
+      // entering variable's own opposite bound) blocks. Within the tie
+      // tolerance the non-Bland rule prefers the largest |pivot| for
+      // stability, the Bland rule the lowest basis index (anti-cycling).
+      constexpr double pivot_tol = 1e-9;
+      constexpr double ratio_tie = 1e-12;
       double step = upper_[entering] - lower_[entering];  // bound-flip cap
       std::size_t leaving_pos = SIZE_MAX;
       double leaving_bound = 0;
-      constexpr double pivot_tol = 1e-9;
       for (std::size_t p = 0; p < m_; ++p) {
         const double delta = sigma * w[p];
         if (std::abs(delta) <= pivot_tol) continue;
@@ -373,22 +476,17 @@ class Simplex {
           bound = upper_[jb];
         }
         t = std::max(t, 0.0);
-        const bool better =
-            t < step - 1e-12 ||
-            (t < step + 1e-12 && leaving_pos != SIZE_MAX &&
-             std::abs(w[p]) > std::abs(w[leaving_pos]));
-        if (bland_) {
-          const bool strict = t < step - 1e-12;
-          const bool tie =
-              t <= step + 1e-12 &&
-              (leaving_pos == SIZE_MAX || basis_[p] < basis_[leaving_pos]);
-          if (strict || tie) {
-            step = std::min(step, std::max(t, 0.0));
-            leaving_pos = p;
-            leaving_bound = bound;
-          }
-        } else if (better) {
-          step = std::min(t, step);
+        if (t > step + ratio_tie) continue;  // strictly worse blocker
+        bool take;
+        if (t < step - ratio_tie || leaving_pos == SIZE_MAX) {
+          take = true;  // strictly better, or first blocker at the cap
+        } else if (bland_) {
+          take = basis_[p] < basis_[leaving_pos];
+        } else {
+          take = std::abs(w[p]) > std::abs(w[leaving_pos]);
+        }
+        if (take) {
+          step = std::min(step, t);
           leaving_pos = p;
           leaving_bound = bound;
         }
@@ -396,15 +494,18 @@ class Simplex {
 
       if (step == kInf) return SolveStatus::Unbounded;
 
-      // Apply the step to all basic variables.
+      // Apply the step to all basic variables; the phase objective moves by
+      // exactly d_entering per unit of (signed) step.
       if (step != 0) {
         for (std::size_t p = 0; p < m_; ++p)
           if (w[p] != 0) x_[basis_[p]] -= sigma * step * w[p];
         x_[entering] += sigma * step;
+        objective_ += choice.reduced * sigma * step;
       }
 
       if (leaving_pos == SIZE_MAX) {
-        // Bound flip: entering hit its opposite bound; basis unchanged.
+        // Bound flip: entering hit its opposite bound; basis (and thus the
+        // duals) unchanged.
         status_[entering] =
             increasing ? VarStatus::AtUpper : VarStatus::AtLower;
         x_[entering] = increasing ? upper_[entering] : lower_[entering];
@@ -429,19 +530,34 @@ class Simplex {
           for (std::size_t i = 0; i < m_; ++i)
             row[i] -= factor * pivot_row[i];
         }
+
+        // Incremental dual update from the pivot row: with the updated
+        // inverse, y' = y + d_entering * (Binv')_{leaving_pos}, the O(m)
+        // replacement for re-accumulating c_B^T Binv from scratch.
+        for (std::size_t i = 0; i < m_; ++i)
+          y_[i] += choice.reduced * pivot_row[i];
+        duals_clean_ = false;
+
         if (++pivots_since_refactor >= options_.refactor_period) {
           refactorize();
+          refresh_incremental_state();
           pivots_since_refactor = 0;
         }
       }
 
-      // Stall / cycling protection.
-      const double objective = phase_objective();
-      if (objective < last_objective - options_.tolerance) {
-        last_objective = objective;
+      // Stall / cycling protection on the incrementally tracked objective.
+      if (objective_ < last_objective - options_.tolerance) {
+        last_objective = objective_;
         stall_count_ = 0;
         bland_ = false;
       } else if (++stall_count_ > options_.stall_limit) {
+        if (!bland_) {
+          // Entering Bland mode: restart from drift-free duals so the
+          // anti-cycling argument holds on exact reduced costs.
+          refactorize();
+          refresh_incremental_state();
+          pivots_since_refactor = 0;
+        }
         bland_ = true;
       }
     }
@@ -467,6 +583,11 @@ class Simplex {
   std::vector<VarStatus> status_;
   std::vector<std::size_t> basis_;
   std::vector<double> binv_;
+  std::vector<double> y_;            // incrementally maintained duals
+  std::vector<double> devex_weight_; // static reference weights 1+||A_j||^2
+  double objective_ = 0;             // incrementally maintained phase obj
+  bool duals_clean_ = false;         // y_ recomputed since the last pivot?
+  std::size_t pricing_cursor_ = 0;
   std::size_t iterations_ = 0;
   std::size_t stall_count_ = 0;
   bool bland_ = false;

@@ -6,6 +6,15 @@
 // inverse with periodic refactorization, so memory and per-iteration cost
 // are O(m^2) in the row count — fine up to a few thousand rows, which is the
 // regime it is used in.
+//
+// Hot path: duals and the phase objective are maintained incrementally
+// across pivots (refreshed at every refactorization), and the default
+// pricing rule is partial pricing over a rotating candidate window scored
+// by Devex-style reference weights built from cached column norms. Before
+// declaring optimality after incremental updates, the solver refactorizes
+// and re-prices from scratch, so termination is always certified against
+// freshly computed duals. The seed's full Dantzig pricing is kept as
+// Pricing::DantzigFull for differential testing.
 #pragma once
 
 #include <cstddef>
@@ -17,10 +26,25 @@ namespace wanplace::lp {
 struct SimplexOptions {
   std::size_t max_iterations = 0;  // 0 = automatic (scales with model size)
   double tolerance = 1e-7;
-  /// Refactorize the basis inverse every this many pivots.
-  std::size_t refactor_period = 128;
+  /// Refactorize the basis inverse every this many pivots. Refactorization
+  /// is O(m^3) and dominates amortized cost when frequent; incremental
+  /// updates plus the refresh-before-optimal check keep long periods safe.
+  std::size_t refactor_period = 640;
   /// Switch to Bland's rule after this many non-improving iterations.
   std::size_t stall_limit = 512;
+
+  enum class Pricing {
+    /// Rotating partial-pricing window, candidates scored d^2 / gamma_j
+    /// with static reference weights gamma_j = 1 + ||A_j||^2.
+    PartialDevex,
+    /// Full Dantzig scan (most-negative reduced cost) with duals fully
+    /// recomputed every iteration — the original reference path.
+    DantzigFull,
+  };
+  Pricing pricing = Pricing::PartialDevex;
+  /// Columns scanned per partial-pricing round; 0 = automatic
+  /// (max(128, columns/8)). Ignored by DantzigFull.
+  std::size_t pricing_window = 0;
 };
 
 /// Solve min c^T x subject to the model's rows and bounds.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace wanplace::lp {
 
@@ -64,6 +65,58 @@ void SparseMatrix::multiply_transpose(const std::vector<double>& y,
     for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i)
       out[col_index_[i]] += values_[i] * yr;
   }
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  // Counting sort by column: iterating source rows in ascending order keeps
+  // each transposed row's entries in ascending original-row order.
+  SparseMatrix out;
+  out.rows_ = cols_;
+  out.cols_ = rows_;
+  out.row_start_.assign(cols_ + 1, 0);
+  for (std::size_t c : col_index_) ++out.row_start_[c + 1];
+  for (std::size_t c = 0; c < cols_; ++c)
+    out.row_start_[c + 1] += out.row_start_[c];
+  out.col_index_.resize(values_.size());
+  out.values_.resize(values_.size());
+  std::vector<std::size_t> cursor(out.row_start_.begin(),
+                                  out.row_start_.end() - 1);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i) {
+      const std::size_t at = cursor[col_index_[i]]++;
+      out.col_index_[at] = r;
+      out.values_[at] = values_[i];
+    }
+  }
+  return out;
+}
+
+void SparseMatrix::multiply_blocked(const std::vector<double>& x,
+                                    std::vector<double>& out,
+                                    util::ThreadPool& pool,
+                                    std::size_t blocks,
+                                    bool skip_zero_inputs) const {
+  WANPLACE_REQUIRE(x.size() == cols_, "dimension mismatch in A*x");
+  out.resize(rows_);
+  blocks = std::max<std::size_t>(1, std::min(blocks, rows_));
+  const std::size_t chunk = (rows_ + blocks - 1) / blocks;
+  pool.parallel_for(blocks, [&](std::size_t block) {
+    const std::size_t begin = block * chunk;
+    const std::size_t end = std::min(rows_, begin + chunk);
+    for (std::size_t r = begin; r < end; ++r) {
+      double sum = 0;
+      if (skip_zero_inputs) {
+        for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i) {
+          const double xv = x[col_index_[i]];
+          if (xv != 0) sum += values_[i] * xv;
+        }
+      } else {
+        for (std::size_t i = row_start_[r]; i < row_start_[r + 1]; ++i)
+          sum += values_[i] * x[col_index_[i]];
+      }
+      out[r] = sum;
+    }
+  });
 }
 
 double SparseMatrix::row_dot(std::size_t r,

@@ -2,11 +2,19 @@
 //
 // Matrices are assembled as triplets and compressed to CSR. The PDHG solver
 // needs only y += A x and x += A^T y products; both are provided without
-// materializing the transpose (a column-major pass over CSR).
+// materializing the transpose (a column-major pass over CSR). For large
+// models the solver materializes the transpose once (transposed()) and runs
+// both products as row-blocked gathers over a thread pool; every row's sum
+// is an independent sequential reduction, so the result is bit-identical
+// for any block or thread count.
 #pragma once
 
 #include <cstddef>
 #include <vector>
+
+namespace wanplace::util {
+class ThreadPool;
+}
 
 namespace wanplace::lp {
 
@@ -37,6 +45,22 @@ class SparseMatrix {
   /// out = A^T * y (out resized to cols()).
   void multiply_transpose(const std::vector<double>& y,
                           std::vector<double>& out) const;
+
+  /// The transpose as a new CSR matrix. Entries within each transposed row
+  /// appear in ascending original-row order — the same accumulation order
+  /// multiply_transpose uses — so gather products over the transpose are
+  /// bit-identical to the scatter product over the original.
+  SparseMatrix transposed() const;
+
+  /// out = A * x with rows partitioned into `blocks` contiguous chunks run
+  /// on `pool` (the caller executes one chunk). `skip_zero_inputs` skips
+  /// terms whose x entry is exactly zero, matching multiply_transpose's
+  /// row-skipping when A is a transposed() matrix. Row sums are independent
+  /// sequential reductions: identical results for any blocks/pool size.
+  void multiply_blocked(const std::vector<double>& x,
+                        std::vector<double>& out, util::ThreadPool& pool,
+                        std::size_t blocks,
+                        bool skip_zero_inputs = false) const;
 
   /// Dot product of row r with x.
   double row_dot(std::size_t r, const std::vector<double>& x) const;

@@ -1,11 +1,33 @@
 #include "sim/sweep.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "util/check.h"
 #include "util/log.h"
+#include "util/thread_pool.h"
 
 namespace wanplace::sim {
+
+namespace {
+
+std::size_t resolve_parallelism(std::size_t parallelism) {
+  return parallelism == 0 ? util::ThreadPool::default_parallelism()
+                          : parallelism;
+}
+
+/// Run fn(0..count) on the pool when present, inline otherwise.
+template <typename Fn>
+void run_batch(std::optional<util::ThreadPool>& pool, std::size_t count,
+               Fn&& fn) {
+  if (pool) {
+    pool->parallel_for(count, fn);
+  } else {
+    for (std::size_t b = 0; b < count; ++b) fn(b);
+  }
+}
+
+}  // namespace
 
 std::vector<std::size_t> exhaustive_candidates(std::size_t max) {
   std::vector<std::size_t> out(max + 1);
@@ -33,26 +55,41 @@ SweepResult sweep_caching(const workload::Trace& trace,
                           const CachingConfig& base,
                           const heuristics::CacheFactory& factory,
                           double tqos,
-                          const std::vector<std::size_t>& candidates) {
+                          const std::vector<std::size_t>& candidates,
+                          std::size_t parallelism) {
   WANPLACE_REQUIRE(tqos > 0 && tqos <= 1, "tqos must be in (0,1]");
+  const std::size_t batch = resolve_parallelism(parallelism);
+  std::optional<util::ThreadPool> pool;
+  if (batch > 1) pool.emplace(batch);
   SweepResult out;
-  for (std::size_t capacity : candidates) {
-    CachingConfig config = base;
-    config.capacity = capacity;
-    // Storage alone already beats the best known config: no cheaper
-    // qualifying configuration can follow (storage grows with capacity).
-    const double storage_floor =
-        config.alpha * static_cast<double>(capacity) *
-        static_cast<double>(trace.node_count() - 1) *
-        static_cast<double>(config.interval_count);
-    if (out.feasible && storage_floor >= out.best.total_cost) break;
-    const SimResult result =
-        simulate_caching(trace, latencies, config, factory);
-    if (!result.meets(tqos)) continue;
-    if (!out.feasible || result.total_cost < out.best.total_cost) {
-      out.feasible = true;
-      out.provisioned = capacity;
-      out.best = result;
+  for (std::size_t start = 0; start < candidates.size(); start += batch) {
+    const std::size_t count =
+        std::min(batch, candidates.size() - start);
+    // Simulate the batch speculatively (independent runs over shared
+    // immutable inputs), then replay the serial early-exit logic in
+    // candidate order, discarding results past the exit point.
+    std::vector<SimResult> results(count);
+    run_batch(pool, count, [&](std::size_t b) {
+      CachingConfig config = base;
+      config.capacity = candidates[start + b];
+      results[b] = simulate_caching(trace, latencies, config, factory);
+    });
+    for (std::size_t b = 0; b < count; ++b) {
+      const std::size_t capacity = candidates[start + b];
+      // Storage alone already beats the best known config: no cheaper
+      // qualifying configuration can follow (storage grows with capacity).
+      const double storage_floor =
+          base.alpha * static_cast<double>(capacity) *
+          static_cast<double>(trace.node_count() - 1) *
+          static_cast<double>(base.interval_count);
+      if (out.feasible && storage_floor >= out.best.total_cost) return out;
+      const SimResult& result = results[b];
+      if (!result.meets(tqos)) continue;
+      if (!out.feasible || result.total_cost < out.best.total_cost) {
+        out.feasible = true;
+        out.provisioned = capacity;
+        out.best = result;
+      }
     }
   }
   return out;
@@ -65,25 +102,39 @@ SweepResult sweep_interval(const workload::Trace& trace,
                            const graph::LatencyMatrix& latencies,
                            const IntervalSimConfig& base, double tqos,
                            const std::vector<std::size_t>& candidates,
-                           MakeHeuristic&& make) {
+                           MakeHeuristic&& make, std::size_t parallelism) {
   WANPLACE_REQUIRE(tqos > 0 && tqos <= 1, "tqos must be in (0,1]");
+  const std::size_t batch = resolve_parallelism(parallelism);
+  std::optional<util::ThreadPool> pool;
+  if (batch > 1) pool.emplace(batch);
   SweepResult out;
-  for (std::size_t amount : candidates) {
-    IntervalSimConfig config = base;
-    config.provisioned = amount;
-    auto heuristic = make(amount);
-    const auto sim =
-        simulate_interval_heuristic(trace, latencies, config, *heuristic);
-    if (!sim.result.meets(tqos)) continue;
-    if (!out.feasible || sim.result.total_cost < out.best.total_cost) {
-      out.feasible = true;
-      out.provisioned = amount;
-      out.best = sim.result;
+  for (std::size_t start = 0; start < candidates.size(); start += batch) {
+    const std::size_t count =
+        std::min(batch, candidates.size() - start);
+    std::vector<SimResult> results(count);
+    run_batch(pool, count, [&](std::size_t b) {
+      const std::size_t amount = candidates[start + b];
+      IntervalSimConfig config = base;
+      config.provisioned = amount;
+      auto heuristic = make(amount);
+      results[b] =
+          simulate_interval_heuristic(trace, latencies, config, *heuristic)
+              .result;
+    });
+    for (std::size_t b = 0; b < count; ++b) {
+      const std::size_t amount = candidates[start + b];
+      const SimResult& result = results[b];
+      if (!result.meets(tqos)) continue;
+      if (!out.feasible || result.total_cost < out.best.total_cost) {
+        out.feasible = true;
+        out.provisioned = amount;
+        out.best = result;
+      }
+      // QoS is monotone in the provisioned amount for these greedy
+      // heuristics and storage dominates cost growth: the first qualifying
+      // step is the cheapest up to schedule granularity.
+      if (out.feasible && amount > out.provisioned) return out;
     }
-    // QoS is monotone in the provisioned amount for these greedy heuristics
-    // and storage dominates cost growth: the first qualifying step is the
-    // cheapest up to schedule granularity.
-    if (out.feasible && amount > out.provisioned) break;
   }
   return out;
 }
@@ -95,17 +146,20 @@ SweepResult sweep_greedy_global(const workload::Trace& trace,
                                 const BoolMatrix& dist,
                                 const IntervalSimConfig& base, double tqos,
                                 const std::vector<std::size_t>& candidates,
-                                std::size_t window_intervals) {
+                                std::size_t window_intervals,
+                                std::size_t parallelism) {
   IntervalSimConfig config = base;
   config.accounting = IntervalSimConfig::StorageAccounting::Capacity;
   return sweep_interval(
-      trace, latencies, config, tqos, candidates, [&](std::size_t amount) {
+      trace, latencies, config, tqos, candidates,
+      [&](std::size_t amount) {
         heuristics::GreedyGlobalOptions options;
         options.capacity = amount;
         options.window_intervals = window_intervals;
         return std::make_unique<heuristics::GreedyGlobalPlacement>(
             dist, config.origin, options);
-      });
+      },
+      parallelism);
 }
 
 SweepResult sweep_replica_greedy(const workload::Trace& trace,
@@ -113,17 +167,20 @@ SweepResult sweep_replica_greedy(const workload::Trace& trace,
                                  const BoolMatrix& dist,
                                  const IntervalSimConfig& base, double tqos,
                                  const std::vector<std::size_t>& candidates,
-                                 std::size_t window_intervals) {
+                                 std::size_t window_intervals,
+                                 std::size_t parallelism) {
   IntervalSimConfig config = base;
   config.accounting = IntervalSimConfig::StorageAccounting::Replicas;
   return sweep_interval(
-      trace, latencies, config, tqos, candidates, [&](std::size_t amount) {
+      trace, latencies, config, tqos, candidates,
+      [&](std::size_t amount) {
         heuristics::ReplicaGreedyOptions options;
         options.replicas = amount;
         options.window_intervals = window_intervals;
         return std::make_unique<heuristics::ReplicaGreedyPlacement>(
             dist, config.origin, options);
-      });
+      },
+      parallelism);
 }
 
 }  // namespace wanplace::sim

@@ -25,13 +25,22 @@ struct SweepResult {
 std::vector<std::size_t> exhaustive_candidates(std::size_t max);
 std::vector<std::size_t> geometric_candidates(std::size_t max);
 
+// The sweeps accept a `parallelism` knob (0 = hardware concurrency, 1 = the
+// sequential seed path): candidates are simulated speculatively in batches
+// of that size, then the serial early-exit logic (storage floor / first
+// qualifying step) is replayed over the batch results in candidate order.
+// The returned SweepResult is identical for every parallelism value; the
+// only cost of parallelism is a few discarded speculative simulations past
+// the early-exit point.
+
 /// Cheapest cache capacity among `candidates` meeting `tqos` per user.
 SweepResult sweep_caching(const workload::Trace& trace,
                           const graph::LatencyMatrix& latencies,
                           const CachingConfig& base,
                           const heuristics::CacheFactory& factory,
                           double tqos,
-                          const std::vector<std::size_t>& candidates);
+                          const std::vector<std::size_t>& candidates,
+                          std::size_t parallelism = 0);
 
 /// Cheapest per-node capacity for the greedy-global (storage-constrained)
 /// heuristic meeting `tqos`.
@@ -40,7 +49,8 @@ SweepResult sweep_greedy_global(const workload::Trace& trace,
                                 const BoolMatrix& dist,
                                 const IntervalSimConfig& base, double tqos,
                                 const std::vector<std::size_t>& candidates,
-                                std::size_t window_intervals = 0);
+                                std::size_t window_intervals = 0,
+                                std::size_t parallelism = 0);
 
 /// Cheapest replication degree for the replica-constrained greedy heuristic
 /// meeting `tqos`.
@@ -49,6 +59,7 @@ SweepResult sweep_replica_greedy(const workload::Trace& trace,
                                  const BoolMatrix& dist,
                                  const IntervalSimConfig& base, double tqos,
                                  const std::vector<std::size_t>& candidates,
-                                 std::size_t window_intervals = 0);
+                                 std::size_t window_intervals = 0,
+                                 std::size_t parallelism = 0);
 
 }  // namespace wanplace::sim

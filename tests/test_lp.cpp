@@ -318,6 +318,116 @@ TEST_P(RandomLpSweep, PdhgConvergesToOptimum) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpSweep, ::testing::Range(0, 12));
 
 // ---------------------------------------------------------------------------
+// Degenerate pivoting: Beale's classic cycling example. Dantzig pricing with
+// a naive ratio test cycles forever on this LP; the stall detector must kick
+// the solver into Bland's rule and terminate at the optimum.
+
+LpModel beale_cycling_lp() {
+  // min -0.75 x1 + 150 x2 - 0.02 x3 + 6 x4
+  // s.t. 0.25 x1 - 60 x2 - 0.04 x3 + 9 x4 <= 0
+  //      0.50 x1 - 90 x2 - 0.02 x3 + 3 x4 <= 0
+  //      x3 <= 1,  x >= 0
+  // Optimum -0.05 at x = (0.04, 0, 1, 0).
+  LpModel model;
+  const auto x1 = model.add_variable(0, kInfinity, -0.75);
+  const auto x2 = model.add_variable(0, kInfinity, 150);
+  const auto x3 = model.add_variable(0, kInfinity, -0.02);
+  const auto x4 = model.add_variable(0, kInfinity, 6);
+  model.add_row(RowType::Le, 0, {x1, x2, x3, x4}, {0.25, -60, -0.04, 9});
+  model.add_row(RowType::Le, 0, {x1, x2, x3, x4}, {0.5, -90, -0.02, 3});
+  model.add_row(RowType::Le, 1, {x3}, {1});
+  return model;
+}
+
+TEST(SimplexDegenerate, BealeCyclingSolvedByBothPricingRules) {
+  const auto model = beale_cycling_lp();
+  for (const auto pricing :
+       {SimplexOptions::Pricing::PartialDevex,
+        SimplexOptions::Pricing::DantzigFull}) {
+    SimplexOptions options;
+    options.pricing = pricing;
+    const auto sol = solve_simplex(model, options);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+    EXPECT_NEAR(sol.x[0], 0.04, 1e-9);
+    EXPECT_NEAR(sol.x[2], 1.0, 1e-9);
+  }
+}
+
+TEST(SimplexDegenerate, BealeSolvedUnderImmediateBlandRule) {
+  // Force Bland's rule from the first degenerate pivot: the lowest-index
+  // tie-break makes every pivot sequence finite regardless of degeneracy.
+  const auto model = beale_cycling_lp();
+  SimplexOptions options;
+  options.stall_limit = 1;
+  const auto sol = solve_simplex(model, options);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+}
+
+TEST(SimplexDegenerate, TinyRefactorPeriodStaysExact) {
+  // Refactorizing every pivot exercises the refresh path constantly; the
+  // answer must not depend on the period.
+  const auto model = beale_cycling_lp();
+  SimplexOptions options;
+  options.refactor_period = 1;
+  const auto sol = solve_simplex(model, options);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Differential pricing test: the partial-pricing Devex path and the seed's
+// full Dantzig path are different pivot sequences over the same LP — both
+// must certify the same optimum, and PDHG must agree within its tolerance.
+
+TEST(SimplexDifferential, PartialDevexMatchesDantzigFullOn50RandomModels) {
+  for (int seed = 0; seed < 50; ++seed) {
+    Rng rng(7000 + seed);
+    const std::size_t vars = 8 + rng.uniform_index(12);
+    const std::size_t rows = 6 + rng.uniform_index(10);
+    auto lp = random_feasible_lp(rng, vars, rows, seed % 2 == 0);
+
+    SimplexOptions devex;
+    devex.pricing = SimplexOptions::Pricing::PartialDevex;
+    const auto fast = solve_simplex(lp.model, devex);
+    SimplexOptions dantzig;
+    dantzig.pricing = SimplexOptions::Pricing::DantzigFull;
+    const auto reference = solve_simplex(lp.model, dantzig);
+
+    ASSERT_EQ(fast.status, SolveStatus::Optimal) << "seed " << seed;
+    ASSERT_EQ(reference.status, SolveStatus::Optimal) << "seed " << seed;
+    const double scale = 1 + std::abs(reference.objective);
+    EXPECT_NEAR(fast.objective, reference.objective, 1e-6 * scale)
+        << "seed " << seed;
+    EXPECT_NEAR(fast.dual_bound, reference.dual_bound, 1e-5 * scale)
+        << "seed " << seed;
+    EXPECT_LE(lp.model.max_violation(fast.x), 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(SimplexDifferential, PartialDevexMatchesPdhgOnRandomModels) {
+  for (int seed = 0; seed < 50; ++seed) {
+    Rng rng(8000 + seed);
+    auto lp = random_feasible_lp(rng, 9, 7, /*with_equalities=*/false);
+    const auto exact = solve_simplex(lp.model);
+    ASSERT_EQ(exact.status, SolveStatus::Optimal) << "seed " << seed;
+
+    PdhgOptions options;
+    options.max_iterations = 60000;
+    options.tolerance = 1e-6;
+    const auto approx = solve_pdhg(lp.model, options);
+    const double scale = 1 + std::abs(exact.objective);
+    // PDHG's certificate must never overstate the simplex optimum, and its
+    // converged objective must land within first-order-method tolerance.
+    EXPECT_LE(approx.dual_bound, exact.objective + 1e-6 * scale)
+        << "seed " << seed;
+    EXPECT_NEAR(approx.objective, exact.objective, 5e-3 * scale)
+        << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // PDHG-specific behaviour.
 
 TEST(Pdhg, SolvesBoxOnlyProblem) {

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace wanplace::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsFutureResults) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.thread_count(), 2u);
+  auto a = pool.submit([] { return 40; });
+  auto b = pool.submit([] { return 2; });
+  EXPECT_EQ(a.get() + b.get(), 42);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryBlockOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(hits.size(),
+                    [&](std::size_t b) { hits[b].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForFromWorkerSerializes) {
+  // A pool task invoking parallel_for on its own pool must not deadlock:
+  // it detects the worker context and runs the blocks inline.
+  ThreadPool pool(1);
+  auto future = pool.submit([&pool] {
+    EXPECT_TRUE(pool.on_worker_thread());
+    int sum = 0;
+    pool.parallel_for(8, [&sum](std::size_t b) {
+      sum += static_cast<int>(b);  // serial inside a worker: no data race
+    });
+    return sum;
+  });
+  EXPECT_EQ(future.get(), 28);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPool, ParallelReductionMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<double> values(10'000);
+  std::iota(values.begin(), values.end(), 1.0);
+  const std::size_t blocks = 4;
+  const std::size_t chunk = (values.size() + blocks - 1) / blocks;
+  std::vector<double> partial(blocks, 0.0);
+  pool.parallel_for(blocks, [&](std::size_t b) {
+    const std::size_t end = std::min(values.size(), (b + 1) * chunk);
+    for (std::size_t i = b * chunk; i < end; ++i) partial[b] += values[i];
+  });
+  const double total =
+      std::accumulate(partial.begin(), partial.end(), 0.0);
+  EXPECT_DOUBLE_EQ(total, 10'000.0 * 10'001.0 / 2.0);
+}
+
+TEST(ThreadPool, DefaultParallelismIsPositive) {
+  EXPECT_GE(ThreadPool::default_parallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace wanplace::util
