@@ -19,8 +19,11 @@ struct BoundOptions {
   enum class Solver { Auto, Simplex, Pdhg };
   Solver solver = Solver::Auto;
   /// Auto picks simplex when the LP has at most this many rows (measured
-  /// crossover vs PDHG on this codebase: see bench/lp_solvers).
-  std::size_t simplex_row_limit = 600;
+  /// crossover vs PDHG on this codebase: see bench/lp_solvers). With the
+  /// sparse LU basis the simplex stays exact and competitive well past the
+  /// old dense-inverse limit of 600 rows, so the crossover moved up to
+  /// thousands of rows on the tree-structured MC-PERF family.
+  std::size_t simplex_row_limit = 3000;
   lp::SimplexOptions simplex;
   lp::PdhgOptions pdhg;
   RoundingOptions rounding;

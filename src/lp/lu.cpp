@@ -1,0 +1,273 @@
+#include "lp/lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace wanplace::lp {
+
+namespace {
+
+/// How many candidate columns the Markowitz search gathers values for per
+/// pivot step once an acceptable pivot has been seen. Classic limited
+/// search (Suhl & Suhl): examining a handful of lowest-count columns gets
+/// within noise of the full search at a fraction of the cost.
+constexpr std::size_t kSearchCap = 16;
+
+}  // namespace
+
+bool BasisLu::factorize(std::size_t m,
+                        const std::vector<std::vector<Entry>>& columns,
+                        double pivot_threshold) {
+  WANPLACE_REQUIRE(columns.size() == m, "basis column count mismatch");
+  pivot_threshold = std::clamp(pivot_threshold, 1e-4, 1.0);
+  m_ = m;
+  steps_.clear();
+  steps_.reserve(m);
+  etas_.clear();
+
+  // Working copy of the active submatrix: rows as (col, value) lists —
+  // values live here — and per-column lists of candidate rows that may be
+  // stale (lazy deletion; membership is re-checked against the row).
+  std::vector<std::vector<Entry>> rows(m);
+  std::vector<std::vector<std::uint32_t>> col_rows(m);
+  std::vector<std::uint32_t> row_count(m, 0), col_count(m, 0);
+  std::vector<char> row_active(m, 1), col_active(m, 1);
+  double max_abs = 0;
+  for (std::size_t p = 0; p < m; ++p) {
+    for (const Entry& e : columns[p]) {
+      WANPLACE_REQUIRE(e.index < m, "basis entry row out of range");
+      if (e.value == 0) continue;
+      rows[e.index].push_back({static_cast<std::uint32_t>(p), e.value});
+      col_rows[p].push_back(e.index);
+      ++col_count[p];
+      max_abs = std::max(max_abs, std::abs(e.value));
+    }
+  }
+  for (std::size_t r = 0; r < m; ++r)
+    row_count[r] = static_cast<std::uint32_t>(rows[r].size());
+  const double abs_tol = 1e-11 * std::max(1.0, max_abs);
+
+  // Dense workspaces for row combination.
+  std::vector<double> work(m, 0.0);
+  std::vector<char> mark(m, 0);
+  std::vector<std::uint32_t> touched;
+  std::vector<std::uint32_t> buckets;      // columns ordered by active count
+  std::vector<std::uint32_t> bucket_head;  // count -> start offset
+
+  // Value of column c in active row r, scanning the row (entries are few).
+  const auto value_at = [&](std::uint32_t r, std::uint32_t c,
+                            double& out) -> bool {
+    for (const Entry& e : rows[r]) {
+      if (e.index == c) {
+        out = e.value;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t step = 0; step < m; ++step) {
+    // --- Markowitz pivot search over lowest-count active columns. ---
+    // Counting-sort the active columns by count so candidates come out in
+    // increasing fill-estimate order.
+    bucket_head.assign(m + 2, 0);
+    std::size_t active_cols = 0;
+    for (std::size_t c = 0; c < m; ++c) {
+      if (!col_active[c]) continue;
+      ++bucket_head[col_count[c] + 1];
+      ++active_cols;
+    }
+    if (active_cols == 0) return false;
+    for (std::size_t i = 1; i < bucket_head.size(); ++i)
+      bucket_head[i] += bucket_head[i - 1];
+    buckets.resize(active_cols);
+    {
+      std::vector<std::uint32_t> cursor(bucket_head.begin(),
+                                        bucket_head.end() - 1);
+      for (std::size_t c = 0; c < m; ++c)
+        if (col_active[c])
+          buckets[cursor[col_count[c]]++] = static_cast<std::uint32_t>(c);
+    }
+
+    std::uint32_t best_row = 0, best_col = 0;
+    double best_value = 0, best_abs = 0;
+    double best_merit = std::numeric_limits<double>::infinity();
+    bool found = false;
+    std::size_t examined = 0;
+    for (const std::uint32_t c : buckets) {
+      // Compact the column's row list while gathering active values.
+      auto& list = col_rows[c];
+      std::size_t out = 0;
+      double colmax = 0;
+      for (const std::uint32_t r : list) {
+        if (!row_active[r]) continue;
+        double v;
+        if (!value_at(r, c, v)) continue;  // stale entry
+        list[out++] = r;
+        colmax = std::max(colmax, std::abs(v));
+      }
+      list.resize(out);
+      col_count[c] = static_cast<std::uint32_t>(out);
+      if (colmax <= abs_tol) continue;  // numerically nil column
+      ++examined;
+      for (const std::uint32_t r : list) {
+        double v = 0;
+        value_at(r, c, v);
+        if (std::abs(v) < pivot_threshold * colmax) continue;
+        const double merit = static_cast<double>(row_count[r] - 1) *
+                             static_cast<double>(col_count[c] - 1);
+        if (!found || merit < best_merit ||
+            (merit == best_merit && std::abs(v) > best_abs)) {
+          found = true;
+          best_merit = merit;
+          best_row = r;
+          best_col = c;
+          best_value = v;
+          best_abs = std::abs(v);
+        }
+      }
+      if (found && (best_merit == 0 || examined >= kSearchCap)) break;
+    }
+    if (!found) return false;  // numerically singular
+
+    // --- Eliminate. ---
+    Step st;
+    st.pivot_row = best_row;
+    st.pivot_col = best_col;
+    st.pivot = best_value;
+    row_active[best_row] = 0;
+    col_active[best_col] = 0;
+    st.u_entries.reserve(rows[best_row].size() - 1);
+    for (const Entry& e : rows[best_row]) {
+      if (col_count[e.index] > 0) --col_count[e.index];
+      if (e.index != best_col) st.u_entries.push_back(e);
+    }
+
+    for (const std::uint32_t r : col_rows[best_col]) {
+      if (!row_active[r]) continue;
+      double pivot_col_value;
+      if (!value_at(r, best_col, pivot_col_value)) continue;
+      const double mult = pivot_col_value / best_value;
+      st.l_entries.push_back({r, mult});
+
+      // rows[r] -= mult * pivot_row, dropping the pivot-column entry.
+      touched.clear();
+      for (const Entry& e : rows[r]) {
+        if (e.index == best_col) continue;
+        work[e.index] = e.value;
+        mark[e.index] = 1;
+        touched.push_back(e.index);
+      }
+      for (const Entry& e : st.u_entries) {
+        if (mark[e.index]) {
+          work[e.index] -= mult * e.value;
+        } else {
+          work[e.index] = -mult * e.value;
+          mark[e.index] = 1;
+          touched.push_back(e.index);
+          col_rows[e.index].push_back(r);  // fill-in
+          ++col_count[e.index];
+        }
+      }
+      auto& row = rows[r];
+      row.clear();
+      for (const std::uint32_t c : touched) {
+        if (work[c] != 0) {
+          row.push_back({c, work[c]});
+        } else if (col_count[c] > 0) {
+          --col_count[c];  // exact cancellation
+        }
+        mark[c] = 0;
+        work[c] = 0;
+      }
+      row_count[r] = static_cast<std::uint32_t>(row.size());
+    }
+    steps_.push_back(std::move(st));
+  }
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& x) const {
+  WANPLACE_REQUIRE(x.size() == m_, "ftran dimension mismatch");
+  // Forward pass through L.
+  for (const Step& st : steps_) {
+    const double z = x[st.pivot_row];
+    if (z == 0) continue;
+    for (const Entry& e : st.l_entries) x[e.index] -= e.value * z;
+  }
+  // Backward substitution through U into position space.
+  scratch_.assign(m_, 0.0);
+  for (std::size_t t = steps_.size(); t-- > 0;) {
+    const Step& st = steps_[t];
+    double val = x[st.pivot_row];
+    for (const Entry& e : st.u_entries) val -= e.value * scratch_[e.index];
+    scratch_[st.pivot_col] = val / st.pivot;
+  }
+  x.swap(scratch_);
+  // Eta file, oldest first.
+  for (const Eta& eta : etas_) {
+    const double xp = x[eta.position] / eta.pivot;
+    x[eta.position] = xp;
+    if (xp == 0) continue;
+    for (const Entry& e : eta.entries) x[e.index] -= e.value * xp;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& x) const {
+  WANPLACE_REQUIRE(x.size() == m_, "btran dimension mismatch");
+  // Eta file transposed, newest first.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = x[it->position];
+    for (const Entry& e : it->entries) acc -= e.value * x[e.index];
+    x[it->position] = acc / it->pivot;
+  }
+  // Forward substitution through U^T (row-stored U applied by scatter).
+  scratch_.resize(steps_.size());
+  for (std::size_t t = 0; t < steps_.size(); ++t) {
+    const Step& st = steps_[t];
+    const double vt = x[st.pivot_col] / st.pivot;
+    scratch_[t] = vt;
+    if (vt == 0) continue;
+    for (const Entry& e : st.u_entries) x[e.index] -= e.value * vt;
+  }
+  // Map the permuted solution back to constraint rows and apply L^T.
+  scratch2_.assign(m_, 0.0);
+  for (std::size_t t = 0; t < steps_.size(); ++t)
+    scratch2_[steps_[t].pivot_row] = scratch_[t];
+  for (std::size_t t = steps_.size(); t-- > 0;) {
+    const Step& st = steps_[t];
+    double acc = scratch2_[st.pivot_row];
+    for (const Entry& e : st.l_entries) acc -= e.value * scratch2_[e.index];
+    scratch2_[st.pivot_row] = acc;
+  }
+  x.swap(scratch2_);
+}
+
+bool BasisLu::update(std::size_t position, const std::vector<double>& direction,
+                     double min_pivot) {
+  WANPLACE_REQUIRE(direction.size() == m_ && position < m_,
+                   "eta update dimension mismatch");
+  const double pivot = direction[position];
+  if (!(std::abs(pivot) > min_pivot)) return false;
+  Eta eta;
+  eta.position = static_cast<std::uint32_t>(position);
+  eta.pivot = pivot;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (i == position || direction[i] == 0) continue;
+    eta.entries.push_back({static_cast<std::uint32_t>(i), direction[i]});
+  }
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+std::size_t BasisLu::factor_nonzeros() const {
+  std::size_t count = 0;
+  for (const Step& st : steps_)
+    count += 1 + st.l_entries.size() + st.u_entries.size();
+  return count;
+}
+
+}  // namespace wanplace::lp

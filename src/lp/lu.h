@@ -1,0 +1,95 @@
+// Sparse LU basis factorization with product-form eta updates.
+//
+// The simplex basis matrix B (one column per basic variable) is factorized
+// as PBQ = LU by right-looking Gaussian elimination with Markowitz pivot
+// ordering (minimize (row_count-1)*(col_count-1) fill estimate) under a
+// relative threshold-pivoting rule for stability. Tree-structured
+// replica-placement LPs are dominated by singleton columns (slacks, cover
+// rows), so the factorization is near-linear in nonzeros for the MC-PERF
+// family where the dense explicit inverse was O(m^2) memory and O(m^3)
+// refactorization.
+//
+// Between refactorizations the basis changes one column per simplex pivot;
+// the factorization absorbs each change as a product-form-of-the-inverse
+// eta: if column `p` of B is replaced by a column a with w = B^{-1} a, then
+// B_new^{-1} = E^{-1} B_old^{-1} where E is the identity with column p
+// replaced by w. FTRAN applies the eta file forward after the LU solve,
+// BTRAN applies it transposed in reverse before the LU^T solve. The caller
+// refactorizes when the eta file passes a bound or numerical drift is
+// suspected (see SimplexOptions::eta_limit / lu_stability_tolerance).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wanplace::lp {
+
+class BasisLu {
+ public:
+  /// One nonzero of a basis column (row index, coefficient) — also reused
+  /// internally for L/U/eta entries with `index` meaning row or position.
+  struct Entry {
+    std::uint32_t index;
+    double value;
+  };
+
+  /// Factorize the m x m basis whose column p holds the nonzeros
+  /// columns[p] as (row, value) pairs. Discards any existing eta file.
+  /// Returns false when the basis is structurally or numerically singular
+  /// (no pivot above the absolute tolerance remains); the object is then
+  /// unusable until the next successful factorize().
+  ///
+  /// `pivot_threshold` in (0, 1] is the Markowitz threshold: a pivot must
+  /// reach that fraction of its column's largest active entry. Larger is
+  /// more stable, smaller is sparser.
+  bool factorize(std::size_t m, const std::vector<std::vector<Entry>>& columns,
+                 double pivot_threshold = 0.1);
+
+  /// Solve B w = a in place: on entry x is a (indexed by constraint row),
+  /// on exit x is w (indexed by basis position).
+  void ftran(std::vector<double>& x) const;
+
+  /// Solve B^T y = c in place: on entry x is c (indexed by basis
+  /// position), on exit x is y (indexed by constraint row).
+  void btran(std::vector<double>& x) const;
+
+  /// Absorb a basis change: the column at `position` was replaced by a
+  /// column a with direction w = B^{-1} a (an ftran() result, indexed by
+  /// position). Appends one eta. Returns false — leaving the factorization
+  /// unchanged — when |w[position]| <= min_pivot, in which case the caller
+  /// must refactorize instead.
+  bool update(std::size_t position, const std::vector<double>& direction,
+              double min_pivot);
+
+  std::size_t dimension() const { return m_; }
+  std::size_t eta_count() const { return etas_.size(); }
+  /// Nonzeros stored in L and U (fill-in diagnostics; excludes etas).
+  std::size_t factor_nonzeros() const;
+
+ private:
+  /// One elimination step: pivot at (pivot_row, pivot_col), below-pivot
+  /// multipliers in l_entries (constraint-row indexed), the remainder of
+  /// the pivot row in u_entries (basis-position indexed, pivot excluded).
+  struct Step {
+    std::uint32_t pivot_row = 0;
+    std::uint32_t pivot_col = 0;
+    double pivot = 0;
+    std::vector<Entry> l_entries;
+    std::vector<Entry> u_entries;
+  };
+  /// Product-form eta: column `position` of the replaced-identity matrix.
+  struct Eta {
+    std::uint32_t position = 0;
+    double pivot = 0;
+    std::vector<Entry> entries;  // (position, w value), pivot excluded
+  };
+
+  std::size_t m_ = 0;
+  std::vector<Step> steps_;
+  std::vector<Eta> etas_;
+  mutable std::vector<double> scratch_;
+  mutable std::vector<double> scratch2_;
+};
+
+}  // namespace wanplace::lp

@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "lp/lu.h"
+#include "lp/sparse.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
@@ -17,12 +19,10 @@ constexpr double kInf = kInfinity;
 
 enum class VarStatus : unsigned char { Basic, AtLower, AtUpper, FreeZero };
 
-/// Column-compressed copy of [A | slacks | artificials].
+/// Column views of [A | slacks | artificials]: structural columns as a CSC
+/// matrix, slack and artificial columns synthesized on the fly.
 struct Columns {
-  // structural columns
-  std::vector<std::size_t> start;  // n+1
-  std::vector<std::size_t> row;
-  std::vector<double> value;
+  ColumnMajorMatrix structural;
   std::size_t n = 0;  // structural count
   std::size_t m = 0;  // row count
   std::vector<double> art_sign;  // per-row artificial coefficient (+1/-1)
@@ -31,8 +31,7 @@ struct Columns {
   template <typename Fn>
   void for_column(std::size_t j, Fn&& fn) const {
     if (j < n) {
-      for (std::size_t i = start[j]; i < start[j + 1]; ++i)
-        fn(row[i], value[i]);
+      structural.for_column(j, fn);
     } else if (j < n + m) {
       fn(j - n, 1.0);  // slack
     } else {
@@ -89,6 +88,10 @@ class Simplex {
  private:
   std::size_t total_columns() const { return cols_.n + 2 * m_; }
 
+  bool dense_basis() const {
+    return options_.basis == SimplexOptions::Basis::DenseInverse;
+  }
+
   double feasibility_tol() const {
     return options_.tolerance * 10 * (1 + rhs_scale_);
   }
@@ -103,25 +106,18 @@ class Simplex {
     cols_.n = n;
     cols_.m = m_;
 
-    // Structural columns via a row->column transpose of the model rows.
-    std::vector<std::size_t> count(n, 0);
-    for (std::size_t r = 0; r < m_; ++r)
-      for (std::size_t c : model_.row(r).cols) ++count[c];
-    cols_.start.assign(n + 1, 0);
-    for (std::size_t j = 0; j < n; ++j)
-      cols_.start[j + 1] = cols_.start[j] + count[j];
-    cols_.row.resize(cols_.start[n]);
-    cols_.value.resize(cols_.start[n]);
-    std::vector<std::size_t> cursor(cols_.start.begin(),
-                                    cols_.start.end() - 1);
-    for (std::size_t r = 0; r < m_; ++r) {
-      const auto& row = model_.row(r);
-      for (std::size_t i = 0; i < row.cols.size(); ++i) {
-        const std::size_t j = row.cols[i];
-        cols_.row[cursor[j]] = r;
-        cols_.value[cursor[j]] = row.coeffs[i];
-        ++cursor[j];
+    // Structural columns: transpose the model rows into CSC form.
+    {
+      std::vector<Triplet> triplets;
+      std::size_t nnz = 0;
+      for (std::size_t r = 0; r < m_; ++r) nnz += model_.row(r).cols.size();
+      triplets.reserve(nnz);
+      for (std::size_t r = 0; r < m_; ++r) {
+        const auto& row = model_.row(r);
+        for (std::size_t i = 0; i < row.cols.size(); ++i)
+          triplets.push_back({r, row.cols[i], row.coeffs[i]});
       }
+      cols_.structural = ColumnMajorMatrix(m_, n, std::move(triplets));
     }
 
     // Bounds: structural, then slack, then artificial.
@@ -160,12 +156,8 @@ class Simplex {
     // columns). Computed once; pricing scores candidates by d^2 / gamma_j,
     // which approximates steepest-edge at Dantzig cost.
     devex_weight_.assign(total, 2.0);
-    for (std::size_t j = 0; j < n; ++j) {
-      double norm2 = 0;
-      for (std::size_t i = cols_.start[j]; i < cols_.start[j + 1]; ++i)
-        norm2 += cols_.value[i] * cols_.value[i];
-      devex_weight_[j] = 1.0 + norm2;
-    }
+    for (std::size_t j = 0; j < n; ++j)
+      devex_weight_[j] = 1.0 + cols_.structural.col_norm_squared(j);
 
     // Nonbasic structural variables start at their bound nearest zero.
     for (std::size_t j = 0; j < n; ++j) {
@@ -185,15 +177,15 @@ class Simplex {
     std::vector<double> activity(m_, 0);
     for (std::size_t j = 0; j < n; ++j) {
       if (x_[j] == 0) continue;
-      for (std::size_t i = cols_.start[j]; i < cols_.start[j + 1]; ++i)
-        activity[cols_.row[i]] += cols_.value[i] * x_[j];
+      cols_.structural.for_column(
+          j, [&](std::size_t r, double v) { activity[r] += v * x_[j]; });
     }
 
     // Initial basis: slack where it absorbs the residual, artificial where
     // the slack bounds cannot.
     basis_.resize(m_);
     cols_.art_sign.assign(m_, 1.0);
-    binv_.assign(m_ * m_, 0.0);
+    if (dense_basis()) binv_.assign(m_ * m_, 0.0);
     for (std::size_t r = 0; r < m_; ++r) {
       const std::size_t s = n + r;
       const std::size_t a = n + m_ + r;
@@ -205,7 +197,7 @@ class Simplex {
         basis_[r] = s;
         lower_[a] = upper_[a] = 0;
         status_[a] = VarStatus::AtLower;
-        binv_[r * m_ + r] = 1.0;
+        if (dense_basis()) binv_[r * m_ + r] = 1.0;
       } else {
         const double pinned = std::clamp(need, lower_[s], upper_[s]);
         x_[s] = pinned;
@@ -218,9 +210,10 @@ class Simplex {
         x_[a] = std::abs(residual);
         status_[a] = VarStatus::Basic;
         basis_[r] = a;
-        binv_[r * m_ + r] = cols_.art_sign[r];
+        if (dense_basis()) binv_[r * m_ + r] = cols_.art_sign[r];
       }
     }
+    if (!dense_basis()) factorize_lu();
     cost_.assign(total, 0.0);
   }
 
@@ -241,6 +234,13 @@ class Simplex {
   }
 
   void compute_duals(std::vector<double>& y) const {
+    if (!dense_basis()) {
+      // y = B^{-T} c_B: load basic costs in position space, BTRAN in place.
+      y.resize(m_);
+      for (std::size_t p = 0; p < m_; ++p) y[p] = cost_[basis_[p]];
+      lu_.btran(y);
+      return;
+    }
     y.assign(m_, 0.0);
     for (std::size_t p = 0; p < m_; ++p) {
       const double cb = cost_[basis_[p]];
@@ -259,12 +259,34 @@ class Simplex {
   /// w = Binv * A_q
   void compute_direction(std::size_t q, std::vector<double>& w) const {
     w.assign(m_, 0.0);
+    if (!dense_basis()) {
+      cols_.for_column(q, [&](std::size_t r, double v) { w[r] += v; });
+      lu_.ftran(w);
+      return;
+    }
     cols_.for_column(q, [&](std::size_t r, double v) {
       for (std::size_t p = 0; p < m_; ++p) w[p] += v * binv_[p * m_ + r];
     });
   }
 
+  /// Factorize the current basis into the sparse LU (clears the eta file).
+  void factorize_lu() {
+    std::vector<std::vector<BasisLu::Entry>> columns(m_);
+    for (std::size_t p = 0; p < m_; ++p) {
+      cols_.for_column(basis_[p], [&](std::size_t r, double v) {
+        columns[p].push_back({static_cast<std::uint32_t>(r), v});
+      });
+    }
+    WANPLACE_CHECK(lu_.factorize(m_, columns, options_.lu_pivot_threshold),
+                   "singular basis during refactorization");
+  }
+
   void refactorize() {
+    if (!dense_basis()) {
+      factorize_lu();
+      recompute_basic_values();
+      return;
+    }
     // Gauss-Jordan inversion of the basis matrix with partial pivoting.
     std::vector<double> b(m_ * m_, 0.0);
     for (std::size_t p = 0; p < m_; ++p)
@@ -310,6 +332,11 @@ class Simplex {
       if (status_[j] == VarStatus::Basic || x_[j] == 0) continue;
       cols_.for_column(
           j, [&](std::size_t r, double v) { residual[r] -= v * x_[j]; });
+    }
+    if (!dense_basis()) {
+      lu_.ftran(residual);
+      for (std::size_t p = 0; p < m_; ++p) x_[basis_[p]] = residual[p];
+      return;
     }
     for (std::size_t p = 0; p < m_; ++p) {
       double value = 0;
@@ -438,8 +465,9 @@ class Simplex {
                                                        : price_full();
       if (choice.entering == SIZE_MAX) {
         // No candidate under the incrementally maintained duals. Before
-        // declaring optimality, rebuild the inverse and duals from scratch
-        // and re-price: pivot drift must never certify a false optimum.
+        // declaring optimality, rebuild the factorization and duals from
+        // scratch and re-price: pivot drift must never certify a false
+        // optimum.
         if (duals_clean_) return SolveStatus::Optimal;
         refactorize();
         refresh_incremental_state();
@@ -494,6 +522,19 @@ class Simplex {
 
       if (step == kInf) return SolveStatus::Unbounded;
 
+      // Drift guard (LU basis): a pivot this small under an aged eta file
+      // is as likely accumulated FTRAN error as a real near-degenerate
+      // column. Rebuild the factorization and retry the iteration on
+      // drift-free numbers; after the rebuild the eta file is empty, so
+      // the retried pivot is trusted.
+      if (!dense_basis() && leaving_pos != SIZE_MAX && lu_.eta_count() > 0 &&
+          std::abs(w[leaving_pos]) < options_.lu_stability_tolerance) {
+        refactorize();
+        refresh_incremental_state();
+        pivots_since_refactor = 0;
+        continue;
+      }
+
       // Apply the step to all basic variables; the phase objective moves by
       // exactly d_entering per unit of (signed) step.
       if (step != 0) {
@@ -518,30 +559,52 @@ class Simplex {
         status_[entering] = VarStatus::Basic;
         basis_[leaving_pos] = entering;
 
-        // Product-form update of the dense inverse.
         const double pivot = w[leaving_pos];
         WANPLACE_CHECK(std::abs(pivot) > pivot_tol, "zero pivot");
-        double* pivot_row = &binv_[leaving_pos * m_];
-        for (std::size_t i = 0; i < m_; ++i) pivot_row[i] /= pivot;
-        for (std::size_t p = 0; p < m_; ++p) {
-          if (p == leaving_pos || w[p] == 0) continue;
-          double* row = &binv_[p * m_];
-          const double factor = w[p];
+        if (!dense_basis()) {
+          // Incremental dual update before the eta is appended: with the
+          // old basis, y' = y + (d_entering / pivot) * (B_old^{-T} e_p) —
+          // one extra BTRAN on a unit vector, the sparse replacement for
+          // the dense pivot-row read.
+          rho_.assign(m_, 0.0);
+          rho_[leaving_pos] = 1.0;
+          lu_.btran(rho_);
+          const double scale = choice.reduced / pivot;
+          for (std::size_t i = 0; i < m_; ++i) y_[i] += scale * rho_[i];
+          duals_clean_ = false;
+
+          WANPLACE_CHECK(lu_.update(leaving_pos, w, pivot_tol),
+                         "eta update with vanishing pivot");
+          if (++pivots_since_refactor >= options_.refactor_period ||
+              lu_.eta_count() >= options_.eta_limit) {
+            refactorize();
+            refresh_incremental_state();
+            pivots_since_refactor = 0;
+          }
+        } else {
+          // Product-form update of the dense inverse.
+          double* pivot_row = &binv_[leaving_pos * m_];
+          for (std::size_t i = 0; i < m_; ++i) pivot_row[i] /= pivot;
+          for (std::size_t p = 0; p < m_; ++p) {
+            if (p == leaving_pos || w[p] == 0) continue;
+            double* row = &binv_[p * m_];
+            const double factor = w[p];
+            for (std::size_t i = 0; i < m_; ++i)
+              row[i] -= factor * pivot_row[i];
+          }
+
+          // Incremental dual update from the pivot row: with the updated
+          // inverse, y' = y + d_entering * (Binv')_{leaving_pos}, the O(m)
+          // replacement for re-accumulating c_B^T Binv from scratch.
           for (std::size_t i = 0; i < m_; ++i)
-            row[i] -= factor * pivot_row[i];
-        }
+            y_[i] += choice.reduced * pivot_row[i];
+          duals_clean_ = false;
 
-        // Incremental dual update from the pivot row: with the updated
-        // inverse, y' = y + d_entering * (Binv')_{leaving_pos}, the O(m)
-        // replacement for re-accumulating c_B^T Binv from scratch.
-        for (std::size_t i = 0; i < m_; ++i)
-          y_[i] += choice.reduced * pivot_row[i];
-        duals_clean_ = false;
-
-        if (++pivots_since_refactor >= options_.refactor_period) {
-          refactorize();
-          refresh_incremental_state();
-          pivots_since_refactor = 0;
+          if (++pivots_since_refactor >= options_.refactor_period) {
+            refactorize();
+            refresh_incremental_state();
+            pivots_since_refactor = 0;
+          }
         }
       }
 
@@ -582,7 +645,9 @@ class Simplex {
   std::vector<double> lower_, upper_, x_, cost_, rhs_;
   std::vector<VarStatus> status_;
   std::vector<std::size_t> basis_;
-  std::vector<double> binv_;
+  std::vector<double> binv_;         // dense path only
+  BasisLu lu_;                       // sparse path only
+  std::vector<double> rho_;          // BTRAN unit-vector scratch
   std::vector<double> y_;            // incrementally maintained duals
   std::vector<double> devex_weight_; // static reference weights 1+||A_j||^2
   double objective_ = 0;             // incrementally maintained phase obj

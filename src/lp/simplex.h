@@ -1,11 +1,13 @@
-// Dense bounded-variable two-phase primal simplex.
+// Bounded-variable two-phase primal simplex.
 //
 // Exact (to numerical tolerance) LP oracle used for small and medium
-// instances: unit tests, tiny-instance cross-validation of the PDHG solver,
-// and rounding-algorithm verification. Maintains an explicit dense basis
-// inverse with periodic refactorization, so memory and per-iteration cost
-// are O(m^2) in the row count — fine up to a few thousand rows, which is the
-// regime it is used in.
+// instances: unit tests, cross-validation of the PDHG solver, and
+// rounding-algorithm verification. The basis is represented by a sparse LU
+// factorization (Markowitz-ordered, threshold-pivoted; see lp/lu.h) with
+// product-form eta updates applied on each pivot, so per-iteration cost
+// tracks basis sparsity rather than m^2 — tree-structured MC-PERF LPs with
+// thousands of rows are in reach. The seed's dense explicit inverse is kept
+// selectable as Basis::DenseInverse for differential testing.
 //
 // Hot path: duals and the phase objective are maintained incrementally
 // across pivots (refreshed at every refactorization), and the default
@@ -26,9 +28,11 @@ namespace wanplace::lp {
 struct SimplexOptions {
   std::size_t max_iterations = 0;  // 0 = automatic (scales with model size)
   double tolerance = 1e-7;
-  /// Refactorize the basis inverse every this many pivots. Refactorization
-  /// is O(m^3) and dominates amortized cost when frequent; incremental
-  /// updates plus the refresh-before-optimal check keep long periods safe.
+  /// Refactorize the basis every this many pivots. With the LU basis each
+  /// pivot also appends an eta, so the effective refactorization period is
+  /// min(refactor_period, eta_limit); with the dense inverse this is the
+  /// only trigger. Incremental updates plus the refresh-before-optimal
+  /// check keep long periods safe.
   std::size_t refactor_period = 640;
   /// Switch to Bland's rule after this many non-improving iterations.
   std::size_t stall_limit = 512;
@@ -45,6 +49,29 @@ struct SimplexOptions {
   /// Columns scanned per partial-pricing round; 0 = automatic
   /// (max(128, columns/8)). Ignored by DantzigFull.
   std::size_t pricing_window = 0;
+
+  enum class Basis {
+    /// Sparse LU factorization plus product-form eta updates (lp/lu.h):
+    /// FTRAN/BTRAN cost follows basis sparsity, memory is O(nonzeros).
+    SparseLU,
+    /// Dense explicit inverse with O(m^2) product-form row updates — the
+    /// seed path, bit-identical to the original numerics; kept for
+    /// differential testing and as a fallback.
+    DenseInverse,
+  };
+  Basis basis = Basis::SparseLU;
+  /// SparseLU only: refactorize when the eta file reaches this many etas.
+  /// Each eta makes every subsequent FTRAN/BTRAN a little more expensive
+  /// and a little less accurate; ~100 is the classic sweet spot.
+  std::size_t eta_limit = 128;
+  /// SparseLU only: a ratio-test pivot smaller than this while the eta
+  /// file is non-empty is treated as possible numerical drift — the basis
+  /// is refactorized and the iteration retried on fresh numbers before the
+  /// pivot is trusted.
+  double lu_stability_tolerance = 1e-7;
+  /// SparseLU only: Markowitz threshold-pivoting factor in (0, 1]; a pivot
+  /// must reach this fraction of its column's largest active entry.
+  double lu_pivot_threshold = 0.1;
 };
 
 /// Solve min c^T x subject to the model's rows and bounds.

@@ -8,6 +8,49 @@
 
 namespace wanplace::lp {
 
+ColumnMajorMatrix::ColumnMajorMatrix(std::size_t rows, std::size_t cols,
+                                     std::vector<Triplet> triplets)
+    : rows_(rows), cols_(cols) {
+  for (const auto& t : triplets) {
+    WANPLACE_REQUIRE(t.row < rows && t.col < cols,
+                     "triplet index out of range");
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.col != b.col ? a.col < b.col : a.row < b.row;
+            });
+
+  col_start_.assign(cols + 1, 0);
+  row_index_.reserve(triplets.size());
+  values_.reserve(triplets.size());
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < cols; ++c) {
+    col_start_[c] = values_.size();
+    while (idx < triplets.size() && triplets[idx].col == c) {
+      const std::size_t row = triplets[idx].row;
+      double sum = 0;
+      while (idx < triplets.size() && triplets[idx].col == c &&
+             triplets[idx].row == row) {
+        sum += triplets[idx].value;
+        ++idx;
+      }
+      if (sum != 0) {
+        row_index_.push_back(row);
+        values_.push_back(sum);
+      }
+    }
+  }
+  col_start_[cols] = values_.size();
+}
+
+double ColumnMajorMatrix::col_norm_squared(std::size_t j) const {
+  WANPLACE_REQUIRE(j < cols_, "column out of range");
+  double sum = 0;
+  for (std::size_t i = col_start_[j]; i < col_start_[j + 1]; ++i)
+    sum += values_[i] * values_[i];
+  return sum;
+}
+
 SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols,
                            std::vector<Triplet> triplets)
     : rows_(rows), cols_(cols) {

@@ -25,6 +25,44 @@ struct Triplet {
   double value;
 };
 
+/// Immutable CSC (column-compressed) matrix: the column-major counterpart
+/// of SparseMatrix, used where algorithms walk columns — the simplex builds
+/// its structural-column view with it and feeds basis columns to the sparse
+/// LU factorization. Entries within each column are sorted by row.
+class ColumnMajorMatrix {
+ public:
+  ColumnMajorMatrix() = default;
+
+  /// Build from triplets; duplicate (row, col) entries are summed, zeros
+  /// dropped. Triplets may be in any order.
+  ColumnMajorMatrix(std::size_t rows, std::size_t cols,
+                    std::vector<Triplet> triplets);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nonzeros() const { return values_.size(); }
+  std::size_t col_size(std::size_t j) const {
+    return col_start_[j + 1] - col_start_[j];
+  }
+
+  /// Iterate the nonzeros of column j as fn(row, value), rows ascending.
+  template <typename Fn>
+  void for_column(std::size_t j, Fn&& fn) const {
+    for (std::size_t i = col_start_[j]; i < col_start_[j + 1]; ++i)
+      fn(row_index_[i], values_[i]);
+  }
+
+  /// Squared Euclidean norm of column j.
+  double col_norm_squared(std::size_t j) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> col_start_;
+  std::vector<std::size_t> row_index_;
+  std::vector<double> values_;
+};
+
 /// Immutable CSR matrix.
 class SparseMatrix {
  public:

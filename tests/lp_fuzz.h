@@ -1,0 +1,139 @@
+// Seeded random LP generator for the differential solver harness.
+//
+// Each seed deterministically produces one LP with randomized shape
+// (variable/row counts), sparsity, bound structure (finite boxes, free
+// variables, fixed variables) and row mix (Le/Ge/Eq). Most instances are
+// built around a known interior point and are feasible by construction;
+// a seeded fraction is mutated into provably infeasible or provably
+// unbounded instances so status agreement is exercised on all three
+// outcomes. Degenerate instances (many rows tight at the construction
+// point) are generated on purpose: they are where basis-management bugs
+// (cycling, stale eta files, drift) actually live.
+//
+// The base seed is WANPLACE_FUZZ_SEED when set (export it to replay a CI
+// failure locally), else a fixed default so the suite is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "lp/model.h"
+#include "util/rng.h"
+
+namespace wanplace::test {
+
+/// What the generator guarantees about an instance, by construction.
+enum class FuzzKind {
+  Feasible,    // has an interior (or boundary) point; optimum is finite
+  Infeasible,  // contains a pair of directly conflicting rows
+  Unbounded,   // feasible, with a cost-improving ray
+};
+
+struct FuzzLp {
+  lp::LpModel model;
+  FuzzKind kind = FuzzKind::Feasible;
+  std::size_t vars = 0;
+  std::size_t rows = 0;
+  bool degenerate = false;  // rows made tight at the construction point
+  bool has_free = false;    // contains doubly-unbounded variables
+};
+
+/// Base seed for the fuzz suites: WANPLACE_FUZZ_SEED env override, else a
+/// fixed default. Each test derives per-case seeds as base + offset.
+inline std::uint64_t fuzz_base_seed() {
+  if (const char* env = std::getenv("WANPLACE_FUZZ_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0') return static_cast<std::uint64_t>(v);
+  }
+  return 0xF00DULL;
+}
+
+/// Deterministically generate one LP from `seed`.
+inline FuzzLp fuzz_lp(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzLp out;
+  out.vars = 2 + rng.uniform_index(27);                    // 2..28
+  out.rows = 1 + rng.uniform_index(22);                    // 1..22
+  const double density = rng.uniform(0.15, 0.9);
+  out.degenerate = rng.bernoulli(0.3);
+  const bool with_free = rng.bernoulli(0.25);
+  const bool with_fixed = rng.bernoulli(0.2);
+  const bool with_equalities = rng.bernoulli(0.5);
+
+  // Construction point x0, kept inside (or on) the box.
+  std::vector<double> x0(out.vars);
+  for (std::size_t j = 0; j < out.vars; ++j) {
+    if (with_free && rng.bernoulli(0.15)) {
+      // Free variable: cost 0 keeps the LP bounded regardless of rows.
+      out.model.add_variable(-lp::kInfinity, lp::kInfinity, 0);
+      x0[j] = rng.uniform(-1, 1);
+      out.has_free = true;
+    } else {
+      const double lo = rng.bernoulli(0.3) ? rng.uniform(-2, 0) : 0.0;
+      const double up = lo + rng.uniform(0.5, 2.5);
+      out.model.add_variable(lo, up, rng.uniform(-1, 1));
+      x0[j] = rng.uniform(lo, up);
+      if (with_fixed && rng.bernoulli(0.1)) {
+        out.model.fix_variable(j, x0[j]);
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < out.rows; ++r) {
+    std::vector<std::size_t> cols;
+    std::vector<double> coeffs;
+    double activity = 0;
+    for (std::size_t j = 0; j < out.vars; ++j) {
+      if (!rng.bernoulli(density)) continue;
+      const double a = rng.uniform(-2, 2);
+      if (a == 0) continue;
+      cols.push_back(j);
+      coeffs.push_back(a);
+      activity += a * x0[j];
+    }
+    if (cols.empty()) continue;
+    // Degenerate rows sit exactly on x0 (slack 0 at the construction
+    // point); otherwise leave randomized slack.
+    const double slack = out.degenerate && rng.bernoulli(0.6)
+                             ? 0.0
+                             : rng.uniform(0, 1);
+    const int kind = with_equalities ? static_cast<int>(rng.uniform_index(3))
+                                     : static_cast<int>(rng.uniform_index(2));
+    if (kind == 0)
+      out.model.add_row(lp::RowType::Ge, activity - slack, cols, coeffs);
+    else if (kind == 1)
+      out.model.add_row(lp::RowType::Le, activity + slack, cols, coeffs);
+    else
+      out.model.add_row(lp::RowType::Eq, activity, cols, coeffs);
+  }
+
+  // Seeded status mutations.
+  const double roll = rng.uniform();
+  if (roll < 0.12) {
+    // Directly conflicting pair on a randomly chosen variable subset.
+    out.kind = FuzzKind::Infeasible;
+    std::vector<std::size_t> cols;
+    std::vector<double> coeffs;
+    const std::size_t count = 1 + rng.uniform_index(out.vars);
+    for (std::size_t j = 0; j < count; ++j) {
+      cols.push_back(j);
+      coeffs.push_back(rng.uniform(0.5, 2));
+    }
+    out.model.add_row(lp::RowType::Ge, 50, cols, coeffs);
+    out.model.add_row(lp::RowType::Le, -50, cols, coeffs);
+  } else if (roll < 0.24) {
+    // A cost-improving ray: a fresh unbounded-above variable with negative
+    // cost whose coefficients only relax the rows it appears in (negative
+    // in Le rows, positive in Ge rows, absent from Eq rows).
+    out.kind = FuzzKind::Unbounded;
+    const auto ray = out.model.add_variable(0, lp::kInfinity, -1);
+    std::vector<std::size_t> cols{ray};
+    std::vector<double> coeffs{rng.uniform(0.5, 2)};
+    out.model.add_row(lp::RowType::Ge, 0, cols, coeffs);
+  }
+  return out;
+}
+
+}  // namespace wanplace::test

@@ -1,0 +1,138 @@
+// Golden-fixture regression tests for the per-class lower bounds.
+//
+// A small fixed MC-PERF fixture (4-node line, 3 intervals, 3 objects) is
+// solved for a representative slice of heuristic classes and the certified
+// lower bounds are compared against frozen values:
+//   - with Basis::DenseInverse the entire pipeline is deterministic integer
+//     and double arithmetic with a fixed operation order, so the bound must
+//     reproduce BIT FOR BIT — any change is a semantic change to the seed
+//     numerics and must be deliberate;
+//   - with the default Basis::SparseLU the pivot order differs, so the
+//     bound must agree to 1e-7 relative — the LU path is "same answer,
+//     different arithmetic".
+//
+// To regenerate after a DELIBERATE semantic change, run this binary with
+// WANPLACE_PRINT_GOLDEN=1 and paste the emitted table over kGolden.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bounds/engine.h"
+#include "instance_helpers.h"
+#include "mcperf/heuristic_class.h"
+
+namespace wanplace {
+namespace {
+
+/// The frozen fixture: a 4-node line (origin at node 3), 3 intervals, 3
+/// objects, Tqos = 0.6 (achievable for every golden class), with a deterministic non-uniform read/write pattern
+/// and a cost model that exercises storage, creation and update terms.
+mcperf::Instance golden_instance() {
+  auto instance = test::line_instance(4, 3, 3, 0.6);
+  instance.costs.alpha = 1;
+  instance.costs.beta = 2;
+  instance.costs.delta = 0.25;
+  for (std::size_t n = 0; n < 4; ++n) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        instance.demand.read(n, i, k) =
+            static_cast<double>(1 + (n + 2 * i + 3 * k) % 4);
+        instance.demand.write(n, i, k) = (n + i + k) % 2 ? 0.5 : 0.0;
+      }
+    }
+  }
+  return instance;
+}
+
+struct GoldenCase {
+  const char* name;            // preset name in mcperf::classes
+  double lower_bound;          // frozen DenseInverse bound
+  double max_achievable_qos;   // frozen achievability value
+};
+
+// Frozen values for golden_instance(), DenseInverse basis,
+// Solver::Simplex. Printed with %.17g so they round-trip exactly.
+constexpr GoldenCase kGolden[] = {
+    {"general", 9.680909090909088, 1},
+    {"storage_constrained", 11.727142857142846, 1},
+    {"replica_constrained", 10.349999999999994, 1},
+    {"replica_constrained_per_object", 9.6809090909090898, 1},
+    {"caching", 36.824999999999989, 0.63636363636363635},
+    {"cooperative_caching", 19.000000000000004, 0.63636363636363635},
+    {"neighborhood_caching", 19.000000000000004, 0.63636363636363635},
+    {"reactive", 12.5, 0.63636363636363635},
+};
+
+mcperf::ClassSpec spec_by_name(const std::string& name) {
+  using namespace mcperf::classes;
+  if (name == "general") return general();
+  if (name == "storage_constrained") return storage_constrained();
+  if (name == "replica_constrained") return replica_constrained();
+  if (name == "replica_constrained_per_object")
+    return replica_constrained_per_object();
+  if (name == "caching") return caching();
+  if (name == "cooperative_caching") return cooperative_caching();
+  if (name == "neighborhood_caching") return neighborhood_caching();
+  if (name == "reactive") return reactive();
+  ADD_FAILURE() << "unknown golden class " << name;
+  return general();
+}
+
+bounds::BoundOptions golden_options(lp::SimplexOptions::Basis basis) {
+  bounds::BoundOptions options;
+  options.solver = bounds::BoundOptions::Solver::Simplex;
+  options.simplex.basis = basis;
+  return options;
+}
+
+TEST(Golden, DenseInverseBoundsBitForBit) {
+  const auto instance = golden_instance();
+  const bool print = std::getenv("WANPLACE_PRINT_GOLDEN") != nullptr;
+  for (const auto& g : kGolden) {
+    const auto bound = bounds::compute_bound(
+        instance, spec_by_name(g.name),
+        golden_options(lp::SimplexOptions::Basis::DenseInverse));
+    if (print) {
+      std::printf("    {\"%s\", %.17g, %.17g},\n", g.name, bound.lower_bound,
+                  bound.max_achievable_qos);
+      continue;
+    }
+    ASSERT_EQ(bound.status, lp::SolveStatus::Optimal) << g.name;
+    // Exact comparison on purpose: see the file comment.
+    EXPECT_EQ(bound.lower_bound, g.lower_bound) << g.name;
+    EXPECT_EQ(bound.max_achievable_qos, g.max_achievable_qos) << g.name;
+  }
+}
+
+TEST(Golden, SparseLuBoundsMatchTo1e7) {
+  const auto instance = golden_instance();
+  if (std::getenv("WANPLACE_PRINT_GOLDEN") != nullptr) GTEST_SKIP();
+  for (const auto& g : kGolden) {
+    const auto bound = bounds::compute_bound(
+        instance, spec_by_name(g.name),
+        golden_options(lp::SimplexOptions::Basis::SparseLU));
+    ASSERT_EQ(bound.status, lp::SolveStatus::Optimal) << g.name;
+    EXPECT_NEAR(bound.lower_bound, g.lower_bound,
+                1e-7 * (1 + std::abs(g.lower_bound)))
+        << g.name;
+    EXPECT_EQ(bound.max_achievable_qos, g.max_achievable_qos) << g.name;
+  }
+}
+
+// The golden fixture's bounds must also respect the paper's dominance
+// ordering: every constrained class costs at least the general bound.
+TEST(Golden, ConstrainedClassesDominateGeneralBound) {
+  double general_bound = 0;
+  for (const auto& g : kGolden) {
+    if (std::string(g.name) == "general") general_bound = g.lower_bound;
+  }
+  for (const auto& g : kGolden) {
+    EXPECT_GE(g.lower_bound, general_bound - 1e-9) << g.name;
+  }
+}
+
+}  // namespace
+}  // namespace wanplace

@@ -4,6 +4,7 @@
 #include <limits>
 #include <vector>
 
+#include "lp/lu.h"
 #include "lp/model.h"
 #include "lp/pdhg.h"
 #include "lp/scaling.h"
@@ -73,6 +74,168 @@ TEST(Scaling, RuizEquilibratesRowsAndCols) {
   }
   for (double v : row_max) EXPECT_NEAR(v, 1.0, 0.05);
   for (double v : col_max) EXPECT_NEAR(v, 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse LU basis: factorize / FTRAN / BTRAN / eta update against dense
+// reference arithmetic.
+
+using LuColumns = std::vector<std::vector<BasisLu::Entry>>;
+
+/// Random diagonally-dominant sparse basis (always nonsingular).
+LuColumns random_basis_columns(Rng& rng, std::size_t m) {
+  LuColumns columns(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    columns[p].push_back(
+        {static_cast<std::uint32_t>(p), 2.0 + rng.uniform(0, 1)});
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == p || !rng.bernoulli(0.15)) continue;
+      columns[p].push_back(
+          {static_cast<std::uint32_t>(r), rng.uniform(-1, 1)});
+    }
+  }
+  return columns;
+}
+
+/// b[r] = sum_p B[r][p] * x[p] — dense reference product.
+std::vector<double> basis_multiply(const LuColumns& columns,
+                                   const std::vector<double>& x) {
+  std::vector<double> b(columns.size(), 0.0);
+  for (std::size_t p = 0; p < columns.size(); ++p)
+    for (const auto& e : columns[p]) b[e.index] += e.value * x[p];
+  return b;
+}
+
+/// c[p] = sum_r B[r][p] * y[r] — dense reference transpose product.
+std::vector<double> basis_multiply_transpose(const LuColumns& columns,
+                                             const std::vector<double>& y) {
+  std::vector<double> c(columns.size(), 0.0);
+  for (std::size_t p = 0; p < columns.size(); ++p)
+    for (const auto& e : columns[p]) c[p] += e.value * y[e.index];
+  return c;
+}
+
+TEST(LuBasis, FtranSolvesAgainstDenseMultiply) {
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 5 + rng.uniform_index(40);
+    const auto columns = random_basis_columns(rng, m);
+    BasisLu lu;
+    ASSERT_TRUE(lu.factorize(m, columns));
+    std::vector<double> x_true(m);
+    for (auto& v : x_true) v = rng.uniform(-3, 3);
+    auto rhs = basis_multiply(columns, x_true);
+    lu.ftran(rhs);  // rhs -> position-space solution
+    for (std::size_t p = 0; p < m; ++p)
+      ASSERT_NEAR(rhs[p], x_true[p], 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LuBasis, BtranSolvesTransposeAgainstDenseMultiply) {
+  Rng rng(12);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t m = 5 + rng.uniform_index(40);
+    const auto columns = random_basis_columns(rng, m);
+    BasisLu lu;
+    ASSERT_TRUE(lu.factorize(m, columns));
+    std::vector<double> y_true(m);
+    for (auto& v : y_true) v = rng.uniform(-3, 3);
+    auto c = basis_multiply_transpose(columns, y_true);
+    lu.btran(c);  // position-space costs -> row-space duals
+    for (std::size_t r = 0; r < m; ++r)
+      ASSERT_NEAR(c[r], y_true[r], 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LuBasis, SingularBasisRejected) {
+  // Structural: an empty column.
+  LuColumns zero_col(3);
+  zero_col[0] = {{0, 1.0}};
+  zero_col[1] = {{1, 1.0}};
+  BasisLu lu;
+  EXPECT_FALSE(lu.factorize(3, zero_col));
+
+  // Numerical: two identical columns (rank 2).
+  LuColumns dup(3);
+  dup[0] = {{0, 1.0}, {1, 2.0}};
+  dup[1] = {{0, 1.0}, {1, 2.0}};
+  dup[2] = {{2, 1.0}};
+  EXPECT_FALSE(lu.factorize(3, dup));
+
+  // Sanity: a permutation of the identity factorizes fine afterwards.
+  LuColumns perm(3);
+  perm[0] = {{2, 1.0}};
+  perm[1] = {{0, 1.0}};
+  perm[2] = {{1, 1.0}};
+  EXPECT_TRUE(lu.factorize(3, perm));
+  std::vector<double> x{1, 2, 3};
+  lu.ftran(x);  // row r holds column (r+1)%3, so x = (b[2], b[0], b[1])
+  EXPECT_NEAR(x[0], 3, 1e-12);
+  EXPECT_NEAR(x[1], 1, 1e-12);
+  EXPECT_NEAR(x[2], 2, 1e-12);
+}
+
+TEST(LuBasis, EtaUpdateMatchesFreshFactorization) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t m = 6 + rng.uniform_index(25);
+    auto columns = random_basis_columns(rng, m);
+    BasisLu updated;
+    ASSERT_TRUE(updated.factorize(m, columns));
+
+    // Replace a few random columns through the eta path, mirroring the
+    // change in `columns` for the fresh factorization.
+    for (int change = 0; change < 4; ++change) {
+      const std::size_t p = rng.uniform_index(m);
+      std::vector<BasisLu::Entry> incoming;
+      incoming.push_back(
+          {static_cast<std::uint32_t>(p), 2.0 + rng.uniform(0, 1)});
+      for (std::size_t r = 0; r < m; ++r)
+        if (r != p && rng.bernoulli(0.2))
+          incoming.push_back(
+              {static_cast<std::uint32_t>(r), rng.uniform(-1, 1)});
+      std::vector<double> w(m, 0.0);
+      for (const auto& e : incoming) w[e.index] = e.value;
+      updated.ftran(w);
+      ASSERT_TRUE(updated.update(p, w, 1e-12));
+      columns[p] = incoming;
+    }
+    EXPECT_EQ(updated.eta_count(), 4u);
+
+    BasisLu fresh;
+    ASSERT_TRUE(fresh.factorize(m, columns));
+    std::vector<double> rhs(m);
+    for (auto& v : rhs) v = rng.uniform(-2, 2);
+    auto via_etas = rhs, via_fresh = rhs;
+    updated.ftran(via_etas);
+    fresh.ftran(via_fresh);
+    for (std::size_t p = 0; p < m; ++p)
+      ASSERT_NEAR(via_etas[p], via_fresh[p], 1e-8) << "trial " << trial;
+
+    auto yt_etas = rhs, yt_fresh = rhs;
+    updated.btran(yt_etas);
+    fresh.btran(yt_fresh);
+    for (std::size_t r = 0; r < m; ++r)
+      ASSERT_NEAR(yt_etas[r], yt_fresh[r], 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(LuBasis, UpdateRejectsVanishingPivot) {
+  LuColumns columns(2);
+  columns[0] = {{0, 1.0}};
+  columns[1] = {{1, 1.0}};
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(2, columns));
+  // Incoming direction with a zero pivot entry at the replaced position:
+  // the eta would be singular, so the update must refuse and leave the
+  // factorization untouched.
+  std::vector<double> w{0.0, 5.0};
+  EXPECT_FALSE(lu.update(0, w, 1e-9));
+  EXPECT_EQ(lu.eta_count(), 0u);
+  std::vector<double> x{7.0, 3.0};
+  lu.ftran(x);
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -374,6 +537,87 @@ TEST(SimplexDegenerate, TinyRefactorPeriodStaysExact) {
   const auto sol = solve_simplex(model, options);
   ASSERT_EQ(sol.status, SolveStatus::Optimal);
   EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+}
+
+TEST(SimplexDegenerate, BealeCyclingSolvedUnderBothBases) {
+  // The degenerate pivot sequence must terminate at the optimum whichever
+  // basis representation tracks it.
+  const auto model = beale_cycling_lp();
+  for (const auto basis : {SimplexOptions::Basis::SparseLU,
+                           SimplexOptions::Basis::DenseInverse}) {
+    SimplexOptions options;
+    options.basis = basis;
+    const auto sol = solve_simplex(model, options);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+    EXPECT_NEAR(sol.x[0], 0.04, 1e-9);
+    EXPECT_NEAR(sol.x[2], 1.0, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Eta-file edge cases: the refactorization triggers must be invisible in
+// the certified answer no matter how often (or why) they fire.
+
+TEST(SimplexEta, EtaLimitOneRefactorizesEveryPivot) {
+  // eta_limit=1 hits the eta-file bound on every single pivot — the
+  // worst-case trigger cadence — and must still certify the optimum.
+  const auto model = beale_cycling_lp();
+  SimplexOptions options;
+  options.eta_limit = 1;
+  const auto sol = solve_simplex(model, options);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+}
+
+TEST(SimplexEta, EtaLimitInvariantOnRandomModels) {
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(9100 + seed);
+    auto lp = random_feasible_lp(rng, 14, 12, /*with_equalities=*/true);
+    SimplexOptions dense;
+    dense.basis = SimplexOptions::Basis::DenseInverse;
+    const auto reference = solve_simplex(lp.model, dense);
+    ASSERT_EQ(reference.status, SolveStatus::Optimal) << "seed " << seed;
+    const double scale = 1 + std::abs(reference.objective);
+    for (const std::size_t limit : {std::size_t{1}, std::size_t{4},
+                                    std::size_t{128}}) {
+      SimplexOptions options;
+      options.eta_limit = limit;
+      const auto sol = solve_simplex(lp.model, options);
+      ASSERT_EQ(sol.status, SolveStatus::Optimal)
+          << "seed " << seed << " eta_limit " << limit;
+      EXPECT_NEAR(sol.objective, reference.objective, 1e-6 * scale)
+          << "seed " << seed << " eta_limit " << limit;
+    }
+  }
+}
+
+TEST(SimplexEta, ParanoidStabilityToleranceStillTerminates) {
+  // lu_stability_tolerance close to 1 treats nearly every pivot under a
+  // non-empty eta file as suspected drift, forcing the
+  // refactorize-and-retry path mid-iteration. After the rebuild the eta
+  // file is empty, so each retried pivot is accepted — the solver must
+  // terminate at the exact optimum, never loop.
+  const auto model = beale_cycling_lp();
+  SimplexOptions options;
+  options.lu_stability_tolerance = 0.9;
+  const auto sol = solve_simplex(model, options);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+
+  for (int seed = 0; seed < 5; ++seed) {
+    Rng rng(9200 + seed);
+    auto lp = random_feasible_lp(rng, 10, 8, /*with_equalities=*/true);
+    SimplexOptions dense;
+    dense.basis = SimplexOptions::Basis::DenseInverse;
+    const auto reference = solve_simplex(lp.model, dense);
+    ASSERT_EQ(reference.status, SolveStatus::Optimal) << "seed " << seed;
+    const auto paranoid = solve_simplex(lp.model, options);
+    ASSERT_EQ(paranoid.status, SolveStatus::Optimal) << "seed " << seed;
+    EXPECT_NEAR(paranoid.objective, reference.objective,
+                1e-6 * (1 + std::abs(reference.objective)))
+        << "seed " << seed;
+  }
 }
 
 // ---------------------------------------------------------------------------
