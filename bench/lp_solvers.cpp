@@ -1,10 +1,12 @@
-// Micro-benchmark of the LP substrate: bounded-variable simplex over the
-// sparse LU basis vs the seed's dense explicit inverse vs restarted PDHG,
-// on random feasible LPs of growing size plus a real ~3900-row MC-PERF
-// relaxation. Reports solve time per path and the certified-bound
-// agreement. Explains the engine's Auto policy: with the LU basis the
-// simplex stays exact and fast to a few thousand rows (the dense inverse
-// gave out around 600), PDHG takes over beyond that.
+// Micro-benchmark of the LP substrate: bounded-variable simplex under the
+// default Forrest-Tomlin basis with dynamic Devex pricing, vs the previous
+// default (product-form eta file + static partial Devex), vs the seed's
+// dense explicit inverse, vs restarted PDHG, on random feasible LPs of
+// growing size plus a real ~3900-row MC-PERF relaxation. Reports solve
+// time and iteration count per path and the certified-bound agreement.
+// Explains the engine's Auto policy: with a sparse basis the simplex stays
+// exact and fast to a few thousand rows (the dense inverse gave out around
+// 600), PDHG takes over beyond that.
 #include "common.h"
 
 #include "core/case_study.h"
@@ -63,28 +65,42 @@ lp::LpModel mcperf_lp(double tqos) {
 }
 
 struct Paths {
-  bool lu = true;
+  bool ft = true;     // Forrest-Tomlin + dynamic Devex (the default)
+  bool pf = true;     // product-form eta + static Devex (previous default)
   bool dense = true;  // the dense inverse is O(m^2)/pivot — cap its size
 };
 
 void run_point(::benchmark::State& state, const lp::LpModel& model,
                Paths paths, std::size_t pdhg_iterations,
                double pdhg_tolerance = 1e-7) {
-  double lu_s = 0, lu_obj = 0, dense_s = 0, dense_obj = 0;
+  double ft_s = 0, ft_obj = 0, pf_s = 0, dense_s = 0;
+  std::size_t ft_it = 0, pf_it = 0;
   lp::LpSolution pdhg;
   for (auto _ : state) {
-    if (paths.lu) {
-      lp::SimplexOptions options;  // default basis: SparseLU
+    if (paths.ft) {
+      lp::SimplexOptions options;  // defaults: ForrestTomlin + DevexDynamic
       const auto exact = lp::solve_simplex(model, options);
-      lu_s = exact.solve_seconds;
-      lu_obj = exact.objective;
+      ft_s = exact.solve_seconds;
+      ft_obj = exact.objective;
+      ft_it = exact.iterations;
+    }
+    if (paths.pf) {
+      // The previous default configuration, pinned explicitly.
+      lp::SimplexOptions options;
+      options.basis = lp::SimplexOptions::Basis::ProductForm;
+      options.pricing = lp::SimplexOptions::Pricing::PartialDevex;
+      options.refactor_period = 640;
+      options.eta_limit = 128;
+      const auto exact = lp::solve_simplex(model, options);
+      pf_s = exact.solve_seconds;
+      pf_it = exact.iterations;
     }
     if (paths.dense) {
       lp::SimplexOptions options;
       options.basis = lp::SimplexOptions::Basis::DenseInverse;
+      options.pricing = lp::SimplexOptions::Pricing::PartialDevex;
       const auto exact = lp::solve_simplex(model, options);
       dense_s = exact.solve_seconds;
-      dense_obj = exact.objective;
     }
     lp::PdhgOptions options;
     options.tolerance = pdhg_tolerance;
@@ -93,40 +109,41 @@ void run_point(::benchmark::State& state, const lp::LpModel& model,
     pdhg = lp::solve_pdhg(model, options);
   }
   state.counters["pdhg_bound"] = pdhg.dual_bound;
-  const double reference = paths.lu ? lu_obj : dense_obj;
-  const double gap = (paths.lu || paths.dense)
-                         ? std::abs(reference - pdhg.dual_bound) /
-                               (1 + std::abs(reference))
-                         : 0;
+  const double gap = paths.ft ? std::abs(ft_obj - pdhg.dual_bound) /
+                                    (1 + std::abs(ft_obj))
+                              : 0;
   bench::results()
       .cell(static_cast<std::int64_t>(model.variable_count()))
       .cell(static_cast<std::int64_t>(model.row_count()))
-      .cell(paths.lu ? format_number(lu_s, 3) : std::string("-"))
-      .cell(paths.lu ? format_number(lu_obj, 3) : std::string("-"))
+      .cell(paths.ft ? format_number(ft_s, 3) : std::string("-"))
+      .cell(paths.ft ? std::to_string(ft_it) : std::string("-"))
+      .cell(paths.ft ? format_number(ft_obj, 3) : std::string("-"))
+      .cell(paths.pf ? format_number(pf_s, 3) : std::string("-"))
+      .cell(paths.pf ? std::to_string(pf_it) : std::string("-"))
       .cell(paths.dense ? format_number(dense_s, 3) : std::string("-"))
-      .cell(paths.dense ? format_number(dense_obj, 3) : std::string("-"))
       .cell(pdhg.solve_seconds, 3)
       .cell(pdhg.dual_bound, 3)
-      .cell((paths.lu || paths.dense) ? format_number(gap, 7)
-                                      : std::string("-"));
+      .cell(paths.ft ? format_number(gap, 7) : std::string("-"));
   bench::results().finish_row();
 }
 
 void register_points() {
-  bench::results({"vars", "rows", "lu-s", "lu-obj", "dense-s", "dense-obj",
-                  "pdhg-s", "pdhg-bound", "rel-gap"});
+  bench::results({"vars", "rows", "ft-s", "ft-it", "ft-obj", "pf-s", "pf-it",
+                  "dense-s", "pdhg-s", "pdhg-bound", "rel-gap"});
   struct Size {
     std::size_t vars, rows;
     Paths paths;
     std::size_t pdhg_iterations;
   };
   for (const Size size :
-       {Size{60, 40, {true, true}, 200'000},
-        Size{250, 180, {true, true}, 200'000},
-        Size{1000, 700, {true, true}, 200'000},
-        // Dense refactorizations are O(m^3) past this point: LU + PDHG only.
-        Size{4000, 3000, {true, false}, 200'000},
-        Size{8000, 6000, {false, false}, 200'000}}) {
+       {Size{60, 40, {true, true, true}, 200'000},
+        Size{250, 180, {true, true, true}, 200'000},
+        Size{1000, 700, {true, true, true}, 200'000},
+        // Dense refactorizations are O(m^3) past this point, and the
+        // product-form path took ~10 minutes here in the previous round:
+        // FT + PDHG only.
+        Size{4000, 3000, {true, false, false}, 200'000},
+        Size{8000, 6000, {false, false, false}, 200'000}}) {
     const std::string label = "lp/" + std::to_string(size.vars) + "x" +
                               std::to_string(size.rows);
     ::benchmark::RegisterBenchmark(
@@ -140,28 +157,30 @@ void register_points() {
         ->Unit(::benchmark::kSecond);
   }
 
-  // The acceptance point for the LU basis: a >=3000-row MC-PERF LP (3914
-  // rows) solved exactly by simplex-LU, cross-checked against PDHG. At
-  // tqos=0.9 PDHG converges fully and the two paths agree to <1e-6.
+  // The acceptance point for the sparse bases: a >=3000-row MC-PERF LP
+  // (3914 rows) solved exactly by both simplex configurations,
+  // cross-checked against PDHG. At tqos=0.9 PDHG converges fully and the
+  // paths agree to <1e-6.
   ::benchmark::RegisterBenchmark(
       "lp/mcperf-8x8x60-q90",
       [](::benchmark::State& state) {
         const auto model = mcperf_lp(0.9);
-        run_point(state, model, {true, false}, 2'000'000, 1e-8);
+        run_point(state, model, {true, true, false}, 2'000'000, 1e-8);
       })
       ->Iterations(1)
       ->Unit(::benchmark::kSecond);
 
   // The same LP at tqos=0.99: the near-tight coverage rows slow PDHG's
   // tail to a crawl (measured: 1M iters -> 1.4e-5 gap, 4M -> 1.0e-5,
-  // 8M/~380s -> 1.4e-6) while the LU simplex solves it exactly in ~1s —
-  // the case that motivates keeping an exact path under the Auto policy.
-  // The bench caps PDHG at 1M iterations and reports the honest ~1e-5 gap.
+  // 8M/~380s -> 1.4e-6) while the exact simplex solves it in about a
+  // second — the case that motivates keeping an exact path under the Auto
+  // policy. The bench caps PDHG at 1M iterations and reports the honest
+  // ~1e-5 gap.
   ::benchmark::RegisterBenchmark(
       "lp/mcperf-8x8x60-q99",
       [](::benchmark::State& state) {
         const auto model = mcperf_lp(0.99);
-        run_point(state, model, {true, false}, 1'000'000, 1e-8);
+        run_point(state, model, {true, true, false}, 1'000'000, 1e-8);
       })
       ->Iterations(1)
       ->Unit(::benchmark::kSecond);

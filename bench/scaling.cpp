@@ -2,7 +2,7 @@
 // paper reports under 1 minute to ~12 hours with CPLEX on 2004 hardware,
 // with the rounding step taking seconds). This bench measures our solver
 // pipeline across instance sizes under the engine's Auto policy — exact
-// simplex over the sparse LU basis up to simplex_row_limit rows, PDHG +
+// simplex over the Forrest-Tomlin sparse basis up to simplex_row_limit rows, PDHG +
 // rounding beyond — reporting LP dimensions, the chosen solver, and the
 // bound/rounding split.
 #include "common.h"
@@ -19,7 +19,8 @@ struct Size {
 
 void register_points() {
   bench::results({"nodes", "intervals", "objects", "lp-rows", "lp-vars",
-                  "solver", "bound-seconds", "round-ups", "gap"});
+                  "solver", "solver-iters", "bound-seconds", "round-ups",
+                  "gap"});
   const std::vector<Size> sizes{
       {6, 6, 30, 6'000},     {8, 8, 40, 12'000},  {8, 8, 60, 16'000},
       {12, 12, 120, 36'000}, {12, 12, 240, 72'000}, {16, 12, 240, 96'000},
@@ -58,7 +59,8 @@ void register_points() {
               .cell(static_cast<std::int64_t>(size.objects))
               .cell(static_cast<std::int64_t>(detail.bound.lp_rows))
               .cell(static_cast<std::int64_t>(detail.bound.lp_variables))
-              .cell(exact ? "simplex-lu" : "pdhg")
+              .cell(exact ? "simplex-ft" : "pdhg")
+              .cell(static_cast<std::int64_t>(detail.bound.solver_iterations))
               .cell(detail.bound.solve_seconds, 2)
               .cell(static_cast<std::int64_t>(detail.rounding.round_ups))
               .cell(detail.bound.rounded_feasible

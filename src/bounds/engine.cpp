@@ -43,7 +43,12 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
        detail.bound.lp_rows <= options.simplex_row_limit);
 
   if (use_simplex) {
-    detail.solution = lp::solve_simplex(detail.built.model, options.simplex);
+    lp::SimplexOptions simplex = options.simplex;
+    // Thread the engine-level parallelism knob into the simplex
+    // pivot-row pricing pass (it only engages on large-row models and is
+    // bit-identical for every value, like the PDHG matvecs).
+    simplex.parallelism = options.parallelism;
+    detail.solution = lp::solve_simplex(detail.built.model, simplex);
   } else {
     lp::PdhgOptions pdhg = options.pdhg;
     if (pdhg.infeasibility_threshold == lp::kInfinity)

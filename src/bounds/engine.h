@@ -21,16 +21,20 @@ struct BoundOptions {
   /// Auto picks simplex when the LP has at most this many rows (measured
   /// crossover vs PDHG on this codebase: see bench/lp_solvers). With the
   /// sparse LU basis the simplex stays exact and competitive well past the
-  /// old dense-inverse limit of 600 rows, so the crossover moved up to
-  /// thousands of rows on the tree-structured MC-PERF family.
-  std::size_t simplex_row_limit = 3000;
+  /// old dense-inverse limit of 600 rows; Forrest-Tomlin updates + dynamic
+  /// Devex pricing moved the crossover up again — the 3914-row MC-PERF
+  /// case-study LP solves exactly in ~0.3 s vs ~0.5 s for PDHG with a
+  /// 1.6% rounding gap, so the limit now covers it.
+  std::size_t simplex_row_limit = 4000;
   lp::SimplexOptions simplex;
   lp::PdhgOptions pdhg;
   RoundingOptions rounding;
   bool run_rounding = true;
-  /// Worker threads for the solve (currently the PDHG matvec pair):
+  /// Worker threads for the solve (the PDHG matvec pair and the simplex
+  /// dynamic-Devex pivot-row pass on >=2000-row models):
   /// 0 = hardware concurrency, 1 = fully serial. Purely a wall-clock knob —
-  /// bounds are bit-identical for every value (see PdhgOptions).
+  /// bounds are bit-identical for every value (see PdhgOptions /
+  /// SimplexOptions::parallelism).
   std::size_t parallelism = 0;
 };
 

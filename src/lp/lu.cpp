@@ -16,17 +16,28 @@ namespace {
 /// within noise of the full search at a fraction of the cost.
 constexpr std::size_t kSearchCap = 16;
 
+/// Forrest–Tomlin stability guard: the eliminated diagonal must not vanish
+/// relative to the spike's largest entry, or the updated U would amplify
+/// roundoff on every later solve. 1e-10 rejects genuinely collapsing pivots
+/// while tolerating the poor scaling adversarial near-singular bases show.
+constexpr double kFtRelativeStability = 1e-10;
+
 }  // namespace
 
 bool BasisLu::factorize(std::size_t m,
                         const std::vector<std::vector<Entry>>& columns,
-                        double pivot_threshold) {
+                        double pivot_threshold, UpdateMode mode) {
   WANPLACE_REQUIRE(columns.size() == m, "basis column count mismatch");
   pivot_threshold = std::clamp(pivot_threshold, 1e-4, 1.0);
   m_ = m;
+  mode_ = mode;
   steps_.clear();
   steps_.reserve(m);
   etas_.clear();
+  retas_.clear();
+  update_count_ = 0;
+  r_nonzeros_ = 0;
+  spike_valid_ = false;
 
   // Working copy of the active submatrix: rows as (col, value) lists —
   // values live here — and per-column lists of candidate rows that may be
@@ -187,7 +198,48 @@ bool BasisLu::factorize(std::size_t m,
     }
     steps_.push_back(std::move(st));
   }
+
+  if (mode_ == UpdateMode::ForrestTomlin) build_ft_structure();
+  baseline_nonzeros_ = factor_nonzeros();
   return true;
+}
+
+void BasisLu::build_ft_structure() {
+  const std::size_t m = m_;
+  u_pivot_.resize(m);
+  u_row_.resize(m);
+  u_pos_.resize(m);
+  u_rows_.assign(m, {});
+  next_.resize(m);
+  prev_.resize(m);
+  slot_of_pos_.resize(m);
+  slot_of_row_.resize(m);
+  col_slots_.assign(m, {});
+  u_nonzeros_ = 0;
+  l_nonzeros_ = 0;
+  for (std::size_t t = 0; t < m; ++t) {
+    Step& st = steps_[t];
+    u_pivot_[t] = st.pivot;
+    u_row_[t] = st.pivot_row;
+    u_pos_[t] = st.pivot_col;
+    slot_of_pos_[st.pivot_col] = static_cast<std::uint32_t>(t);
+    slot_of_row_[st.pivot_row] = static_cast<std::uint32_t>(t);
+    u_rows_[t] = std::move(st.u_entries);
+    st.u_entries.clear();
+    for (const Entry& e : u_rows_[t])
+      col_slots_[e.index].push_back(static_cast<std::uint32_t>(t));
+    u_nonzeros_ += u_rows_[t].size();
+    l_nonzeros_ += st.l_entries.size();
+    next_[t] = static_cast<std::uint32_t>(t + 1);
+    prev_[t] = t == 0 ? kNoSlot : static_cast<std::uint32_t>(t - 1);
+  }
+  if (m == 0) {
+    head_ = tail_ = kNoSlot;
+  } else {
+    next_[m - 1] = kNoSlot;
+    head_ = 0;
+    tail_ = static_cast<std::uint32_t>(m - 1);
+  }
 }
 
 void BasisLu::ftran(std::vector<double>& x) const {
@@ -197,6 +249,28 @@ void BasisLu::ftran(std::vector<double>& x) const {
     const double z = x[st.pivot_row];
     if (z == 0) continue;
     for (const Entry& e : st.l_entries) x[e.index] -= e.value * z;
+  }
+  if (mode_ == UpdateMode::ForrestTomlin) {
+    // R-file, oldest first: each row eta folds one retired U row into the
+    // rows it was eliminated against.
+    for (const RowEta& eta : retas_) {
+      double acc = 0;
+      for (const Entry& e : eta.entries) acc += e.value * x[e.index];
+      x[eta.row] -= acc;
+    }
+    // Stash the spike: a subsequent update() replaces a column of U with
+    // exactly this partial result.
+    spike_ = x;
+    spike_valid_ = true;
+    // Back-substitution through U in reverse pivot order.
+    scratch_.assign(m_, 0.0);
+    for (std::uint32_t s = tail_; s != kNoSlot; s = prev_[s]) {
+      double val = x[u_row_[s]];
+      for (const Entry& e : u_rows_[s]) val -= e.value * scratch_[e.index];
+      scratch_[u_pos_[s]] = val / u_pivot_[s];
+    }
+    x.swap(scratch_);
+    return;
   }
   // Backward substitution through U into position space.
   scratch_.assign(m_, 0.0);
@@ -218,6 +292,32 @@ void BasisLu::ftran(std::vector<double>& x) const {
 
 void BasisLu::btran(std::vector<double>& x) const {
   WANPLACE_REQUIRE(x.size() == m_, "btran dimension mismatch");
+  if (mode_ == UpdateMode::ForrestTomlin) {
+    // Forward substitution through U^T in pivot order (row-stored U
+    // applied by scatter), result mapped to constraint rows.
+    scratch_.assign(m_, 0.0);
+    for (std::uint32_t s = head_; s != kNoSlot; s = next_[s]) {
+      const double vt = x[u_pos_[s]] / u_pivot_[s];
+      scratch_[u_row_[s]] = vt;
+      if (vt == 0) continue;
+      for (const Entry& e : u_rows_[s]) x[e.index] -= e.value * vt;
+    }
+    // R-file transposed, newest first.
+    for (auto it = retas_.rbegin(); it != retas_.rend(); ++it) {
+      const double z = scratch_[it->row];
+      if (z == 0) continue;
+      for (const Entry& e : it->entries) scratch_[e.index] -= e.value * z;
+    }
+    // L^T, reverse elimination order.
+    for (std::size_t t = steps_.size(); t-- > 0;) {
+      const Step& st = steps_[t];
+      double acc = scratch_[st.pivot_row];
+      for (const Entry& e : st.l_entries) acc -= e.value * scratch_[e.index];
+      scratch_[st.pivot_row] = acc;
+    }
+    x.swap(scratch_);
+    return;
+  }
   // Eta file transposed, newest first.
   for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
     double acc = x[it->position];
@@ -249,7 +349,15 @@ void BasisLu::btran(std::vector<double>& x) const {
 bool BasisLu::update(std::size_t position, const std::vector<double>& direction,
                      double min_pivot) {
   WANPLACE_REQUIRE(direction.size() == m_ && position < m_,
-                   "eta update dimension mismatch");
+                   "basis update dimension mismatch");
+  if (mode_ == UpdateMode::ForrestTomlin)
+    return update_forrest_tomlin(position, min_pivot);
+  return update_product_form(position, direction, min_pivot);
+}
+
+bool BasisLu::update_product_form(std::size_t position,
+                                  const std::vector<double>& direction,
+                                  double min_pivot) {
   const double pivot = direction[position];
   if (!(std::abs(pivot) > min_pivot)) return false;
   Eta eta;
@@ -260,10 +368,94 @@ bool BasisLu::update(std::size_t position, const std::vector<double>& direction,
     eta.entries.push_back({static_cast<std::uint32_t>(i), direction[i]});
   }
   etas_.push_back(std::move(eta));
+  ++update_count_;
+  return true;
+}
+
+bool BasisLu::update_forrest_tomlin(std::size_t position, double min_pivot) {
+  WANPLACE_REQUIRE(spike_valid_,
+                   "Forrest-Tomlin update needs the entering column's ftran "
+                   "immediately before it");
+  const std::uint32_t t = slot_of_pos_[position];
+  const std::uint32_t target_row = u_row_[t];
+
+  // --- Dry run: eliminate the retired U row t against all later rows in
+  // pivot order, collecting the multipliers and the new diagonal, without
+  // mutating anything. On failure the factorization stays valid.
+  scratch_.assign(m_, 0.0);
+  for (const Entry& e : u_rows_[t]) scratch_[e.index] = e.value;
+  double diag = spike_[target_row];
+  double spike_max = std::abs(diag);
+  for (std::size_t r = 0; r < m_; ++r)
+    spike_max = std::max(spike_max, std::abs(spike_[r]));
+  RowEta eta;
+  eta.row = target_row;
+  for (std::uint32_t s = next_[t]; s != kNoSlot; s = next_[s]) {
+    const double v = scratch_[u_pos_[s]];
+    if (v == 0) continue;
+    scratch_[u_pos_[s]] = 0;
+    const double mult = v / u_pivot_[s];
+    eta.entries.push_back({u_row_[s], mult});
+    for (const Entry& e : u_rows_[s]) scratch_[e.index] -= mult * e.value;
+    diag -= mult * spike_[u_row_[s]];
+  }
+  spike_valid_ = false;
+  if (!(std::abs(diag) > min_pivot) ||
+      std::abs(diag) < kFtRelativeStability * spike_max)
+    return false;
+
+  // --- Apply. Drop the old column `position` from the rows ordered before
+  // t (later rows cannot reference it: triangularity), retire row t's
+  // entries (they now live in the R eta), splice the spike in as the new
+  // column at `position`, and move slot t to the end of the pivot order.
+  for (const std::uint32_t s : col_slots_[position]) {
+    if (s == t) continue;
+    auto& row = u_rows_[s];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].index == position) {
+        row[i] = row.back();
+        row.pop_back();
+        --u_nonzeros_;
+        break;
+      }
+    }
+  }
+  col_slots_[position].clear();
+  u_nonzeros_ -= u_rows_[t].size();
+  u_rows_[t].clear();
+  for (std::size_t r = 0; r < m_; ++r) {
+    const double v = spike_[r];
+    if (v == 0 || r == target_row) continue;
+    const std::uint32_t s = slot_of_row_[r];
+    u_rows_[s].push_back({static_cast<std::uint32_t>(position), v});
+    col_slots_[position].push_back(s);
+    ++u_nonzeros_;
+  }
+  u_pivot_[t] = diag;
+  if (t != tail_) {
+    // Unlink t …
+    if (prev_[t] != kNoSlot)
+      next_[prev_[t]] = next_[t];
+    else
+      head_ = next_[t];
+    if (next_[t] != kNoSlot) prev_[next_[t]] = prev_[t];
+    // … and append at the tail.
+    next_[tail_] = t;
+    prev_[t] = tail_;
+    next_[t] = kNoSlot;
+    tail_ = t;
+  }
+  if (!eta.entries.empty()) {
+    r_nonzeros_ += eta.entries.size();
+    retas_.push_back(std::move(eta));
+  }
+  ++update_count_;
   return true;
 }
 
 std::size_t BasisLu::factor_nonzeros() const {
+  if (mode_ == UpdateMode::ForrestTomlin)
+    return l_nonzeros_ + u_nonzeros_ + m_;
   std::size_t count = 0;
   for (const Step& st : steps_)
     count += 1 + st.l_entries.size() + st.u_entries.size();

@@ -1,4 +1,5 @@
-// Sparse LU basis factorization with product-form eta updates.
+// Sparse LU basis factorization with two pivot-update schemes: product-form
+// eta updates and Forrest–Tomlin updates of the U factor in place.
 //
 // The simplex basis matrix B (one column per basic variable) is factorized
 // as PBQ = LU by right-looking Gaussian elimination with Markowitz pivot
@@ -9,14 +10,31 @@
 // family where the dense explicit inverse was O(m^2) memory and O(m^3)
 // refactorization.
 //
-// Between refactorizations the basis changes one column per simplex pivot;
-// the factorization absorbs each change as a product-form-of-the-inverse
-// eta: if column `p` of B is replaced by a column a with w = B^{-1} a, then
-// B_new^{-1} = E^{-1} B_old^{-1} where E is the identity with column p
-// replaced by w. FTRAN applies the eta file forward after the LU solve,
-// BTRAN applies it transposed in reverse before the LU^T solve. The caller
-// refactorizes when the eta file passes a bound or numerical drift is
-// suspected (see SimplexOptions::eta_limit / lu_stability_tolerance).
+// Between refactorizations the basis changes one column per simplex pivot.
+// Two update schemes absorb the change:
+//
+//  - UpdateMode::ProductForm (the PR 2 scheme, kept as the differential
+//    reference): if column `p` of B is replaced by a column a with
+//    w = B^{-1} a, then B_new^{-1} = E^{-1} B_old^{-1} where E is the
+//    identity with column p replaced by w. FTRAN applies the eta file
+//    forward after the LU solve, BTRAN applies it transposed in reverse
+//    before the LU^T solve. Every FTRAN/BTRAN pays for the whole eta file,
+//    so long pivot sequences degrade linearly with the pivot count.
+//
+//  - UpdateMode::ForrestTomlin (the default in the simplex): the incoming
+//    column's partial FTRAN result ("spike", stashed by ftran() after the
+//    L and R passes) replaces a column of U in place. Restoring
+//    triangularity takes one cyclic permutation (tracked as a pivot-order
+//    linked list — nothing moves in memory) plus the elimination of the
+//    leftover U row against the later U rows; the elimination multipliers
+//    are appended to a compact R-file of row etas. FTRAN solves L, then R,
+//    then U; BTRAN the reverse. Updates touch only the affected rows of U,
+//    so solve cost tracks the *current* factor sparsity instead of the
+//    pivot history, and the refactorization period can stretch far past
+//    the eta file's practical limit. When the eliminated diagonal comes
+//    out too small (absolutely, or relative to the spike) the update
+//    refuses and leaves the factorization unchanged — the caller must
+//    refactorize (the stability/fill fallback).
 #pragma once
 
 #include <cstddef>
@@ -34,8 +52,11 @@ class BasisLu {
     double value;
   };
 
+  /// How update() absorbs basis changes; chosen at factorize() time.
+  enum class UpdateMode { ProductForm, ForrestTomlin };
+
   /// Factorize the m x m basis whose column p holds the nonzeros
-  /// columns[p] as (row, value) pairs. Discards any existing eta file.
+  /// columns[p] as (row, value) pairs. Discards any existing eta/R file.
   /// Returns false when the basis is structurally or numerically singular
   /// (no pivot above the absolute tolerance remains); the object is then
   /// unusable until the next successful factorize().
@@ -44,10 +65,13 @@ class BasisLu {
   /// reach that fraction of its column's largest active entry. Larger is
   /// more stable, smaller is sparser.
   bool factorize(std::size_t m, const std::vector<std::vector<Entry>>& columns,
-                 double pivot_threshold = 0.1);
+                 double pivot_threshold = 0.1,
+                 UpdateMode mode = UpdateMode::ProductForm);
 
   /// Solve B w = a in place: on entry x is a (indexed by constraint row),
-  /// on exit x is w (indexed by basis position).
+  /// on exit x is w (indexed by basis position). In ForrestTomlin mode the
+  /// partial result after the L and R passes (the "spike") is stashed for
+  /// a subsequent update().
   void ftran(std::vector<double>& x) const;
 
   /// Solve B^T y = c in place: on entry x is c (indexed by basis
@@ -56,21 +80,39 @@ class BasisLu {
 
   /// Absorb a basis change: the column at `position` was replaced by a
   /// column a with direction w = B^{-1} a (an ftran() result, indexed by
-  /// position). Appends one eta. Returns false — leaving the factorization
-  /// unchanged — when |w[position]| <= min_pivot, in which case the caller
-  /// must refactorize instead.
+  /// position). Returns false — leaving the factorization unchanged — when
+  /// the replacement pivot is numerically unacceptable, in which case the
+  /// caller must refactorize instead.
+  ///
+  /// ProductForm: appends one eta; fails when |w[position]| <= min_pivot.
+  /// ForrestTomlin: consumes the spike stashed by the most recent ftran()
+  /// (which therefore must have been the FTRAN of the incoming column a);
+  /// fails when the eliminated U diagonal is <= min_pivot or vanishes
+  /// relative to the spike's largest entry (the stability guard).
   bool update(std::size_t position, const std::vector<double>& direction,
               double min_pivot);
 
   std::size_t dimension() const { return m_; }
+  UpdateMode update_mode() const { return mode_; }
+  /// Product-form etas held (always 0 in ForrestTomlin mode).
   std::size_t eta_count() const { return etas_.size(); }
-  /// Nonzeros stored in L and U (fill-in diagnostics; excludes etas).
+  /// Basis changes absorbed since the last factorize(), either scheme.
+  std::size_t update_count() const { return update_count_; }
+  /// Nonzeros currently stored in L and U (fill-in diagnostics; excludes
+  /// eta/R files). Forrest–Tomlin updates change this in place.
   std::size_t factor_nonzeros() const;
+  /// Nonzeros of L and U immediately after the last factorize() — the
+  /// reference point for fill-growth refactorization triggers.
+  std::size_t baseline_nonzeros() const { return baseline_nonzeros_; }
+  /// Total entries across the Forrest–Tomlin R-file (0 in ProductForm).
+  std::size_t r_nonzeros() const { return r_nonzeros_; }
 
  private:
   /// One elimination step: pivot at (pivot_row, pivot_col), below-pivot
   /// multipliers in l_entries (constraint-row indexed), the remainder of
   /// the pivot row in u_entries (basis-position indexed, pivot excluded).
+  /// In ForrestTomlin mode u_entries are moved into the mutable U store
+  /// and only the L part remains here.
   struct Step {
     std::uint32_t pivot_row = 0;
     std::uint32_t pivot_col = 0;
@@ -84,12 +126,53 @@ class BasisLu {
     double pivot = 0;
     std::vector<Entry> entries;  // (position, w value), pivot excluded
   };
+  /// Forrest–Tomlin row eta: one combined row operation
+  /// x[row] -= sum_j entries[j].value * x[entries[j].index], all indices in
+  /// constraint-row space (stable across later cyclic permutations).
+  struct RowEta {
+    std::uint32_t row = 0;
+    std::vector<Entry> entries;
+  };
+
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  void build_ft_structure();
+  bool update_product_form(std::size_t position,
+                           const std::vector<double>& direction,
+                           double min_pivot);
+  bool update_forrest_tomlin(std::size_t position, double min_pivot);
 
   std::size_t m_ = 0;
+  UpdateMode mode_ = UpdateMode::ProductForm;
   std::vector<Step> steps_;
   std::vector<Eta> etas_;
+  std::size_t update_count_ = 0;
+  std::size_t baseline_nonzeros_ = 0;
+
+  // --- Forrest–Tomlin state. One "slot" per pivot of the factorization,
+  // identified by its (constraint row, basis position) pair — both stable
+  // across updates; only the slot's place in the pivot order changes.
+  std::vector<double> u_pivot_;              // diagonal per slot
+  std::vector<std::uint32_t> u_row_;         // constraint row per slot
+  std::vector<std::uint32_t> u_pos_;         // basis position per slot
+  std::vector<std::vector<Entry>> u_rows_;   // off-diagonal row entries
+                                             // (basis-position indexed)
+  std::vector<std::uint32_t> next_, prev_;   // pivot-order linked list
+  std::uint32_t head_ = kNoSlot, tail_ = kNoSlot;
+  std::vector<std::uint32_t> slot_of_pos_;   // basis position -> slot
+  std::vector<std::uint32_t> slot_of_row_;   // constraint row -> slot
+  /// Per basis position: slots whose U row may hold an entry there
+  /// (superset with lazy staleness; rebuilt for a position on update).
+  std::vector<std::vector<std::uint32_t>> col_slots_;
+  std::vector<RowEta> retas_;                // the R-file, oldest first
+  std::size_t u_nonzeros_ = 0;               // current off-diagonal U count
+  std::size_t l_nonzeros_ = 0;
+  std::size_t r_nonzeros_ = 0;
+
   mutable std::vector<double> scratch_;
   mutable std::vector<double> scratch2_;
+  mutable std::vector<double> spike_;        // post-L,R partial FTRAN
+  mutable bool spike_valid_ = false;
 };
 
 }  // namespace wanplace::lp

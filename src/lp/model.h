@@ -101,6 +101,9 @@ struct LpSolution {
   std::vector<double> x;
   std::vector<double> y;  // row duals (>=0 for Ge, <=0 for Le, free for Eq)
   std::size_t iterations = 0;
+  /// Simplex only: basis rebuilds after the initial factorization (drift
+  /// guards, fill guards, period expiry, optimality certification).
+  std::size_t refactorizations = 0;
   double solve_seconds = 0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "lp/lu.h"
@@ -10,12 +11,26 @@
 #include "util/check.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace wanplace::lp {
 
 namespace {
 
 constexpr double kInf = kInfinity;
+
+// Relative disagreement between the FTRAN'd pivot element and its
+// independently BTRAN'd value (rho^T A_q) that forces a refactorization
+// before the pivot is committed. Loose enough that healthy update files
+// never trip it; drift severe enough to corrupt the basis shows up orders
+// of magnitude above this.
+constexpr double kPivotAgreementTol = 1e-5;
+
+/// Columns per block of the dynamic-Devex pivot-row pass. Fixed partition
+/// independent of the thread count, so the parallelism knob never changes
+/// which (column, block) pairs reduce together — results are bit-identical
+/// for every pool size.
+constexpr std::size_t kPricingBlock = 2048;
 
 enum class VarStatus : unsigned char { Basic, AtLower, AtUpper, FreeZero };
 
@@ -37,6 +52,13 @@ struct Columns {
     } else {
       fn(j - n - m, art_sign[j - n - m]);  // artificial
     }
+  }
+
+  // Dot of column j with a dense row-indexed vector.
+  double dot(std::size_t j, const std::vector<double>& v) const {
+    if (j < n) return structural.col_dot(j, v);
+    if (j < n + m) return v[j - n];
+    return v[j - n - m] * art_sign[j - n - m];
   }
 };
 
@@ -63,6 +85,7 @@ class Simplex {
     if (phase_objective() > feasibility_tol()) {
       solution.status = SolveStatus::Infeasible;
       solution.iterations = iterations_;
+      solution.refactorizations = refactorizations_;
       solution.solve_seconds = watch.elapsed_seconds();
       return solution;
     }
@@ -92,12 +115,25 @@ class Simplex {
     return options_.basis == SimplexOptions::Basis::DenseInverse;
   }
 
+  bool ft_basis() const {
+    return options_.basis == SimplexOptions::Basis::ForrestTomlin;
+  }
+
   double feasibility_tol() const {
     return options_.tolerance * 10 * (1 + rhs_scale_);
   }
 
   bool partial_pricing() const {
     return options_.pricing == SimplexOptions::Pricing::PartialDevex;
+  }
+
+  bool dynamic_pricing() const {
+    return options_.pricing == SimplexOptions::Pricing::DevexDynamic;
+  }
+
+  std::size_t effective_refactor_period() const {
+    if (options_.refactor_period > 0) return options_.refactor_period;
+    return ft_basis() ? 4096 : 640;
   }
 
   void build() {
@@ -151,13 +187,21 @@ class Simplex {
       }
     }
 
-    // Devex-style static reference weights: gamma_j = 1 + ||A_j||^2, from
-    // the cached sparse column norms (slacks and artificials have unit
-    // columns). Computed once; pricing scores candidates by d^2 / gamma_j,
-    // which approximates steepest-edge at Dantzig cost.
-    devex_weight_.assign(total, 2.0);
-    for (std::size_t j = 0; j < n; ++j)
-      devex_weight_[j] = 1.0 + cols_.structural.col_norm_squared(j);
+    if (dynamic_pricing()) {
+      // Dynamic Devex: every column starts in the reference framework with
+      // weight 1; weights then grow from pivot-row updates and the frame
+      // resets when they drift past the threshold.
+      devex_weight_.assign(total, 1.0);
+      d_.assign(total, 0.0);
+    } else {
+      // Devex-style static reference weights: gamma_j = 1 + ||A_j||^2,
+      // from the cached sparse column norms (slacks and artificials have
+      // unit columns). Computed once; pricing scores candidates by
+      // d^2 / gamma_j, which approximates steepest-edge at Dantzig cost.
+      devex_weight_.assign(total, 2.0);
+      for (std::size_t j = 0; j < n; ++j)
+        devex_weight_[j] = 1.0 + cols_.structural.col_norm_squared(j);
+    }
 
     // Nonbasic structural variables start at their bound nearest zero.
     for (std::size_t j = 0; j < n; ++j) {
@@ -269,19 +313,28 @@ class Simplex {
     });
   }
 
-  /// Factorize the current basis into the sparse LU (clears the eta file).
-  void factorize_lu() {
+  /// Factorize the current basis into the sparse LU (clears the eta/R
+  /// file), in the update mode matching the selected basis. Returns false
+  /// on a (numerically) singular basis.
+  bool try_factorize_lu() {
     std::vector<std::vector<BasisLu::Entry>> columns(m_);
     for (std::size_t p = 0; p < m_; ++p) {
       cols_.for_column(basis_[p], [&](std::size_t r, double v) {
         columns[p].push_back({static_cast<std::uint32_t>(r), v});
       });
     }
-    WANPLACE_CHECK(lu_.factorize(m_, columns, options_.lu_pivot_threshold),
+    const auto mode = ft_basis() ? BasisLu::UpdateMode::ForrestTomlin
+                                 : BasisLu::UpdateMode::ProductForm;
+    return lu_.factorize(m_, columns, options_.lu_pivot_threshold, mode);
+  }
+
+  void factorize_lu() {
+    WANPLACE_CHECK(try_factorize_lu(),
                    "singular basis during refactorization");
   }
 
   void refactorize() {
+    ++refactorizations_;
     if (!dense_basis()) {
       factorize_lu();
       recompute_basic_values();
@@ -346,11 +399,19 @@ class Simplex {
     }
   }
 
-  /// Recompute the incremental state (duals + phase objective) from the
-  /// current basis inverse, discarding accumulated pivot drift.
+  /// Recompute the incremental state (duals, phase objective and — under
+  /// dynamic pricing — the cached reduced costs) from the current basis
+  /// inverse, discarding accumulated pivot drift.
   void refresh_incremental_state() {
     compute_duals(y_);
     objective_ = phase_objective();
+    if (dynamic_pricing()) {
+      const std::size_t total = total_columns();
+      d_.resize(total);
+      for (std::size_t j = 0; j < total; ++j)
+        d_[j] =
+            status_[j] == VarStatus::Basic ? 0.0 : reduced_cost(j, y_);
+    }
     duals_clean_ = true;
   }
 
@@ -446,6 +507,84 @@ class Simplex {
     return choice;
   }
 
+  /// Dynamic Devex: full scan of the *cached* reduced costs scored by the
+  /// maintained reference weights — no matrix work at pricing time; all
+  /// the O(nnz) cost lives in the per-pivot update pass.
+  PricingChoice price_devex() const {
+    PricingChoice choice;
+    double best_score = 0;
+    for (std::size_t j = 0; j < total_columns(); ++j) {
+      bool inc = true;
+      const double d = d_[j];
+      if (!eligible(j, d, inc)) continue;
+      const double score = d * d / devex_weight_[j];
+      if (score > best_score) {
+        best_score = score;
+        choice.entering = j;
+        choice.reduced = d;
+        choice.increasing = inc;
+      }
+    }
+    return choice;
+  }
+
+  /// Lazily created pool for the pivot-row pass; engaged only on models
+  /// with enough rows for the pass to amortize the fork/join.
+  util::ThreadPool* pricing_pool() {
+    if (options_.parallelism == 1) return nullptr;
+    if (m_ < options_.parallel_pricing_rows) return nullptr;
+    if (!pool_)
+      pool_ = std::make_unique<util::ThreadPool>(options_.parallelism);
+    return pool_.get();
+  }
+
+  /// The fused dynamic-Devex per-pivot pass. pivot_row_ must hold
+  /// rho~ = (B_old^{-T} e_p) / alpha_q, the pivot row of the updated
+  /// inverse. For every nonbasic column with alpha~_j = rho~ . A_j:
+  ///
+  ///   d_j     <- d_j - d_q * alpha~_j      (maintained reduced costs)
+  ///   gamma_j <- max(gamma_j, alpha~_j^2 * gamma_q)   (Devex weights)
+  ///
+  /// The leaving variable (nonbasic by now, cached d = 0, alpha~ = 1/alpha_q)
+  /// gets its textbook values d_l = -d_q/alpha_q and
+  /// gamma_l >= gamma_q/alpha_q^2 from the same formulas — no special case.
+  /// Resets the reference framework when the largest weight drifts past
+  /// the threshold. Column blocks are fixed-size, per-column writes are
+  /// disjoint and the block maxima combine serially, so the result is
+  /// bit-identical for any pool size.
+  void update_pricing_after_pivot(std::size_t entering, double reduced) {
+    const double gamma_q = devex_weight_[entering];
+    const std::size_t total = total_columns();
+    const std::size_t blocks = (total + kPricingBlock - 1) / kPricingBlock;
+    block_max_.assign(blocks, 0.0);
+    const auto pass = [&](std::size_t b) {
+      const std::size_t begin = b * kPricingBlock;
+      const std::size_t end = std::min(total, begin + kPricingBlock);
+      double wmax = 0;
+      for (std::size_t j = begin; j < end; ++j) {
+        if (status_[j] == VarStatus::Basic) continue;
+        const double t = cols_.dot(j, pivot_row_);
+        if (t != 0) {
+          d_[j] -= reduced * t;
+          const double cand = t * t * gamma_q;
+          if (cand > devex_weight_[j]) devex_weight_[j] = cand;
+        }
+        wmax = std::max(wmax, devex_weight_[j]);
+      }
+      block_max_[b] = wmax;
+    };
+    if (util::ThreadPool* pool = pricing_pool()) {
+      pool->parallel_for(blocks, pass);
+    } else {
+      for (std::size_t b = 0; b < blocks; ++b) pass(b);
+    }
+    d_[entering] = 0.0;
+    double wmax = 0;
+    for (const double w : block_max_) wmax = std::max(wmax, w);
+    if (wmax > options_.devex_reset_threshold)
+      std::fill(devex_weight_.begin(), devex_weight_.end(), 1.0);
+  }
+
   SolveStatus iterate() {
     const std::size_t max_iters =
         options_.max_iterations > 0
@@ -460,7 +599,8 @@ class Simplex {
       if (options_.pricing == SimplexOptions::Pricing::DantzigFull)
         refresh_incremental_state();
 
-      const PricingChoice choice = bland_          ? price_bland()
+      const PricingChoice choice = bland_             ? price_bland()
+                                   : dynamic_pricing() ? price_devex()
                                    : partial_pricing() ? price_partial()
                                                        : price_full();
       if (choice.entering == SIZE_MAX) {
@@ -522,18 +662,48 @@ class Simplex {
 
       if (step == kInf) return SolveStatus::Unbounded;
 
-      // Drift guard (LU basis): a pivot this small under an aged eta file
-      // is as likely accumulated FTRAN error as a real near-degenerate
+      // Drift guard (LU bases): a pivot this small under an aged update
+      // file is as likely accumulated FTRAN error as a real near-degenerate
       // column. Rebuild the factorization and retry the iteration on
-      // drift-free numbers; after the rebuild the eta file is empty, so
+      // drift-free numbers; after the rebuild the update file is empty, so
       // the retried pivot is trusted.
-      if (!dense_basis() && leaving_pos != SIZE_MAX && lu_.eta_count() > 0 &&
+      if (!dense_basis() && leaving_pos != SIZE_MAX &&
+          lu_.update_count() > 0 &&
           std::abs(w[leaving_pos]) < options_.lu_stability_tolerance) {
         refactorize();
         refresh_incremental_state();
         pivots_since_refactor = 0;
         continue;
       }
+
+      // Pivot agreement test (LU bases, Tomlin-style): the pivot element
+      // is available through two independent solve paths — FTRAN'd into w,
+      // and as rho^T A_q with rho = B^{-T} e_p from BTRAN. Under an aged
+      // update file the two accumulate *different* roundoff, so a mismatch
+      // is direct evidence the factorization has drifted; committing such
+      // a pivot can silently make the basis singular (discovered only at
+      // the next refactorization, long after the damage). Rebuild and
+      // retry instead. rho_ is reused below for the dual update, so the
+      // test costs one sparse column dot.
+      if (!dense_basis() && leaving_pos != SIZE_MAX) {
+        rho_.assign(m_, 0.0);
+        rho_[leaving_pos] = 1.0;
+        lu_.btran(rho_);
+        const double pivot_btran = cols_.dot(entering, rho_);
+        if (lu_.update_count() > 0 &&
+            !(std::abs(pivot_btran - w[leaving_pos]) <=
+              kPivotAgreementTol * (1 + std::abs(w[leaving_pos])))) {
+          refactorize();
+          refresh_incremental_state();
+          pivots_since_refactor = 0;
+          continue;
+        }
+      }
+
+      // Stashed so a failed refactorization after the pivot can roll the
+      // basis change back and retry on drift-free numbers.
+      const double entering_x_before = x_[entering];
+      const VarStatus entering_status_before = status_[entering];
 
       // Apply the step to all basic variables; the phase objective moves by
       // exactly d_entering per unit of (signed) step.
@@ -546,7 +716,7 @@ class Simplex {
 
       if (leaving_pos == SIZE_MAX) {
         // Bound flip: entering hit its opposite bound; basis (and thus the
-        // duals) unchanged.
+        // duals and all cached reduced costs) unchanged.
         status_[entering] =
             increasing ? VarStatus::AtUpper : VarStatus::AtLower;
         x_[entering] = increasing ? upper_[entering] : lower_[entering];
@@ -562,24 +732,69 @@ class Simplex {
         const double pivot = w[leaving_pos];
         WANPLACE_CHECK(std::abs(pivot) > pivot_tol, "zero pivot");
         if (!dense_basis()) {
-          // Incremental dual update before the eta is appended: with the
-          // old basis, y' = y + (d_entering / pivot) * (B_old^{-T} e_p) —
-          // one extra BTRAN on a unit vector, the sparse replacement for
-          // the dense pivot-row read.
-          rho_.assign(m_, 0.0);
-          rho_[leaving_pos] = 1.0;
-          lu_.btran(rho_);
+          // Incremental dual update before the basis update is applied:
+          // with the old basis, y' = y + (d_entering / pivot) *
+          // (B_old^{-T} e_p). rho_ still holds B_old^{-T} e_p from the
+          // pivot agreement test above (no LU mutation since), and doubles
+          // as the pivot row for the dynamic-Devex pass below.
           const double scale = choice.reduced / pivot;
           for (std::size_t i = 0; i < m_; ++i) y_[i] += scale * rho_[i];
           duals_clean_ = false;
 
-          WANPLACE_CHECK(lu_.update(leaving_pos, w, pivot_tol),
-                         "eta update with vanishing pivot");
-          if (++pivots_since_refactor >= options_.refactor_period ||
-              lu_.eta_count() >= options_.eta_limit) {
-            refactorize();
-            refresh_incremental_state();
-            pivots_since_refactor = 0;
+          // Forrest–Tomlin may refuse a numerically unacceptable update
+          // (stability guard) — the basis_ array has already changed, so
+          // the only safe continuation is a fresh factorization of the new
+          // basis. Product-form updates cannot fail here (the pivot
+          // magnitude was checked above).
+          const std::size_t updates_before = lu_.update_count();
+          const bool updated = lu_.update(leaving_pos, w, pivot_tol);
+          ++pivots_since_refactor;
+          bool refactor =
+              !updated || pivots_since_refactor >= effective_refactor_period();
+          if (!refactor) {
+            if (ft_basis()) {
+              // Fill guard: updates add spike + elimination fill that only
+              // a fresh factorization re-compresses. The +64 floor keeps
+              // tiny bases from refactorizing on noise.
+              refactor = lu_.factor_nonzeros() + lu_.r_nonzeros() >
+                         options_.ft_fill_factor * lu_.baseline_nonzeros() + 64;
+            } else {
+              refactor = lu_.eta_count() >= options_.eta_limit;
+            }
+          }
+          if (refactor) {
+            ++refactorizations_;
+            if (try_factorize_lu()) {
+              recompute_basic_values();
+              refresh_incremental_state();
+              pivots_since_refactor = 0;
+            } else {
+              // The mutated basis is singular: accumulated update-file
+              // drift let a numerically-dead pivot through the ratio test
+              // (its FTRAN'd magnitude cleared pivot_tol, its true value
+              // did not). Only drift can explain it — a pivot computed
+              // from a fresh factorization that still yields a singular
+              // successor is a real bug, so crash in that case. Roll the
+              // basis change back and retry the iteration on drift-free
+              // numbers.
+              WANPLACE_CHECK(updates_before > 0,
+                             "singular basis during refactorization");
+              basis_[leaving_pos] = leaving;
+              status_[leaving] = VarStatus::Basic;
+              status_[entering] = entering_status_before;
+              x_[entering] = entering_x_before;
+              factorize_lu();
+              recompute_basic_values();
+              refresh_incremental_state();
+              pivots_since_refactor = 0;
+              continue;
+            }
+          } else if (dynamic_pricing()) {
+            pivot_row_.resize(m_);
+            const double inv_pivot = 1.0 / pivot;
+            for (std::size_t i = 0; i < m_; ++i)
+              pivot_row_[i] = rho_[i] * inv_pivot;
+            update_pricing_after_pivot(entering, choice.reduced);
           }
         } else {
           // Product-form update of the dense inverse.
@@ -600,10 +815,13 @@ class Simplex {
             y_[i] += choice.reduced * pivot_row[i];
           duals_clean_ = false;
 
-          if (++pivots_since_refactor >= options_.refactor_period) {
+          if (++pivots_since_refactor >= effective_refactor_period()) {
             refactorize();
             refresh_incremental_state();
             pivots_since_refactor = 0;
+          } else if (dynamic_pricing()) {
+            pivot_row_.assign(pivot_row, pivot_row + m_);
+            update_pricing_after_pivot(entering, choice.reduced);
           }
         }
       }
@@ -629,6 +847,7 @@ class Simplex {
 
   void fill_solution(LpSolution& solution) {
     solution.iterations = iterations_;
+    solution.refactorizations = refactorizations_;
     solution.x.assign(x_.begin(), x_.begin() + cols_.n);
     set_phase_costs(/*phase1=*/false);
     std::vector<double> y;
@@ -646,14 +865,19 @@ class Simplex {
   std::vector<VarStatus> status_;
   std::vector<std::size_t> basis_;
   std::vector<double> binv_;         // dense path only
-  BasisLu lu_;                       // sparse path only
+  BasisLu lu_;                       // sparse paths only
   std::vector<double> rho_;          // BTRAN unit-vector scratch
   std::vector<double> y_;            // incrementally maintained duals
-  std::vector<double> devex_weight_; // static reference weights 1+||A_j||^2
+  std::vector<double> d_;            // cached reduced costs (DevexDynamic)
+  std::vector<double> devex_weight_; // Devex reference weights
+  std::vector<double> pivot_row_;    // rho_/pivot for the pricing pass
+  std::vector<double> block_max_;    // per-block weight maxima
+  std::unique_ptr<util::ThreadPool> pool_;
   double objective_ = 0;             // incrementally maintained phase obj
   bool duals_clean_ = false;         // y_ recomputed since the last pivot?
   std::size_t pricing_cursor_ = 0;
   std::size_t iterations_ = 0;
+  std::size_t refactorizations_ = 0;
   std::size_t stall_count_ = 0;
   bool bland_ = false;
   double rhs_scale_ = 0;

@@ -3,20 +3,23 @@
 // Exact (to numerical tolerance) LP oracle used for small and medium
 // instances: unit tests, cross-validation of the PDHG solver, and
 // rounding-algorithm verification. The basis is represented by a sparse LU
-// factorization (Markowitz-ordered, threshold-pivoted; see lp/lu.h) with
-// product-form eta updates applied on each pivot, so per-iteration cost
-// tracks basis sparsity rather than m^2 — tree-structured MC-PERF LPs with
-// thousands of rows are in reach. The seed's dense explicit inverse is kept
-// selectable as Basis::DenseInverse for differential testing.
+// factorization (Markowitz-ordered, threshold-pivoted; see lp/lu.h) kept
+// current across pivots by Forrest–Tomlin updates of the U factor in place,
+// so per-iteration cost tracks the *current* basis sparsity rather than the
+// pivot history, and the refactorization period stretches into the
+// thousands. The PR 2 product-form eta file (Basis::ProductForm) and the
+// seed's dense explicit inverse (Basis::DenseInverse) stay selectable for
+// differential testing.
 //
-// Hot path: duals and the phase objective are maintained incrementally
-// across pivots (refreshed at every refactorization), and the default
-// pricing rule is partial pricing over a rotating candidate window scored
-// by Devex-style reference weights built from cached column norms. Before
-// declaring optimality after incremental updates, the solver refactorizes
-// and re-prices from scratch, so termination is always certified against
-// freshly computed duals. The seed's full Dantzig pricing is kept as
-// Pricing::DantzigFull for differential testing.
+// Hot path: reduced costs, duals and the phase objective are maintained
+// incrementally across pivots (refreshed at every refactorization), and the
+// default pricing rule is dynamic Devex — reference weights updated from
+// the pivot row each iteration, with the reference framework reset when
+// the weights drift too far. Before declaring optimality after incremental
+// updates, the solver refactorizes and re-prices from scratch, so
+// termination is always certified against freshly computed duals. The
+// PR 1 static-weight partial pricing (Pricing::PartialDevex) and the
+// seed's full Dantzig scan (Pricing::DantzigFull) are kept selectable.
 #pragma once
 
 #include <cstddef>
@@ -28,50 +31,81 @@ namespace wanplace::lp {
 struct SimplexOptions {
   std::size_t max_iterations = 0;  // 0 = automatic (scales with model size)
   double tolerance = 1e-7;
-  /// Refactorize the basis every this many pivots. With the LU basis each
-  /// pivot also appends an eta, so the effective refactorization period is
-  /// min(refactor_period, eta_limit); with the dense inverse this is the
-  /// only trigger. Incremental updates plus the refresh-before-optimal
-  /// check keep long periods safe.
-  std::size_t refactor_period = 640;
+  /// Refactorize the basis every this many pivots; 0 = automatic (640 for
+  /// the product-form/dense paths whose update files degrade linearly with
+  /// the pivot count, 4096 for Forrest–Tomlin whose solves track current
+  /// factor sparsity — there the fill guard below usually fires first).
+  /// Incremental updates plus the refresh-before-optimal check keep long
+  /// periods safe.
+  std::size_t refactor_period = 0;
   /// Switch to Bland's rule after this many non-improving iterations.
   std::size_t stall_limit = 512;
 
   enum class Pricing {
+    /// Dynamic Devex (default): reference weights updated from the pivot
+    /// row each basis change, reduced costs maintained incrementally, so
+    /// pricing is a cached-score scan with no matrix work. The reference
+    /// framework resets (all weights to 1) when the largest weight exceeds
+    /// devex_reset_threshold.
+    DevexDynamic,
     /// Rotating partial-pricing window, candidates scored d^2 / gamma_j
-    /// with static reference weights gamma_j = 1 + ||A_j||^2.
+    /// with static reference weights gamma_j = 1 + ||A_j||^2 — the PR 1
+    /// path, kept for differential testing.
     PartialDevex,
     /// Full Dantzig scan (most-negative reduced cost) with duals fully
     /// recomputed every iteration — the original reference path.
     DantzigFull,
   };
-  Pricing pricing = Pricing::PartialDevex;
+  Pricing pricing = Pricing::DevexDynamic;
   /// Columns scanned per partial-pricing round; 0 = automatic
-  /// (max(128, columns/8)). Ignored by DantzigFull.
+  /// (max(128, columns/8)). PartialDevex only.
   std::size_t pricing_window = 0;
+  /// DevexDynamic only: reset the reference framework when the largest
+  /// weight exceeds this (weights grow monotonically between resets; very
+  /// large weights mean the reference frame no longer resembles the
+  /// current basis and the steepest-edge approximation has degraded).
+  double devex_reset_threshold = 1e7;
 
   enum class Basis {
-    /// Sparse LU factorization plus product-form eta updates (lp/lu.h):
-    /// FTRAN/BTRAN cost follows basis sparsity, memory is O(nonzeros).
-    SparseLU,
+    /// Sparse LU with Forrest–Tomlin updates of U in place plus a compact
+    /// R-file of row etas (lp/lu.h): FTRAN/BTRAN cost follows the current
+    /// factor sparsity, not the pivot count.
+    ForrestTomlin,
+    /// Sparse LU plus product-form eta updates — the PR 2 path, kept for
+    /// differential testing; every solve traverses the whole eta file.
+    ProductForm,
     /// Dense explicit inverse with O(m^2) product-form row updates — the
     /// seed path, bit-identical to the original numerics; kept for
     /// differential testing and as a fallback.
     DenseInverse,
   };
-  Basis basis = Basis::SparseLU;
-  /// SparseLU only: refactorize when the eta file reaches this many etas.
-  /// Each eta makes every subsequent FTRAN/BTRAN a little more expensive
-  /// and a little less accurate; ~100 is the classic sweet spot.
+  Basis basis = Basis::ForrestTomlin;
+  /// ProductForm only: refactorize when the eta file reaches this many
+  /// etas. Each eta makes every subsequent FTRAN/BTRAN a little more
+  /// expensive and a little less accurate; ~100 is the classic sweet spot.
   std::size_t eta_limit = 128;
-  /// SparseLU only: a ratio-test pivot smaller than this while the eta
-  /// file is non-empty is treated as possible numerical drift — the basis
-  /// is refactorized and the iteration retried on fresh numbers before the
+  /// ForrestTomlin only: refactorize when the factor + R-file nonzeros
+  /// exceed this multiple of the post-factorization nonzeros (fill-in
+  /// guard; updates add spike and elimination fill that a fresh
+  /// factorization re-compresses).
+  double ft_fill_factor = 3.0;
+  /// LU bases: a ratio-test pivot smaller than this while updates have
+  /// been applied is treated as possible numerical drift — the basis is
+  /// refactorized and the iteration retried on fresh numbers before the
   /// pivot is trusted.
   double lu_stability_tolerance = 1e-7;
-  /// SparseLU only: Markowitz threshold-pivoting factor in (0, 1]; a pivot
+  /// LU bases: Markowitz threshold-pivoting factor in (0, 1]; a pivot
   /// must reach this fraction of its column's largest active entry.
   double lu_pivot_threshold = 0.1;
+
+  /// Worker threads for the dynamic-Devex pivot-row pass: 0 = hardware
+  /// concurrency, 1 = fully serial (default). Only engages on models with
+  /// at least parallel_pricing_rows rows — below that the pass is too
+  /// cheap to amortize the fork/join. Fixed block partition independent of
+  /// the thread count: results are bit-identical for every value.
+  std::size_t parallelism = 1;
+  /// Row-count floor for engaging the pricing-pass thread pool.
+  std::size_t parallel_pricing_rows = 2000;
 };
 
 /// Solve min c^T x subject to the model's rows and bounds.

@@ -55,6 +55,16 @@ class ColumnMajorMatrix {
   /// Squared Euclidean norm of column j.
   double col_norm_squared(std::size_t j) const;
 
+  /// Dot product of column j with a dense row-indexed vector — the hot
+  /// kernel of the simplex pricing pass (alpha~_j = rho~ . A_j for every
+  /// nonbasic column, every pivot), kept loop-only so it inlines tightly.
+  double col_dot(std::size_t j, const std::vector<double>& v) const {
+    double acc = 0;
+    for (std::size_t i = col_start_[j]; i < col_start_[j + 1]; ++i)
+      acc += values_[i] * v[row_index_[i]];
+    return acc;
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -30,9 +30,19 @@ enum class FuzzKind {
   Unbounded,   // feasible, with a cost-improving ray
 };
 
+/// Which generator shaped the instance (adversarial profiles target
+/// specific solver machinery; see fuzz_adversarial_lp).
+enum class FuzzProfile {
+  Classic,       // fuzz_lp: randomized shape/bounds/row mix
+  PricingTies,   // duplicated columns + integer costs: massive Devex ties
+  NearSingular,  // near-parallel column pairs: FT stability-guard food
+  LongPivot,     // bigger dense-ish models: long pivot sequences
+};
+
 struct FuzzLp {
   lp::LpModel model;
   FuzzKind kind = FuzzKind::Feasible;
+  FuzzProfile profile = FuzzProfile::Classic;
   std::size_t vars = 0;
   std::size_t rows = 0;
   bool degenerate = false;  // rows made tight at the construction point
@@ -134,6 +144,207 @@ inline FuzzLp fuzz_lp(std::uint64_t seed) {
     out.model.add_row(lp::RowType::Ge, 0, cols, coeffs);
   }
   return out;
+}
+
+/// Per-shard instance count for the differential fuzz suites:
+/// WANPLACE_FUZZ_COUNT env override (nightly runs crank it up), else
+/// `fallback`. Every shard scales by the same knob so the suite keeps
+/// its classic/adversarial/stress proportions.
+inline std::size_t fuzz_shard_count(std::size_t fallback = 60) {
+  if (const char* env = std::getenv("WANPLACE_FUZZ_COUNT")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+namespace detail {
+
+// Duplicated columns with identical (integer) costs: the Devex reference
+// weights start equal and the reduced costs tie in whole groups, so the
+// pricing rule has to break massive ties every iteration. Rows are made
+// tight at the construction point, so ratio-test ties pile on top.
+inline FuzzLp fuzz_pricing_ties(Rng& rng) {
+  FuzzLp out;
+  out.profile = FuzzProfile::PricingTies;
+  out.degenerate = true;
+  const std::size_t patterns = 3 + rng.uniform_index(4);  // 3..6
+  const std::size_t copies = 3 + rng.uniform_index(4);    // 3..6
+  out.vars = patterns * copies;
+  out.rows = 4 + rng.uniform_index(9);  // 4..12
+
+  std::vector<std::vector<double>> pattern(patterns,
+                                           std::vector<double>(out.rows, 0.0));
+  std::vector<double> cost(patterns);
+  for (std::size_t p = 0; p < patterns; ++p) {
+    bool any = false;
+    for (std::size_t r = 0; r < out.rows; ++r) {
+      if (!rng.bernoulli(0.5)) continue;
+      pattern[p][r] = 1.0 + static_cast<double>(rng.uniform_index(3));
+      any = true;
+    }
+    if (!any) pattern[p][rng.uniform_index(out.rows)] = 1.0;
+    cost[p] = 1.0 + static_cast<double>(rng.uniform_index(3));
+  }
+
+  std::vector<double> x0(out.vars);
+  for (std::size_t p = 0; p < patterns; ++p) {
+    for (std::size_t c = 0; c < copies; ++c) {
+      const std::size_t j = out.model.add_variable(0, 2, cost[p]);
+      x0[j] = rng.uniform(0.2, 1.8);
+    }
+  }
+  for (std::size_t r = 0; r < out.rows; ++r) {
+    std::vector<std::size_t> cols;
+    std::vector<double> coeffs;
+    double activity = 0;
+    for (std::size_t p = 0; p < patterns; ++p) {
+      if (pattern[p][r] == 0) continue;
+      for (std::size_t c = 0; c < copies; ++c) {
+        const std::size_t j = p * copies + c;
+        cols.push_back(j);
+        coeffs.push_back(pattern[p][r]);
+        activity += pattern[p][r] * x0[j];
+      }
+    }
+    if (cols.empty()) continue;
+    // Mostly tight Ge rows: the optimum pushes costs down onto the tied
+    // column groups and the construction point is heavily degenerate.
+    const double slack = rng.bernoulli(0.7) ? 0.0 : rng.uniform(0, 0.5);
+    out.model.add_row(lp::RowType::Ge, activity - slack, cols, coeffs);
+  }
+  return out;
+}
+
+// Near-parallel column pairs: A_{2p+1} = A_{2p} * (1 + eps) with
+// eps in [1e-7, 1e-5]. Bases mixing both halves of a pair are
+// near-singular, which is exactly what the Forrest-Tomlin relative
+// stability guard (and the factorization pivot threshold) exist for.
+// eps stays well above machine epsilon so a careful solver still gets
+// the objective right to 1e-7.
+inline FuzzLp fuzz_near_singular(Rng& rng) {
+  FuzzLp out;
+  out.profile = FuzzProfile::NearSingular;
+  const std::size_t pairs = 2 + rng.uniform_index(6);  // 2..7
+  out.vars = 2 * pairs;
+  out.rows = 3 + rng.uniform_index(out.vars);  // 3..vars+2
+  const double eps_scale[] = {1e-7, 1e-6, 1e-5};
+  std::vector<std::vector<double>> base(pairs,
+                                        std::vector<double>(out.rows, 0.0));
+  std::vector<double> eps(pairs), cost(pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    bool any = false;
+    for (std::size_t r = 0; r < out.rows; ++r) {
+      if (!rng.bernoulli(0.6)) continue;
+      const double a = rng.uniform(-2, 2);
+      if (a == 0) continue;
+      base[p][r] = a;
+      any = true;
+    }
+    if (!any) base[p][rng.uniform_index(out.rows)] = 1.0;
+    eps[p] = eps_scale[rng.uniform_index(3)] * rng.uniform(0.5, 1.5);
+    cost[p] = rng.uniform(-1, 1);
+  }
+
+  std::vector<double> x0(out.vars);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    for (std::size_t half = 0; half < 2; ++half) {
+      // The clone's cost is perturbed by the same relative eps, so the two
+      // halves are near-ties for the pricing rule as well.
+      const double c = half == 0 ? cost[p] : cost[p] * (1 + eps[p]);
+      const std::size_t j = out.model.add_variable(0, 1.5, c);
+      x0[j] = rng.uniform(0.1, 1.4);
+    }
+  }
+  for (std::size_t r = 0; r < out.rows; ++r) {
+    std::vector<std::size_t> cols;
+    std::vector<double> coeffs;
+    double activity = 0;
+    for (std::size_t p = 0; p < pairs; ++p) {
+      if (base[p][r] == 0) continue;
+      for (std::size_t half = 0; half < 2; ++half) {
+        const std::size_t j = 2 * p + half;
+        const double a = half == 0 ? base[p][r] : base[p][r] * (1 + eps[p]);
+        cols.push_back(j);
+        coeffs.push_back(a);
+        activity += a * x0[j];
+      }
+    }
+    if (cols.empty()) continue;
+    const double slack = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0, 0.8);
+    if (rng.bernoulli(0.5))
+      out.model.add_row(lp::RowType::Ge, activity - slack, cols, coeffs);
+    else
+      out.model.add_row(lp::RowType::Le, activity + slack, cols, coeffs);
+  }
+  return out;
+}
+
+// Bigger, denser boxes: 30..60 variables over 25..40 rows with distinct
+// costs. These routinely take far more pivots than the small classic
+// instances; the differential harness additionally replays them with a
+// tiny refactor period so pivot sequences run well past 2x the period
+// and the update machinery (eta file / FT R-file) is the long pole.
+inline FuzzLp fuzz_long_pivot(Rng& rng) {
+  FuzzLp out;
+  out.profile = FuzzProfile::LongPivot;
+  out.vars = 30 + rng.uniform_index(31);  // 30..60
+  out.rows = 25 + rng.uniform_index(16);  // 25..40
+  out.degenerate = rng.bernoulli(0.4);
+  const double density = rng.uniform(0.25, 0.5);
+
+  std::vector<double> x0(out.vars);
+  for (std::size_t j = 0; j < out.vars; ++j) {
+    const double lo = rng.bernoulli(0.3) ? rng.uniform(-1, 0) : 0.0;
+    const double up = lo + rng.uniform(0.5, 2.0);
+    out.model.add_variable(lo, up, rng.uniform(-1, 1));
+    x0[j] = rng.uniform(lo, up);
+  }
+  for (std::size_t r = 0; r < out.rows; ++r) {
+    std::vector<std::size_t> cols;
+    std::vector<double> coeffs;
+    double activity = 0;
+    for (std::size_t j = 0; j < out.vars; ++j) {
+      if (!rng.bernoulli(density)) continue;
+      const double a = rng.uniform(-2, 2);
+      if (a == 0) continue;
+      cols.push_back(j);
+      coeffs.push_back(a);
+      activity += a * x0[j];
+    }
+    if (cols.empty()) continue;
+    const double slack = out.degenerate && rng.bernoulli(0.5)
+                             ? 0.0
+                             : rng.uniform(0, 0.6);
+    const int kind = static_cast<int>(rng.uniform_index(3));
+    if (kind == 0)
+      out.model.add_row(lp::RowType::Ge, activity - slack, cols, coeffs);
+    else if (kind == 1)
+      out.model.add_row(lp::RowType::Le, activity + slack, cols, coeffs);
+    else
+      out.model.add_row(lp::RowType::Eq, activity, cols, coeffs);
+  }
+  return out;
+}
+
+}  // namespace detail
+
+/// Deterministically generate one adversarial LP from `seed`. Rolls one of
+/// the three targeted profiles (pricing ties / near-singular pairs / long
+/// pivot sequences), all feasible and bounded by construction — the
+/// differential harness compares exact objectives across every solver
+/// configuration, which only makes sense on Optimal instances.
+inline FuzzLp fuzz_adversarial_lp(std::uint64_t seed) {
+  Rng rng(seed ^ 0xADBEEFULL);
+  switch (rng.uniform_index(3)) {
+    case 0:
+      return detail::fuzz_pricing_ties(rng);
+    case 1:
+      return detail::fuzz_near_singular(rng);
+    default:
+      return detail::fuzz_long_pivot(rng);
+  }
 }
 
 }  // namespace wanplace::test

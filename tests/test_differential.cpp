@@ -1,15 +1,26 @@
 // Randomized differential LP harness.
 //
-// Three independently implemented solve paths — simplex over the sparse LU
-// basis (the default), simplex over the dense explicit inverse (the seed
-// path, bit-identical numerics), and PDHG — are run over a seeded stream of
+// Four independently implemented solve paths — simplex over the
+// Forrest-Tomlin basis with dynamic Devex pricing (the default), simplex
+// over the product-form eta file with static partial Devex (the previous
+// default), simplex over the dense explicit inverse (the seed path,
+// bit-identical numerics), and PDHG — are run over a seeded stream of
 // random LPs (tests/lp_fuzz.h) and over real MC-PERF relaxations, and must
-// agree on status and objective. The two simplex paths share pricing but
-// not basis algebra, so any FTRAN/BTRAN/eta defect shows up as a status or
-// objective split here long before it corrupts a paper experiment.
+// agree on status and objective to 1e-7. The simplex paths share neither
+// basis algebra nor pricing, so any FT elimination / R-file / eta / Devex
+// weight defect shows up as a status or objective split here long before it
+// corrupts a paper experiment.
+//
+// The stream is three-tiered: classic shards (randomized shape/bounds/row
+// mix), adversarial shards (pricing ties, near-singular column pairs, long
+// pivot sequences — see fuzz_adversarial_lp), and a stress shard that
+// replays instances with a tiny refactor period and eta limit so pivot
+// sequences run well past 2x the refactor period on every path.
 //
 // Re-run a failing case locally with WANPLACE_FUZZ_SEED=<base> (the base
 // seed is printed in every failure message; per-case seeds are base+offset).
+// WANPLACE_FUZZ_COUNT scales every shard (nightly runs use 150 -> 1350+
+// instances; the default 60 keeps the default suite over 500).
 
 #include <gtest/gtest.h>
 
@@ -28,56 +39,87 @@
 namespace wanplace::lp {
 namespace {
 
-SimplexOptions lu_options() {
+SimplexOptions ft_options() {
   SimplexOptions options;
-  options.basis = SimplexOptions::Basis::SparseLU;
+  options.basis = SimplexOptions::Basis::ForrestTomlin;
+  options.pricing = SimplexOptions::Pricing::DevexDynamic;
+  return options;
+}
+
+SimplexOptions pf_options() {
+  SimplexOptions options;
+  options.basis = SimplexOptions::Basis::ProductForm;
+  options.pricing = SimplexOptions::Pricing::PartialDevex;
   return options;
 }
 
 SimplexOptions dense_options() {
   SimplexOptions options;
   options.basis = SimplexOptions::Basis::DenseInverse;
+  options.pricing = SimplexOptions::Pricing::PartialDevex;
   return options;
 }
 
-/// Run one fuzz case through all three paths and cross-check.
-void check_case(std::uint64_t base, std::uint64_t offset) {
-  const auto fuzz = test::fuzz_lp(base + offset);
-  const std::string tag = "base " + std::to_string(base) + " offset " +
-                          std::to_string(offset) + " (" +
-                          std::to_string(fuzz.vars) + "v x " +
-                          std::to_string(fuzz.rows) + "r)";
+/// Stress variant: force the update machinery to be the long pole. Every
+/// pivot sequence longer than ~8 iterations runs past 2x the refactor
+/// period, the product-form path additionally trips its eta limit, and the
+/// FT path trips its fill guard almost immediately.
+SimplexOptions stressed(SimplexOptions options) {
+  options.refactor_period = 4;
+  options.eta_limit = 8;
+  options.ft_fill_factor = 1.05;
+  return options;
+}
 
-  const auto lu = solve_simplex(fuzz.model, lu_options());
-  const auto dense = solve_simplex(fuzz.model, dense_options());
+/// Run one generated instance through all simplex paths (plus PDHG on
+/// optimal instances) and cross-check. `tweak` lets the stress shard
+/// tighten the basis-management knobs on every path at once.
+void check_instance(const test::FuzzLp& fuzz, const std::string& tag,
+                    SimplexOptions (*tweak)(SimplexOptions) = nullptr) {
+  auto ft_opts = ft_options();
+  auto pf_opts = pf_options();
+  auto dense_opts = dense_options();
+  if (tweak) {
+    ft_opts = tweak(ft_opts);
+    pf_opts = tweak(pf_opts);
+    dense_opts = tweak(dense_opts);
+  }
 
-  // The two basis representations must agree on status, always.
-  ASSERT_EQ(lu.status, dense.status) << tag;
+  const auto ft = solve_simplex(fuzz.model, ft_opts);
+  const auto pf = solve_simplex(fuzz.model, pf_opts);
+  const auto dense = solve_simplex(fuzz.model, dense_opts);
+
+  // All basis representations must agree on status, always.
+  ASSERT_EQ(ft.status, dense.status) << tag;
+  ASSERT_EQ(pf.status, dense.status) << tag;
 
   switch (fuzz.kind) {
     case test::FuzzKind::Infeasible:
-      ASSERT_EQ(lu.status, SolveStatus::Infeasible) << tag;
+      ASSERT_EQ(ft.status, SolveStatus::Infeasible) << tag;
       return;  // PDHG's infeasibility detection is heuristic; skip it.
     case test::FuzzKind::Unbounded:
-      ASSERT_EQ(lu.status, SolveStatus::Unbounded) << tag;
+      ASSERT_EQ(ft.status, SolveStatus::Unbounded) << tag;
       return;
     case test::FuzzKind::Feasible:
       // Feasible by construction: never Infeasible. Free variables with
       // constrained rows can still make the instance legitimately
-      // unbounded — both paths must agree on that (checked above).
-      ASSERT_NE(lu.status, SolveStatus::Infeasible) << tag;
+      // unbounded — all paths must agree on that (checked above).
+      ASSERT_NE(ft.status, SolveStatus::Infeasible) << tag;
       break;
   }
-  if (lu.status != SolveStatus::Optimal) return;
+  if (ft.status != SolveStatus::Optimal) return;
 
   const double scale = 1 + std::abs(dense.objective);
-  EXPECT_NEAR(lu.objective, dense.objective, 1e-6 * scale) << tag;
+  EXPECT_NEAR(ft.objective, dense.objective, 1e-7 * scale) << tag;
+  EXPECT_NEAR(pf.objective, dense.objective, 1e-7 * scale) << tag;
   // Certificates may differ in tightness between the paths (clamping a
-  // free-variable dual can push either to -inf), but each must be a valid
-  // lower bound on the common optimum.
-  EXPECT_LE(lu.dual_bound, dense.objective + 1e-6 * scale) << tag;
-  EXPECT_LE(dense.dual_bound, dense.objective + 1e-6 * scale) << tag;
-  EXPECT_LE(fuzz.model.max_violation(lu.x), 1e-6) << tag;
+  // free-variable dual can push any of them to -inf), but each must be a
+  // valid lower bound on the common optimum.
+  EXPECT_LE(ft.dual_bound, dense.objective + 1e-7 * scale) << tag;
+  EXPECT_LE(pf.dual_bound, dense.objective + 1e-7 * scale) << tag;
+  EXPECT_LE(dense.dual_bound, dense.objective + 1e-7 * scale) << tag;
+  EXPECT_LE(fuzz.model.max_violation(ft.x), 1e-6) << tag;
+  EXPECT_LE(fuzz.model.max_violation(pf.x), 1e-6) << tag;
   EXPECT_LE(fuzz.model.max_violation(dense.x), 1e-6) << tag;
 
   // PDHG: its certificate must never overstate the simplex optimum; when
@@ -99,46 +141,120 @@ void check_case(std::uint64_t base, std::uint64_t offset) {
   }
 }
 
-// 200 seeded LPs, sharded so ctest can run the shards in parallel.
+std::string case_tag(const char* family, std::uint64_t base,
+                     std::uint64_t offset, const test::FuzzLp& fuzz) {
+  return std::string(family) + " base " + std::to_string(base) + " offset " +
+         std::to_string(offset) + " (" + std::to_string(fuzz.vars) + "v x " +
+         std::to_string(fuzz.rows) + "r)";
+}
+
+void check_classic(std::uint64_t base, std::uint64_t offset) {
+  const auto fuzz = test::fuzz_lp(base + offset);
+  check_instance(fuzz, case_tag("classic", base, offset, fuzz));
+}
+
+void check_adversarial(std::uint64_t base, std::uint64_t offset) {
+  const auto fuzz = test::fuzz_adversarial_lp(base + offset);
+  check_instance(fuzz, case_tag("adversarial", base, offset, fuzz));
+}
+
+// Classic shards: 4 x WANPLACE_FUZZ_COUNT (default 60) seeded LPs, sharded
+// so ctest can keep the shards separately addressable.
 TEST(FuzzDifferential, RandomLpsShard0) {
   const std::uint64_t base = test::fuzz_base_seed();
-  for (std::uint64_t i = 0; i < 50; ++i) check_case(base, i);
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = 0; i < n; ++i) check_classic(base, i);
 }
 
 TEST(FuzzDifferential, RandomLpsShard1) {
   const std::uint64_t base = test::fuzz_base_seed();
-  for (std::uint64_t i = 50; i < 100; ++i) check_case(base, i);
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = n; i < 2 * n; ++i) check_classic(base, i);
 }
 
 TEST(FuzzDifferential, RandomLpsShard2) {
   const std::uint64_t base = test::fuzz_base_seed();
-  for (std::uint64_t i = 100; i < 150; ++i) check_case(base, i);
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = 2 * n; i < 3 * n; ++i) check_classic(base, i);
 }
 
 TEST(FuzzDifferential, RandomLpsShard3) {
   const std::uint64_t base = test::fuzz_base_seed();
-  for (std::uint64_t i = 150; i < 200; ++i) check_case(base, i);
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = 3 * n; i < 4 * n; ++i) check_classic(base, i);
+}
+
+// Adversarial shards: pricing-tie / near-singular / long-pivot profiles.
+TEST(FuzzAdversarial, TargetedLpsShard0) {
+  const std::uint64_t base = test::fuzz_base_seed();
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = 0; i < n; ++i) check_adversarial(base, i);
+}
+
+TEST(FuzzAdversarial, TargetedLpsShard1) {
+  const std::uint64_t base = test::fuzz_base_seed();
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = n; i < 2 * n; ++i) check_adversarial(base, i);
+}
+
+TEST(FuzzAdversarial, TargetedLpsShard2) {
+  const std::uint64_t base = test::fuzz_base_seed();
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = 2 * n; i < 3 * n; ++i) check_adversarial(base, i);
+}
+
+TEST(FuzzAdversarial, TargetedLpsShard3) {
+  const std::uint64_t base = test::fuzz_base_seed();
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = 3 * n; i < 4 * n; ++i) check_adversarial(base, i);
+}
+
+// Stress shard: replay a seeded mix of classic and adversarial instances
+// with refactor_period=4 / eta_limit=8 / ft_fill_factor=1.05 on every
+// path. The long-pivot profiles routinely take 30+ pivots here, i.e. far
+// past 2x the refactor period, so eta replay, FT spike elimination, the
+// fill guard and the fallback-to-refactorize path all fire constantly.
+TEST(FuzzStress, TinyRefactorPeriodAcrossBases) {
+  const std::uint64_t base = test::fuzz_base_seed();
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      const auto fuzz = test::fuzz_lp(base + 4 * n + i);
+      check_instance(fuzz, case_tag("stress/classic", base, 4 * n + i, fuzz),
+                     &stressed);
+    } else {
+      const auto fuzz = test::fuzz_adversarial_lp(base + 4 * n + i);
+      check_instance(fuzz,
+                     case_tag("stress/adversarial", base, 4 * n + i, fuzz),
+                     &stressed);
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Real MC-PERF relaxations: the LP family the paper actually solves. These
-// are larger and tree-structured — exactly the shape the sparse LU targets.
+// are larger and tree-structured — exactly the shape the sparse bases
+// target.
 
 void check_mcperf(const mcperf::Instance& instance,
                   const mcperf::ClassSpec& spec, const std::string& tag) {
   const auto built = mcperf::build_lp(instance, spec);
 
-  const auto lu = solve_simplex(built.model, lu_options());
+  const auto ft = solve_simplex(built.model, ft_options());
+  const auto pf = solve_simplex(built.model, pf_options());
   const auto dense = solve_simplex(built.model, dense_options());
-  ASSERT_EQ(lu.status, dense.status) << tag;
+  ASSERT_EQ(ft.status, dense.status) << tag;
+  ASSERT_EQ(pf.status, dense.status) << tag;
   // Some class/instance pairs are legitimately infeasible (e.g. reactive
-  // creation against cold-start demand); both paths agreeing on that via
+  // creation against cold-start demand); all paths agreeing on that via
   // phase 1 is still a differential check.
-  if (lu.status != SolveStatus::Optimal) return;
+  if (ft.status != SolveStatus::Optimal) return;
 
   const double scale = 1 + std::abs(dense.objective);
-  EXPECT_NEAR(lu.objective, dense.objective, 1e-6 * scale) << tag;
-  EXPECT_LE(built.model.max_violation(lu.x), 1e-6) << tag;
+  EXPECT_NEAR(ft.objective, dense.objective, 1e-7 * scale) << tag;
+  EXPECT_NEAR(pf.objective, dense.objective, 1e-7 * scale) << tag;
+  EXPECT_LE(built.model.max_violation(ft.x), 1e-6) << tag;
+  EXPECT_LE(built.model.max_violation(pf.x), 1e-6) << tag;
 
   PdhgOptions pdhg;
   pdhg.max_iterations = 150000;
@@ -171,17 +287,25 @@ TEST(McPerfDifferential, RandomInstanceAcrossClasses) {
 // basis the simplex uses underneath.
 TEST(McPerfDifferential, EngineBoundInvariantToBasis) {
   const auto instance = test::random_instance(7);
-  bounds::BoundOptions with_lu;
-  with_lu.solver = bounds::BoundOptions::Solver::Simplex;
-  with_lu.simplex.basis = SimplexOptions::Basis::SparseLU;
-  bounds::BoundOptions with_dense = with_lu;
-  with_dense.simplex.basis = SimplexOptions::Basis::DenseInverse;
-
-  const auto a = bounds::compute_bound(instance, mcperf::classes::general(), with_lu);
-  const auto b =
-      bounds::compute_bound(instance, mcperf::classes::general(), with_dense);
-  ASSERT_EQ(a.status, b.status);
-  EXPECT_NEAR(a.lower_bound, b.lower_bound, 1e-6 * (1 + std::abs(b.lower_bound)));
+  const SimplexOptions::Basis bases[] = {SimplexOptions::Basis::ForrestTomlin,
+                                         SimplexOptions::Basis::ProductForm,
+                                         SimplexOptions::Basis::DenseInverse};
+  bounds::BoundOptions reference_opts;
+  reference_opts.solver = bounds::BoundOptions::Solver::Simplex;
+  reference_opts.simplex.basis = SimplexOptions::Basis::DenseInverse;
+  const auto reference = bounds::compute_bound(
+      instance, mcperf::classes::general(), reference_opts);
+  for (const auto basis : bases) {
+    bounds::BoundOptions options;
+    options.solver = bounds::BoundOptions::Solver::Simplex;
+    options.simplex.basis = basis;
+    const auto bound =
+        bounds::compute_bound(instance, mcperf::classes::general(), options);
+    ASSERT_EQ(bound.status, reference.status) << static_cast<int>(basis);
+    EXPECT_NEAR(bound.lower_bound, reference.lower_bound,
+                1e-7 * (1 + std::abs(reference.lower_bound)))
+        << static_cast<int>(basis);
+  }
 }
 
 }  // namespace

@@ -3,16 +3,23 @@
 // A small fixed MC-PERF fixture (4-node line, 3 intervals, 3 objects) is
 // solved for a representative slice of heuristic classes and the certified
 // lower bounds are compared against frozen values:
-//   - with Basis::DenseInverse the entire pipeline is deterministic integer
-//     and double arithmetic with a fixed operation order, so the bound must
-//     reproduce BIT FOR BIT — any change is a semantic change to the seed
-//     numerics and must be deliberate;
-//   - with the default Basis::SparseLU the pivot order differs, so the
-//     bound must agree to 1e-7 relative — the LU path is "same answer,
-//     different arithmetic".
+//   - with Basis::DenseInverse and the seed's static PartialDevex pricing
+//     the entire pipeline is deterministic integer and double arithmetic
+//     with a fixed operation order, so the bound must reproduce BIT FOR
+//     BIT — any change is a semantic change to the seed numerics and must
+//     be deliberate;
+//   - with the sparse bases (ProductForm eta file, and the default
+//     ForrestTomlin with dynamic Devex pricing) the pivot order differs,
+//     so the bound must agree to 1e-7 relative — those paths are "same
+//     answer, different arithmetic";
+//   - the dynamic-Devex iteration counts themselves are pinned (kDevex
+//     below, plus Beale): pricing is deterministic, so a changed count
+//     means the pricing rule changed and the fixture must be deliberately
+//     regenerated.
 //
 // To regenerate after a DELIBERATE semantic change, run this binary with
-// WANPLACE_PRINT_GOLDEN=1 and paste the emitted table over kGolden.
+// WANPLACE_PRINT_GOLDEN=1 and paste the emitted tables over kGolden /
+// kDevex.
 
 #include <gtest/gtest.h>
 
@@ -85,6 +92,18 @@ bounds::BoundOptions golden_options(lp::SimplexOptions::Basis basis) {
   bounds::BoundOptions options;
   options.solver = bounds::BoundOptions::Solver::Simplex;
   options.simplex.basis = basis;
+  // The kGolden table was frozen under the seed's static pricing rule; pin
+  // it explicitly so the DenseInverse fixtures stay bit-for-bit even though
+  // the solver default moved to DevexDynamic.
+  options.simplex.pricing = lp::SimplexOptions::Pricing::PartialDevex;
+  return options;
+}
+
+bounds::BoundOptions devex_options() {
+  bounds::BoundOptions options;
+  options.solver = bounds::BoundOptions::Solver::Simplex;
+  options.simplex.basis = lp::SimplexOptions::Basis::ForrestTomlin;
+  options.simplex.pricing = lp::SimplexOptions::Pricing::DevexDynamic;
   return options;
 }
 
@@ -107,19 +126,101 @@ TEST(Golden, DenseInverseBoundsBitForBit) {
   }
 }
 
-TEST(Golden, SparseLuBoundsMatchTo1e7) {
+TEST(Golden, ProductFormBoundsMatchTo1e7) {
   const auto instance = golden_instance();
   if (std::getenv("WANPLACE_PRINT_GOLDEN") != nullptr) GTEST_SKIP();
   for (const auto& g : kGolden) {
     const auto bound = bounds::compute_bound(
         instance, spec_by_name(g.name),
-        golden_options(lp::SimplexOptions::Basis::SparseLU));
+        golden_options(lp::SimplexOptions::Basis::ProductForm));
     ASSERT_EQ(bound.status, lp::SolveStatus::Optimal) << g.name;
     EXPECT_NEAR(bound.lower_bound, g.lower_bound,
                 1e-7 * (1 + std::abs(g.lower_bound)))
         << g.name;
     EXPECT_EQ(bound.max_achievable_qos, g.max_achievable_qos) << g.name;
   }
+}
+
+TEST(Golden, ForrestTomlinDynamicDevexBoundsMatchTo1e7) {
+  const auto instance = golden_instance();
+  if (std::getenv("WANPLACE_PRINT_GOLDEN") != nullptr) GTEST_SKIP();
+  for (const auto& g : kGolden) {
+    const auto bound =
+        bounds::compute_bound(instance, spec_by_name(g.name), devex_options());
+    ASSERT_EQ(bound.status, lp::SolveStatus::Optimal) << g.name;
+    EXPECT_NEAR(bound.lower_bound, g.lower_bound,
+                1e-7 * (1 + std::abs(g.lower_bound)))
+        << g.name;
+    EXPECT_EQ(bound.max_achievable_qos, g.max_achievable_qos) << g.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic-Devex behavioral fixtures: the pricing rule is deterministic, so
+// the phase-1+phase-2 iteration count under ForrestTomlin + DevexDynamic is
+// a frozen property of the implementation. A drifting count means the
+// pricing (or basis-management) semantics changed — deliberate changes
+// regenerate the table via WANPLACE_PRINT_GOLDEN=1.
+
+struct DevexCase {
+  const char* name;        // preset name in mcperf::classes
+  std::size_t iterations;  // frozen simplex iteration count
+  double lower_bound;      // frozen objective (1e-9 relative on replay)
+};
+
+constexpr DevexCase kDevex[] = {
+    {"general", 94, 9.6809090909090898},
+    {"storage_constrained", 108, 11.727142857142855},
+    {"replica_constrained", 100, 10.349999999999998},
+    {"caching", 73, 36.824999999999989},
+    {"cooperative_caching", 96, 19},
+    {"reactive", 97, 12.5},
+};
+
+TEST(Golden, DynamicDevexIterationCountsPinned) {
+  const auto instance = golden_instance();
+  const bool print = std::getenv("WANPLACE_PRINT_GOLDEN") != nullptr;
+  for (const auto& g : kDevex) {
+    const auto bound =
+        bounds::compute_bound(instance, spec_by_name(g.name), devex_options());
+    if (print) {
+      std::printf("    {\"%s\", %zu, %.17g},\n", g.name,
+                  bound.solver_iterations, bound.lower_bound);
+      continue;
+    }
+    ASSERT_EQ(bound.status, lp::SolveStatus::Optimal) << g.name;
+    EXPECT_EQ(bound.solver_iterations, g.iterations) << g.name;
+    EXPECT_NEAR(bound.lower_bound, g.lower_bound,
+                1e-9 * (1 + std::abs(g.lower_bound)))
+        << g.name;
+  }
+}
+
+// Beale's cycling LP under the default configuration: the stall detector +
+// dynamic Devex must terminate at the known optimum in a pinned number of
+// pivots. (Same model as tests/test_lp.cpp beale_cycling_lp.)
+TEST(Golden, DynamicDevexBealePinned) {
+  lp::LpModel model;
+  const auto x1 = model.add_variable(0, lp::kInfinity, -0.75);
+  const auto x2 = model.add_variable(0, lp::kInfinity, 150);
+  const auto x3 = model.add_variable(0, lp::kInfinity, -0.02);
+  const auto x4 = model.add_variable(0, lp::kInfinity, 6);
+  model.add_row(lp::RowType::Le, 0, {x1, x2, x3, x4}, {0.25, -60, -0.04, 9});
+  model.add_row(lp::RowType::Le, 0, {x1, x2, x3, x4}, {0.5, -90, -0.02, 3});
+  model.add_row(lp::RowType::Le, 1, {x3}, {1});
+
+  lp::SimplexOptions options;
+  options.basis = lp::SimplexOptions::Basis::ForrestTomlin;
+  options.pricing = lp::SimplexOptions::Pricing::DevexDynamic;
+  const auto sol = lp::solve_simplex(model, options);
+  if (std::getenv("WANPLACE_PRINT_GOLDEN") != nullptr) {
+    std::printf("    beale: iterations=%zu objective=%.17g\n", sol.iterations,
+                sol.objective);
+    GTEST_SKIP();
+  }
+  ASSERT_EQ(sol.status, lp::SolveStatus::Optimal);
+  EXPECT_EQ(sol.iterations, std::size_t{3});
+  EXPECT_NEAR(sol.objective, -0.05, 1e-9);
 }
 
 // The golden fixture's bounds must also respect the paper's dominance

@@ -239,6 +239,208 @@ TEST(LuBasis, UpdateRejectsVanishingPivot) {
 }
 
 // ---------------------------------------------------------------------------
+// Forrest–Tomlin kernels: spike elimination, R-file solves and the
+// stability-guard fallback, checked against fresh factorizations, dense
+// reference arithmetic and the product-form path on identical update
+// sequences.
+
+constexpr auto kFt = BasisLu::UpdateMode::ForrestTomlin;
+
+/// Push a random replacement column through an FT (or product-form) basis:
+/// ftran the incoming column (stashing the spike), apply the update, and
+/// mirror the change in `columns` for reference factorizations. Returns
+/// false when the update was refused.
+bool apply_random_replacement(Rng& rng, BasisLu& lu, LuColumns& columns,
+                              std::size_t p) {
+  const std::size_t m = columns.size();
+  std::vector<BasisLu::Entry> incoming;
+  incoming.push_back({static_cast<std::uint32_t>(p), 2.0 + rng.uniform(0, 1)});
+  for (std::size_t r = 0; r < m; ++r)
+    if (r != p && rng.bernoulli(0.2))
+      incoming.push_back({static_cast<std::uint32_t>(r), rng.uniform(-1, 1)});
+  std::vector<double> w(m, 0.0);
+  for (const auto& e : incoming) w[e.index] = e.value;
+  lu.ftran(w);
+  if (!lu.update(p, w, 1e-12)) return false;
+  columns[p] = incoming;
+  return true;
+}
+
+TEST(LuBasisFt, SpikeEliminationMatchesFreshFactorization) {
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t m = 6 + rng.uniform_index(25);
+    auto columns = random_basis_columns(rng, m);
+    BasisLu updated;
+    ASSERT_TRUE(updated.factorize(m, columns, 0.1, kFt));
+
+    for (int change = 0; change < 6; ++change)
+      ASSERT_TRUE(apply_random_replacement(
+          rng, updated, columns, rng.uniform_index(m)))
+          << "trial " << trial << " change " << change;
+    EXPECT_EQ(updated.eta_count(), 0u);  // no product-form etas in FT mode
+    EXPECT_EQ(updated.update_count(), 6u);
+
+    BasisLu fresh;
+    ASSERT_TRUE(fresh.factorize(m, columns, 0.1, kFt));
+    std::vector<double> rhs(m);
+    for (auto& v : rhs) v = rng.uniform(-2, 2);
+    auto via_updates = rhs, via_fresh = rhs;
+    updated.ftran(via_updates);
+    fresh.ftran(via_fresh);
+    for (std::size_t p = 0; p < m; ++p)
+      ASSERT_NEAR(via_updates[p], via_fresh[p], 1e-8) << "trial " << trial;
+
+    auto yt_updates = rhs, yt_fresh = rhs;
+    updated.btran(yt_updates);
+    fresh.btran(yt_fresh);
+    for (std::size_t r = 0; r < m; ++r)
+      ASSERT_NEAR(yt_updates[r], yt_fresh[r], 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(LuBasisFt, RFileSolvesMatchDenseReference) {
+  // After updates, FTRAN/BTRAN run through the R-file; both must still
+  // invert the *current* basis matrix exactly (checked against dense
+  // reference products, not another factorization).
+  Rng rng(22);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t m = 6 + rng.uniform_index(30);
+    auto columns = random_basis_columns(rng, m);
+    BasisLu lu;
+    ASSERT_TRUE(lu.factorize(m, columns, 0.1, kFt));
+    for (int change = 0; change < 8; ++change)
+      ASSERT_TRUE(apply_random_replacement(
+          rng, lu, columns, rng.uniform_index(m)));
+
+    std::vector<double> x_true(m);
+    for (auto& v : x_true) v = rng.uniform(-3, 3);
+    auto rhs = basis_multiply(columns, x_true);
+    lu.ftran(rhs);
+    for (std::size_t p = 0; p < m; ++p)
+      ASSERT_NEAR(rhs[p], x_true[p], 1e-8) << "trial " << trial;
+
+    std::vector<double> y_true(m);
+    for (auto& v : y_true) v = rng.uniform(-3, 3);
+    auto c = basis_multiply_transpose(columns, y_true);
+    lu.btran(c);
+    for (std::size_t r = 0; r < m; ++r)
+      ASSERT_NEAR(c[r], y_true[r], 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(LuBasisFt, AgreesWithProductFormOnIdenticalUpdateSequence) {
+  Rng rng(23);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t m = 8 + rng.uniform_index(20);
+    const auto base = random_basis_columns(rng, m);
+    BasisLu ft, pf;
+    ASSERT_TRUE(ft.factorize(m, base, 0.1, kFt));
+    ASSERT_TRUE(pf.factorize(m, base));
+
+    auto ft_columns = base;
+    for (int change = 0; change < 5; ++change) {
+      const std::size_t p = rng.uniform_index(m);
+      // Drive both paths with the same incoming column (regenerate the
+      // randomness once, replay into each).
+      const auto before = ft_columns;
+      Rng replay_a(4200 + 100 * trial + change);
+      ASSERT_TRUE(apply_random_replacement(replay_a, ft, ft_columns, p));
+      Rng replay_b(4200 + 100 * trial + change);
+      auto pf_columns = before;
+      ASSERT_TRUE(apply_random_replacement(replay_b, pf, pf_columns, p));
+    }
+    EXPECT_GT(pf.eta_count(), 0u);
+    EXPECT_EQ(ft.eta_count(), 0u);
+
+    std::vector<double> rhs(m);
+    for (auto& v : rhs) v = rng.uniform(-2, 2);
+    auto via_ft = rhs, via_pf = rhs;
+    ft.ftran(via_ft);
+    pf.ftran(via_pf);
+    for (std::size_t p = 0; p < m; ++p)
+      ASSERT_NEAR(via_ft[p], via_pf[p], 1e-8) << "trial " << trial;
+    auto yt_ft = rhs, yt_pf = rhs;
+    ft.btran(yt_ft);
+    pf.btran(yt_pf);
+    for (std::size_t r = 0; r < m; ++r)
+      ASSERT_NEAR(yt_ft[r], yt_pf[r], 1e-8) << "trial " << trial;
+  }
+}
+
+TEST(LuBasisFt, StabilityGuardRefusesVanishingDiagonal) {
+  // Identity basis; replacing column 0 with a column that has no component
+  // on row 0 drives the eliminated diagonal to exactly zero — the guard
+  // must refuse and leave the factorization untouched.
+  LuColumns columns(2);
+  columns[0] = {{0, 1.0}};
+  columns[1] = {{1, 1.0}};
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(2, columns, 0.1, kFt));
+  std::vector<double> w{0.0, 5.0};
+  lu.ftran(w);
+  EXPECT_FALSE(lu.update(0, w, 1e-9));
+  EXPECT_EQ(lu.update_count(), 0u);
+  std::vector<double> x{7.0, 3.0};
+  lu.ftran(x);
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(LuBasisFt, RelativeStabilityGuardRefusesCollapsingPivot) {
+  // Identity basis, incoming column (1e-6, 1e6): the updated basis is
+  // nearly parallel to the retained unit column, so the eliminated
+  // diagonal (1e-6) survives the absolute min_pivot check but collapses
+  // relative to the spike magnitude (1e6) — the relative guard must fire
+  // and leave the factorization untouched.
+  LuColumns columns(2);
+  columns[0] = {{0, 1.0}};
+  columns[1] = {{1, 1.0}};
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(2, columns, 0.1, kFt));
+  std::vector<double> w{1e-6, 1e6};
+  lu.ftran(w);
+  EXPECT_FALSE(lu.update(0, w, 1e-9));
+  EXPECT_EQ(lu.update_count(), 0u);
+  std::vector<double> x{7.0, 3.0};
+  lu.ftran(x);
+  EXPECT_DOUBLE_EQ(x[0], 7.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(LuBasisFt, LongUpdateSequenceTracksFillAndStaysAccurate) {
+  // 40 consecutive updates — far past the product-form eta comfort zone —
+  // periodically cross-checked against a fresh factorization; the R-file
+  // and factor nonzero counters must track the actual storage.
+  Rng rng(24);
+  const std::size_t m = 30;
+  auto columns = random_basis_columns(rng, m);
+  BasisLu lu;
+  ASSERT_TRUE(lu.factorize(m, columns, 0.1, kFt));
+  const std::size_t baseline = lu.baseline_nonzeros();
+  EXPECT_EQ(baseline, lu.factor_nonzeros());
+
+  std::size_t applied = 0;
+  for (int change = 0; change < 40; ++change) {
+    if (apply_random_replacement(rng, lu, columns, rng.uniform_index(m)))
+      ++applied;
+    if (change % 10 != 9) continue;
+    BasisLu fresh;
+    ASSERT_TRUE(fresh.factorize(m, columns, 0.1, kFt));
+    std::vector<double> rhs(m);
+    for (auto& v : rhs) v = rng.uniform(-2, 2);
+    auto a = rhs, b = rhs;
+    lu.ftran(a);
+    fresh.ftran(b);
+    for (std::size_t p = 0; p < m; ++p)
+      ASSERT_NEAR(a[p], b[p], 1e-7) << "after change " << change;
+  }
+  EXPECT_EQ(lu.update_count(), applied);
+  EXPECT_GE(applied, 38u);  // random replacements virtually never refused
+  EXPECT_GT(lu.r_nonzeros(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Simplex on hand-checkable LPs.
 
 TEST(Simplex, SimpleTwoVariable) {
@@ -502,10 +704,11 @@ LpModel beale_cycling_lp() {
   return model;
 }
 
-TEST(SimplexDegenerate, BealeCyclingSolvedByBothPricingRules) {
+TEST(SimplexDegenerate, BealeCyclingSolvedByAllPricingRules) {
   const auto model = beale_cycling_lp();
   for (const auto pricing :
-       {SimplexOptions::Pricing::PartialDevex,
+       {SimplexOptions::Pricing::DevexDynamic,
+        SimplexOptions::Pricing::PartialDevex,
         SimplexOptions::Pricing::DantzigFull}) {
     SimplexOptions options;
     options.pricing = pricing;
@@ -539,11 +742,12 @@ TEST(SimplexDegenerate, TinyRefactorPeriodStaysExact) {
   EXPECT_NEAR(sol.objective, -0.05, 1e-9);
 }
 
-TEST(SimplexDegenerate, BealeCyclingSolvedUnderBothBases) {
+TEST(SimplexDegenerate, BealeCyclingSolvedUnderAllBases) {
   // The degenerate pivot sequence must terminate at the optimum whichever
   // basis representation tracks it.
   const auto model = beale_cycling_lp();
-  for (const auto basis : {SimplexOptions::Basis::SparseLU,
+  for (const auto basis : {SimplexOptions::Basis::ForrestTomlin,
+                           SimplexOptions::Basis::ProductForm,
                            SimplexOptions::Basis::DenseInverse}) {
     SimplexOptions options;
     options.basis = basis;
@@ -564,6 +768,7 @@ TEST(SimplexEta, EtaLimitOneRefactorizesEveryPivot) {
   // worst-case trigger cadence — and must still certify the optimum.
   const auto model = beale_cycling_lp();
   SimplexOptions options;
+  options.basis = SimplexOptions::Basis::ProductForm;
   options.eta_limit = 1;
   const auto sol = solve_simplex(model, options);
   ASSERT_EQ(sol.status, SolveStatus::Optimal);
@@ -582,6 +787,7 @@ TEST(SimplexEta, EtaLimitInvariantOnRandomModels) {
     for (const std::size_t limit : {std::size_t{1}, std::size_t{4},
                                     std::size_t{128}}) {
       SimplexOptions options;
+      options.basis = SimplexOptions::Basis::ProductForm;
       options.eta_limit = limit;
       const auto sol = solve_simplex(lp.model, options);
       ASSERT_EQ(sol.status, SolveStatus::Optimal)
@@ -594,29 +800,34 @@ TEST(SimplexEta, EtaLimitInvariantOnRandomModels) {
 
 TEST(SimplexEta, ParanoidStabilityToleranceStillTerminates) {
   // lu_stability_tolerance close to 1 treats nearly every pivot under a
-  // non-empty eta file as suspected drift, forcing the
-  // refactorize-and-retry path mid-iteration. After the rebuild the eta
+  // non-empty update file as suspected drift, forcing the
+  // refactorize-and-retry path mid-iteration. After the rebuild the update
   // file is empty, so each retried pivot is accepted — the solver must
-  // terminate at the exact optimum, never loop.
+  // terminate at the exact optimum, never loop. Exercised under both LU
+  // update schemes.
   const auto model = beale_cycling_lp();
-  SimplexOptions options;
-  options.lu_stability_tolerance = 0.9;
-  const auto sol = solve_simplex(model, options);
-  ASSERT_EQ(sol.status, SolveStatus::Optimal);
-  EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+  for (const auto basis : {SimplexOptions::Basis::ForrestTomlin,
+                           SimplexOptions::Basis::ProductForm}) {
+    SimplexOptions options;
+    options.basis = basis;
+    options.lu_stability_tolerance = 0.9;
+    const auto sol = solve_simplex(model, options);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -0.05, 1e-9);
 
-  for (int seed = 0; seed < 5; ++seed) {
-    Rng rng(9200 + seed);
-    auto lp = random_feasible_lp(rng, 10, 8, /*with_equalities=*/true);
-    SimplexOptions dense;
-    dense.basis = SimplexOptions::Basis::DenseInverse;
-    const auto reference = solve_simplex(lp.model, dense);
-    ASSERT_EQ(reference.status, SolveStatus::Optimal) << "seed " << seed;
-    const auto paranoid = solve_simplex(lp.model, options);
-    ASSERT_EQ(paranoid.status, SolveStatus::Optimal) << "seed " << seed;
-    EXPECT_NEAR(paranoid.objective, reference.objective,
-                1e-6 * (1 + std::abs(reference.objective)))
-        << "seed " << seed;
+    for (int seed = 0; seed < 5; ++seed) {
+      Rng rng(9200 + seed);
+      auto lp = random_feasible_lp(rng, 10, 8, /*with_equalities=*/true);
+      SimplexOptions dense;
+      dense.basis = SimplexOptions::Basis::DenseInverse;
+      const auto reference = solve_simplex(lp.model, dense);
+      ASSERT_EQ(reference.status, SolveStatus::Optimal) << "seed " << seed;
+      const auto paranoid = solve_simplex(lp.model, options);
+      ASSERT_EQ(paranoid.status, SolveStatus::Optimal) << "seed " << seed;
+      EXPECT_NEAR(paranoid.objective, reference.objective,
+                  1e-6 * (1 + std::abs(reference.objective)))
+          << "seed " << seed;
+    }
   }
 }
 
@@ -668,6 +879,136 @@ TEST(SimplexDifferential, PartialDevexMatchesPdhgOnRandomModels) {
         << "seed " << seed;
     EXPECT_NEAR(approx.objective, exact.objective, 5e-3 * scale)
         << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic Devex pricing: maintained reduced costs + pivot-row weight
+// updates must reach the same certified optimum as every other pricing /
+// basis configuration, stay exact across reference-framework resets and
+// refactor cadences, and be bit-identical under the parallel pivot-row
+// pass.
+
+TEST(SimplexDevex, DynamicMatchesStaticAndDantzigOn50RandomModels) {
+  for (int seed = 0; seed < 50; ++seed) {
+    Rng rng(7500 + seed);
+    const std::size_t vars = 8 + rng.uniform_index(12);
+    const std::size_t rows = 6 + rng.uniform_index(10);
+    auto lp = random_feasible_lp(rng, vars, rows, seed % 2 == 0);
+
+    const auto dynamic = solve_simplex(lp.model);  // DevexDynamic default
+    SimplexOptions static_opts;
+    static_opts.pricing = SimplexOptions::Pricing::PartialDevex;
+    const auto static_devex = solve_simplex(lp.model, static_opts);
+    SimplexOptions dantzig;
+    dantzig.pricing = SimplexOptions::Pricing::DantzigFull;
+    const auto reference = solve_simplex(lp.model, dantzig);
+
+    ASSERT_EQ(dynamic.status, SolveStatus::Optimal) << "seed " << seed;
+    ASSERT_EQ(static_devex.status, SolveStatus::Optimal) << "seed " << seed;
+    ASSERT_EQ(reference.status, SolveStatus::Optimal) << "seed " << seed;
+    const double scale = 1 + std::abs(reference.objective);
+    EXPECT_NEAR(dynamic.objective, reference.objective, 1e-6 * scale)
+        << "seed " << seed;
+    EXPECT_NEAR(dynamic.objective, static_devex.objective, 1e-6 * scale)
+        << "seed " << seed;
+    EXPECT_NEAR(dynamic.dual_bound, reference.dual_bound, 1e-5 * scale)
+        << "seed " << seed;
+    EXPECT_LE(lp.model.max_violation(dynamic.x), 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(SimplexDevex, ResetThresholdInvariantOnRandomModels) {
+  // devex_reset_threshold = 1 forces a reference-framework reset after
+  // essentially every pivot (weights grow monotonically from 1); the
+  // pricing order changes, the certified optimum must not.
+  for (int seed = 0; seed < 15; ++seed) {
+    Rng rng(7600 + seed);
+    auto lp = random_feasible_lp(rng, 14, 12, /*with_equalities=*/true);
+    const auto reference = solve_simplex(lp.model);
+    ASSERT_EQ(reference.status, SolveStatus::Optimal) << "seed " << seed;
+    SimplexOptions resetty;
+    resetty.devex_reset_threshold = 1.0;
+    const auto sol = solve_simplex(lp.model, resetty);
+    ASSERT_EQ(sol.status, SolveStatus::Optimal) << "seed " << seed;
+    EXPECT_NEAR(sol.objective, reference.objective,
+                1e-6 * (1 + std::abs(reference.objective)))
+        << "seed " << seed;
+  }
+}
+
+TEST(SimplexDevex, RefactorPeriodInvariantUnderForrestTomlin) {
+  // Forcing refactorization every 1 / every 3 pivots versus the automatic
+  // long period exercises totally different mixes of FT updates and
+  // rebuilds; the answer must be period-independent.
+  for (int seed = 0; seed < 10; ++seed) {
+    Rng rng(7700 + seed);
+    auto lp = random_feasible_lp(rng, 16, 12, /*with_equalities=*/true);
+    const auto reference = solve_simplex(lp.model);
+    ASSERT_EQ(reference.status, SolveStatus::Optimal) << "seed " << seed;
+    const double scale = 1 + std::abs(reference.objective);
+    for (const std::size_t period :
+         {std::size_t{1}, std::size_t{3}, std::size_t{0}}) {
+      SimplexOptions options;
+      options.refactor_period = period;
+      const auto sol = solve_simplex(lp.model, options);
+      ASSERT_EQ(sol.status, SolveStatus::Optimal)
+          << "seed " << seed << " period " << period;
+      EXPECT_NEAR(sol.objective, reference.objective, 1e-6 * scale)
+          << "seed " << seed << " period " << period;
+    }
+  }
+}
+
+TEST(SimplexDevex, FillGuardForcesRefactorizationsAndStaysExact) {
+  // A fill factor below 1 makes the guard fire as soon as any update adds
+  // a single nonzero; refactorization counts must reflect that and the
+  // optimum must be unaffected.
+  for (int seed = 0; seed < 8; ++seed) {
+    Rng rng(7800 + seed);
+    auto lp = random_feasible_lp(rng, 14, 12, /*with_equalities=*/true);
+    const auto relaxed = solve_simplex(lp.model);
+    ASSERT_EQ(relaxed.status, SolveStatus::Optimal) << "seed " << seed;
+    SimplexOptions tight;
+    tight.ft_fill_factor = 0.01;
+    const auto guarded = solve_simplex(lp.model, tight);
+    ASSERT_EQ(guarded.status, SolveStatus::Optimal) << "seed " << seed;
+    EXPECT_GE(guarded.refactorizations, relaxed.refactorizations)
+        << "seed " << seed;
+    EXPECT_NEAR(guarded.objective, relaxed.objective,
+                1e-6 * (1 + std::abs(relaxed.objective)))
+        << "seed " << seed;
+  }
+}
+
+TEST(SimplexDevex, ParallelPricingPassBitIdentical) {
+  // The pivot-row pass partitions columns into fixed blocks, so any
+  // parallelism value must produce bit-identical pivots, objectives and
+  // solutions. parallel_pricing_rows=1 forces the pool to engage even on
+  // these small models.
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(7900 + seed);
+    auto lp = random_feasible_lp(rng, 18, 14, /*with_equalities=*/true);
+    SimplexOptions serial;  // parallelism = 1 (default)
+    const auto reference = solve_simplex(lp.model, serial);
+    ASSERT_EQ(reference.status, SolveStatus::Optimal) << "seed " << seed;
+    for (const std::size_t threads :
+         {std::size_t{2}, std::size_t{3}, std::size_t{7}}) {
+      SimplexOptions parallel;
+      parallel.parallelism = threads;
+      parallel.parallel_pricing_rows = 1;
+      const auto sol = solve_simplex(lp.model, parallel);
+      ASSERT_EQ(sol.status, SolveStatus::Optimal)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(sol.iterations, reference.iterations)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(sol.objective, reference.objective)
+          << "seed " << seed << " threads " << threads;
+      ASSERT_EQ(sol.x.size(), reference.x.size());
+      for (std::size_t j = 0; j < sol.x.size(); ++j)
+        EXPECT_EQ(sol.x[j], reference.x[j])
+            << "seed " << seed << " threads " << threads << " var " << j;
+    }
   }
 }
 
