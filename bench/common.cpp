@@ -9,6 +9,7 @@
 #include "core/planner.h"
 #include "core/selector.h"
 #include "heuristics/cache.h"
+#include "obs/metrics.h"
 #include "sim/sweep.h"
 
 namespace wanplace::bench {
@@ -55,6 +56,23 @@ bounds::BoundOptions bound_options() {
   options.pdhg.check_period = 200;
   options.pdhg.time_limit_s = time_limit_s();
   return options;
+}
+
+void reset_metrics() {
+  obs::Registry::global().enable(true);
+  obs::Registry::global().reset();
+}
+
+double metric_sum(const std::string& name) {
+  const auto snapshot = obs::Registry::global().snapshot();
+  const auto it = snapshot.find(name);
+  return it == snapshot.end() ? 0.0 : it->second.sum;
+}
+
+std::uint64_t metric_count(const std::string& name) {
+  const auto snapshot = obs::Registry::global().snapshot();
+  const auto it = snapshot.find(name);
+  return it == snapshot.end() ? 0 : it->second.count;
 }
 
 Table& results(std::vector<std::string> header_if_new) {

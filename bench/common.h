@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <string>
 
 #include "bounds/engine.h"
@@ -34,6 +35,18 @@ Table& results(std::vector<std::string> header_if_new = {});
 
 /// Format a QoS level the way the paper labels its x-axis (95, 99, 99.9...).
 std::string qos_label(double tqos);
+
+/// Enable the telemetry registry and zero it. Benches call this before each
+/// measured solve so the reported columns come from the same registry that
+/// feeds traces — the CSV and a --trace-out of the same run can't disagree.
+void reset_metrics();
+
+/// Accumulated total of a metric since the last reset_metrics() (counter
+/// total or histogram sample sum); 0 when the metric never fired.
+double metric_sum(const std::string& name);
+
+/// Number of recordings of a metric since the last reset_metrics().
+std::uint64_t metric_count(const std::string& name);
 
 /// benchmark::Initialize + RunSpecifiedBenchmarks + table dump. `name` is
 /// the figure id used for the CSV file name.

@@ -73,16 +73,21 @@ struct Paths {
 void run_point(::benchmark::State& state, const lp::LpModel& model,
                Paths paths, std::size_t pdhg_iterations,
                double pdhg_tolerance = 1e-7) {
-  double ft_s = 0, ft_obj = 0, pf_s = 0, dense_s = 0;
+  // Timings and iteration counts are read back from the telemetry registry
+  // (reset before each path) rather than the LpSolution fields, so these
+  // columns agree with any trace of the same solve by construction.
+  double ft_s = 0, ft_obj = 0, pf_s = 0, dense_s = 0, pdhg_s = 0;
   std::size_t ft_it = 0, pf_it = 0;
   lp::LpSolution pdhg;
   for (auto _ : state) {
     if (paths.ft) {
       lp::SimplexOptions options;  // defaults: ForrestTomlin + DevexDynamic
+      bench::reset_metrics();
       const auto exact = lp::solve_simplex(model, options);
-      ft_s = exact.solve_seconds;
+      ft_s = bench::metric_sum("simplex.solve_seconds");
       ft_obj = exact.objective;
-      ft_it = exact.iterations;
+      ft_it = static_cast<std::size_t>(
+          bench::metric_sum("simplex.iterations"));
     }
     if (paths.pf) {
       // The previous default configuration, pinned explicitly.
@@ -91,22 +96,27 @@ void run_point(::benchmark::State& state, const lp::LpModel& model,
       options.pricing = lp::SimplexOptions::Pricing::PartialDevex;
       options.refactor_period = 640;
       options.eta_limit = 128;
-      const auto exact = lp::solve_simplex(model, options);
-      pf_s = exact.solve_seconds;
-      pf_it = exact.iterations;
+      bench::reset_metrics();
+      lp::solve_simplex(model, options);
+      pf_s = bench::metric_sum("simplex.solve_seconds");
+      pf_it = static_cast<std::size_t>(
+          bench::metric_sum("simplex.iterations"));
     }
     if (paths.dense) {
       lp::SimplexOptions options;
       options.basis = lp::SimplexOptions::Basis::DenseInverse;
       options.pricing = lp::SimplexOptions::Pricing::PartialDevex;
-      const auto exact = lp::solve_simplex(model, options);
-      dense_s = exact.solve_seconds;
+      bench::reset_metrics();
+      lp::solve_simplex(model, options);
+      dense_s = bench::metric_sum("simplex.solve_seconds");
     }
     lp::PdhgOptions options;
     options.tolerance = pdhg_tolerance;
     options.max_iterations = pdhg_iterations;
     options.time_limit_s = bench::time_limit_s();
+    bench::reset_metrics();
     pdhg = lp::solve_pdhg(model, options);
+    pdhg_s = bench::metric_sum("pdhg.solve_seconds");
   }
   state.counters["pdhg_bound"] = pdhg.dual_bound;
   const double gap = paths.ft ? std::abs(ft_obj - pdhg.dual_bound) /
@@ -121,7 +131,7 @@ void run_point(::benchmark::State& state, const lp::LpModel& model,
       .cell(paths.pf ? format_number(pf_s, 3) : std::string("-"))
       .cell(paths.pf ? std::to_string(pf_it) : std::string("-"))
       .cell(paths.dense ? format_number(dense_s, 3) : std::string("-"))
-      .cell(pdhg.solve_seconds, 3)
+      .cell(pdhg_s, 3)
       .cell(pdhg.dual_bound, 3)
       .cell(paths.ft ? format_number(gap, 7) : std::string("-"));
   bench::results().finish_row();

@@ -7,8 +7,6 @@
 // bound/rounding split.
 #include "common.h"
 
-#include "util/stopwatch.h"
-
 namespace {
 
 using namespace wanplace;
@@ -45,9 +43,14 @@ void register_points() {
           auto options = bench::bound_options();
           options.solver = bounds::BoundOptions::Solver::Auto;
           bounds::BoundDetail detail;
-          for (auto _ : state)
+          for (auto _ : state) {
+            // The iteration/seconds/round-up columns come from the
+            // telemetry registry (reset per run), not the result struct —
+            // one source of truth with any trace of the same solve.
+            bench::reset_metrics();
             detail = bounds::compute_bound_detail(
                 instance, mcperf::classes::general(), options);
+          }
           state.counters["rows"] =
               static_cast<double>(detail.bound.lp_rows);
           state.counters["bound"] = detail.bound.lower_bound;
@@ -60,9 +63,11 @@ void register_points() {
               .cell(static_cast<std::int64_t>(detail.bound.lp_rows))
               .cell(static_cast<std::int64_t>(detail.bound.lp_variables))
               .cell(exact ? "simplex-ft" : "pdhg")
-              .cell(static_cast<std::int64_t>(detail.bound.solver_iterations))
-              .cell(detail.bound.solve_seconds, 2)
-              .cell(static_cast<std::int64_t>(detail.rounding.round_ups))
+              .cell(static_cast<std::int64_t>(
+                  bench::metric_sum("bounds.iterations")))
+              .cell(bench::metric_sum("bounds.solve_seconds"), 2)
+              .cell(static_cast<std::int64_t>(
+                  bench::metric_sum("rounding.round_ups")))
               .cell(detail.bound.rounded_feasible
                         ? format_number(detail.bound.gap, 3)
                         : std::string("-"));

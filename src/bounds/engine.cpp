@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "mcperf/builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
@@ -13,11 +15,14 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
                                  const mcperf::ClassSpec& spec,
                                  const BoundOptions& options) {
   Stopwatch watch;
+  obs::Span span("bound");
+  span.label("class", spec.name);
   BoundDetail detail;
   detail.bound.class_name = spec.name;
 
   // Structural feasibility first: can this class reach the QoS goal at all?
   if (std::holds_alternative<mcperf::QosGoal>(instance.goal)) {
+    WANPLACE_SPAN("achievability");
     const auto reachability = mcperf::max_achievable_qos(instance, spec);
     detail.bound.max_achievable_qos = reachability.min_qos;
     detail.bound.achievable = reachability.achievable(
@@ -33,7 +38,10 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
                                      // by the solver
   }
 
-  detail.built = mcperf::build_lp(instance, spec);
+  {
+    WANPLACE_SPAN("build_lp");
+    detail.built = mcperf::build_lp(instance, spec);
+  }
   detail.bound.lp_rows = detail.built.model.row_count();
   detail.bound.lp_variables = detail.built.model.variable_count();
 
@@ -70,6 +78,7 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
 
   if (options.run_rounding &&
       std::holds_alternative<mcperf::QosGoal>(instance.goal)) {
+    WANPLACE_SPAN("rounding");
     detail.rounding = round_solution(instance, spec, detail.built,
                                      detail.solution.x, options.rounding);
     detail.bound.rounded_feasible = detail.rounding.feasible;
@@ -81,6 +90,20 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
     }
   }
   detail.bound.solve_seconds = watch.elapsed_seconds();
+  if (span.active()) {
+    span.attr("rows", static_cast<double>(detail.bound.lp_rows));
+    span.attr("vars", static_cast<double>(detail.bound.lp_variables));
+    span.attr("iterations",
+              static_cast<double>(detail.bound.solver_iterations));
+  }
+  if (obs::metrics_enabled()) {
+    obs::counter_add("bounds.classes");
+    obs::counter_add("bounds.iterations",
+                     static_cast<double>(detail.bound.solver_iterations));
+    obs::histogram_record("bounds.solve_seconds",
+                          detail.bound.solve_seconds);
+    obs::histogram_record("bounds.gap", detail.bound.gap);
+  }
   log_info("bound[", spec.name, "]: lb=", detail.bound.lower_bound,
            " rounded=", detail.bound.rounded_cost,
            " rows=", detail.bound.lp_rows, " time=",

@@ -7,6 +7,7 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 #include "util/log.h"
 
@@ -314,10 +315,13 @@ std::vector<std::size_t> extend_to_run(const DenseCube<double>& value,
 
 }  // namespace
 
-RoundingResult round_solution(const Instance& instance, const ClassSpec& spec,
-                              const BuiltModel& built,
-                              const std::vector<double>& x,
-                              const RoundingOptions& options) {
+namespace {
+
+RoundingResult round_solution_impl(const Instance& instance,
+                                   const ClassSpec& spec,
+                                   const BuiltModel& built,
+                                   const std::vector<double>& x,
+                                   const RoundingOptions& options) {
   WANPLACE_REQUIRE(x.size() == built.model.variable_count(),
                    "solution arity mismatch");
   Rounder state(instance, spec, built, x, options.snap_tolerance);
@@ -517,6 +521,25 @@ RoundingResult round_solution(const Instance& instance, const ClassSpec& spec,
   result.feasible = result.evaluation.feasible();
   if (!result.feasible)
     log_warn("rounding produced an infeasible placement (numerical edge)");
+  return result;
+}
+
+}  // namespace
+
+RoundingResult round_solution(const Instance& instance, const ClassSpec& spec,
+                              const BuiltModel& built,
+                              const std::vector<double>& x,
+                              const RoundingOptions& options) {
+  RoundingResult result =
+      round_solution_impl(instance, spec, built, x, options);
+  if (obs::metrics_enabled()) {
+    obs::counter_add("rounding.runs");
+    obs::counter_add("rounding.round_ups",
+                     static_cast<double>(result.round_ups));
+    obs::counter_add("rounding.round_downs",
+                     static_cast<double>(result.round_downs));
+    if (!result.feasible) obs::counter_add("rounding.infeasible");
+  }
   return result;
 }
 

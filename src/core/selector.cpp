@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <future>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -68,17 +70,21 @@ std::string HeuristicSelector::suggested_heuristic(
 
 SelectionReport HeuristicSelector::select(
     const mcperf::Instance& instance) const {
+  obs::Span span("selector");
   SelectionReport report;
   const std::size_t parallelism =
       options_.parallelism == 0 ? util::ThreadPool::default_parallelism()
                                 : options_.parallelism;
+  // details[0] is the general bound, details[1 + i] matches classes[i].
+  // Computed in full here regardless of keep_details (compute_bound is a
+  // wrapper over compute_bound_detail anyway) and retained only on request.
+  std::vector<bounds::BoundDetail> details(1 + options_.classes.size());
   if (parallelism <= 1) {
-    report.general = bounds::compute_bound(
+    details[0] = bounds::compute_bound_detail(
         instance, mcperf::classes::general(), options_.bounds);
-    report.classes.reserve(options_.classes.size());
-    for (const auto& spec : options_.classes)
-      report.classes.push_back(
-          bounds::compute_bound(instance, spec, options_.bounds));
+    for (std::size_t idx = 0; idx < options_.classes.size(); ++idx)
+      details[1 + idx] = bounds::compute_bound_detail(
+          instance, options_.classes[idx], options_.bounds);
   } else {
     // The general bound and every class bound are independent solves over
     // separately built LpModels — fan them out. Nested solver parallelism
@@ -87,20 +93,23 @@ SelectionReport HeuristicSelector::select(
     nested.parallelism = 1;
     util::ThreadPool pool(
         std::min<std::size_t>(parallelism, 1 + options_.classes.size()));
-    auto general_future = pool.submit([&] {
-      return bounds::compute_bound(instance, mcperf::classes::general(),
-                                   nested);
-    });
-    std::vector<std::future<bounds::ClassBound>> class_futures;
-    class_futures.reserve(options_.classes.size());
+    std::vector<std::future<bounds::BoundDetail>> futures;
+    futures.reserve(1 + options_.classes.size());
+    futures.push_back(pool.submit([&] {
+      return bounds::compute_bound_detail(instance,
+                                          mcperf::classes::general(), nested);
+    }));
     for (const auto& spec : options_.classes)
-      class_futures.push_back(pool.submit(
-          [&, spec] { return bounds::compute_bound(instance, spec, nested); }));
-    report.general = general_future.get();
-    report.classes.reserve(options_.classes.size());
-    for (auto& future : class_futures)
-      report.classes.push_back(future.get());
+      futures.push_back(pool.submit([&, spec] {
+        return bounds::compute_bound_detail(instance, spec, nested);
+      }));
+    for (std::size_t idx = 0; idx < futures.size(); ++idx)
+      details[idx] = futures[idx].get();
   }
+  report.general = details[0].bound;
+  report.classes.reserve(options_.classes.size());
+  for (std::size_t idx = 0; idx < options_.classes.size(); ++idx)
+    report.classes.push_back(details[1 + idx].bound);
 
   double best = lp::kInfinity;
   for (std::size_t idx = 0; idx < report.classes.size(); ++idx) {
@@ -119,6 +128,14 @@ SelectionReport HeuristicSelector::select(
             ? chosen.lower_bound / report.general.lower_bound
             : 1.0;
   }
+  if (options_.keep_details) report.details = std::move(details);
+  if (span.active()) {
+    span.attr("classes", static_cast<double>(report.classes.size()));
+    span.attr("recommended", report.has_recommendation()
+                                 ? static_cast<double>(report.recommended)
+                                 : -1.0);
+  }
+  if (obs::metrics_enabled()) obs::counter_add("selector.runs");
   return report;
 }
 

@@ -29,6 +29,11 @@ struct SelectorOptions {
   /// path. Reports are bit-identical for every value; when solving classes
   /// concurrently each per-class solve runs serially (no nested pools).
   std::size_t parallelism = 0;
+  /// Keep the full BoundDetail of every solve in SelectionReport::details
+  /// (models, LP solutions with duals, rounding results). Off by default:
+  /// details hold the whole LP per class. Needed for `--report`-style
+  /// sensitivity output (obs::make_solve_report).
+  bool keep_details = false;
 };
 
 struct SelectionReport {
@@ -44,6 +49,9 @@ struct SelectionReport {
   /// recommended lower bound / general lower bound — close to 1 means no
   /// other class can be much better.
   double optimality_ratio = 0;
+  /// Populated when SelectorOptions::keep_details is set: index 0 is the
+  /// general bound, index 1+i matches classes[i].
+  std::vector<bounds::BoundDetail> details;
 
   bool has_recommendation() const { return recommended != SIZE_MAX; }
   const bounds::ClassBound& recommended_bound() const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace wanplace::lp {
@@ -201,6 +202,17 @@ bool BasisLu::factorize(std::size_t m,
 
   if (mode_ == UpdateMode::ForrestTomlin) build_ft_structure();
   baseline_nonzeros_ = factor_nonzeros();
+  if (obs::metrics_enabled()) {
+    std::size_t input_nnz = 0;
+    for (const auto& column : columns) input_nnz += column.size();
+    obs::counter_add("lu.factorizations");
+    obs::histogram_record("lu.factor_nnz",
+                          static_cast<double>(baseline_nonzeros_));
+    // Fill-in of this factorization: factor entries beyond the basis's own.
+    obs::histogram_record(
+        "lu.fill_in", static_cast<double>(baseline_nonzeros_) -
+                          static_cast<double>(input_nnz));
+  }
   return true;
 }
 
@@ -423,6 +435,7 @@ bool BasisLu::update_forrest_tomlin(std::size_t position, double min_pivot) {
   col_slots_[position].clear();
   u_nonzeros_ -= u_rows_[t].size();
   u_rows_[t].clear();
+  std::size_t spike_nnz = 0;
   for (std::size_t r = 0; r < m_; ++r) {
     const double v = spike_[r];
     if (v == 0 || r == target_row) continue;
@@ -430,6 +443,7 @@ bool BasisLu::update_forrest_tomlin(std::size_t position, double min_pivot) {
     u_rows_[s].push_back({static_cast<std::uint32_t>(position), v});
     col_slots_[position].push_back(s);
     ++u_nonzeros_;
+    ++spike_nnz;
   }
   u_pivot_[t] = diag;
   if (t != tail_) {
@@ -444,6 +458,11 @@ bool BasisLu::update_forrest_tomlin(std::size_t position, double min_pivot) {
     prev_[t] = tail_;
     next_[t] = kNoSlot;
     tail_ = t;
+  }
+  if (obs::metrics_enabled()) {
+    obs::histogram_record("lu.spike_len", static_cast<double>(spike_nnz));
+    obs::histogram_record("lu.reta_len",
+                          static_cast<double>(eta.entries.size()));
   }
   if (!eta.entries.empty()) {
     r_nonzeros_ += eta.entries.size();

@@ -7,6 +7,8 @@
 
 #include "lp/scaling.h"
 #include "lp/sparse.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
@@ -102,6 +104,8 @@ struct Candidate {
   double merit = kInfinity;
   double objective = 0;
   double bound = -kInfinity;
+  double violation = kInfinity;  // max primal constraint violation
+  double gap = kInfinity;        // relative primal-dual gap
   std::vector<double> x;  // original space
   std::vector<double> y;  // original space
 };
@@ -111,6 +115,8 @@ struct Candidate {
 LpSolution solve_pdhg(const LpModel& model, const PdhgOptions& options) {
   WANPLACE_REQUIRE(model.variable_count() > 0, "empty model");
   Stopwatch watch;
+  obs::Span span("pdhg");
+  std::size_t restarts = 0;
   LpSolution solution;
 
   const std::size_t rows = model.row_count();
@@ -197,10 +203,10 @@ LpSolution solve_pdhg(const LpModel& model, const PdhgOptions& options) {
     cand.y = unscale_duals(canon, y_hat);
     cand.objective = model.objective_value(cand.x);
     cand.bound = certified_dual_bound(model, cand.y);
-    const double violation = model.max_violation(cand.x);
-    const double gap = std::abs(cand.objective - cand.bound) /
-                       (1 + std::abs(cand.objective) + std::abs(cand.bound));
-    cand.merit = std::max(violation, gap);
+    cand.violation = model.max_violation(cand.x);
+    cand.gap = std::abs(cand.objective - cand.bound) /
+               (1 + std::abs(cand.objective) + std::abs(cand.bound));
+    cand.merit = std::max(cand.violation, cand.gap);
     return cand;
   };
 
@@ -244,6 +250,14 @@ LpSolution solve_pdhg(const LpModel& model, const PdhgOptions& options) {
         average.merit <= current.merit ? average : current;
     if (better.merit < best.merit) best = better;
 
+    // Residual curves per check interval (x axis: iteration count).
+    if (obs::trace_enabled()) {
+      const double at = static_cast<double>(iteration + 1);
+      obs::trace_sample("pdhg.primal_residual", at, better.violation);
+      obs::trace_sample("pdhg.gap", at, better.gap);
+      obs::trace_sample("pdhg.dual_bound", at, best_bound);
+    }
+
     if (best.merit <= options.tolerance) {
       status = SolveStatus::Optimal;
       break;
@@ -279,6 +293,7 @@ LpSolution solve_pdhg(const LpModel& model, const PdhgOptions& options) {
       std::fill(sum_x.begin(), sum_x.end(), 0.0);
       std::fill(sum_y.begin(), sum_y.end(), 0.0);
       epoch_len = 0;
+      ++restarts;
     }
   }
 
@@ -295,6 +310,19 @@ LpSolution solve_pdhg(const LpModel& model, const PdhgOptions& options) {
   solution.dual_bound = best_bound;
   solution.iterations = iteration;
   solution.solve_seconds = watch.elapsed_seconds();
+  if (span.active()) {
+    span.attr("rows", static_cast<double>(rows));
+    span.attr("cols", static_cast<double>(cols));
+    span.attr("iterations", static_cast<double>(solution.iterations));
+    span.attr("restarts", static_cast<double>(restarts));
+  }
+  if (obs::metrics_enabled()) {
+    obs::counter_add("pdhg.solves");
+    obs::counter_add("pdhg.iterations",
+                     static_cast<double>(solution.iterations));
+    obs::counter_add("pdhg.restarts", static_cast<double>(restarts));
+    obs::histogram_record("pdhg.solve_seconds", solution.solve_seconds);
+  }
   log_debug("pdhg: ", to_string(solution.status), " obj=", solution.objective,
             " bound=", solution.dual_bound, " iters=", solution.iterations,
             " time=", solution.solve_seconds, "s");

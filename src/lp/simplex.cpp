@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <limits>
 #include <memory>
 #include <vector>
 
 #include "lp/lu.h"
 #include "lp/sparse.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/stopwatch.h"
@@ -70,12 +73,26 @@ class Simplex {
   }
 
   LpSolution run() {
+    obs::Span span("simplex");
+    const LpSolution solution = run_phases();
+    if (span.active()) {
+      span.attr("rows", static_cast<double>(m_));
+      span.attr("cols", static_cast<double>(cols_.n));
+      span.attr("iterations", static_cast<double>(iterations_));
+      span.attr("refactorizations", static_cast<double>(refactorizations_));
+    }
+    publish_metrics(solution);
+    return solution;
+  }
+
+ private:
+  LpSolution run_phases() {
     Stopwatch watch;
     LpSolution solution;
 
     // Phase 1: drive artificial infeasibility to zero.
     set_phase_costs(/*phase1=*/true);
-    const SolveStatus phase1 = iterate();
+    const SolveStatus phase1 = run_phase(/*phase1=*/true);
     if (phase1 == SolveStatus::IterationLimit) {
       solution.status = SolveStatus::IterationLimit;
       fill_solution(solution);
@@ -101,14 +118,79 @@ class Simplex {
     set_phase_costs(/*phase1=*/false);
     stall_count_ = 0;
     bland_ = false;
-    const SolveStatus phase2 = iterate();
+    const SolveStatus phase2 = run_phase(/*phase1=*/false);
     solution.status = phase2;
     fill_solution(solution);
     solution.solve_seconds = watch.elapsed_seconds();
     return solution;
   }
 
- private:
+  SolveStatus run_phase(bool phase1) {
+    obs::Span span(phase1 ? "phase1" : "phase2");
+    const std::size_t iters_before = iterations_;
+    const SolveStatus status = iterate();
+    if (span.active())
+      span.attr("iterations", static_cast<double>(iterations_ - iters_before));
+    return status;
+  }
+
+  /// Why a refactorization was triggered. Tracked as plain per-cause
+  /// counters (telemetry observes the solve; it never branches it) and
+  /// published to the metrics registry in bulk when the solve finishes.
+  enum class RefactorCause : std::size_t {
+    Certify,           // re-price on fresh duals before declaring optimality
+    Drift,             // stability guard: suspiciously small FTRAN'd pivot
+    Agreement,         // FTRAN'd vs BTRAN'd pivot element mismatch
+    FtRefused,         // Forrest-Tomlin update rejected by its own guard
+    Period,            // refactor period expired
+    Fill,              // FT fill guard (factor + R-file grew too dense)
+    EtaLimit,          // product-form eta file at its cap
+    SingularRollback,  // post-pivot factorization failed; pivot rolled back
+    Bland,             // entering Bland mode wants exact reduced costs
+    kCount
+  };
+
+  /// Count the cause and sample the update-file state the trigger saw.
+  void note_refactor(RefactorCause cause) {
+    ++refactor_cause_[static_cast<std::size_t>(cause)];
+    if (!dense_basis() && obs::metrics_enabled()) {
+      obs::histogram_record("lu.r_file_len",
+                            static_cast<double>(lu_.r_nonzeros()));
+      obs::histogram_record("lu.eta_file_len",
+                            static_cast<double>(lu_.eta_count()));
+    }
+  }
+
+  void publish_metrics(const LpSolution& solution) const {
+    if (!obs::metrics_enabled()) return;
+    obs::counter_add("simplex.solves");
+    obs::counter_add("simplex.iterations", static_cast<double>(iterations_));
+    obs::counter_add("simplex.refactorizations",
+                     static_cast<double>(refactorizations_));
+    static constexpr const char* kCauseNames[] = {
+        "simplex.refactor.certify",    "simplex.refactor.drift",
+        "simplex.refactor.agreement",  "simplex.refactor.ft_refused",
+        "simplex.refactor.period",     "simplex.refactor.fill",
+        "simplex.refactor.eta_limit",  "simplex.refactor.singular_rollback",
+        "simplex.refactor.bland"};
+    static_assert(std::size(kCauseNames) ==
+                  static_cast<std::size_t>(RefactorCause::kCount));
+    for (std::size_t c = 0; c < std::size(kCauseNames); ++c)
+      if (refactor_cause_[c] > 0)
+        obs::counter_add(kCauseNames[c],
+                         static_cast<double>(refactor_cause_[c]));
+    obs::counter_add("simplex.degenerate_pivots",
+                     static_cast<double>(degenerate_pivots_));
+    if (degenerate_streak_max_ > 0)
+      obs::histogram_record("simplex.degenerate_streak",
+                            static_cast<double>(degenerate_streak_max_));
+    obs::counter_add("simplex.devex_resets",
+                     static_cast<double>(devex_resets_));
+    obs::counter_add("simplex.bound_flips",
+                     static_cast<double>(bound_flips_));
+    obs::histogram_record("simplex.solve_seconds", solution.solve_seconds);
+  }
+
   std::size_t total_columns() const { return cols_.n + 2 * m_; }
 
   bool dense_basis() const {
@@ -581,8 +663,10 @@ class Simplex {
     d_[entering] = 0.0;
     double wmax = 0;
     for (const double w : block_max_) wmax = std::max(wmax, w);
-    if (wmax > options_.devex_reset_threshold)
+    if (wmax > options_.devex_reset_threshold) {
+      ++devex_resets_;
       std::fill(devex_weight_.begin(), devex_weight_.end(), 1.0);
+    }
   }
 
   SolveStatus iterate() {
@@ -609,6 +693,7 @@ class Simplex {
         // scratch and re-price: pivot drift must never certify a false
         // optimum.
         if (duals_clean_) return SolveStatus::Optimal;
+        note_refactor(RefactorCause::Certify);
         refactorize();
         refresh_incremental_state();
         pivots_since_refactor = 0;
@@ -670,6 +755,7 @@ class Simplex {
       if (!dense_basis() && leaving_pos != SIZE_MAX &&
           lu_.update_count() > 0 &&
           std::abs(w[leaving_pos]) < options_.lu_stability_tolerance) {
+        note_refactor(RefactorCause::Drift);
         refactorize();
         refresh_incremental_state();
         pivots_since_refactor = 0;
@@ -693,6 +779,7 @@ class Simplex {
         if (lu_.update_count() > 0 &&
             !(std::abs(pivot_btran - w[leaving_pos]) <=
               kPivotAgreementTol * (1 + std::abs(w[leaving_pos])))) {
+          note_refactor(RefactorCause::Agreement);
           refactorize();
           refresh_incremental_state();
           pivots_since_refactor = 0;
@@ -717,6 +804,7 @@ class Simplex {
       if (leaving_pos == SIZE_MAX) {
         // Bound flip: entering hit its opposite bound; basis (and thus the
         // duals and all cached reduced costs) unchanged.
+        ++bound_flips_;
         status_[entering] =
             increasing ? VarStatus::AtUpper : VarStatus::AtLower;
         x_[entering] = increasing ? upper_[entering] : lower_[entering];
@@ -749,20 +837,25 @@ class Simplex {
           const std::size_t updates_before = lu_.update_count();
           const bool updated = lu_.update(leaving_pos, w, pivot_tol);
           ++pivots_since_refactor;
-          bool refactor =
-              !updated || pivots_since_refactor >= effective_refactor_period();
-          if (!refactor) {
-            if (ft_basis()) {
-              // Fill guard: updates add spike + elimination fill that only
-              // a fresh factorization re-compresses. The +64 floor keeps
-              // tiny bases from refactorizing on noise.
-              refactor = lu_.factor_nonzeros() + lu_.r_nonzeros() >
-                         options_.ft_fill_factor * lu_.baseline_nonzeros() + 64;
-            } else {
-              refactor = lu_.eta_count() >= options_.eta_limit;
-            }
+          bool refactor = true;
+          RefactorCause cause = RefactorCause::Period;
+          if (!updated) {
+            cause = RefactorCause::FtRefused;
+          } else if (pivots_since_refactor >= effective_refactor_period()) {
+            cause = RefactorCause::Period;
+          } else if (ft_basis()) {
+            // Fill guard: updates add spike + elimination fill that only
+            // a fresh factorization re-compresses. The +64 floor keeps
+            // tiny bases from refactorizing on noise.
+            refactor = lu_.factor_nonzeros() + lu_.r_nonzeros() >
+                       options_.ft_fill_factor * lu_.baseline_nonzeros() + 64;
+            cause = RefactorCause::Fill;
+          } else {
+            refactor = lu_.eta_count() >= options_.eta_limit;
+            cause = RefactorCause::EtaLimit;
           }
           if (refactor) {
+            note_refactor(cause);
             ++refactorizations_;
             if (try_factorize_lu()) {
               recompute_basic_values();
@@ -779,6 +872,8 @@ class Simplex {
               // numbers.
               WANPLACE_CHECK(updates_before > 0,
                              "singular basis during refactorization");
+              ++refactor_cause_[static_cast<std::size_t>(
+                  RefactorCause::SingularRollback)];
               basis_[leaving_pos] = leaving;
               status_[leaving] = VarStatus::Basic;
               status_[entering] = entering_status_before;
@@ -816,6 +911,7 @@ class Simplex {
           duals_clean_ = false;
 
           if (++pivots_since_refactor >= effective_refactor_period()) {
+            note_refactor(RefactorCause::Period);
             refactorize();
             refresh_incremental_state();
             pivots_since_refactor = 0;
@@ -823,6 +919,20 @@ class Simplex {
             pivot_row_.assign(pivot_row, pivot_row + m_);
             update_pricing_after_pivot(entering, choice.reduced);
           }
+        }
+      }
+
+      // Degenerate-pivot streak (basis changes with a zero step; long
+      // streaks are the classic stall signature the stall counter reacts
+      // to). Reached only when the pivot was committed — the refactorize
+      // -and-retry paths `continue` above.
+      if (leaving_pos != SIZE_MAX) {
+        if (step == 0) {
+          ++degenerate_pivots_;
+          degenerate_streak_max_ =
+              std::max(degenerate_streak_max_, ++degenerate_streak_);
+        } else {
+          degenerate_streak_ = 0;
         }
       }
 
@@ -835,6 +945,7 @@ class Simplex {
         if (!bland_) {
           // Entering Bland mode: restart from drift-free duals so the
           // anti-cycling argument holds on exact reduced costs.
+          note_refactor(RefactorCause::Bland);
           refactorize();
           refresh_incremental_state();
           pivots_since_refactor = 0;
@@ -881,6 +992,15 @@ class Simplex {
   std::size_t stall_count_ = 0;
   bool bland_ = false;
   double rhs_scale_ = 0;
+
+  // Telemetry tallies (observation only; published by publish_metrics).
+  std::size_t refactor_cause_[static_cast<std::size_t>(
+      RefactorCause::kCount)] = {};
+  std::size_t degenerate_pivots_ = 0;
+  std::size_t degenerate_streak_ = 0;
+  std::size_t degenerate_streak_max_ = 0;
+  std::size_t devex_resets_ = 0;
+  std::size_t bound_flips_ = 0;
 };
 
 }  // namespace

@@ -191,8 +191,10 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
     for (std::size_t group = 0; group < groups.count(); ++group) {
       if (groups.total_reads(group) <= 0) continue;
       // (2): fraction of the group's reads covered >= tqos.
-      model.add_row(lp::RowType::Ge, goal.tqos, qos_cols[group],
-                    qos_coeffs[group], "qos[" + std::to_string(group) + "]");
+      const std::size_t row =
+          model.add_row(lp::RowType::Ge, goal.tqos, qos_cols[group],
+                        qos_coeffs[group], "qos[" + std::to_string(group) + "]");
+      built.qos_rows.push_back({row, group, groups.total_reads(group)});
     }
   }
 

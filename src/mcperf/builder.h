@@ -57,6 +57,16 @@ struct BuiltModel {
 
   /// fetch[n][m] actually used (derived from the class routing property).
   BoolMatrix fetch;
+
+  /// QoS rows (constraint (2), rhs = tqos), one per scope group with demand.
+  /// Kept so solve reports can map row duals back to named constraints: the
+  /// dual on `row` is d(cost)/d(tqos) for that group — its shadow price.
+  struct QosRowInfo {
+    std::size_t row = 0;
+    std::size_t group = 0;
+    double total_reads = 0;
+  };
+  std::vector<QosRowInfo> qos_rows;
 };
 
 /// Build the LP relaxation of MC-PERF for `spec`. The instance must satisfy

@@ -1,0 +1,208 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace wanplace::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Transparent hashing so fast-path lookups by const char* never allocate a
+/// temporary std::string.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+void atomic_min(std::atomic<double>& slot, double value) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double value) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const char* to_string(MetricValue::Kind kind) {
+  switch (kind) {
+    case MetricValue::Kind::Counter: return "counter";
+    case MetricValue::Kind::Gauge: return "gauge";
+    case MetricValue::Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+struct Registry::Impl {
+  /// One metric within one shard. All fields are atomics so the owning
+  /// thread updates and snapshot() reads concurrently without locks.
+  struct Cell {
+    explicit Cell(MetricValue::Kind k) : kind(k) {}
+    const MetricValue::Kind kind;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{kInf};
+    std::atomic<double> max{-kInf};
+    /// Gauges: global write sequence of the last set(); the merge keeps the
+    /// highest sequence so "latest write wins" across shards.
+    std::atomic<std::uint64_t> seq{0};
+  };
+
+  /// Per-thread shard. The map's *shape* is guarded by `mutex` (taken by
+  /// the owner only on first use of a new name, and by snapshot/reset);
+  /// lookups of existing names by the owner are lock-free because the owner
+  /// is the only inserter.
+  struct Shard {
+    std::mutex mutex;
+    std::unordered_map<std::string, std::unique_ptr<Cell>, StringHash,
+                       std::equal_to<>>
+        cells;
+  };
+
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> gauge_seq{0};
+  mutable std::mutex shards_mutex;
+  /// Shards are owned here (shared_ptr) so they outlive their threads.
+  std::vector<std::shared_ptr<Shard>> shards;
+
+  Shard& local_shard() {
+    thread_local std::unordered_map<Impl*, std::shared_ptr<Shard>> bindings;
+    auto& slot = bindings[this];
+    if (!slot) {
+      slot = std::make_shared<Shard>();
+      std::lock_guard<std::mutex> lock(shards_mutex);
+      shards.push_back(slot);
+    }
+    return *slot;
+  }
+
+  Cell& cell(const char* name, MetricValue::Kind kind) {
+    Shard& shard = local_shard();
+    const std::string_view key(name);
+    if (const auto it = shard.cells.find(key); it != shard.cells.end())
+      return *it->second;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return *shard.cells.emplace(std::string(key), std::make_unique<Cell>(kind))
+                .first->second;
+  }
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::enable(bool on) {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+bool Registry::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void Registry::add(const char* name, double delta) {
+  if (!enabled()) return;
+  Impl::Cell& cell = impl_->cell(name, MetricValue::Kind::Counter);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = cell.sum.load(std::memory_order_relaxed);
+  while (!cell.sum.compare_exchange_weak(sum, sum + delta,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+void Registry::set(const char* name, double value) {
+  if (!enabled()) return;
+  Impl::Cell& cell = impl_->cell(name, MetricValue::Kind::Gauge);
+  const std::uint64_t seq =
+      1 + impl_->gauge_seq.fetch_add(1, std::memory_order_relaxed);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.store(value, std::memory_order_relaxed);
+  cell.seq.store(seq, std::memory_order_relaxed);
+}
+
+void Registry::record(const char* name, double value) {
+  if (!enabled()) return;
+  Impl::Cell& cell = impl_->cell(name, MetricValue::Kind::Histogram);
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = cell.sum.load(std::memory_order_relaxed);
+  while (!cell.sum.compare_exchange_weak(sum, sum + value,
+                                         std::memory_order_relaxed)) {
+  }
+  atomic_min(cell.min, value);
+  atomic_max(cell.max, value);
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot merged;
+  // Latest-write tracking for gauges, by name.
+  std::map<std::string, std::uint64_t> gauge_seq;
+  std::lock_guard<std::mutex> shards_lock(impl_->shards_mutex);
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (const auto& [name, cell] : shard->cells) {
+      const std::uint64_t count = cell->count.load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      MetricValue& value = merged[name];
+      value.kind = cell->kind;
+      switch (cell->kind) {
+        case MetricValue::Kind::Counter:
+          value.count += count;
+          value.sum += cell->sum.load(std::memory_order_relaxed);
+          break;
+        case MetricValue::Kind::Gauge: {
+          const std::uint64_t seq = cell->seq.load(std::memory_order_relaxed);
+          value.count += count;
+          if (seq >= gauge_seq[name]) {
+            gauge_seq[name] = seq;
+            value.sum = cell->sum.load(std::memory_order_relaxed);
+          }
+          break;
+        }
+        case MetricValue::Kind::Histogram:
+          value.count += count;
+          value.sum += cell->sum.load(std::memory_order_relaxed);
+          value.min = std::min(value.min,
+                               cell->min.load(std::memory_order_relaxed));
+          value.max = std::max(value.max,
+                               cell->max.load(std::memory_order_relaxed));
+          break;
+      }
+    }
+  }
+  return merged;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> shards_lock(impl_->shards_mutex);
+  for (const auto& shard : impl_->shards) {
+    std::lock_guard<std::mutex> shard_lock(shard->mutex);
+    for (auto& [name, cell] : shard->cells) {
+      cell->count.store(0, std::memory_order_relaxed);
+      cell->sum.store(0.0, std::memory_order_relaxed);
+      cell->min.store(kInf, std::memory_order_relaxed);
+      cell->max.store(-kInf, std::memory_order_relaxed);
+      cell->seq.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace wanplace::obs

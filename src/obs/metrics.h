@@ -1,0 +1,101 @@
+// Solver telemetry: process-wide metrics registry.
+//
+// Named counters, gauges and histograms with a lock-free fast path: every
+// recording thread owns a private shard (hash map of atomic cells), so the
+// steady-state cost of an increment is one hash lookup plus relaxed atomic
+// ops — no locks, no contention with other recorders. Shard mutexes are
+// taken only when a thread records a *new* metric name for the first time
+// and when snapshot()/reset() walk the shards, so instrumented hot paths
+// never serialize against each other.
+//
+// Telemetry must never perturb solve results: the registry only ever
+// *observes* values the solvers already computed, and every call is a no-op
+// (one relaxed atomic load + branch) while the registry is disabled — the
+// default. Enabling it changes wall-clock only; solves stay bit-identical
+// at every `parallelism` value (asserted by ObsDifferential tests).
+//
+// Merge determinism: counter counts are integers and integer-valued sums
+// (the common case: pivot counts, round-ups, refactorizations) are exact
+// under addition, so snapshots are identical regardless of which pool
+// worker recorded what. Fractional sums (e.g. seconds histograms) merge up
+// to floating-point associativity; they are diagnostics and are never fed
+// back into a solve.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace wanplace::obs {
+
+/// Aggregated state of one metric in a snapshot().
+struct MetricValue {
+  enum class Kind { Counter, Gauge, Histogram };
+  Kind kind = Kind::Counter;
+  /// Counter: number of add() calls. Histogram: number of samples.
+  /// Gauge: number of set() calls.
+  std::uint64_t count = 0;
+  /// Counter: accumulated total. Histogram: sum of samples. Gauge: the most
+  /// recent value (by a global write sequence).
+  double sum = 0;
+  /// Histogram only: extremes of the recorded samples.
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0; }
+};
+
+const char* to_string(MetricValue::Kind kind);
+
+/// Name-sorted merged view across all shards.
+using Snapshot = std::map<std::string, MetricValue>;
+
+class Registry {
+ public:
+  /// The process-wide registry all instrumentation reports to.
+  static Registry& global();
+
+  /// Off by default; while disabled every recording call is a single
+  /// relaxed load + branch.
+  void enable(bool on);
+  bool enabled() const;
+
+  /// Counter: accumulate `delta` (monotone by convention).
+  void add(const char* name, double delta = 1.0);
+  /// Gauge: remember `value`; snapshot keeps the latest write process-wide.
+  void set(const char* name, double value);
+  /// Histogram: record one sample (count/sum/min/max kept).
+  void record(const char* name, double value);
+
+  /// Merge all shards into a name-sorted snapshot. Safe to call while other
+  /// threads record (their in-flight updates land in a later snapshot).
+  Snapshot snapshot() const;
+
+  /// Zero every cell in every shard (names and shard bindings survive, so
+  /// cached fast paths stay valid). Counts restart from zero.
+  void reset();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+// Convenience free functions on the global registry.
+inline void counter_add(const char* name, double delta = 1.0) {
+  Registry::global().add(name, delta);
+}
+inline void gauge_set(const char* name, double value) {
+  Registry::global().set(name, value);
+}
+inline void histogram_record(const char* name, double value) {
+  Registry::global().record(name, value);
+}
+inline bool metrics_enabled() { return Registry::global().enabled(); }
+
+}  // namespace wanplace::obs

@@ -1,0 +1,91 @@
+#include "obs/solve_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace wanplace::obs {
+
+namespace {
+
+/// Duals below this are slack-row noise (the solvers certify duals to ~1e-7;
+/// see lp::certified_dual_bound), not economically meaningful prices.
+constexpr double kBindingTolerance = 1e-7;
+
+std::string fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace
+
+SolveReport make_solve_report(const bounds::BoundDetail& detail) {
+  SolveReport report;
+  const bounds::ClassBound& bound = detail.bound;
+  report.class_name = bound.class_name;
+  report.status = bound.status;
+  report.achievable = bound.achievable;
+  report.lower_bound = bound.lower_bound;
+  report.rounded_cost = bound.rounded_cost;
+  report.rounded_feasible = bound.rounded_feasible;
+  report.gap = bound.gap;
+  report.lp_rows = bound.lp_rows;
+  report.lp_variables = bound.lp_variables;
+  report.iterations = bound.solver_iterations;
+  report.refactorizations = detail.solution.refactorizations;
+  report.solve_seconds = bound.solve_seconds;
+  report.round_ups = detail.rounding.round_ups;
+  report.round_downs = detail.rounding.round_downs;
+
+  const std::vector<double>& y = detail.solution.y;
+  for (const mcperf::BuiltModel::QosRowInfo& info : detail.built.qos_rows) {
+    if (info.row >= y.size()) continue;  // unachievable class: no solve ran
+    RowSensitivity row;
+    row.row_name = detail.built.model.row_name(info.row);
+    row.row = info.row;
+    row.group = info.group;
+    row.total_reads = info.total_reads;
+    // Ge rows carry duals >= 0; clamp the certified-noise negatives.
+    row.shadow_price = std::max(0.0, y[info.row]);
+    row.binding = row.shadow_price > kBindingTolerance;
+    report.qos.push_back(std::move(row));
+  }
+  std::sort(report.qos.begin(), report.qos.end(),
+            [](const RowSensitivity& a, const RowSensitivity& b) {
+              return a.group < b.group;
+            });
+  return report;
+}
+
+std::string to_string(const SolveReport& report) {
+  std::ostringstream out;
+  out << "class " << report.class_name << ": ";
+  if (!report.achievable) {
+    out << "unachievable (QoS goal above the class's best case)\n";
+    return out.str();
+  }
+  out << "bound=" << fixed(report.lower_bound, 4)
+      << " rounded=" << fixed(report.rounded_cost, 4)
+      << (report.rounded_feasible ? "" : " (infeasible)")
+      << " gap=" << fixed(100.0 * report.gap, 2) << "%"
+      << " [" << lp::to_string(report.status) << ", " << report.lp_rows
+      << " rows, " << report.lp_variables << " vars, " << report.iterations
+      << " iters, " << report.refactorizations << " refactors, "
+      << fixed(report.solve_seconds, 3) << "s, " << report.round_ups
+      << " round-ups]\n";
+  if (report.qos.empty()) {
+    out << "  (no QoS rows: non-QoS goal)\n";
+    return out.str();
+  }
+  for (const RowSensitivity& row : report.qos) {
+    out << "  " << row.row_name << ": shadow price "
+        << fixed(row.shadow_price, 4) << "/unit of Tqos slack";
+    if (!row.binding) out << " (slack)";
+    out << "  [group " << row.group << ", " << fixed(row.total_reads, 0)
+        << " reads]\n";
+  }
+  return out.str();
+}
+
+}  // namespace wanplace::obs

@@ -1,0 +1,60 @@
+// Per-solve sensitivity report: the piece of CPLEX-style visibility the
+// paper's methodology leans on (Section 5 discussion).
+//
+// After the bound engine solves a class, the LP row duals are still sitting
+// in LpSolution::y — signed per row type, produced by the final
+// factorization (simplex) or the best dual iterate (PDHG). This module maps
+// the duals on the QoS rows back through BuiltModel::qos_rows to named
+// constraints, yielding the shadow price d(cost)/d(tqos) per scope group:
+// "class SC pays 0.42/unit of Tqos slack". A zero dual means the group's
+// QoS row is slack at the optimum — tightening tqos slightly is free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bounds/engine.h"
+
+namespace wanplace::obs {
+
+/// One QoS row's dual, mapped back to the MC-PERF constraint it came from.
+struct RowSensitivity {
+  std::string row_name;    // as named by the builder, e.g. "qos[3]"
+  std::size_t row = 0;     // LP row index
+  std::size_t group = 0;   // QoS scope group
+  double total_reads = 0;  // demand volume of the group
+  /// Shadow price d(cost)/d(tqos) for this group (>= 0: the row is Ge).
+  /// The builder normalizes coverage coefficients by the group volume and
+  /// keeps rhs = tqos, so the dual needs no rescaling.
+  double shadow_price = 0;
+  bool binding = false;  // shadow_price above dual feasibility noise
+};
+
+/// Everything the CLI prints for `--report`, extracted from one BoundDetail.
+struct SolveReport {
+  std::string class_name;
+  lp::SolveStatus status = lp::SolveStatus::IterationLimit;
+  bool achievable = false;
+  double lower_bound = 0;
+  double rounded_cost = 0;
+  bool rounded_feasible = false;
+  double gap = 0;
+  std::size_t lp_rows = 0;
+  std::size_t lp_variables = 0;
+  std::size_t iterations = 0;
+  std::size_t refactorizations = 0;
+  double solve_seconds = 0;
+  std::size_t round_ups = 0;
+  std::size_t round_downs = 0;
+  /// QoS rows in group order; empty for non-QoS goals or unachievable
+  /// classes (no LP was solved).
+  std::vector<RowSensitivity> qos;
+};
+
+/// Build the report from a solved BoundDetail (compute_bound_detail output).
+SolveReport make_solve_report(const bounds::BoundDetail& detail);
+
+/// Human-readable block, one report per class (what `--report` prints).
+std::string to_string(const SolveReport& report);
+
+}  // namespace wanplace::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/log.h"
 #include "util/thread_pool.h"
@@ -25,6 +27,8 @@ void run_batch(std::optional<util::ThreadPool>& pool, std::size_t count,
   } else {
     for (std::size_t b = 0; b < count; ++b) fn(b);
   }
+  if (obs::metrics_enabled())
+    obs::counter_add("sim.sweep.simulations", static_cast<double>(count));
 }
 
 }  // namespace
@@ -58,6 +62,8 @@ SweepResult sweep_caching(const workload::Trace& trace,
                           const std::vector<std::size_t>& candidates,
                           std::size_t parallelism) {
   WANPLACE_REQUIRE(tqos > 0 && tqos <= 1, "tqos must be in (0,1]");
+  obs::Span span("sim.sweep");
+  span.label("kind", "caching");
   const std::size_t batch = resolve_parallelism(parallelism);
   std::optional<util::ThreadPool> pool;
   if (batch > 1) pool.emplace(batch);
@@ -104,6 +110,8 @@ SweepResult sweep_interval(const workload::Trace& trace,
                            const std::vector<std::size_t>& candidates,
                            MakeHeuristic&& make, std::size_t parallelism) {
   WANPLACE_REQUIRE(tqos > 0 && tqos <= 1, "tqos must be in (0,1]");
+  obs::Span span("sim.sweep");
+  span.label("kind", "interval");
   const std::size_t batch = resolve_parallelism(parallelism);
   std::optional<util::ThreadPool> pool;
   if (batch > 1) pool.emplace(batch);

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
+#include <string>
 
 namespace wanplace {
 
@@ -26,7 +28,18 @@ LogLevel log_level() { return g_level.load(); }
 
 void log_message(LogLevel level, const std::string& message) {
   if (level < g_level.load()) return;
-  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+  // Assemble the full line first and guard the single write, so lines from
+  // the parallel bound fan-out never interleave mid-line on stderr.
+  std::string line;
+  line.reserve(message.size() + 16);
+  line.push_back('[');
+  line += level_name(level);
+  line += "] ";
+  line += message;
+  line.push_back('\n');
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::cerr << line;
 }
 
 }  // namespace wanplace

@@ -46,4 +46,10 @@ void log_warn(const Args&... args) {
     log_message(LogLevel::Warn, detail::concat(args...));
 }
 
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() <= LogLevel::Error)
+    log_message(LogLevel::Error, detail::concat(args...));
+}
+
 }  // namespace wanplace

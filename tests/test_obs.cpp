@@ -1,0 +1,357 @@
+// Telemetry subsystem tests: registry merge determinism under the thread
+// pool, span nesting + JSONL schema, sensitivity reports, and the
+// "telemetry never perturbs solves" differential guarantee.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bounds/engine.h"
+#include "core/selector.h"
+#include "instance_helpers.h"
+#include "lp/pdhg.h"
+#include "lp/simplex.h"
+#include "mcperf/builder.h"
+#include "mcperf/heuristic_class.h"
+#include "obs/metrics.h"
+#include "obs/solve_report.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace wanplace {
+namespace {
+
+/// Turns the telemetry layer on for one test and restores the default
+/// disabled state (with cleared buffers) on exit, so tests can run in any
+/// order within one process.
+struct TelemetryScope {
+  TelemetryScope() {
+    obs::Registry::global().enable(true);
+    obs::Registry::global().reset();
+    obs::Tracer::global().enable(true);
+    obs::Tracer::global().reset();
+  }
+  ~TelemetryScope() {
+    obs::Registry::global().enable(false);
+    obs::Registry::global().reset();
+    obs::Tracer::global().enable(false);
+    obs::Tracer::global().reset();
+  }
+};
+
+bool contains(const std::string& text, const std::string& needle) {
+  return text.find(needle) != std::string::npos;
+}
+
+TEST(ObsRegistry, DisabledCallsAreNoops) {
+  ASSERT_FALSE(obs::metrics_enabled());
+  obs::counter_add("obs_test.disabled_counter");
+  obs::gauge_set("obs_test.disabled_gauge", 7);
+  obs::histogram_record("obs_test.disabled_histogram", 1.5);
+  const auto snapshot = obs::Registry::global().snapshot();
+  EXPECT_EQ(snapshot.count("obs_test.disabled_counter"), 0u);
+  EXPECT_EQ(snapshot.count("obs_test.disabled_gauge"), 0u);
+  EXPECT_EQ(snapshot.count("obs_test.disabled_histogram"), 0u);
+}
+
+TEST(ObsRegistry, KindsAggregateCorrectly) {
+  TelemetryScope scope;
+  obs::counter_add("obs_test.counter");
+  obs::counter_add("obs_test.counter", 2);
+  obs::gauge_set("obs_test.gauge", 3);
+  obs::gauge_set("obs_test.gauge", 9);
+  obs::histogram_record("obs_test.histogram", 2);
+  obs::histogram_record("obs_test.histogram", -1);
+  obs::histogram_record("obs_test.histogram", 5);
+  const auto snapshot = obs::Registry::global().snapshot();
+
+  const auto& counter = snapshot.at("obs_test.counter");
+  EXPECT_EQ(counter.kind, obs::MetricValue::Kind::Counter);
+  EXPECT_EQ(counter.count, 2u);
+  EXPECT_EQ(counter.sum, 3.0);
+
+  const auto& gauge = snapshot.at("obs_test.gauge");
+  EXPECT_EQ(gauge.kind, obs::MetricValue::Kind::Gauge);
+  EXPECT_EQ(gauge.sum, 9.0);  // latest write wins
+
+  const auto& histogram = snapshot.at("obs_test.histogram");
+  EXPECT_EQ(histogram.kind, obs::MetricValue::Kind::Histogram);
+  EXPECT_EQ(histogram.count, 3u);
+  EXPECT_EQ(histogram.sum, 6.0);
+  EXPECT_EQ(histogram.min, -1.0);
+  EXPECT_EQ(histogram.max, 5.0);
+  EXPECT_EQ(histogram.mean(), 2.0);
+}
+
+TEST(ObsRegistry, MergeIsDeterministicUnderThreadPool) {
+  // Integer-valued contributions merge exactly regardless of which pool
+  // worker's shard recorded them: two racing rounds must produce the same
+  // snapshot, equal to the serial expectation.
+  constexpr std::size_t kBlocks = 512;
+  double expected_work = 0;
+  double expected_len_sum = 0;
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    expected_work += static_cast<double>(b % 7);
+    expected_len_sum += static_cast<double>(b % 11);
+  }
+  obs::Snapshot snapshots[2];
+  for (int round = 0; round < 2; ++round) {
+    TelemetryScope scope;
+    util::ThreadPool pool(4);
+    pool.parallel_for(kBlocks, [](std::size_t b) {
+      obs::counter_add("obs_test.pivots");
+      obs::counter_add("obs_test.work", static_cast<double>(b % 7));
+      obs::histogram_record("obs_test.len", static_cast<double>(b % 11));
+    });
+    snapshots[round] = obs::Registry::global().snapshot();
+
+    const auto& pivots = snapshots[round].at("obs_test.pivots");
+    EXPECT_EQ(pivots.count, kBlocks);
+    EXPECT_EQ(pivots.sum, static_cast<double>(kBlocks));
+    EXPECT_EQ(snapshots[round].at("obs_test.work").sum, expected_work);
+    const auto& len = snapshots[round].at("obs_test.len");
+    EXPECT_EQ(len.count, kBlocks);
+    EXPECT_EQ(len.sum, expected_len_sum);
+    EXPECT_EQ(len.min, 0.0);
+    EXPECT_EQ(len.max, 10.0);
+  }
+  ASSERT_EQ(snapshots[0].size(), snapshots[1].size());
+  for (const auto& [name, value] : snapshots[0]) {
+    const auto& other = snapshots[1].at(name);
+    EXPECT_EQ(value.count, other.count) << name;
+    EXPECT_EQ(value.sum, other.sum) << name;
+  }
+}
+
+TEST(ObsRegistry, ResetZeroesCells) {
+  TelemetryScope scope;
+  obs::counter_add("obs_test.reset_me", 5);
+  obs::Registry::global().reset();
+  obs::counter_add("obs_test.reset_me", 2);
+  const auto snapshot = obs::Registry::global().snapshot();
+  EXPECT_EQ(snapshot.at("obs_test.reset_me").sum, 2.0);
+  EXPECT_EQ(snapshot.at("obs_test.reset_me").count, 1u);
+}
+
+TEST(ObsTrace, DisabledSpanIsInactive) {
+  ASSERT_FALSE(obs::trace_enabled());
+  obs::Span span("nothing");
+  EXPECT_FALSE(span.active());
+  span.attr("ignored", 1);  // must be safe while inactive
+  EXPECT_TRUE(obs::Tracer::global().spans().empty());
+}
+
+TEST(ObsTrace, SpanNestingLinksParentsAndAttrs) {
+  TelemetryScope scope;
+  {
+    obs::Span outer("outer");
+    outer.attr("pivots", 3);
+    {
+      obs::Span inner("inner");
+      // Attaching to the *outer* span while a child is open must not land
+      // on the child (the regression the shard-index design prevents).
+      outer.attr("late", 1);
+      inner.label("class", "caching");
+    }
+    WANPLACE_SPAN("leaf");
+  }
+  const auto spans = obs::Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // spans() orders by start time: outer opened first.
+  const auto& outer = spans[0];
+  const auto& inner = spans[1];
+  const auto& leaf = spans[2];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(leaf.name, "leaf");
+  EXPECT_EQ(outer.parent, 0u);
+  EXPECT_EQ(inner.parent, outer.id);
+  EXPECT_EQ(leaf.parent, outer.id);
+  ASSERT_EQ(outer.attrs.size(), 2u);
+  EXPECT_EQ(outer.attrs[0].first, "pivots");
+  EXPECT_EQ(outer.attrs[0].second, 3.0);
+  EXPECT_EQ(outer.attrs[1].first, "late");
+  ASSERT_EQ(inner.labels.size(), 1u);
+  EXPECT_EQ(inner.labels[0].first, "class");
+  EXPECT_EQ(inner.labels[0].second, "caching");
+  EXPECT_GE(inner.start_s, outer.start_s);
+  EXPECT_GE(outer.duration_s, inner.duration_s);
+}
+
+TEST(ObsTrace, JsonlMatchesSchema) {
+  TelemetryScope scope;
+  {
+    obs::Span solve("solve");
+    solve.attr("rows", 42);
+    solve.label("note", "a\"b\nc");  // must be escaped in the output
+  }
+  obs::trace_sample("residual", 10, 0.5);
+  obs::counter_add("obs_test.jsonl_counter", 2);
+  obs::histogram_record("obs_test.jsonl_hist", 1.5);
+
+  std::ostringstream out;
+  obs::Tracer::global().write_jsonl(out);
+  std::vector<std::string> lines;
+  std::istringstream in(out.str());
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  ASSERT_EQ(lines.size(), 5u);  // meta + 1 span + 1 sample + 2 metrics
+  EXPECT_EQ(lines[0],
+            "{\"type\":\"meta\",\"version\":1,\"spans\":1,\"samples\":1}");
+  EXPECT_TRUE(contains(lines[1], "{\"type\":\"span\",\"id\":"));
+  EXPECT_TRUE(contains(lines[1], "\"parent\":0"));
+  EXPECT_TRUE(contains(lines[1], "\"name\":\"solve\""));
+  EXPECT_TRUE(contains(lines[1], "\"rows\":42"));
+  EXPECT_TRUE(contains(lines[1], "\"note\":\"a\\\"b\\nc\""));
+  EXPECT_TRUE(contains(lines[2], "{\"type\":\"sample\",\"name\":"
+                                 "\"residual\""));
+  EXPECT_TRUE(contains(lines[2], "\"step\":10"));
+  EXPECT_TRUE(contains(lines[2], "\"value\":0.5"));
+  // The registry snapshot is name-sorted, so the counter precedes the
+  // histogram at the end of the file.
+  const std::string counter_line = lines[lines.size() - 2];
+  const std::string hist_line = lines.back();
+  EXPECT_EQ(counter_line,
+            "{\"type\":\"metric\",\"name\":\"obs_test.jsonl_counter\","
+            "\"kind\":\"counter\",\"count\":1,\"sum\":2}");
+  EXPECT_EQ(hist_line,
+            "{\"type\":\"metric\",\"name\":\"obs_test.jsonl_hist\","
+            "\"kind\":\"histogram\",\"count\":1,\"sum\":1.5,"
+            "\"min\":1.5,\"max\":1.5}");
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_TRUE(contains(line, "\"type\":\""));
+  }
+}
+
+TEST(ObsTrace, SummaryAggregatesByPath) {
+  TelemetryScope scope;
+  for (int i = 0; i < 2; ++i) {
+    obs::Span bound("bound");
+    obs::Span simplex("simplex");
+    simplex.attr("iterations", 5);
+  }
+  const std::string summary = obs::Tracer::global().summary();
+  EXPECT_TRUE(contains(summary, "trace summary (4 spans)"));
+  EXPECT_TRUE(contains(summary, "bound  n=2"));
+  // The child is indented under its parent path and sums its attrs.
+  EXPECT_TRUE(contains(summary, "  simplex  n=2"));
+  EXPECT_TRUE(contains(summary, "iterations=10"));
+}
+
+TEST(ObsReport, ShadowPricesMapToQosRows) {
+  const auto instance = test::random_instance(7);
+  bounds::BoundOptions options;
+  options.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto detail = bounds::compute_bound_detail(
+      instance, mcperf::classes::general(), options);
+  ASSERT_TRUE(detail.bound.achievable);
+
+  const auto report = obs::make_solve_report(detail);
+  EXPECT_EQ(report.class_name, "general");
+  EXPECT_EQ(report.lower_bound, detail.bound.lower_bound);
+  ASSERT_EQ(report.qos.size(), detail.built.qos_rows.size());
+  ASSERT_FALSE(report.qos.empty());
+  bool any_binding = false;
+  for (const auto& row : report.qos) {
+    EXPECT_TRUE(contains(row.row_name, "qos[")) << row.row_name;
+    EXPECT_GE(row.shadow_price, 0.0);
+    ASSERT_LT(row.row, detail.solution.y.size());
+    // The dual is reported verbatim (clamped at 0): the builder already
+    // normalized the row so no rescaling happens here.
+    EXPECT_EQ(row.shadow_price,
+              std::max(0.0, detail.solution.y[row.row]));
+    EXPECT_GT(row.total_reads, 0.0);
+    any_binding = any_binding || row.binding;
+    EXPECT_EQ(row.binding, row.shadow_price > 1e-7);
+  }
+  // A tight QoS goal makes at least one coverage row bind at the optimum.
+  EXPECT_TRUE(any_binding);
+
+  const std::string text = obs::to_string(report);
+  EXPECT_TRUE(contains(text, "shadow price"));
+  EXPECT_TRUE(contains(text, "general"));
+}
+
+TEST(ObsDifferential, SimplexBitIdenticalWithTelemetry) {
+  const auto instance = test::random_instance(11);
+  const auto built = mcperf::build_lp(instance, mcperf::classes::general());
+  lp::SimplexOptions options;
+  const auto base = lp::solve_simplex(built.model, options);
+  lp::LpSolution with;
+  {
+    TelemetryScope scope;
+    with = lp::solve_simplex(built.model, options);
+    // The instrumented solve actually reported to the registry.
+    const auto snapshot = obs::Registry::global().snapshot();
+    EXPECT_EQ(snapshot.at("simplex.solves").sum, 1.0);
+    EXPECT_EQ(snapshot.at("simplex.iterations").sum,
+              static_cast<double>(with.iterations));
+  }
+  EXPECT_EQ(base.status, with.status);
+  EXPECT_EQ(base.objective, with.objective);
+  EXPECT_EQ(base.dual_bound, with.dual_bound);
+  EXPECT_EQ(base.iterations, with.iterations);
+  EXPECT_EQ(base.refactorizations, with.refactorizations);
+  EXPECT_EQ(base.x, with.x);
+  EXPECT_EQ(base.y, with.y);
+}
+
+TEST(ObsDifferential, PdhgBitIdenticalWithTelemetry) {
+  const auto instance = test::random_instance(13);
+  const auto built = mcperf::build_lp(instance, mcperf::classes::general());
+  lp::PdhgOptions options;
+  options.max_iterations = 20'000;
+  const auto base = lp::solve_pdhg(built.model, options);
+  lp::LpSolution with;
+  {
+    TelemetryScope scope;
+    with = lp::solve_pdhg(built.model, options);
+    EXPECT_EQ(obs::Registry::global().snapshot().at("pdhg.solves").sum, 1.0);
+    EXPECT_FALSE(obs::Tracer::global().spans().empty());
+  }
+  EXPECT_EQ(base.status, with.status);
+  EXPECT_EQ(base.objective, with.objective);
+  EXPECT_EQ(base.dual_bound, with.dual_bound);
+  EXPECT_EQ(base.iterations, with.iterations);
+  EXPECT_EQ(base.x, with.x);
+  EXPECT_EQ(base.y, with.y);
+}
+
+TEST(ObsDifferential, SelectorBitIdenticalAcrossParallelism) {
+  const auto instance = test::random_instance(3);
+  core::SelectorOptions options;
+  options.parallelism = 1;
+  options.keep_details = true;
+  const auto base = core::HeuristicSelector(options).select(instance);
+  ASSERT_EQ(base.details.size(), 1 + base.classes.size());
+
+  for (const std::size_t parallelism : {std::size_t{1}, std::size_t{2}}) {
+    TelemetryScope scope;
+    auto opts = options;
+    opts.parallelism = parallelism;
+    const auto run = core::HeuristicSelector(opts).select(instance);
+    EXPECT_EQ(run.general.lower_bound, base.general.lower_bound);
+    EXPECT_EQ(run.recommended, base.recommended);
+    ASSERT_EQ(run.classes.size(), base.classes.size());
+    for (std::size_t idx = 0; idx < base.classes.size(); ++idx) {
+      EXPECT_EQ(run.classes[idx].achievable, base.classes[idx].achievable);
+      EXPECT_EQ(run.classes[idx].lower_bound, base.classes[idx].lower_bound);
+      EXPECT_EQ(run.classes[idx].rounded_feasible,
+                base.classes[idx].rounded_feasible);
+      EXPECT_EQ(run.classes[idx].rounded_cost,
+                base.classes[idx].rounded_cost);
+    }
+    ASSERT_EQ(run.details.size(), base.details.size());
+    for (std::size_t idx = 0; idx < base.details.size(); ++idx) {
+      EXPECT_EQ(run.details[idx].solution.x, base.details[idx].solution.x);
+      EXPECT_EQ(run.details[idx].solution.y, base.details[idx].solution.y);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wanplace

@@ -3,14 +3,58 @@
 #include <algorithm>
 #include <cmath>
 #include <set>
+#include <sstream>
+#include <string>
 
 #include "util/check.h"
+#include "util/log.h"
 #include "util/matrix.h"
 #include "util/rng.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace wanplace {
 namespace {
+
+/// Restores the global log level on scope exit.
+struct LogLevelScope {
+  explicit LogLevelScope(LogLevel level) : old(log_level()) {
+    set_log_level(level);
+  }
+  ~LogLevelScope() { set_log_level(old); }
+  LogLevel old;
+};
+
+TEST(Log, ErrorLevelRespectsThreshold) {
+  LogLevelScope scope(LogLevel::Error);
+  testing::internal::CaptureStderr();
+  log_warn("hidden");
+  log_error("visible ", 42);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err, "[error] visible 42\n");
+}
+
+TEST(Log, ConcurrentWritesStayLineAtomic) {
+  // log_message assembles the full line before the (locked) single write,
+  // so lines from pool workers must never interleave mid-line.
+  LogLevelScope scope(LogLevel::Info);
+  testing::internal::CaptureStderr();
+  {
+    util::ThreadPool pool(4);
+    pool.parallel_for(64, [](std::size_t b) {
+      log_info("thread-", b, "-end");
+    });
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+  std::istringstream in(err);
+  std::set<std::string> seen;
+  for (std::string line; std::getline(in, line);) {
+    EXPECT_EQ(line.rfind("[info] thread-", 0), 0u) << line;
+    EXPECT_EQ(line.substr(line.size() - 4), "-end") << line;
+    seen.insert(line);
+  }
+  EXPECT_EQ(seen.size(), 64u);  // every message arrived intact, none split
+}
 
 TEST(Check, RequireThrowsInvalidArgument) {
   EXPECT_THROW(WANPLACE_REQUIRE(false, "boom"), InvalidArgument);

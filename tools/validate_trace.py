@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Validate a wanplace telemetry JSONL trace (schema version 1).
+
+Usage: validate_trace.py TRACE.jsonl [--require SPAN_NAME ...]
+
+Schema (see src/obs/trace.h):
+  {"type":"meta","version":1,"spans":N,"samples":M}        -- first line
+  {"type":"span","id":I,"parent":P,"name":"...","thread":T,
+   "start_s":S,"dur_s":D,"attrs":{...}}                    -- parent 0 = root
+  {"type":"sample","name":"...","thread":T,"time_s":S,"step":X,"value":V}
+  {"type":"metric","name":"...","kind":"counter|gauge|histogram",
+   "count":N,"sum":S[,"min":m,"max":M]}
+
+Checks: every line parses as a JSON object of a known type with the right
+field types (numbers may be null: non-finite doubles are exported as null),
+span ids are unique and parents reference an earlier span (spans are sorted
+by start time, and a parent always starts before its children), durations
+are non-negative, and the meta counts match the body. Every --require NAME
+must appear among the span names. Exits 1 with a message on the first
+violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(lineno, message):
+    print(f"validate_trace: line {lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_number(value):
+    return value is None or (
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+    )
+
+
+def check_span(lineno, obj, span_ids):
+    for key, kind in (("id", int), ("parent", int), ("thread", int),
+                      ("name", str)):
+        if not isinstance(obj.get(key), kind) or isinstance(obj.get(key), bool):
+            fail(lineno, f"span field {key!r} missing or not {kind.__name__}")
+    for key in ("start_s", "dur_s"):
+        if key not in obj or not is_number(obj[key]):
+            fail(lineno, f"span field {key!r} missing or not numeric")
+    if obj["dur_s"] is not None and obj["dur_s"] < 0:
+        fail(lineno, "negative span duration")
+    if not isinstance(obj.get("attrs"), dict):
+        fail(lineno, "span field 'attrs' missing or not an object")
+    for key, value in obj["attrs"].items():
+        if not (is_number(value) or isinstance(value, str)):
+            fail(lineno, f"span attr {key!r} is neither number nor string")
+    if obj["id"] in span_ids:
+        fail(lineno, f"duplicate span id {obj['id']}")
+    if obj["parent"] != 0 and obj["parent"] not in span_ids:
+        fail(lineno, f"span parent {obj['parent']} not seen before child")
+
+
+def check_sample(lineno, obj):
+    if not isinstance(obj.get("name"), str):
+        fail(lineno, "sample field 'name' missing or not a string")
+    if not isinstance(obj.get("thread"), int) or isinstance(obj["thread"], bool):
+        fail(lineno, "sample field 'thread' missing or not an int")
+    for key in ("time_s", "step", "value"):
+        if key not in obj or not is_number(obj[key]):
+            fail(lineno, f"sample field {key!r} missing or not numeric")
+
+
+def check_metric(lineno, obj):
+    if not isinstance(obj.get("name"), str):
+        fail(lineno, "metric field 'name' missing or not a string")
+    if obj.get("kind") not in ("counter", "gauge", "histogram"):
+        fail(lineno, f"unknown metric kind {obj.get('kind')!r}")
+    count = obj.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        fail(lineno, "metric field 'count' missing or not a non-negative int")
+    if "sum" not in obj or not is_number(obj["sum"]):
+        fail(lineno, "metric field 'sum' missing or not numeric")
+    if obj["kind"] == "histogram":
+        for key in ("min", "max"):
+            if key not in obj or not is_number(obj[key]):
+                fail(lineno, f"histogram field {key!r} missing or not numeric")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SPAN_NAME",
+                        help="span name that must appear in the trace")
+    args = parser.parse_args()
+
+    meta = None
+    span_ids = set()
+    span_names = set()
+    spans = samples = 0
+    with open(args.trace, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                fail(lineno, "blank line")
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(lineno, f"not valid JSON: {error}")
+            if not isinstance(obj, dict):
+                fail(lineno, "line is not a JSON object")
+            kind = obj.get("type")
+            if lineno == 1 and kind != "meta":
+                fail(lineno, "first line must be the meta record")
+            if kind == "meta":
+                if meta is not None:
+                    fail(lineno, "duplicate meta record")
+                if obj.get("version") != 1:
+                    fail(lineno, f"unsupported version {obj.get('version')!r}")
+                for key in ("spans", "samples"):
+                    if not isinstance(obj.get(key), int):
+                        fail(lineno, f"meta field {key!r} missing or not int")
+                meta = obj
+            elif kind == "span":
+                check_span(lineno, obj, span_ids)
+                span_ids.add(obj["id"])
+                span_names.add(obj["name"])
+                spans += 1
+            elif kind == "sample":
+                check_sample(lineno, obj)
+                samples += 1
+            elif kind == "metric":
+                check_metric(lineno, obj)
+            else:
+                fail(lineno, f"unknown record type {kind!r}")
+
+    if meta is None:
+        fail(0, "empty trace (no meta record)")
+    if meta["spans"] != spans:
+        fail(0, f"meta announces {meta['spans']} spans, file has {spans}")
+    if meta["samples"] != samples:
+        fail(0, f"meta announces {meta['samples']} samples, file has {samples}")
+    missing = sorted(set(args.require) - span_names)
+    if missing:
+        fail(0, f"required span names missing: {', '.join(missing)} "
+                f"(present: {', '.join(sorted(span_names))})")
+    print(f"ok: {spans} spans, {samples} samples"
+          + (f", covers {', '.join(args.require)}" if args.require else ""))
+
+
+if __name__ == "__main__":
+    main()

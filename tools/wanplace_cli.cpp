@@ -19,9 +19,21 @@
 //   --origin 0         node id of the origin/headquarters
 //   --scope per-user | overall | per-object | per-user-object
 //   --time-limit 10    seconds per LP solve
+//   --solver auto | simplex | pdhg    force the LP solver choice
+//
+// Telemetry (select and bound):
+//   --trace-out FILE   write solver telemetry as JSONL (spans, samples,
+//                      metrics; schema in src/obs/trace.h — note --trace is
+//                      the *workload* trace input, not this)
+//   --trace-summary    print the aggregated span tree to stdout
+//   --report           print per-solve sensitivity reports with QoS-row
+//                      shadow prices ("class SC pays 0.42/unit of Tqos
+//                      slack")
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -32,6 +44,9 @@
 #include "graph/reachability.h"
 #include "graph/shortest_paths.h"
 #include "mcperf/builder.h"
+#include "obs/metrics.h"
+#include "obs/solve_report.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "workload/generators.h"
@@ -58,9 +73,12 @@ struct Args {
                                : static_cast<std::size_t>(
                                      std::stoul(it->second));
   }
+  bool has(const std::string& key) const { return options.count(key) > 0; }
 };
 
 Args parse(int argc, char** argv) {
+  // Flags that take no value.
+  static const std::set<std::string> kSwitches = {"report", "trace-summary"};
   Args args;
   if (argc < 2) return args;
   args.command = argv[1];
@@ -69,6 +87,10 @@ Args parse(int argc, char** argv) {
     if (flag.rfind("--", 0) != 0)
       throw Error("expected --flag, got '" + flag + "'");
     flag.erase(0, 2);
+    if (kSwitches.count(flag)) {
+      args.options[flag] = "1";
+      continue;
+    }
     if (i + 1 >= argc) throw Error("missing value for --" + flag);
     args.options[flag] = argv[++i];
   }
@@ -135,7 +157,37 @@ Loaded load(const Args& args) {
 bounds::BoundOptions bound_options(const Args& args) {
   bounds::BoundOptions options;
   options.pdhg.time_limit_s = args.get_double("time-limit", 10);
+  const std::string solver = args.get("solver", "auto");
+  if (solver == "simplex") {
+    options.solver = bounds::BoundOptions::Solver::Simplex;
+  } else if (solver == "pdhg") {
+    options.solver = bounds::BoundOptions::Solver::Pdhg;
+  } else if (solver != "auto") {
+    throw Error("unknown solver '" + solver + "' (auto|simplex|pdhg)");
+  }
   return options;
+}
+
+/// Turn on the telemetry layer when any telemetry flag asks for output.
+void telemetry_begin(const Args& args) {
+  if (args.get("trace-out", "").empty() && !args.has("trace-summary") &&
+      !args.has("report"))
+    return;
+  obs::Registry::global().enable(true);
+  obs::Tracer::global().enable(true);
+}
+
+/// Flush telemetry outputs after the command body ran.
+void telemetry_end(const Args& args) {
+  const std::string path = args.get("trace-out", "");
+  if (!path.empty()) {
+    std::ofstream out(path);
+    WANPLACE_REQUIRE(out.good(), "cannot open --trace-out file");
+    obs::Tracer::global().write_jsonl(out);
+    std::cout << "telemetry trace written to " << path << "\n";
+  }
+  if (args.has("trace-summary"))
+    std::cout << "\n" << obs::Tracer::global().summary();
 }
 
 int cmd_gen_example(const Args& args) {
@@ -166,9 +218,11 @@ int cmd_gen_example(const Args& args) {
 }
 
 int cmd_select(const Args& args) {
+  telemetry_begin(args);
   const auto loaded = load(args);
   core::SelectorOptions options;
   options.bounds = bound_options(args);
+  options.keep_details = args.has("report");
   const auto report =
       core::HeuristicSelector(options).select(loaded.instance);
   std::cout << report.to_table().to_ascii() << "\n";
@@ -181,6 +235,13 @@ int cmd_select(const Args& args) {
   } else {
     std::cout << "no candidate class can meet this goal.\n";
   }
+  if (args.has("report")) {
+    std::cout << "\nsensitivity report (duals on the QoS rows; shadow price "
+                 "= d(cost)/d(tqos)):\n";
+    for (const auto& detail : report.details)
+      std::cout << obs::to_string(obs::make_solve_report(detail));
+  }
+  telemetry_end(args);
   return 0;
 }
 
@@ -203,14 +264,17 @@ int cmd_plan(const Args& args) {
 }
 
 int cmd_bound(const Args& args) {
+  telemetry_begin(args);
   const auto loaded = load(args);
   const auto spec = parse_class(args.get("class", "general"));
-  const auto bound =
-      bounds::compute_bound(loaded.instance, spec, bound_options(args));
+  const auto detail =
+      bounds::compute_bound_detail(loaded.instance, spec, bound_options(args));
+  const auto& bound = detail.bound;
   std::cout << "class " << spec.name << ": ";
   if (!bound.achievable) {
     std::cout << "cannot meet the goal (max achievable QoS "
               << format_number(bound.max_achievable_qos * 100, 4) << "%)\n";
+    telemetry_end(args);
     return 0;
   }
   std::cout << "lower bound " << format_number(bound.lower_bound, 1);
@@ -220,6 +284,12 @@ int cmd_bound(const Args& args) {
               << format_number(bound.gap * 100, 1) << "%)";
   std::cout << " [" << bound.lp_rows << " rows, "
             << format_number(bound.solve_seconds, 1) << "s]\n";
+  if (args.has("report")) {
+    std::cout << "\nsensitivity report (duals on the QoS rows; shadow price "
+                 "= d(cost)/d(tqos)):\n"
+              << obs::to_string(obs::make_solve_report(detail));
+  }
+  telemetry_end(args);
   return 0;
 }
 
