@@ -77,7 +77,7 @@ void run_point(::benchmark::State& state, const lp::LpModel& model,
   // (reset before each path) rather than the LpSolution fields, so these
   // columns agree with any trace of the same solve by construction.
   double ft_s = 0, ft_obj = 0, pf_s = 0, dense_s = 0, pdhg_s = 0;
-  std::size_t ft_it = 0, pf_it = 0;
+  std::size_t ft_it = 0, pf_it = 0, re_cold_it = 0, re_warm_it = 0;
   lp::LpSolution pdhg;
   for (auto _ : state) {
     if (paths.ft) {
@@ -87,6 +87,26 @@ void run_point(::benchmark::State& state, const lp::LpModel& model,
       ft_s = bench::metric_sum("simplex.solve_seconds");
       ft_obj = exact.objective;
       ft_it = static_cast<std::size_t>(
+          bench::metric_sum("simplex.iterations"));
+
+      // Warm-started re-optimization: fix a slice of variables to a bound
+      // (the planner-phase-2 / per-class re-solve perturbation shape) and
+      // re-solve the perturbed model cold (two-phase primal from scratch)
+      // vs warm (dual simplex from the exported basis).
+      lp::LpModel perturbed = model;
+      for (std::size_t j = 0; j < perturbed.variable_count(); j += 32)
+        if (perturbed.lower(j) > -lp::kInfinity)
+          perturbed.fix_variable(j, perturbed.lower(j));
+      bench::reset_metrics();
+      lp::solve_simplex(perturbed, options);
+      re_cold_it = static_cast<std::size_t>(
+          bench::metric_sum("simplex.iterations"));
+      lp::SimplexOptions warm_options;
+      warm_options.method = lp::SimplexOptions::Method::Dual;
+      warm_options.warm_start = &exact.basis;
+      bench::reset_metrics();
+      lp::solve_simplex(perturbed, warm_options);
+      re_warm_it = static_cast<std::size_t>(
           bench::metric_sum("simplex.iterations"));
     }
     if (paths.pf) {
@@ -133,13 +153,16 @@ void run_point(::benchmark::State& state, const lp::LpModel& model,
       .cell(paths.dense ? format_number(dense_s, 3) : std::string("-"))
       .cell(pdhg_s, 3)
       .cell(pdhg.dual_bound, 3)
-      .cell(paths.ft ? format_number(gap, 7) : std::string("-"));
+      .cell(paths.ft ? format_number(gap, 7) : std::string("-"))
+      .cell(paths.ft ? std::to_string(re_cold_it) : std::string("-"))
+      .cell(paths.ft ? std::to_string(re_warm_it) : std::string("-"));
   bench::results().finish_row();
 }
 
 void register_points() {
   bench::results({"vars", "rows", "ft-s", "ft-it", "ft-obj", "pf-s", "pf-it",
-                  "dense-s", "pdhg-s", "pdhg-bound", "rel-gap"});
+                  "dense-s", "pdhg-s", "pdhg-bound", "rel-gap", "re-cold-it",
+                  "re-warm-it"});
   struct Size {
     std::size_t vars, rows;
     Paths paths;

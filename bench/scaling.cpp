@@ -7,6 +7,8 @@
 // bound/rounding split.
 #include "common.h"
 
+#include "core/planner.h"
+
 namespace {
 
 using namespace wanplace;
@@ -18,7 +20,7 @@ struct Size {
 void register_points() {
   bench::results({"nodes", "intervals", "objects", "lp-rows", "lp-vars",
                   "solver", "solver-iters", "bound-seconds", "round-ups",
-                  "gap"});
+                  "gap", "re-cold-it", "re-warm-it"});
   const std::vector<Size> sizes{
       {6, 6, 30, 6'000},     {8, 8, 40, 12'000},  {8, 8, 60, 16'000},
       {12, 12, 120, 36'000}, {12, 12, 240, 72'000}, {16, 12, 240, 96'000},
@@ -39,10 +41,13 @@ void register_points() {
           config.web_head_count = std::max<std::size_t>(4, size.objects / 10);
           const auto study = core::make_case_study(config);
           const auto instance = study.web_instance(0.99);
+          const auto instance97 = study.web_instance(0.97);
 
           auto options = bench::bound_options();
           options.solver = bounds::BoundOptions::Solver::Auto;
           bounds::BoundDetail detail;
+          double solver_it = 0, bound_s = 0, round_ups = 0;
+          double class_cold_it = 0, class_warm_it = 0;
           for (auto _ : state) {
             // The iteration/seconds/round-up columns come from the
             // telemetry registry (reset per run), not the result struct —
@@ -50,6 +55,28 @@ void register_points() {
             bench::reset_metrics();
             detail = bounds::compute_bound_detail(
                 instance, mcperf::classes::general(), options);
+            solver_it = bench::metric_sum("bounds.iterations");
+            bound_s = bench::metric_sum("bounds.solve_seconds");
+            round_ups = bench::metric_sum("rounding.round_ups");
+
+            // Re-optimization after a goal change: the same LP re-bounded
+            // at tqos = 0.97 (only the QoS row rhs moves, so the shape —
+            // and therefore the exported basis / iterates — carries over),
+            // cold vs seeded from the 0.99 solve. This is the engine-level
+            // warm-start path the selector fan-out and planner reuse.
+            auto re_options = options;
+            re_options.run_rounding = false;
+            bench::reset_metrics();
+            bounds::compute_bound_detail(instance97,
+                                         mcperf::classes::general(),
+                                         re_options);
+            class_cold_it = bench::metric_sum("bounds.iterations");
+            re_options.warm.seed = &detail;
+            bench::reset_metrics();
+            bounds::compute_bound_detail(instance97,
+                                         mcperf::classes::general(),
+                                         re_options);
+            class_warm_it = bench::metric_sum("bounds.iterations");
           }
           state.counters["rows"] =
               static_cast<double>(detail.bound.lp_rows);
@@ -63,19 +90,80 @@ void register_points() {
               .cell(static_cast<std::int64_t>(detail.bound.lp_rows))
               .cell(static_cast<std::int64_t>(detail.bound.lp_variables))
               .cell(exact ? "simplex-ft" : "pdhg")
-              .cell(static_cast<std::int64_t>(
-                  bench::metric_sum("bounds.iterations")))
-              .cell(bench::metric_sum("bounds.solve_seconds"), 2)
-              .cell(static_cast<std::int64_t>(
-                  bench::metric_sum("rounding.round_ups")))
+              .cell(static_cast<std::int64_t>(solver_it))
+              .cell(bound_s, 2)
+              .cell(static_cast<std::int64_t>(round_ups))
               .cell(detail.bound.rounded_feasible
                         ? format_number(detail.bound.gap, 3)
-                        : std::string("-"));
+                        : std::string("-"))
+              .cell(static_cast<std::int64_t>(class_cold_it))
+              .cell(static_cast<std::int64_t>(class_warm_it));
           bench::results().finish_row();
         })
         ->Iterations(1)
         ->Unit(::benchmark::kSecond);
   }
+
+  // Planner phase-2 re-optimization: the phase-1 LP re-solved with the
+  // open set fixed — warm (dual simplex from the phase-1 basis) vs cold
+  // (two-phase primal from scratch). One row per mode; the solver-iters
+  // column is the phase-2 pivot count. K=30 keeps the planner model
+  // (3733 rows: the open columns add coverage-linking rows over the
+  // general class's 2053) on the exact-simplex side of the Auto policy.
+  ::benchmark::RegisterBenchmark(
+      "scaling/planner-phase2",
+      [](::benchmark::State& state) {
+        core::CaseStudyConfig config;
+        config.node_count = 8;
+        config.interval_count = 8;
+        config.object_count = 30;
+        config.web_requests = 12'000;
+        config.web_head_count = 4;
+        const auto study = core::make_case_study(config);
+        const auto instance = study.web_instance(0.99);
+        core::PlannerOptions planner;
+        planner.bounds = bench::bound_options();
+        // bound_options() pins PDHG for the big sweep above; the planner
+        // point exercises the Auto policy so the 3733-row model takes the
+        // exact-simplex path and the phase-2 column counts pivots.
+        planner.bounds.solver = bounds::BoundOptions::Solver::Auto;
+        planner.run_phase2 = false;  // isolate the LP re-optimization
+        double cold_it = 0, warm_it = 0, cold_s = 0, warm_s = 0;
+        for (auto _ : state) {
+          planner.warm_phase2 = false;
+          bench::reset_metrics();
+          core::DeploymentPlanner(planner).plan(instance);
+          cold_it = bench::metric_sum("planner.phase2.iterations");
+          cold_s = bench::metric_sum("simplex.solve_seconds") +
+                   bench::metric_sum("pdhg.solve_seconds");
+          planner.warm_phase2 = true;
+          bench::reset_metrics();
+          core::DeploymentPlanner(planner).plan(instance);
+          warm_it = bench::metric_sum("planner.phase2.iterations");
+          warm_s = bench::metric_sum("simplex.solve_seconds") +
+                   bench::metric_sum("pdhg.solve_seconds");
+        }
+        state.counters["cold_pivots"] = cold_it;
+        state.counters["warm_pivots"] = warm_it;
+        for (const bool warm : {false, true}) {
+          bench::results()
+              .cell(std::int64_t{8})
+              .cell(std::int64_t{8})
+              .cell(std::int64_t{30})
+              .cell("-")
+              .cell("-")
+              .cell(warm ? "phase2-warm" : "phase2-cold")
+              .cell(static_cast<std::int64_t>(warm ? warm_it : cold_it))
+              .cell(warm ? warm_s : cold_s, 2)
+              .cell("-")
+              .cell("-")
+              .cell("-")
+              .cell("-");
+          bench::results().finish_row();
+        }
+      })
+      ->Iterations(1)
+      ->Unit(::benchmark::kSecond);
 }
 
 }  // namespace

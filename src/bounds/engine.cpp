@@ -11,6 +11,68 @@
 
 namespace wanplace::bounds {
 
+namespace {
+
+// Copy one variable cube's values from a seed solution into the target warm
+// vector wherever both models created the variable.
+void map_cube(const DenseCube<std::int32_t>& from_cube,
+              const DenseCube<std::int32_t>& to_cube,
+              const std::vector<double>& from_x, std::vector<double>& to_x) {
+  const std::size_t dx = std::min(from_cube.dim_x(), to_cube.dim_x());
+  const std::size_t dy = std::min(from_cube.dim_y(), to_cube.dim_y());
+  const std::size_t dz = std::min(from_cube.dim_z(), to_cube.dim_z());
+  for (std::size_t x = 0; x < dx; ++x)
+    for (std::size_t y = 0; y < dy; ++y)
+      for (std::size_t z = 0; z < dz; ++z) {
+        const std::int32_t from_var = from_cube(x, y, z);
+        const std::int32_t to_var = to_cube(x, y, z);
+        if (from_var >= 0 && to_var >= 0)
+          to_x[static_cast<std::size_t>(to_var)] =
+              from_x[static_cast<std::size_t>(from_var)];
+      }
+}
+
+// Map a seed solution's iterates onto a freshly built model. Same-shape
+// models (the knowledge/history/reactive classes differ from the general
+// class only in bounds and row coefficients, never in layout) copy
+// wholesale; otherwise the shared variable cubes, open variables and QoS
+// rows provide a partial map and everything unmatched starts cold (zero,
+// clamped to its box by the solver).
+bool map_warm_iterates(const BoundDetail& seed, const mcperf::BuiltModel& to,
+                       std::vector<double>& x, std::vector<double>& y) {
+  const mcperf::BuiltModel& from = seed.built;
+  const lp::LpSolution& sol = seed.solution;
+  if (sol.x.size() != from.model.variable_count() ||
+      sol.y.size() != from.model.row_count())
+    return false;
+  const std::size_t n = to.model.variable_count();
+  const std::size_t m = to.model.row_count();
+  if (sol.x.size() == n && sol.y.size() == m) {
+    x = sol.x;
+    y = sol.y;
+    return true;
+  }
+  x.assign(n, 0.0);
+  y.assign(m, 0.0);
+  map_cube(from.store, to.store, sol.x, x);
+  map_cube(from.create, to.create, sol.x, x);
+  map_cube(from.covered, to.covered, sol.x, x);
+  const std::size_t nodes = std::min(from.open.size(), to.open.size());
+  for (std::size_t node = 0; node < nodes; ++node)
+    if (from.open[node] >= 0 && to.open[node] >= 0)
+      x[static_cast<std::size_t>(to.open[node])] =
+          sol.x[static_cast<std::size_t>(from.open[node])];
+  for (const auto& trow : to.qos_rows)
+    for (const auto& frow : from.qos_rows)
+      if (trow.group == frow.group) {
+        y[trow.row] = sol.y[frow.row];
+        break;
+      }
+  return true;
+}
+
+}  // namespace
+
 BoundDetail compute_bound_detail(const mcperf::Instance& instance,
                                  const mcperf::ClassSpec& spec,
                                  const BoundOptions& options) {
@@ -50,18 +112,38 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
       (options.solver == BoundOptions::Solver::Auto &&
        detail.bound.lp_rows <= options.simplex_row_limit);
 
+  bool warm_used = false;
   if (use_simplex) {
     lp::SimplexOptions simplex = options.simplex;
     // Thread the engine-level parallelism knob into the simplex
     // pivot-row pricing pass (it only engages on large-row models and is
     // bit-identical for every value, like the PDHG matvecs).
     simplex.parallelism = options.parallelism;
+    const lp::BasisSnapshot* basis = options.warm.basis;
+    if (basis == nullptr && options.warm.seed != nullptr)
+      basis = &options.warm.seed->solution.basis;
+    if (basis != nullptr &&
+        basis->compatible(detail.bound.lp_variables, detail.bound.lp_rows)) {
+      // A near-optimal basis for a perturbed model is dual-feasible (or a
+      // few repair flips away), which is exactly the dual method's starting
+      // requirement; it falls back to the cold primal on its own if not.
+      simplex.warm_start = basis;
+      simplex.method = lp::SimplexOptions::Method::Dual;
+      warm_used = true;
+    }
     detail.solution = lp::solve_simplex(detail.built.model, simplex);
   } else {
     lp::PdhgOptions pdhg = options.pdhg;
     if (pdhg.infeasibility_threshold == lp::kInfinity)
       pdhg.infeasibility_threshold = 2 * instance.max_possible_cost() + 1;
     pdhg.parallelism = options.parallelism;
+    std::vector<double> warm_x, warm_y;
+    if (options.warm.seed != nullptr &&
+        map_warm_iterates(*options.warm.seed, detail.built, warm_x, warm_y)) {
+      pdhg.warm_x = &warm_x;
+      pdhg.warm_y = &warm_y;
+      warm_used = true;
+    }
     detail.solution = lp::solve_pdhg(detail.built.model, pdhg);
   }
   detail.bound.status = detail.solution.status;
@@ -76,8 +158,10 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
   // All costs are non-negative, so the bound is never below zero.
   detail.bound.lower_bound = std::max(0.0, detail.solution.dual_bound);
 
-  if (options.run_rounding &&
-      std::holds_alternative<mcperf::QosGoal>(instance.goal)) {
+  const bool rounding_ran =
+      options.run_rounding &&
+      std::holds_alternative<mcperf::QosGoal>(instance.goal);
+  if (rounding_ran) {
     WANPLACE_SPAN("rounding");
     detail.rounding = round_solution(instance, spec, detail.built,
                                      detail.solution.x, options.rounding);
@@ -102,7 +186,15 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
                      static_cast<double>(detail.bound.solver_iterations));
     obs::histogram_record("bounds.solve_seconds",
                           detail.bound.solve_seconds);
-    obs::histogram_record("bounds.gap", detail.bound.gap);
+    if (warm_used) obs::counter_add("bounds.warm_starts");
+    // Only a computed gap belongs in the histogram: when rounding was
+    // skipped (average-latency goal, run_rounding=false) or came back
+    // infeasible, `gap` is still its default 0 and recording it would
+    // drag the distribution toward a tightness the run never measured.
+    if (rounding_ran && detail.rounding.feasible)
+      obs::histogram_record("bounds.gap", detail.bound.gap);
+    if (rounding_ran && !detail.rounding.feasible)
+      obs::counter_add("bounds.rounding_infeasible");
   }
   log_info("bound[", spec.name, "]: lb=", detail.bound.lower_bound,
            " rounded=", detail.bound.rounded_cost,

@@ -15,6 +15,8 @@
 
 namespace wanplace::bounds {
 
+struct BoundDetail;
+
 struct BoundOptions {
   enum class Solver { Auto, Simplex, Pdhg };
   Solver solver = Solver::Auto;
@@ -36,6 +38,24 @@ struct BoundOptions {
   /// bounds are bit-identical for every value (see PdhgOptions /
   /// SimplexOptions::parallelism).
   std::size_t parallelism = 0;
+
+  /// Warm-start seed for the solve, typically the already-solved general
+  /// class of the same instance (the selector's per-class fan-out) or a
+  /// previous solve of the same model with perturbed bounds. `basis` feeds
+  /// the simplex dual method directly when its shape matches the freshly
+  /// built LP; `seed` covers both solvers — its exported basis serves the
+  /// simplex, and its primal/dual iterates are mapped onto the new model
+  /// for PDHG (wholesale when the shapes match, else partially through the
+  /// shared (node, interval, object) variable cubes and QoS rows). Both
+  /// borrowed for the call; null or incompatible seeds silently fall back
+  /// to a cold solve, and warm starts never change what the engine reports
+  /// beyond iteration counts (simplex results are basis-optimal either
+  /// way; PDHG bounds stay weak-duality certificates).
+  struct WarmStart {
+    const lp::BasisSnapshot* basis = nullptr;
+    const BoundDetail* seed = nullptr;
+  };
+  WarmStart warm;
 };
 
 /// The inherent-cost estimate for one heuristic class.

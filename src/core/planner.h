@@ -25,6 +25,11 @@ struct PlannerOptions {
   /// Skip the phase-2 class selection (callers that only need the open set
   /// and assignment, e.g. the Figure 3 bench that sweeps QoS itself).
   bool run_phase2 = true;
+  /// Warm-start the phase-2 re-optimization of the phase-1 LP from the
+  /// phase-1 result (dual simplex from the exported basis; PDHG from the
+  /// final iterates). The bound is the same either way — the switch exists
+  /// so benches can measure warm vs cold pivot counts.
+  bool warm_phase2 = true;
 };
 
 struct DeploymentPlan {
@@ -37,6 +42,13 @@ struct DeploymentPlan {
   mcperf::Instance reduced;
   /// Phase-1 cost bound including opening costs.
   double phase1_lower_bound = 0;
+  /// Certified lower bound on the steady-state cost of operating the chosen
+  /// deployment: the phase-1 LP re-optimized with every open variable fixed
+  /// to the decision and the opening costs zeroed out (full topology,
+  /// demand still at the original sites). Because only bounds and objective
+  /// coefficients change, this re-solve runs the dual simplex warm-started
+  /// from the phase-1 basis (see PlannerOptions::warm_phase2).
+  double phase2_lower_bound = 0;
   /// Phase-2 class selection on the reduced system.
   SelectionReport selection;
 };

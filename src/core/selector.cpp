@@ -79,32 +79,33 @@ SelectionReport HeuristicSelector::select(
   // Computed in full here regardless of keep_details (compute_bound is a
   // wrapper over compute_bound_detail anyway) and retained only on request.
   std::vector<bounds::BoundDetail> details(1 + options_.classes.size());
+  // The general bound solves first, alone: its solution seeds every class
+  // solve (warm_start). Seeding only from the general solve — never from
+  // whichever sibling class finished first — is what keeps reports
+  // bit-identical for every parallelism value.
+  details[0] = bounds::compute_bound_detail(
+      instance, mcperf::classes::general(), options_.bounds);
+  bounds::BoundOptions class_options = options_.bounds;
+  if (options_.warm_start) class_options.warm.seed = &details[0];
   if (parallelism <= 1) {
-    details[0] = bounds::compute_bound_detail(
-        instance, mcperf::classes::general(), options_.bounds);
     for (std::size_t idx = 0; idx < options_.classes.size(); ++idx)
       details[1 + idx] = bounds::compute_bound_detail(
-          instance, options_.classes[idx], options_.bounds);
+          instance, options_.classes[idx], class_options);
   } else {
-    // The general bound and every class bound are independent solves over
-    // separately built LpModels — fan them out. Nested solver parallelism
-    // is disabled so the knob caps total concurrency.
-    bounds::BoundOptions nested = options_.bounds;
-    nested.parallelism = 1;
+    // Every class bound is an independent solve over a separately built
+    // LpModel — fan them out. Nested solver parallelism is disabled so the
+    // knob caps total concurrency.
+    class_options.parallelism = 1;
     util::ThreadPool pool(
-        std::min<std::size_t>(parallelism, 1 + options_.classes.size()));
+        std::min<std::size_t>(parallelism, options_.classes.size()));
     std::vector<std::future<bounds::BoundDetail>> futures;
-    futures.reserve(1 + options_.classes.size());
-    futures.push_back(pool.submit([&] {
-      return bounds::compute_bound_detail(instance,
-                                          mcperf::classes::general(), nested);
-    }));
+    futures.reserve(options_.classes.size());
     for (const auto& spec : options_.classes)
       futures.push_back(pool.submit([&, spec] {
-        return bounds::compute_bound_detail(instance, spec, nested);
+        return bounds::compute_bound_detail(instance, spec, class_options);
       }));
     for (std::size_t idx = 0; idx < futures.size(); ++idx)
-      details[idx] = futures[idx].get();
+      details[1 + idx] = futures[idx].get();
   }
   report.general = details[0].bound;
   report.classes.reserve(options_.classes.size());

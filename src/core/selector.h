@@ -29,6 +29,16 @@ struct SelectorOptions {
   /// path. Reports are bit-identical for every value; when solving classes
   /// concurrently each per-class solve runs serially (no nested pools).
   std::size_t parallelism = 0;
+  /// Seed every class solve from the general solve of the same instance.
+  /// The general LP relaxes every class, so its optimal basis (simplex:
+  /// re-optimized with the dual method) and iterates (PDHG: mapped through
+  /// the shared variable cubes) are near-optimal starts for the constrained
+  /// classes. Purely a work-saving knob: simplex class bounds are
+  /// basis-optimal exactly as in a cold solve and PDHG bounds remain
+  /// certified, and reports stay bit-identical for every `parallelism`
+  /// value because the seed is always the general solve — never whichever
+  /// sibling class happened to finish first.
+  bool warm_start = true;
   /// Keep the full BoundDetail of every solve in SelectionReport::details
   /// (models, LP solutions with duals, rounding results). Off by default:
   /// details hold the whole LP per class. Needed for `--report`-style

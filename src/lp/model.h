@@ -9,6 +9,7 @@
 // for diagnostics.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -91,6 +92,37 @@ class LpModel {
   std::vector<std::string> row_names_;
 };
 
+/// A simplex basis frozen at the end of a solve, importable into a later
+/// solve of a model with the same shape (variable_count x row_count) but
+/// possibly different bounds, objective or right-hand sides — the warm-start
+/// currency of the re-optimization engine. The snapshot names, per basis
+/// position, which column occupies it, plus the bound status of every
+/// structural and slack column; basic phase-1 artificials (possible when the
+/// exporting solve stopped at its iteration limit) are recorded with the
+/// `kArtificialBasic` sentinel and re-imported as that row's artificial
+/// pinned to [0, 0].
+struct BasisSnapshot {
+  /// Sentinel in `basis`: position occupied by the row's artificial.
+  static constexpr std::uint32_t kArtificialBasic = 0xFFFFFFFFu;
+  /// Column status codes in `status` (mirrors the solver's internal enum).
+  enum Status : std::uint8_t { Basic = 0, AtLower = 1, AtUpper = 2, Free = 3 };
+
+  std::size_t variables = 0;  // structural column count of the source model
+  std::size_t rows = 0;       // row count of the source model
+  /// Status per column: `variables` structurals then `rows` slacks.
+  std::vector<std::uint8_t> status;
+  /// For each basis position p in [0, rows): the occupying column (< variables
+  /// structural, else slack for row j - variables), or kArtificialBasic.
+  std::vector<std::uint32_t> basis;
+
+  bool empty() const { return basis.empty(); }
+  /// Shape check against a target model's dimensions.
+  bool compatible(std::size_t n, std::size_t m) const {
+    return variables == n && rows == m && status.size() == n + m &&
+           basis.size() == m;
+  }
+};
+
 /// Result of a solve. `dual_bound` is a weak-duality certificate: a value
 /// proven <= the optimal objective (for minimization), valid even when the
 /// solver stopped before convergence.
@@ -105,6 +137,10 @@ struct LpSolution {
   /// guards, fill guards, period expiry, optimality certification).
   std::size_t refactorizations = 0;
   double solve_seconds = 0;
+  /// Simplex only: the final basis, exported whenever the solve produced a
+  /// basic solution (Optimal or IterationLimit). Feed to
+  /// SimplexOptions::warm_start to re-optimize a perturbed model.
+  BasisSnapshot basis;
 };
 
 /// Weak-duality certificate: for ANY vector y (clamped to the correct sign

@@ -35,6 +35,18 @@ struct PdhgOptions {
   /// Only parallelize when the matrix has at least this many nonzeros;
   /// below it the pool dispatch overhead outweighs the product.
   std::size_t parallel_nnz_threshold = 65'536;
+
+  /// Optional warm-start iterates in ORIGINAL model space (an LpSolution's
+  /// x / y from a related model of the same shape), borrowed for the solve.
+  /// They are mapped into the scaled canonical space, clamped/projected
+  /// onto their feasible boxes and used as the initial primal/dual point —
+  /// a near-optimal seed typically saves most of the run-in iterations.
+  /// Either may be null or size-mismatched (then the cold default is used
+  /// for that side). Warm starts never affect correctness: every bound the
+  /// solver reports remains a weak-duality certificate of the iterates it
+  /// actually visited.
+  const std::vector<double>* warm_x = nullptr;
+  const std::vector<double>* warm_y = nullptr;
 };
 
 /// Solve min c^T x. On return:

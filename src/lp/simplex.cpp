@@ -74,7 +74,7 @@ class Simplex {
 
   LpSolution run() {
     obs::Span span("simplex");
-    const LpSolution solution = run_phases();
+    const LpSolution solution = use_dual() ? run_dual() : run_phases();
     if (span.active()) {
       span.attr("rows", static_cast<double>(m_));
       span.attr("cols", static_cast<double>(cols_.n));
@@ -86,10 +86,37 @@ class Simplex {
   }
 
  private:
+  /// The dual method needs the LU machinery (BTRAN of unit vectors, FT
+  /// updates); under the dense inverse it silently degrades to the primal.
+  bool use_dual() const {
+    return options_.method == SimplexOptions::Method::Dual && !dense_basis();
+  }
+
   LpSolution run_phases() {
     Stopwatch watch;
-    LpSolution solution;
 
+    if (import_warm_start()) {
+      // A warm primal start is only usable when the imported point already
+      // satisfies the bounds — phase 1 cannot price basic infeasibility.
+      // The dual method exists for the infeasible-start case.
+      set_phase_costs(/*phase1=*/false);
+      if (primal_feasible()) {
+        ++warm_accepted_;
+        stall_count_ = 0;
+        bland_ = false;
+        LpSolution solution;
+        solution.status = run_phase(/*phase1=*/false);
+        fill_solution(solution);
+        solution.solve_seconds = watch.elapsed_seconds();
+        return solution;
+      }
+      build();  // infeasible warm point: restart cold from scratch
+    }
+    return run_cold_phases(watch);
+  }
+
+  LpSolution run_cold_phases(Stopwatch& watch) {
+    LpSolution solution;
     // Phase 1: drive artificial infeasibility to zero.
     set_phase_costs(/*phase1=*/true);
     const SolveStatus phase1 = run_phase(/*phase1=*/true);
@@ -106,15 +133,7 @@ class Simplex {
       solution.solve_seconds = watch.elapsed_seconds();
       return solution;
     }
-    // Pin artificials to zero and optimize the real objective.
-    for (std::size_t r = 0; r < m_; ++r) {
-      const std::size_t j = cols_.n + m_ + r;
-      lower_[j] = upper_[j] = 0;
-      if (status_[j] != VarStatus::Basic) {
-        x_[j] = 0;
-        status_[j] = VarStatus::AtLower;
-      }
-    }
+    pin_artificials();
     set_phase_costs(/*phase1=*/false);
     stall_count_ = 0;
     bland_ = false;
@@ -123,6 +142,76 @@ class Simplex {
     fill_solution(solution);
     solution.solve_seconds = watch.elapsed_seconds();
     return solution;
+  }
+
+  /// Pin every artificial to [0, 0]. Nonbasic artificials go to the bound;
+  /// a basic one keeps its (now out-of-bounds) value for the dual method,
+  /// or is already zero after a clean primal phase 1.
+  void pin_artificials() {
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::size_t j = cols_.n + m_ + r;
+      lower_[j] = upper_[j] = 0;
+      if (status_[j] != VarStatus::Basic) {
+        x_[j] = 0;
+        status_[j] = VarStatus::AtLower;
+      }
+    }
+  }
+
+  /// Dual simplex driver: warm basis if supplied (else the cold slack
+  /// basis with artificials pinned), dual-feasibility repair, then the
+  /// dual iteration. Any condition the dual method cannot handle — no
+  /// dual-feasible start, an unusable snapshot, a terminal stall — falls
+  /// back to the cold two-phase primal, so callers never observe a wrong
+  /// answer from choosing Method::Dual.
+  LpSolution run_dual() {
+    Stopwatch watch;
+    dual_mode_ = true;
+    ++dual_solves_;
+    const bool warm = import_warm_start();
+    if (!warm) pin_artificials();
+    set_phase_costs(/*phase1=*/false);
+    if (d_.size() < total_columns()) d_.assign(total_columns(), 0.0);
+    refresh_incremental_state();
+    if (!make_dual_feasible()) {
+      ++dual_fallbacks_;
+      dual_mode_ = false;
+      build();
+      return run_cold_phases(watch);
+    }
+    if (warm) ++warm_accepted_;
+    stall_count_ = 0;
+    bland_ = false;
+    const SolveStatus status = run_dual_phase();
+    if (dual_abort_) {
+      ++dual_fallbacks_;
+      dual_mode_ = false;
+      dual_abort_ = false;
+      build();
+      stall_count_ = 0;
+      bland_ = false;
+      return run_cold_phases(watch);
+    }
+    LpSolution solution;
+    solution.status = status;
+    if (status == SolveStatus::Infeasible) {
+      solution.iterations = iterations_;
+      solution.refactorizations = refactorizations_;
+      solution.solve_seconds = watch.elapsed_seconds();
+      return solution;
+    }
+    fill_solution(solution);
+    solution.solve_seconds = watch.elapsed_seconds();
+    return solution;
+  }
+
+  SolveStatus run_dual_phase() {
+    obs::Span span("dual");
+    const std::size_t iters_before = iterations_;
+    const SolveStatus status = iterate_dual();
+    if (span.active())
+      span.attr("iterations", static_cast<double>(iterations_ - iters_before));
+    return status;
   }
 
   SolveStatus run_phase(bool phase1) {
@@ -188,6 +277,21 @@ class Simplex {
                      static_cast<double>(devex_resets_));
     obs::counter_add("simplex.bound_flips",
                      static_cast<double>(bound_flips_));
+    if (warm_attempts_ > 0)
+      obs::counter_add("simplex.warm.attempts",
+                       static_cast<double>(warm_attempts_));
+    if (warm_accepted_ > 0)
+      obs::counter_add("simplex.warm.accepted",
+                       static_cast<double>(warm_accepted_));
+    if (dual_solves_ > 0)
+      obs::counter_add("simplex.dual.solves",
+                       static_cast<double>(dual_solves_));
+    if (dual_fallbacks_ > 0)
+      obs::counter_add("simplex.dual.fallbacks",
+                       static_cast<double>(dual_fallbacks_));
+    if (dual_repair_flips_ > 0)
+      obs::counter_add("simplex.dual.repair_flips",
+                       static_cast<double>(dual_repair_flips_));
     obs::histogram_record("simplex.solve_seconds", solution.solve_seconds);
   }
 
@@ -482,12 +586,12 @@ class Simplex {
   }
 
   /// Recompute the incremental state (duals, phase objective and — under
-  /// dynamic pricing — the cached reduced costs) from the current basis
-  /// inverse, discarding accumulated pivot drift.
+  /// dynamic pricing or the dual method — the cached reduced costs) from
+  /// the current basis inverse, discarding accumulated pivot drift.
   void refresh_incremental_state() {
     compute_duals(y_);
     objective_ = phase_objective();
-    if (dynamic_pricing()) {
+    if (dynamic_pricing() || dual_mode_) {
       const std::size_t total = total_columns();
       d_.resize(total);
       for (std::size_t j = 0; j < total; ++j)
@@ -495,6 +599,132 @@ class Simplex {
             status_[j] == VarStatus::Basic ? 0.0 : reduced_cost(j, y_);
     }
     duals_clean_ = true;
+  }
+
+  /// Attempt to start from the snapshot in options_.warm_start. On success
+  /// the basis is factorized and the basic values recomputed under the
+  /// *current* model's bounds. On any failure (no/empty snapshot, shape
+  /// mismatch, dense basis, singular for this model) the solver state is
+  /// left ready for a cold start and false is returned.
+  bool import_warm_start() {
+    const BasisSnapshot* snap = options_.warm_start;
+    if (snap == nullptr || snap->empty() || dense_basis()) return false;
+    ++warm_attempts_;
+    if (!snap->compatible(cols_.n, m_)) return false;
+    if (!apply_snapshot(*snap)) {
+      build();  // partial import mutated the state: reset for a cold start
+      return false;
+    }
+    return true;
+  }
+
+  bool apply_snapshot(const BasisSnapshot& snap) {
+    const std::size_t nm = cols_.n + m_;
+    // Nonbasic placement first: every structural and slack column to its
+    // snapshot status, re-clamped to the *current* bounds (which may differ
+    // from the exporting model's — that is the point of a warm start).
+    for (std::size_t j = 0; j < nm; ++j)
+      set_nonbasic_status(
+          j, static_cast<BasisSnapshot::Status>(snap.status[j]));
+    // Artificials: pinned to zero; only snapshot-basic ones re-enter.
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::size_t a = nm + r;
+      lower_[a] = upper_[a] = 0;
+      x_[a] = 0;
+      status_[a] = VarStatus::AtLower;
+    }
+    std::vector<bool> seen(nm, false);
+    for (std::size_t p = 0; p < m_; ++p) {
+      std::size_t j;
+      if (snap.basis[p] == BasisSnapshot::kArtificialBasic) {
+        j = nm + p;
+      } else {
+        j = snap.basis[p];
+        if (j >= nm || seen[j]) return false;
+        seen[j] = true;
+      }
+      basis_[p] = j;
+      status_[j] = VarStatus::Basic;
+    }
+    if (!try_factorize_lu()) return false;
+    recompute_basic_values();
+    return true;
+  }
+
+  /// Place column j nonbasic per the snapshot status, degrading to the
+  /// nearest representable placement when the current bounds disagree
+  /// (e.g. the snapshot says AtUpper but the bound is now +inf). Columns
+  /// that end up in the basis are overwritten by the caller.
+  void set_nonbasic_status(std::size_t j, BasisSnapshot::Status s) {
+    const bool lo = lower_[j] > -kInf;
+    const bool up = upper_[j] < kInf;
+    VarStatus st;
+    switch (s) {
+      case BasisSnapshot::AtUpper:
+        st = up ? VarStatus::AtUpper
+                : (lo ? VarStatus::AtLower : VarStatus::FreeZero);
+        break;
+      case BasisSnapshot::Free:
+        st = (!lo && !up) ? VarStatus::FreeZero
+                          : (lo ? VarStatus::AtLower : VarStatus::AtUpper);
+        break;
+      case BasisSnapshot::Basic:
+      case BasisSnapshot::AtLower:
+      default:
+        st = lo ? VarStatus::AtLower
+                : (up ? VarStatus::AtUpper : VarStatus::FreeZero);
+        break;
+    }
+    status_[j] = st;
+    x_[j] = st == VarStatus::AtLower   ? lower_[j]
+            : st == VarStatus::AtUpper ? upper_[j]
+                                       : 0.0;
+  }
+
+  /// Do all basic values satisfy their bounds (within the feasibility
+  /// tolerance)? Nonbasic values sit exactly on a bound by construction.
+  bool primal_feasible() const {
+    const double tol = feasibility_tol();
+    for (std::size_t p = 0; p < m_; ++p) {
+      const std::size_t j = basis_[p];
+      if (x_[j] < lower_[j] - tol || x_[j] > upper_[j] + tol) return false;
+    }
+    return true;
+  }
+
+  /// Repair dual feasibility of the cached reduced costs by flipping boxed
+  /// nonbasic variables whose reduced cost has the wrong sign for their
+  /// bound (cheap: the basis, duals and reduced costs are all unchanged by
+  /// a flip). Returns false when a wrong-sign column cannot be flipped
+  /// (free variable, or a one-sided bound) — then no dual-feasible start
+  /// exists at this basis and the caller falls back to the cold primal.
+  bool make_dual_feasible() {
+    const double tol = options_.tolerance;
+    bool flipped = false;
+    for (std::size_t j = 0; j < total_columns(); ++j) {
+      if (status_[j] == VarStatus::Basic || lower_[j] == upper_[j]) continue;
+      const double d = d_[j];
+      if (status_[j] == VarStatus::FreeZero) {
+        if (std::abs(d) > tol) return false;
+      } else if (status_[j] == VarStatus::AtLower && d < -tol) {
+        if (!(upper_[j] < kInf)) return false;
+        status_[j] = VarStatus::AtUpper;
+        x_[j] = upper_[j];
+        flipped = true;
+        ++dual_repair_flips_;
+      } else if (status_[j] == VarStatus::AtUpper && d > tol) {
+        if (!(lower_[j] > -kInf)) return false;
+        status_[j] = VarStatus::AtLower;
+        x_[j] = lower_[j];
+        flipped = true;
+        ++dual_repair_flips_;
+      }
+    }
+    if (flipped) {
+      recompute_basic_values();
+      objective_ = phase_objective();
+    }
+    return true;
   }
 
   struct PricingChoice {
@@ -667,6 +897,395 @@ class Simplex {
       ++devex_resets_;
       std::fill(devex_weight_.begin(), devex_weight_.end(), 1.0);
     }
+  }
+
+  /// alpha_j = rho . A_j for every nonbasic column — the pivot row of the
+  /// tableau, needed wholesale by the dual ratio test and the incremental
+  /// reduced-cost update. Blocked over the same fixed partition as the
+  /// primal pricing pass; per-column writes are independent, so the result
+  /// is bit-identical for any pool size.
+  void compute_alpha_row() {
+    const std::size_t total = total_columns();
+    alpha_.resize(total);
+    const std::size_t blocks = (total + kPricingBlock - 1) / kPricingBlock;
+    const auto pass = [&](std::size_t b) {
+      const std::size_t begin = b * kPricingBlock;
+      const std::size_t end = std::min(total, begin + kPricingBlock);
+      for (std::size_t j = begin; j < end; ++j)
+        alpha_[j] =
+            status_[j] == VarStatus::Basic ? 0.0 : cols_.dot(j, rho_);
+    };
+    if (util::ThreadPool* pool = pricing_pool()) {
+      pool->parallel_for(blocks, pass);
+    } else {
+      for (std::size_t b = 0; b < blocks; ++b) pass(b);
+    }
+  }
+
+  /// Dual simplex main loop. Invariants: the cached reduced costs d_ stay
+  /// dual feasible (within tolerance) and the phase objective is
+  /// non-decreasing — each pivot moves it by ratio * |infeasibility| >= 0.
+  /// The leaving row is the most primal-infeasible basic position scored
+  /// against dual Devex row weights; the entering column comes from a
+  /// bound-flipping ratio test (boxed blockers whose full range cannot
+  /// absorb the remaining infeasibility are flipped past in one batched
+  /// FTRAN rather than entering). Terminates Optimal when no basic value
+  /// violates its bounds, certified against a fresh factorization exactly
+  /// like the primal loop; Infeasible when a violated row admits no
+  /// entering column (a certified dual ray); and sets dual_abort_ when it
+  /// stalls beyond recovery so run_dual can rerun the cold primal.
+  SolveStatus iterate_dual() {
+    const std::size_t max_iters =
+        options_.max_iterations > 0
+            ? options_.max_iterations
+            : std::max<std::size_t>(5000, 60 * (m_ + cols_.n));
+    constexpr double pivot_tol = 1e-9;
+    std::vector<double> w;
+    struct Breakpoint {
+      std::size_t j;
+      double ratio;
+      double alpha_abs;
+    };
+    std::vector<Breakpoint> breakpoints;
+    std::vector<std::size_t> flips;
+    dual_weight_.assign(m_, 1.0);
+    double last_objective = objective_;
+    std::size_t pivots_since_refactor = 0;
+
+    for (; iterations_ < max_iters; ++iterations_) {
+      // Leaving row: the basic position with the largest bound violation,
+      // scored infeasibility^2 / weight (Bland mode after a stall: lowest
+      // basis column index, no weighting — anti-cycling).
+      const double ftol = feasibility_tol();
+      std::size_t p_row = SIZE_MAX;
+      double best_score = 0;
+      double delta = 0;
+      for (std::size_t p = 0; p < m_; ++p) {
+        const std::size_t jb = basis_[p];
+        double viol;
+        if (x_[jb] < lower_[jb] - ftol) {
+          viol = x_[jb] - lower_[jb];
+        } else if (x_[jb] > upper_[jb] + ftol) {
+          viol = x_[jb] - upper_[jb];
+        } else {
+          continue;
+        }
+        if (bland_) {
+          if (p_row == SIZE_MAX || jb < basis_[p_row]) {
+            p_row = p;
+            delta = viol;
+          }
+        } else {
+          const double score = viol * viol / dual_weight_[p];
+          if (score > best_score) {
+            best_score = score;
+            p_row = p;
+            delta = viol;
+          }
+        }
+      }
+      if (p_row == SIZE_MAX) {
+        // Primal feasible under the incrementally maintained values. Before
+        // declaring optimality, rebuild the factorization and re-check on
+        // fresh numbers — drift must never certify a false optimum.
+        if (duals_clean_) return SolveStatus::Optimal;
+        note_refactor(RefactorCause::Certify);
+        refactorize();
+        if (!refresh_dual_state()) return dual_stop();
+        pivots_since_refactor = 0;
+        continue;
+      }
+
+      // rho = B^{-T} e_p (the pivot row of the inverse), then the full
+      // tableau row alpha_j = rho . A_j.
+      rho_.assign(m_, 0.0);
+      rho_[p_row] = 1.0;
+      lu_.btran(rho_);
+      compute_alpha_row();
+      const double s = delta > 0 ? 1.0 : -1.0;
+
+      // Dual ratio test. theta = d_q / alpha_q moves every nonbasic
+      // reduced cost by -theta * alpha_j; a candidate blocks when its
+      // reduced cost would cross zero. s fixes theta's required sign so
+      // the leaving variable lands dual feasible at its violated bound.
+      breakpoints.clear();
+      for (std::size_t j = 0; j < total_columns(); ++j) {
+        if (status_[j] == VarStatus::Basic || lower_[j] == upper_[j])
+          continue;
+        const double a = s * alpha_[j];
+        bool candidate = false;
+        if (status_[j] == VarStatus::AtLower) {
+          candidate = a > pivot_tol;
+        } else if (status_[j] == VarStatus::AtUpper) {
+          candidate = a < -pivot_tol;
+        } else {  // FreeZero: blocks immediately in either direction
+          candidate = std::abs(a) > pivot_tol;
+        }
+        if (!candidate) continue;
+        const double ratio = std::max(0.0, d_[j] / a);
+        breakpoints.push_back({j, ratio, std::abs(alpha_[j])});
+      }
+
+      std::size_t entering = SIZE_MAX;
+      flips.clear();
+      if (bland_) {
+        // Strict minimum ratio, ties to the lowest column index; no flips.
+        double best_ratio = kInf;
+        for (const Breakpoint& bp : breakpoints) {
+          if (bp.ratio < best_ratio ||
+              (bp.ratio == best_ratio && bp.j < entering)) {
+            entering = bp.j;
+            best_ratio = bp.ratio;
+          }
+        }
+      } else {
+        // Bound-flipping ratio test: walk breakpoints in ratio order; a
+        // boxed blocker whose whole range cannot absorb the remaining
+        // infeasibility is flipped to its other bound and passed over.
+        std::sort(breakpoints.begin(), breakpoints.end(),
+                  [](const Breakpoint& a, const Breakpoint& b) {
+                    if (a.ratio != b.ratio) return a.ratio < b.ratio;
+                    if (a.alpha_abs != b.alpha_abs)
+                      return a.alpha_abs > b.alpha_abs;
+                    return a.j < b.j;
+                  });
+        double residual = std::abs(delta);
+        for (const Breakpoint& bp : breakpoints) {
+          const bool boxed = status_[bp.j] != VarStatus::FreeZero &&
+                             lower_[bp.j] > -kInf && upper_[bp.j] < kInf;
+          if (boxed) {
+            const double shrink =
+                bp.alpha_abs * (upper_[bp.j] - lower_[bp.j]);
+            if (residual - shrink > ftol) {
+              residual -= shrink;
+              flips.push_back(bp.j);
+              continue;
+            }
+          }
+          entering = bp.j;
+          break;
+        }
+      }
+
+      if (entering == SIZE_MAX) {
+        // No entering column even after exhausting all flippable blockers:
+        // a dual ray — the primal is infeasible. Certify on fresh numbers
+        // first, as with optimality. (The flip list was never applied.)
+        if (duals_clean_) return SolveStatus::Infeasible;
+        note_refactor(RefactorCause::Certify);
+        refactorize();
+        if (!refresh_dual_state()) return dual_stop();
+        pivots_since_refactor = 0;
+        continue;
+      }
+
+      // Commit the bound flips in one batch: nonbasic moves between bounds
+      // leave the basis, duals and reduced costs untouched; the basic
+      // values absorb the combined column movement via a single FTRAN.
+      // Must happen BEFORE the entering column's FTRAN: the Forrest–Tomlin
+      // update consumes the spike stashed by the most recent ftran().
+      if (!flips.empty()) {
+        flip_rhs_.assign(m_, 0.0);
+        for (const std::size_t j : flips) {
+          const double amount = status_[j] == VarStatus::AtLower
+                                    ? upper_[j] - lower_[j]
+                                    : lower_[j] - upper_[j];
+          objective_ += d_[j] * amount;
+          status_[j] = status_[j] == VarStatus::AtLower ? VarStatus::AtUpper
+                                                        : VarStatus::AtLower;
+          x_[j] = status_[j] == VarStatus::AtUpper ? upper_[j] : lower_[j];
+          cols_.for_column(j, [&](std::size_t r, double v) {
+            flip_rhs_[r] += v * amount;
+          });
+        }
+        lu_.ftran(flip_rhs_);
+        for (std::size_t i = 0; i < m_; ++i)
+          x_[basis_[i]] -= flip_rhs_[i];
+        bound_flips_ += flips.size();
+        // The row's remaining infeasibility after the flips.
+        const std::size_t jb = basis_[p_row];
+        delta = s > 0 ? x_[jb] - upper_[jb] : x_[jb] - lower_[jb];
+        if (s * delta < 0) delta = 0;  // flips closed it: degenerate pivot
+      }
+
+      // Pivot quality before committing the basis change: the FTRAN'd
+      // pivot element against the BTRAN'd alpha_q (the primal loop's
+      // agreement test, with both paths free here), plus the small-pivot
+      // drift guard. A retry re-prices on fresh numbers; flips already
+      // committed stay (they are valid state on their own) and any
+      // reduced-cost sign they relied on is re-repaired by
+      // refresh_dual_state.
+      compute_direction(entering, w);
+      const double pivot = w[p_row];
+      if (lu_.update_count() > 0) {
+        const bool drifted =
+            std::abs(pivot) < options_.lu_stability_tolerance;
+        const bool disagree =
+            !(std::abs(pivot - alpha_[entering]) <=
+              kPivotAgreementTol * (1 + std::abs(pivot)));
+        if (drifted || disagree) {
+          note_refactor(drifted ? RefactorCause::Drift
+                                : RefactorCause::Agreement);
+          refactorize();
+          if (!refresh_dual_state()) return dual_stop();
+          pivots_since_refactor = 0;
+          continue;
+        }
+      }
+      if (std::abs(pivot) <= pivot_tol) {
+        // Numerically dead pivot on fresh factors: the dual method cannot
+        // continue safely — hand the model to the cold primal.
+        return dual_stop();
+      }
+
+      const std::size_t leaving = basis_[p_row];
+      const double d_q = d_[entering];
+      const double theta = d_q / pivot;  // dual step
+      const double t = delta / pivot;    // primal step of the entering var
+
+      // Rollback stash (mirrors the primal loop): if the post-pivot
+      // factorization fails, the basis change is undone and the iteration
+      // retried on fresh numbers.
+      const double entering_x_before = x_[entering];
+      const VarStatus entering_status_before = status_[entering];
+
+      // Primal update: basic values move against t * w; the leaving
+      // variable lands exactly on its violated bound.
+      if (t != 0) {
+        for (std::size_t i = 0; i < m_; ++i)
+          if (w[i] != 0) x_[basis_[i]] -= t * w[i];
+      }
+      x_[entering] = entering_x_before + t;
+      objective_ += d_q * t;
+      x_[leaving] = s > 0 ? upper_[leaving] : lower_[leaving];
+      status_[leaving] =
+          s > 0 ? VarStatus::AtUpper : VarStatus::AtLower;
+
+      // Dual update: y moves along rho, every cached reduced cost by
+      // -theta * alpha_j; the leaving column's textbook value is -theta.
+      if (theta != 0) {
+        for (std::size_t i = 0; i < m_; ++i) y_[i] += theta * rho_[i];
+        for (std::size_t j = 0; j < total_columns(); ++j) {
+          if (status_[j] == VarStatus::Basic || alpha_[j] == 0) continue;
+          d_[j] -= theta * alpha_[j];
+        }
+      }
+      d_[entering] = 0.0;
+      d_[leaving] = -theta;
+      duals_clean_ = false;
+
+      // Dual Devex row weights from the entering column's FTRAN image:
+      //   w_r' = max(w_r, (w_r / pivot)^2 * w_p),  w_p' = max(w_p /
+      //   pivot^2, 1)
+      // reset to the unit framework when the largest weight drifts.
+      {
+        const double dw_p = dual_weight_[p_row];
+        const double inv_p2 = 1.0 / (pivot * pivot);
+        double wmax = 0;
+        for (std::size_t i = 0; i < m_; ++i) {
+          if (i != p_row && w[i] != 0) {
+            const double cand = w[i] * w[i] * inv_p2 * dw_p;
+            if (cand > dual_weight_[i]) dual_weight_[i] = cand;
+          }
+          wmax = std::max(wmax, dual_weight_[i]);
+        }
+        dual_weight_[p_row] = std::max(dw_p * inv_p2, 1.0);
+        wmax = std::max(wmax, dual_weight_[p_row]);
+        if (wmax > options_.devex_reset_threshold) {
+          ++devex_resets_;
+          std::fill(dual_weight_.begin(), dual_weight_.end(), 1.0);
+        }
+      }
+
+      // Basis change + factorization update, with the primal loop's
+      // refactor policy (period, FT fill guard / eta cap, refusal) and
+      // singular-rollback recovery.
+      basis_[p_row] = entering;
+      status_[entering] = VarStatus::Basic;
+      const std::size_t updates_before = lu_.update_count();
+      const bool updated = lu_.update(p_row, w, pivot_tol);
+      ++pivots_since_refactor;
+      bool refactor = true;
+      RefactorCause cause = RefactorCause::Period;
+      if (!updated) {
+        cause = RefactorCause::FtRefused;
+      } else if (pivots_since_refactor >= effective_refactor_period()) {
+        cause = RefactorCause::Period;
+      } else if (ft_basis()) {
+        refactor = lu_.factor_nonzeros() + lu_.r_nonzeros() >
+                   options_.ft_fill_factor * lu_.baseline_nonzeros() + 64;
+        cause = RefactorCause::Fill;
+      } else {
+        refactor = lu_.eta_count() >= options_.eta_limit;
+        cause = RefactorCause::EtaLimit;
+      }
+      if (refactor) {
+        note_refactor(cause);
+        ++refactorizations_;
+        if (try_factorize_lu()) {
+          recompute_basic_values();
+          if (!refresh_dual_state()) return dual_stop();
+          pivots_since_refactor = 0;
+        } else {
+          WANPLACE_CHECK(updates_before > 0,
+                         "singular basis during refactorization");
+          ++refactor_cause_[static_cast<std::size_t>(
+              RefactorCause::SingularRollback)];
+          basis_[p_row] = leaving;
+          status_[leaving] = VarStatus::Basic;
+          status_[entering] = entering_status_before;
+          x_[entering] = entering_x_before;
+          factorize_lu();
+          recompute_basic_values();
+          if (!refresh_dual_state()) return dual_stop();
+          pivots_since_refactor = 0;
+          continue;
+        }
+      }
+
+      // Degenerate-pivot and stall tracking, as in the primal loop but on
+      // the non-decreasing dual objective. A stall first switches to the
+      // Bland-style rules on fresh numbers; a stall that survives Bland
+      // mode aborts to the cold primal rather than looping forever.
+      if (t == 0) {
+        ++degenerate_pivots_;
+        degenerate_streak_max_ =
+            std::max(degenerate_streak_max_, ++degenerate_streak_);
+      } else {
+        degenerate_streak_ = 0;
+      }
+      if (objective_ > last_objective + options_.tolerance) {
+        last_objective = objective_;
+        stall_count_ = 0;
+        bland_ = false;
+      } else if (++stall_count_ > options_.stall_limit) {
+        if (!bland_) {
+          note_refactor(RefactorCause::Bland);
+          refactorize();
+          if (!refresh_dual_state()) return dual_stop();
+          pivots_since_refactor = 0;
+          bland_ = true;
+        } else if (stall_count_ > 8 * options_.stall_limit) {
+          return dual_stop();
+        }
+      }
+    }
+    return SolveStatus::IterationLimit;
+  }
+
+  /// Refresh incremental state from fresh factors, then re-establish the
+  /// dual loop's invariant: flipping any boxed nonbasic whose recomputed
+  /// reduced cost has the wrong sign (drift repair). False only when the
+  /// invariant cannot be restored — the caller aborts to the cold primal.
+  bool refresh_dual_state() {
+    refresh_incremental_state();
+    return make_dual_feasible();
+  }
+
+  /// Abandon the dual method mid-loop: run_dual reruns the cold primal.
+  SolveStatus dual_stop() {
+    dual_abort_ = true;
+    return SolveStatus::IterationLimit;
   }
 
   SolveStatus iterate() {
@@ -966,6 +1585,37 @@ class Simplex {
     solution.y = y;
     solution.objective = model_.objective_value(solution.x);
     solution.dual_bound = certified_dual_bound(model_, y);
+    export_basis(solution.basis);
+  }
+
+  /// Freeze the final basis into the solution so a later solve of a
+  /// same-shaped model can warm start from it. Cheap: O(n + m) bytes.
+  void export_basis(BasisSnapshot& snap) const {
+    const std::size_t nm = cols_.n + m_;
+    snap.variables = cols_.n;
+    snap.rows = m_;
+    snap.status.resize(nm);
+    for (std::size_t j = 0; j < nm; ++j) {
+      switch (status_[j]) {
+        case VarStatus::Basic:
+          snap.status[j] = BasisSnapshot::Basic;
+          break;
+        case VarStatus::AtLower:
+          snap.status[j] = BasisSnapshot::AtLower;
+          break;
+        case VarStatus::AtUpper:
+          snap.status[j] = BasisSnapshot::AtUpper;
+          break;
+        case VarStatus::FreeZero:
+          snap.status[j] = BasisSnapshot::Free;
+          break;
+      }
+    }
+    snap.basis.resize(m_);
+    for (std::size_t p = 0; p < m_; ++p)
+      snap.basis[p] = basis_[p] < nm
+                          ? static_cast<std::uint32_t>(basis_[p])
+                          : BasisSnapshot::kArtificialBasic;
   }
 
   const LpModel& model_;
@@ -983,9 +1633,14 @@ class Simplex {
   std::vector<double> devex_weight_; // Devex reference weights
   std::vector<double> pivot_row_;    // rho_/pivot for the pricing pass
   std::vector<double> block_max_;    // per-block weight maxima
+  std::vector<double> alpha_;        // dual: tableau pivot row rho . A_j
+  std::vector<double> dual_weight_;  // dual: Devex row reference weights
+  std::vector<double> flip_rhs_;     // dual: batched bound-flip FTRAN rhs
   std::unique_ptr<util::ThreadPool> pool_;
   double objective_ = 0;             // incrementally maintained phase obj
   bool duals_clean_ = false;         // y_ recomputed since the last pivot?
+  bool dual_mode_ = false;           // running the dual method?
+  bool dual_abort_ = false;          // dual stalled: rerun cold primal
   std::size_t pricing_cursor_ = 0;
   std::size_t iterations_ = 0;
   std::size_t refactorizations_ = 0;
@@ -1001,6 +1656,11 @@ class Simplex {
   std::size_t degenerate_streak_max_ = 0;
   std::size_t devex_resets_ = 0;
   std::size_t bound_flips_ = 0;
+  std::size_t warm_attempts_ = 0;
+  std::size_t warm_accepted_ = 0;
+  std::size_t dual_solves_ = 0;
+  std::size_t dual_fallbacks_ = 0;
+  std::size_t dual_repair_flips_ = 0;
 };
 
 }  // namespace

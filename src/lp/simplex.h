@@ -1,4 +1,5 @@
-// Bounded-variable two-phase primal simplex.
+// Bounded-variable simplex: two-phase primal, plus a dual method for
+// warm-started re-optimization.
 //
 // Exact (to numerical tolerance) LP oracle used for small and medium
 // instances: unit tests, cross-validation of the PDHG solver, and
@@ -20,6 +21,19 @@
 // termination is always certified against freshly computed duals. The
 // PR 1 static-weight partial pricing (Pricing::PartialDevex) and the
 // seed's full Dantzig scan (Pricing::DantzigFull) are kept selectable.
+//
+// Method::Dual runs the dual simplex instead: starting from a dual-feasible
+// basis (a supplied BasisSnapshot, repaired by flipping boxed nonbasics
+// whose reduced costs have the wrong sign, or the cold slack basis), it
+// prices the most primal-infeasible row under dual Devex row weights and
+// restores feasibility with a bound-flipping ratio test — the natural
+// method when a previous solve's basis is nearly optimal for a model with
+// a handful of changed bounds or costs (planner phase 2, per-class
+// re-solves). When the dual path cannot run (no dual-feasible start, a
+// stall, an unusable snapshot, or Basis::DenseInverse), solve_simplex
+// transparently falls back to the cold two-phase primal and counts the
+// event under `simplex.dual.fallbacks`, so the result is correct either
+// way.
 #pragma once
 
 #include <cstddef>
@@ -29,6 +43,27 @@
 namespace wanplace::lp {
 
 struct SimplexOptions {
+  enum class Method {
+    /// Two-phase primal simplex (the default): artificials out in phase 1,
+    /// real objective in phase 2.
+    Primal,
+    /// Dual simplex: dual-feasible start (warm basis or cold slack basis,
+    /// repaired by boxed-variable flips), leaving row chosen by primal
+    /// infeasibility under dual Devex row weights, entering column by a
+    /// bound-flipping ratio test. Requires an LU basis; falls back to the
+    /// cold primal whenever a dual-feasible start cannot be established.
+    Dual,
+  };
+  Method method = Method::Primal;
+
+  /// Optional starting basis from a previous solve of a same-shaped model
+  /// (LpSolution::basis). Borrowed for the duration of the solve. Ignored
+  /// when empty, shape-incompatible, singular for the new model, or the
+  /// basis is DenseInverse; a primal solve additionally requires the
+  /// imported point to be primal feasible (the dual method exists precisely
+  /// because re-optimization starts usually are not).
+  const BasisSnapshot* warm_start = nullptr;
+
   std::size_t max_iterations = 0;  // 0 = automatic (scales with model size)
   double tolerance = 1e-7;
   /// Refactorize the basis every this many pivots; 0 = automatic (640 for

@@ -146,6 +146,38 @@ inline FuzzLp fuzz_lp(std::uint64_t seed) {
   return out;
 }
 
+/// Perturb an instance into a warm-start re-optimization partner: the same
+/// model (identical sparsity pattern and shape) with a seeded subset of
+/// finite bounds nudged and objective coefficients shifted — the
+/// solver-facing shape of planner phase-2 and per-class re-solves, where a
+/// previous basis is nearly optimal but usually not primal feasible. Free
+/// variables keep their zero cost (the generator's boundedness guarantee);
+/// box tightening can push a Feasible instance into infeasibility, so
+/// differential harnesses must compare status first and objectives only on
+/// agreement.
+inline FuzzLp fuzz_warm_perturbed(const FuzzLp& in, std::uint64_t seed) {
+  Rng rng(seed ^ 0x5EEDULL);
+  FuzzLp out = in;
+  for (std::size_t j = 0; j < out.model.variable_count(); ++j) {
+    double lo = out.model.lower(j);
+    double up = out.model.upper(j);
+    if (!(lo > -lp::kInfinity && up < lp::kInfinity)) continue;
+    if (rng.bernoulli(0.35)) {
+      lo += rng.uniform(-0.2, 0.2);
+      up += rng.uniform(-0.2, 0.2);
+      if (lo > up) {
+        const double mid = 0.5 * (lo + up);
+        lo = up = mid;
+      }
+      out.model.set_bounds(j, lo, up);
+    }
+    if (rng.bernoulli(0.25))
+      out.model.set_objective(j,
+                              out.model.objective(j) + rng.uniform(-0.3, 0.3));
+  }
+  return out;
+}
+
 /// Per-shard instance count for the differential fuzz suites:
 /// WANPLACE_FUZZ_COUNT env override (nightly runs crank it up), else
 /// `fallback`. Every shard scales by the same knob so the suite keeps

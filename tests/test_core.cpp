@@ -181,6 +181,113 @@ TEST(Planner, Phase2ReportsOnReducedSystem) {
 }
 
 // ---------------------------------------------------------------------------
+// Tqos slack in the phase-1 site selection: a pooled QoS scope tolerates up
+// to (1 - tqos) of its reads going structurally uncovered, so an isolated
+// site with tiny demand must not force an extra deployment when the goal
+// has slack — but must at tqos = 1.
+
+// A 6-node line (origin at node 5): node 0 is isolated from the rest
+// (reaches only {0, 1}) and carries a tiny fraction of the reads; nodes
+// 4 and 5 carry the bulk and are already covered by the origin. Covering
+// node 0 therefore needs one deployment beyond the origin — a site that
+// only exists to serve ~0.7% of the reads.
+mcperf::Instance slack_line_instance(double tqos) {
+  auto instance = test::line_instance(6, 2, 2, tqos);
+  instance.goal = mcperf::QosGoal{tqos, mcperf::QosScope::Overall};
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t k = 0; k < 2; ++k) {
+      instance.demand.read(0, i, k) = 1;
+      instance.demand.read(4, i, k) = 100;
+      instance.demand.read(5, i, k) = 100;
+    }
+  return instance;
+}
+
+TEST(Planner, TqosSlackOpensFewerSites) {
+  PlannerOptions options;
+  options.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  options.run_phase2 = false;
+  const auto strict = DeploymentPlanner(options).plan(slack_line_instance(1.0));
+  const auto slack = DeploymentPlanner(options).plan(slack_line_instance(0.9));
+  // tqos = 1 must keep the strict rule: node 0's reads force an open in
+  // {0, 1} on top of the origin.
+  EXPECT_GE(strict.open_nodes.size(), 2u);
+  // At tqos = 0.9 node 0 is ~0.7% of all reads — well inside the Overall
+  // slack — so the planner must not buy it a site.
+  EXPECT_LT(slack.open_nodes.size(), strict.open_nodes.size());
+  for (const auto n : slack.open_nodes)
+    EXPECT_GT(n, 1) << "opened a site for slack-covered demand";
+}
+
+TEST(Planner, TqosSlackSelectionMeetsGoalOnReducedSystem) {
+  PlannerOptions options;
+  options.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  const auto plan = DeploymentPlanner(options).plan(slack_line_instance(0.9));
+  // Demand aggregates onto the open sites, so the reduced-system selection
+  // must still find classes that meet the 0.9 goal.
+  ASSERT_TRUE(plan.selection.has_recommendation());
+  EXPECT_GE(plan.selection.recommended_bound().max_achievable_qos,
+            0.9 - 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-started re-optimization: the warm paths are work-saving only and
+// must never change what the pipeline reports.
+
+TEST(Selector, WarmFanOutMatchesColdAndIsParallelismInvariant) {
+  const auto instance = random_instance(61, 6, 4, 5, 0.9, 500);
+  SelectorOptions cold;
+  cold.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  cold.warm_start = false;
+  cold.parallelism = 1;
+  const auto reference = HeuristicSelector(cold).select(instance);
+
+  SelectorOptions warm = cold;
+  warm.warm_start = true;
+  const auto warm_serial = HeuristicSelector(warm).select(instance);
+  ASSERT_EQ(warm_serial.recommended, reference.recommended);
+  ASSERT_EQ(warm_serial.classes.size(), reference.classes.size());
+  const double scale = 1 + std::abs(reference.general.lower_bound);
+  EXPECT_NEAR(warm_serial.general.lower_bound, reference.general.lower_bound,
+              1e-9 * scale);
+  for (std::size_t i = 0; i < reference.classes.size(); ++i)
+    EXPECT_NEAR(warm_serial.classes[i].lower_bound,
+                reference.classes[i].lower_bound, 1e-9 * scale)
+        << reference.classes[i].class_name;
+
+  // The warm seed is always the general solve, never a sibling class, so
+  // the report is bit-identical for every parallelism value.
+  for (const std::size_t par : {std::size_t{2}, std::size_t{5}}) {
+    SelectorOptions fanned = warm;
+    fanned.parallelism = par;
+    const auto report = HeuristicSelector(fanned).select(instance);
+    ASSERT_EQ(report.recommended, warm_serial.recommended) << par;
+    EXPECT_EQ(report.general.lower_bound, warm_serial.general.lower_bound)
+        << par;
+    for (std::size_t i = 0; i < report.classes.size(); ++i)
+      EXPECT_EQ(report.classes[i].lower_bound,
+                warm_serial.classes[i].lower_bound)
+          << par << " " << report.classes[i].class_name;
+  }
+}
+
+TEST(Planner, WarmPhase2MatchesColdBound) {
+  const auto instance = random_instance(67, 8, 4, 6, 0.9, 800);
+  PlannerOptions warm;
+  warm.zeta = 50;
+  warm.bounds.solver = bounds::BoundOptions::Solver::Simplex;
+  warm.run_phase2 = false;
+  PlannerOptions cold = warm;
+  cold.warm_phase2 = false;
+  const auto warm_plan = DeploymentPlanner(warm).plan(instance);
+  const auto cold_plan = DeploymentPlanner(cold).plan(instance);
+  ASSERT_EQ(warm_plan.open_nodes, cold_plan.open_nodes);
+  EXPECT_GT(cold_plan.phase2_lower_bound, 0);
+  EXPECT_NEAR(warm_plan.phase2_lower_bound, cold_plan.phase2_lower_bound,
+              1e-9 * (1 + std::abs(cold_plan.phase2_lower_bound)));
+}
+
+// ---------------------------------------------------------------------------
 // Evaluation-interval selection.
 
 TEST(EvaluationInterval, PeriodicHalvesMinimumPeriod) {

@@ -209,6 +209,77 @@ TEST(FuzzAdversarial, TargetedLpsShard3) {
   for (std::uint64_t i = 3 * n; i < 4 * n; ++i) check_adversarial(base, i);
 }
 
+// Warm-start re-optimization shards: solve a base instance cold, perturb a
+// seeded subset of its bounds and costs (tests/lp_fuzz.h
+// fuzz_warm_perturbed — the planner-phase-2 / per-class-re-solve shape),
+// then re-solve the perturbed model three ways: dual simplex warm-started
+// from the base basis, cold primal, and PDHG warm-started from the base
+// iterates. The warm dual result must match the cold primal to 1e-7 in
+// status and objective (the warm path must never change what the solver
+// reports, only how fast it gets there), and every PDHG certificate —
+// warm or cold — must stay a valid lower bound on the exact optimum to
+// the same 1e-7.
+void check_warm_pair(std::uint64_t base, std::uint64_t offset) {
+  const auto fuzz = test::fuzz_lp(base + offset);
+  const auto tag = case_tag("warm", base, offset, fuzz);
+  const auto perturbed = test::fuzz_warm_perturbed(fuzz, base + offset);
+
+  const auto seed_sol = solve_simplex(fuzz.model, ft_options());
+  const auto cold = solve_simplex(perturbed.model, ft_options());
+
+  auto dual_opts = ft_options();
+  dual_opts.method = SimplexOptions::Method::Dual;
+  if (!seed_sol.basis.empty()) dual_opts.warm_start = &seed_sol.basis;
+  const auto warm = solve_simplex(perturbed.model, dual_opts);
+
+  ASSERT_EQ(warm.status, cold.status) << tag;
+  if (cold.status != SolveStatus::Optimal) return;
+  const double scale = 1 + std::abs(cold.objective);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-7 * scale) << tag;
+  EXPECT_LE(warm.dual_bound, cold.objective + 1e-7 * scale) << tag;
+  EXPECT_LE(perturbed.model.max_violation(warm.x), 1e-6) << tag;
+
+  PdhgOptions pdhg;
+  pdhg.max_iterations = 60000;
+  pdhg.tolerance = 1e-6;
+  const auto pd_cold = solve_pdhg(perturbed.model, pdhg);
+  auto pdhg_warm = pdhg;
+  pdhg_warm.warm_x = &seed_sol.x;
+  pdhg_warm.warm_y = &seed_sol.y;
+  const auto pd_warm = solve_pdhg(perturbed.model, pdhg_warm);
+  EXPECT_LE(pd_cold.dual_bound, cold.objective + 1e-7 * scale) << tag;
+  EXPECT_LE(pd_warm.dual_bound, cold.objective + 1e-7 * scale) << tag;
+  if (!fuzz.has_free && pd_warm.status == SolveStatus::Optimal &&
+      perturbed.model.max_violation(pd_warm.x) <= 1e-5) {
+    EXPECT_NEAR(pd_warm.objective, cold.objective, 1e-2 * scale) << tag;
+  }
+}
+
+// 4 x WANPLACE_FUZZ_COUNT (default 60) = 240 perturbed-bound pairs.
+TEST(FuzzWarm, PerturbedBoundPairsShard0) {
+  const std::uint64_t base = test::fuzz_base_seed();
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = 0; i < n; ++i) check_warm_pair(base, i);
+}
+
+TEST(FuzzWarm, PerturbedBoundPairsShard1) {
+  const std::uint64_t base = test::fuzz_base_seed();
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = n; i < 2 * n; ++i) check_warm_pair(base, i);
+}
+
+TEST(FuzzWarm, PerturbedBoundPairsShard2) {
+  const std::uint64_t base = test::fuzz_base_seed();
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = 2 * n; i < 3 * n; ++i) check_warm_pair(base, i);
+}
+
+TEST(FuzzWarm, PerturbedBoundPairsShard3) {
+  const std::uint64_t base = test::fuzz_base_seed();
+  const std::uint64_t n = test::fuzz_shard_count();
+  for (std::uint64_t i = 3 * n; i < 4 * n; ++i) check_warm_pair(base, i);
+}
+
 // Stress shard: replay a seeded mix of classic and adversarial instances
 // with refactor_period=4 / eta_limit=8 / ft_fill_factor=1.05 on every
 // path. The long-pivot profiles routinely take 30+ pivots here, i.e. far

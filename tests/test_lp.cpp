@@ -1065,5 +1065,139 @@ TEST(Pdhg, IterationLimitStillCertifies) {
   EXPECT_LE(sol.dual_bound, 11 + 1e-9);
 }
 
+// ---------------------------------------------------------------------------
+// Dual simplex + basis snapshots (warm-started re-optimization).
+
+// min -x0 - 2 x1  s.t.  x0 + x1 <= 4, x0 + 3 x1 <= 6, 0 <= x <= 10.
+// Optimum -5 at (3, 1).
+LpModel dual_fixture() {
+  LpModel model;
+  const auto x0 = model.add_variable(0, 10, -1);
+  const auto x1 = model.add_variable(0, 10, -2);
+  model.add_row(RowType::Le, 4, {x0, x1}, {1, 1});
+  model.add_row(RowType::Le, 6, {x0, x1}, {1, 3});
+  return model;
+}
+
+TEST(SimplexDual, ColdDualMatchesPrimal) {
+  const auto model = dual_fixture();
+  const auto primal = solve_simplex(model);
+  SimplexOptions dual;
+  dual.method = SimplexOptions::Method::Dual;
+  const auto sol = solve_simplex(model, dual);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, primal.objective, 1e-9);
+  EXPECT_NEAR(sol.objective, -5, 1e-9);
+  EXPECT_LE(model.max_violation(sol.x), 1e-9);
+}
+
+TEST(SimplexDual, SolutionExportsBasisSnapshot) {
+  const auto model = dual_fixture();
+  const auto sol = solve_simplex(model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_TRUE(sol.basis.compatible(model.variable_count(), model.row_count()));
+  std::size_t basic = 0;
+  for (const auto s : sol.basis.status)
+    if (s == BasisSnapshot::Basic) ++basic;
+  EXPECT_EQ(basic, model.row_count());
+}
+
+TEST(SimplexDual, WarmResolveOfSameModelTakesZeroIterations) {
+  const auto model = dual_fixture();
+  const auto first = solve_simplex(model);
+  SimplexOptions warm;
+  warm.method = SimplexOptions::Method::Dual;
+  warm.warm_start = &first.basis;
+  const auto again = solve_simplex(model, warm);
+  ASSERT_EQ(again.status, SolveStatus::Optimal);
+  EXPECT_EQ(again.iterations, 0u);
+  EXPECT_NEAR(again.objective, first.objective, 1e-12);
+}
+
+TEST(SimplexDual, WarmResolveAfterBoundChangeSavesPivots) {
+  auto model = dual_fixture();
+  const auto first = solve_simplex(model);
+  // Tighten x0: the old basic point turns primal infeasible — the case the
+  // dual method exists for.
+  model.set_bounds(0, 0, 2);
+  const auto cold = solve_simplex(model);
+  SimplexOptions warm;
+  warm.method = SimplexOptions::Method::Dual;
+  warm.warm_start = &first.basis;
+  const auto sol = solve_simplex(model, warm);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, cold.objective, 1e-9);
+  EXPECT_LE(sol.iterations, cold.iterations);
+  EXPECT_LE(model.max_violation(sol.x), 1e-9);
+}
+
+TEST(SimplexDual, DualDetectsInfeasibilityAfterBoundChange) {
+  auto model = dual_fixture();
+  model.add_row(RowType::Ge, 8, {std::size_t{0}, std::size_t{1}}, {1, 1});
+  const auto first = solve_simplex(model);
+  ASSERT_EQ(first.status, SolveStatus::Infeasible);
+
+  auto feasible = dual_fixture();
+  const auto seed = solve_simplex(feasible);
+  // x0 + x1 <= 4 but both fixed near their upper bound: infeasible.
+  feasible.set_bounds(0, 9, 10);
+  feasible.set_bounds(1, 9, 10);
+  SimplexOptions warm;
+  warm.method = SimplexOptions::Method::Dual;
+  warm.warm_start = &seed.basis;
+  const auto sol = solve_simplex(feasible, warm);
+  EXPECT_EQ(sol.status, SolveStatus::Infeasible);
+}
+
+TEST(SimplexDual, DenseInverseFallsBackToPrimal) {
+  const auto model = dual_fixture();
+  SimplexOptions options;
+  options.method = SimplexOptions::Method::Dual;
+  options.basis = SimplexOptions::Basis::DenseInverse;
+  const auto sol = solve_simplex(model, options);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -5, 1e-9);
+}
+
+TEST(SimplexDual, UnboundedFallsBackToPrimal) {
+  LpModel model;
+  model.add_variable(0, kInfinity, -1);
+  SimplexOptions options;
+  options.method = SimplexOptions::Method::Dual;
+  const auto sol = solve_simplex(model, options);
+  EXPECT_EQ(sol.status, SolveStatus::Unbounded);
+}
+
+TEST(SimplexDual, IncompatibleSnapshotIgnored) {
+  const auto small = dual_fixture();
+  const auto seed = solve_simplex(small);
+  LpModel bigger;
+  const auto x0 = bigger.add_variable(0, 1, 1);
+  const auto x1 = bigger.add_variable(0, 1, 1);
+  const auto x2 = bigger.add_variable(0, 1, 1);
+  bigger.add_row(RowType::Ge, 2, {x0, x1, x2}, {1, 1, 1});
+  SimplexOptions options;
+  options.method = SimplexOptions::Method::Dual;
+  options.warm_start = &seed.basis;  // wrong shape: must be ignored
+  const auto sol = solve_simplex(bigger, options);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 2, 1e-9);
+}
+
+TEST(SimplexDual, WarmPrimalAcceptsFeasibleBasis) {
+  // Primal method with a warm basis that is still primal feasible (the
+  // objective changed, not the bounds): phase 1 is skipped entirely.
+  auto model = dual_fixture();
+  const auto first = solve_simplex(model);
+  model.set_objective(0, -3);  // optimum moves along the first row
+  SimplexOptions warm;
+  warm.warm_start = &first.basis;
+  const auto sol = solve_simplex(model, warm);
+  const auto cold = solve_simplex(model);
+  ASSERT_EQ(sol.status, SolveStatus::Optimal);
+  EXPECT_NEAR(sol.objective, cold.objective, 1e-9);
+  EXPECT_LE(sol.iterations, cold.iterations);
+}
+
 }  // namespace
 }  // namespace wanplace::lp

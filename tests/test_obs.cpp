@@ -242,6 +242,37 @@ TEST(ObsTrace, SummaryAggregatesByPath) {
   EXPECT_TRUE(contains(summary, "iterations=10"));
 }
 
+// The bounds.gap histogram must only record gaps that were actually
+// computed: a solve with rounding skipped (run_rounding = false, or the
+// average-latency goal) must not contribute a spurious 0 sample that drags
+// the distribution toward a tightness the run never measured. Roundings
+// that ran and failed count under bounds.rounding_infeasible instead.
+TEST(ObsBounds, GapRecordedOnlyWhenRoundingProducedACost) {
+  const auto instance = test::random_instance(7);
+  bounds::BoundOptions options;
+  options.solver = bounds::BoundOptions::Solver::Simplex;
+  {
+    TelemetryScope scope;
+    auto skip = options;
+    skip.run_rounding = false;
+    bounds::compute_bound(instance, mcperf::classes::general(), skip);
+    const auto snapshot = obs::Registry::global().snapshot();
+    EXPECT_EQ(snapshot.count("bounds.gap"), 0u);
+    EXPECT_EQ(snapshot.count("bounds.rounding_infeasible"), 0u);
+    EXPECT_EQ(snapshot.at("bounds.classes").sum, 1.0);
+  }
+  {
+    TelemetryScope scope;
+    const auto bound =
+        bounds::compute_bound(instance, mcperf::classes::general(), options);
+    ASSERT_TRUE(bound.rounded_feasible);
+    const auto snapshot = obs::Registry::global().snapshot();
+    ASSERT_EQ(snapshot.count("bounds.gap"), 1u);
+    EXPECT_EQ(snapshot.at("bounds.gap").count, 1u);
+    EXPECT_EQ(snapshot.at("bounds.gap").sum, bound.gap);
+  }
+}
+
 TEST(ObsReport, ShadowPricesMapToQosRows) {
   const auto instance = test::random_instance(7);
   bounds::BoundOptions options;

@@ -19,7 +19,9 @@
 //   --origin 0         node id of the origin/headquarters
 //   --scope per-user | overall | per-object | per-user-object
 //   --time-limit 10    seconds per LP solve
-//   --solver auto | simplex | pdhg    force the LP solver choice
+//   --solver auto | simplex | dual | pdhg    force the LP solver choice
+//                      (dual = dual simplex; falls back to primal when no
+//                      dual-feasible start exists)
 //
 // Telemetry (select and bound):
 //   --trace-out FILE   write solver telemetry as JSONL (spans, samples,
@@ -160,10 +162,15 @@ bounds::BoundOptions bound_options(const Args& args) {
   const std::string solver = args.get("solver", "auto");
   if (solver == "simplex") {
     options.solver = bounds::BoundOptions::Solver::Simplex;
+  } else if (solver == "dual") {
+    // Dual simplex for every solve (falls back to the cold primal when no
+    // dual-feasible start exists; see SimplexOptions::Method).
+    options.solver = bounds::BoundOptions::Solver::Simplex;
+    options.simplex.method = lp::SimplexOptions::Method::Dual;
   } else if (solver == "pdhg") {
     options.solver = bounds::BoundOptions::Solver::Pdhg;
   } else if (solver != "auto") {
-    throw Error("unknown solver '" + solver + "' (auto|simplex|pdhg)");
+    throw Error("unknown solver '" + solver + "' (auto|simplex|dual|pdhg)");
   }
   return options;
 }
