@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Per-pivot regression gate for the bench-smoke workflow preset.
+
+Reads the lp_solvers CSV produced by a filtered bench run (the q90 MC-PERF
+point), derives the Forrest-Tomlin microseconds-per-pivot figure from the
+ft-s / ft-it columns, and compares it against the most recent committed
+baseline in bench_results/BENCH_lp.json (the `us_per_pivot` field of the
+latest entry's lp_solvers.mcperf_8x8x60_q90 record). Exits non-zero when
+the measured figure regresses by more than --max-regress (default 25%).
+
+Usage:
+  check_bench_smoke.py <lp_solvers.csv> <BENCH_lp.json> [--max-regress 0.25]
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+
+def measured_us_per_pivot(csv_path: str) -> float:
+    with open(csv_path, newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    if not rows:
+        raise SystemExit(f"{csv_path}: no data rows (did the bench run?)")
+    # A filtered run writes exactly the benchmarked point(s); take the last
+    # row so an unfiltered run still gates on the final (q99) MC-PERF point
+    # only if q90 is absent.
+    for row in rows:
+        if row.get("rows") == "3914":
+            break
+    else:
+        row = rows[-1]
+    ft_s = float(row["ft-s"])
+    ft_it = float(row["ft-it"])
+    if ft_it <= 0:
+        raise SystemExit(f"{csv_path}: ft-it column is {ft_it}")
+    return ft_s / ft_it * 1e6
+
+
+def baseline_us_per_pivot(json_path: str) -> float:
+    with open(json_path) as handle:
+        entries = json.load(handle)
+    for entry in reversed(entries):
+        point = entry.get("lp_solvers", {}).get("mcperf_8x8x60_q90", {})
+        if "us_per_pivot" in point:
+            return float(point["us_per_pivot"])
+    raise SystemExit(
+        f"{json_path}: no entry with lp_solvers.mcperf_8x8x60_q90.us_per_pivot"
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path")
+    parser.add_argument("json_path")
+    parser.add_argument("--max-regress", type=float, default=0.25,
+                        help="allowed fractional per-pivot slowdown")
+    args = parser.parse_args()
+
+    measured = measured_us_per_pivot(args.csv_path)
+    baseline = baseline_us_per_pivot(args.json_path)
+    limit = baseline * (1.0 + args.max_regress)
+    verdict = "OK" if measured <= limit else "REGRESSION"
+    print(f"bench-smoke q90: measured {measured:.1f} us/pivot, "
+          f"baseline {baseline:.1f}, limit {limit:.1f} -> {verdict}")
+    return 0 if measured <= limit else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

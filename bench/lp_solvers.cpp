@@ -77,6 +77,7 @@ void run_point(::benchmark::State& state, const lp::LpModel& model,
   // (reset before each path) rather than the LpSolution fields, so these
   // columns agree with any trace of the same solve by construction.
   double ft_s = 0, ft_obj = 0, pf_s = 0, dense_s = 0, pdhg_s = 0;
+  double ft_sparse_frac = 0, ft_compressions = 0;
   std::size_t ft_it = 0, pf_it = 0, re_cold_it = 0, re_warm_it = 0;
   lp::LpSolution pdhg;
   for (auto _ : state) {
@@ -88,6 +89,15 @@ void run_point(::benchmark::State& state, const lp::LpModel& model,
       ft_obj = exact.objective;
       ft_it = static_cast<std::size_t>(
           bench::metric_sum("simplex.iterations"));
+      // Kernel split for the same solve (read before the next reset): the
+      // fraction of FTRAN/BTRAN solves that took the hyper-sparse path,
+      // and how many times the R-file was folded back into U in place.
+      const double sparse = bench::metric_sum("simplex.ftran.sparse") +
+                            bench::metric_sum("simplex.btran.sparse");
+      const double dense = bench::metric_sum("simplex.ftran.dense") +
+                           bench::metric_sum("simplex.btran.dense");
+      ft_sparse_frac = sparse + dense > 0 ? sparse / (sparse + dense) : 0;
+      ft_compressions = bench::metric_sum("lu.rfile.compressions");
 
       // Warm-started re-optimization: fix a slice of variables to a bound
       // (the planner-phase-2 / per-class re-solve perturbation shape) and
@@ -147,6 +157,14 @@ void run_point(::benchmark::State& state, const lp::LpModel& model,
       .cell(static_cast<std::int64_t>(model.row_count()))
       .cell(paths.ft ? format_number(ft_s, 3) : std::string("-"))
       .cell(paths.ft ? std::to_string(ft_it) : std::string("-"))
+      .cell(paths.ft && ft_it > 0
+                ? format_number(ft_s / static_cast<double>(ft_it) * 1e6, 1)
+                : std::string("-"))
+      .cell(paths.ft ? format_number(100 * ft_sparse_frac, 1)
+                     : std::string("-"))
+      .cell(paths.ft ? std::to_string(
+                           static_cast<std::size_t>(ft_compressions))
+                     : std::string("-"))
       .cell(paths.ft ? format_number(ft_obj, 3) : std::string("-"))
       .cell(paths.pf ? format_number(pf_s, 3) : std::string("-"))
       .cell(paths.pf ? std::to_string(pf_it) : std::string("-"))
@@ -160,9 +178,9 @@ void run_point(::benchmark::State& state, const lp::LpModel& model,
 }
 
 void register_points() {
-  bench::results({"vars", "rows", "ft-s", "ft-it", "ft-obj", "pf-s", "pf-it",
-                  "dense-s", "pdhg-s", "pdhg-bound", "rel-gap", "re-cold-it",
-                  "re-warm-it"});
+  bench::results({"vars", "rows", "ft-s", "ft-it", "ft-us/it", "sparse%",
+                  "rfc", "ft-obj", "pf-s", "pf-it", "dense-s", "pdhg-s",
+                  "pdhg-bound", "rel-gap", "re-cold-it", "re-warm-it"});
   struct Size {
     std::size_t vars, rows;
     Paths paths;

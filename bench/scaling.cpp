@@ -19,8 +19,8 @@ struct Size {
 
 void register_points() {
   bench::results({"nodes", "intervals", "objects", "lp-rows", "lp-vars",
-                  "solver", "solver-iters", "bound-seconds", "round-ups",
-                  "gap", "re-cold-it", "re-warm-it"});
+                  "solver", "solver-iters", "bound-seconds", "us/it",
+                  "round-ups", "gap", "re-cold-it", "re-warm-it"});
   const std::vector<Size> sizes{
       {6, 6, 30, 6'000},     {8, 8, 40, 12'000},  {8, 8, 60, 16'000},
       {12, 12, 120, 36'000}, {12, 12, 240, 72'000}, {16, 12, 240, 96'000},
@@ -92,6 +92,9 @@ void register_points() {
               .cell(exact ? "simplex-ft" : "pdhg")
               .cell(static_cast<std::int64_t>(solver_it))
               .cell(bound_s, 2)
+              .cell(solver_it > 0
+                        ? format_number(bound_s / solver_it * 1e6, 1)
+                        : std::string("-"))
               .cell(static_cast<std::int64_t>(round_ups))
               .cell(detail.bound.rounded_feasible
                         ? format_number(detail.bound.gap, 3)
@@ -155,6 +158,11 @@ void register_points() {
               .cell(warm ? "phase2-warm" : "phase2-cold")
               .cell(static_cast<std::int64_t>(warm ? warm_it : cold_it))
               .cell(warm ? warm_s : cold_s, 2)
+              .cell((warm ? warm_it : cold_it) > 0
+                        ? format_number((warm ? warm_s : cold_s) /
+                                            (warm ? warm_it : cold_it) * 1e6,
+                                        1)
+                        : std::string("-"))
               .cell("-")
               .cell("-")
               .cell("-")

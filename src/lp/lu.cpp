@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <queue>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "util/check.h"
@@ -23,6 +25,28 @@ constexpr std::size_t kSearchCap = 16;
 /// while tolerating the poor scaling adversarial near-singular bases show.
 constexpr double kFtRelativeStability = 1e-10;
 
+/// Fill cap for compress_rfile: abort (and let the caller refactorize)
+/// when the staged working rows grow past this multiple of the dimension —
+/// a fold that dense is cheaper to refactorize away than to keep.
+constexpr std::size_t kCompressFillFactor = 8;
+
+/// x[e.index] -= e.value * z over an entry list — the scatter kernel every
+/// dense triangular pass spends its time in. 4-way unrolled: the indices
+/// within one list are distinct, so unrolling only widens the independent-
+/// op window for the CPU; each element still performs the identical
+/// multiply-subtract, so results are bit-for-bit the plain loop's.
+inline void scatter_axpy(double* x, const BasisLu::Entry* e, std::size_t n,
+                         double z) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    x[e[i].index] -= e[i].value * z;
+    x[e[i + 1].index] -= e[i + 1].value * z;
+    x[e[i + 2].index] -= e[i + 2].value * z;
+    x[e[i + 3].index] -= e[i + 3].value * z;
+  }
+  for (; i < n; ++i) x[e[i].index] -= e[i].value * z;
+}
+
 }  // namespace
 
 bool BasisLu::factorize(std::size_t m,
@@ -39,6 +63,7 @@ bool BasisLu::factorize(std::size_t m,
   update_count_ = 0;
   r_nonzeros_ = 0;
   spike_valid_ = false;
+  spike_pattern_valid_ = false;
 
   // Working copy of the active submatrix: rows as (col, value) lists —
   // values live here — and per-column lists of candidate rows that may be
@@ -68,6 +93,18 @@ bool BasisLu::factorize(std::size_t m,
   std::vector<std::uint32_t> touched;
   std::vector<std::uint32_t> buckets;      // columns ordered by active count
   std::vector<std::uint32_t> bucket_head;  // count -> start offset
+  std::vector<std::uint32_t> cursor;
+  // Active (row, value) pairs of the candidate column under examination
+  // and of the winning column so far: the compaction scan already finds
+  // every value, so the merit loop and the elimination reuse them instead
+  // of re-scanning the rows.
+  std::vector<Entry> cand_vals, best_vals;
+  // col_rows lists can hold duplicate row indices: exact cancellation drops
+  // a row's entry without editing col_rows, and later fill-in re-appends the
+  // row. The old elimination skipped the duplicate because its value_at
+  // re-lookup failed after the first elimination removed the pivot-column
+  // entry; with cached values that recheck is gone, so stamp rows instead.
+  std::vector<std::uint8_t> row_done(m, 0);
 
   // Value of column c in active row r, scanning the row (entries are few).
   const auto value_at = [&](std::uint32_t r, std::uint32_t c,
@@ -96,51 +133,51 @@ bool BasisLu::factorize(std::size_t m,
     for (std::size_t i = 1; i < bucket_head.size(); ++i)
       bucket_head[i] += bucket_head[i - 1];
     buckets.resize(active_cols);
-    {
-      std::vector<std::uint32_t> cursor(bucket_head.begin(),
-                                        bucket_head.end() - 1);
-      for (std::size_t c = 0; c < m; ++c)
-        if (col_active[c])
-          buckets[cursor[col_count[c]]++] = static_cast<std::uint32_t>(c);
-    }
+    cursor.assign(bucket_head.begin(), bucket_head.end() - 1);
+    for (std::size_t c = 0; c < m; ++c)
+      if (col_active[c])
+        buckets[cursor[col_count[c]]++] = static_cast<std::uint32_t>(c);
 
     std::uint32_t best_row = 0, best_col = 0;
     double best_value = 0, best_abs = 0;
     double best_merit = std::numeric_limits<double>::infinity();
     bool found = false;
     std::size_t examined = 0;
+    best_vals.clear();
     for (const std::uint32_t c : buckets) {
       // Compact the column's row list while gathering active values.
       auto& list = col_rows[c];
       std::size_t out = 0;
       double colmax = 0;
+      cand_vals.clear();
       for (const std::uint32_t r : list) {
         if (!row_active[r]) continue;
         double v;
         if (!value_at(r, c, v)) continue;  // stale entry
         list[out++] = r;
+        cand_vals.push_back({r, v});
         colmax = std::max(colmax, std::abs(v));
       }
       list.resize(out);
       col_count[c] = static_cast<std::uint32_t>(out);
       if (colmax <= abs_tol) continue;  // numerically nil column
       ++examined;
-      for (const std::uint32_t r : list) {
-        double v = 0;
-        value_at(r, c, v);
+      for (const Entry& rv : cand_vals) {
+        const double v = rv.value;
         if (std::abs(v) < pivot_threshold * colmax) continue;
-        const double merit = static_cast<double>(row_count[r] - 1) *
+        const double merit = static_cast<double>(row_count[rv.index] - 1) *
                              static_cast<double>(col_count[c] - 1);
         if (!found || merit < best_merit ||
             (merit == best_merit && std::abs(v) > best_abs)) {
           found = true;
           best_merit = merit;
-          best_row = r;
+          best_row = rv.index;
           best_col = c;
           best_value = v;
           best_abs = std::abs(v);
         }
       }
+      if (found && best_col == c) best_vals = cand_vals;
       if (found && (best_merit == 0 || examined >= kSearchCap)) break;
     }
     if (!found) return false;  // numerically singular
@@ -158,11 +195,15 @@ bool BasisLu::factorize(std::size_t m,
       if (e.index != best_col) st.u_entries.push_back(e);
     }
 
-    for (const std::uint32_t r : col_rows[best_col]) {
-      if (!row_active[r]) continue;
-      double pivot_col_value;
-      if (!value_at(r, best_col, pivot_col_value)) continue;
-      const double mult = pivot_col_value / best_value;
+    // best_vals holds exactly the active rows of the pivot column in
+    // col_rows[best_col] order (the compaction scan built both), with
+    // their values — the elimination consumes it instead of re-scanning
+    // each row. The pivot row itself was deactivated just above.
+    for (const Entry& rv : best_vals) {
+      const std::uint32_t r = rv.index;
+      if (!row_active[r] || row_done[r]) continue;
+      row_done[r] = 1;
+      const double mult = rv.value / best_value;
       st.l_entries.push_back({r, mult});
 
       // rows[r] -= mult * pivot_row, dropping the pivot-column entry.
@@ -197,6 +238,7 @@ bool BasisLu::factorize(std::size_t m,
       }
       row_count[r] = static_cast<std::uint32_t>(row.size());
     }
+    for (const Entry& rv : best_vals) row_done[rv.index] = 0;
     steps_.push_back(std::move(st));
   }
 
@@ -222,13 +264,22 @@ void BasisLu::build_ft_structure() {
   u_row_.resize(m);
   u_pos_.resize(m);
   u_rows_.assign(m, {});
-  next_.resize(m);
-  prev_.resize(m);
+  pivot_order_.resize(m);
+  order_pos_.resize(m);
   slot_of_pos_.resize(m);
   slot_of_row_.resize(m);
   col_slots_.assign(m, {});
+  order_key_.resize(m);
+  row_l_steps_.assign(m, {});
   u_nonzeros_ = 0;
   l_nonzeros_ = 0;
+  l_off_.resize(m + 1);
+  step_row_.resize(m);
+  l_pool_.clear();
+  std::size_t l_total = 0;
+  for (const Step& st : steps_) l_total += st.l_entries.size();
+  l_pool_.reserve(l_total);
+  l_off_[0] = 0;
   for (std::size_t t = 0; t < m; ++t) {
     Step& st = steps_[t];
     u_pivot_[t] = st.pivot;
@@ -242,47 +293,62 @@ void BasisLu::build_ft_structure() {
       col_slots_[e.index].push_back(static_cast<std::uint32_t>(t));
     u_nonzeros_ += u_rows_[t].size();
     l_nonzeros_ += st.l_entries.size();
-    next_[t] = static_cast<std::uint32_t>(t + 1);
-    prev_[t] = t == 0 ? kNoSlot : static_cast<std::uint32_t>(t - 1);
+    order_key_[t] = t;
+    step_row_[t] = st.pivot_row;
+    l_pool_.insert(l_pool_.end(), st.l_entries.begin(), st.l_entries.end());
+    l_off_[t + 1] = l_pool_.size();
+    // Every FT-mode read goes through the pool from here on; releasing
+    // the per-step vector halves the L footprint.
+    st.l_entries = {};
+    for (std::size_t i = l_off_[t]; i < l_off_[t + 1]; ++i)
+      row_l_steps_[l_pool_[i].index].push_back(static_cast<std::uint32_t>(t));
+    pivot_order_[t] = static_cast<std::uint32_t>(t);
+    order_pos_[t] = static_cast<std::uint32_t>(t);
   }
-  if (m == 0) {
-    head_ = tail_ = kNoSlot;
-  } else {
-    next_[m - 1] = kNoSlot;
-    head_ = 0;
-    tail_ = static_cast<std::uint32_t>(m - 1);
-  }
+  next_order_key_ = m;
+  reta_pool_.clear();
 }
 
 void BasisLu::ftran(std::vector<double>& x) const {
   WANPLACE_REQUIRE(x.size() == m_, "ftran dimension mismatch");
-  // Forward pass through L.
-  for (const Step& st : steps_) {
-    const double z = x[st.pivot_row];
-    if (z == 0) continue;
-    for (const Entry& e : st.l_entries) x[e.index] -= e.value * z;
-  }
   if (mode_ == UpdateMode::ForrestTomlin) {
+    // Forward pass through L, streaming the pooled arena.
+    const std::size_t nsteps = steps_.size();
+    for (std::size_t t = 0; t < nsteps; ++t) {
+      const double z = x[step_row_[t]];
+      if (z == 0) continue;
+      scatter_axpy(x.data(), l_begin(t), l_len(t), z);
+    }
     // R-file, oldest first: each row eta folds one retired U row into the
     // rows it was eliminated against.
-    for (const RowEta& eta : retas_) {
+    for (const RetaSpan& eta : retas_) {
       double acc = 0;
-      for (const Entry& e : eta.entries) acc += e.value * x[e.index];
+      for (std::uint32_t i = eta.begin; i < eta.end; ++i)
+        acc += reta_pool_[i].value * x[reta_pool_[i].index];
       x[eta.row] -= acc;
     }
-    // Stash the spike: a subsequent update() replaces a column of U with
-    // exactly this partial result.
-    spike_ = x;
+    // Stash the spike by swap — a subsequent update() replaces a column of
+    // U with exactly this partial result, the U pass below reads it in
+    // place, and x is rebuilt from scratch_ regardless.
+    spike_.swap(x);
     spike_valid_ = true;
+    spike_pattern_valid_ = false;
     // Back-substitution through U in reverse pivot order.
     scratch_.assign(m_, 0.0);
-    for (std::uint32_t s = tail_; s != kNoSlot; s = prev_[s]) {
-      double val = x[u_row_[s]];
+    for (std::size_t i = m_; i-- > 0;) {
+      const std::uint32_t s = pivot_order_[i];
+      double val = spike_[u_row_[s]];
       for (const Entry& e : u_rows_[s]) val -= e.value * scratch_[e.index];
       scratch_[u_pos_[s]] = val / u_pivot_[s];
     }
     x.swap(scratch_);
     return;
+  }
+  // Forward pass through L.
+  for (const Step& st : steps_) {
+    const double z = x[st.pivot_row];
+    if (z == 0) continue;
+    scatter_axpy(x.data(), st.l_entries.data(), st.l_entries.size(), z);
   }
   // Backward substitution through U into position space.
   scratch_.assign(m_, 0.0);
@@ -298,7 +364,7 @@ void BasisLu::ftran(std::vector<double>& x) const {
     const double xp = x[eta.position] / eta.pivot;
     x[eta.position] = xp;
     if (xp == 0) continue;
-    for (const Entry& e : eta.entries) x[e.index] -= e.value * xp;
+    scatter_axpy(x.data(), eta.entries.data(), eta.entries.size(), xp);
   }
 }
 
@@ -308,24 +374,28 @@ void BasisLu::btran(std::vector<double>& x) const {
     // Forward substitution through U^T in pivot order (row-stored U
     // applied by scatter), result mapped to constraint rows.
     scratch_.assign(m_, 0.0);
-    for (std::uint32_t s = head_; s != kNoSlot; s = next_[s]) {
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::uint32_t s = pivot_order_[i];
       const double vt = x[u_pos_[s]] / u_pivot_[s];
       scratch_[u_row_[s]] = vt;
       if (vt == 0) continue;
-      for (const Entry& e : u_rows_[s]) x[e.index] -= e.value * vt;
+      scatter_axpy(x.data(), u_rows_[s].data(), u_rows_[s].size(), vt);
     }
     // R-file transposed, newest first.
     for (auto it = retas_.rbegin(); it != retas_.rend(); ++it) {
       const double z = scratch_[it->row];
       if (z == 0) continue;
-      for (const Entry& e : it->entries) scratch_[e.index] -= e.value * z;
+      scatter_axpy(scratch_.data(), reta_pool_.data() + it->begin,
+                   it->end - it->begin, z);
     }
-    // L^T, reverse elimination order.
+    // L^T, reverse elimination order, streaming the pooled arena.
     for (std::size_t t = steps_.size(); t-- > 0;) {
-      const Step& st = steps_[t];
-      double acc = scratch_[st.pivot_row];
-      for (const Entry& e : st.l_entries) acc -= e.value * scratch_[e.index];
-      scratch_[st.pivot_row] = acc;
+      double acc = scratch_[step_row_[t]];
+      const Entry* le = l_begin(t);
+      const std::size_t ln = l_len(t);
+      for (std::size_t i = 0; i < ln; ++i)
+        acc -= le[i].value * scratch_[le[i].index];
+      scratch_[step_row_[t]] = acc;
     }
     x.swap(scratch_);
     return;
@@ -343,7 +413,7 @@ void BasisLu::btran(std::vector<double>& x) const {
     const double vt = x[st.pivot_col] / st.pivot;
     scratch_[t] = vt;
     if (vt == 0) continue;
-    for (const Entry& e : st.u_entries) x[e.index] -= e.value * vt;
+    scatter_axpy(x.data(), st.u_entries.data(), st.u_entries.size(), vt);
   }
   // Map the permuted solution back to constraint rows and apply L^T.
   scratch2_.assign(m_, 0.0);
@@ -391,24 +461,62 @@ bool BasisLu::update_forrest_tomlin(std::size_t position, double min_pivot) {
   const std::uint32_t t = slot_of_pos_[position];
   const std::uint32_t target_row = u_row_[t];
 
-  // --- Dry run: eliminate the retired U row t against all later rows in
-  // pivot order, collecting the multipliers and the new diagonal, without
-  // mutating anything. On failure the factorization stays valid.
+  // --- Dry run: eliminate the retired U row t against the later rows in
+  // pivot order that its sparsity actually reaches, collecting the
+  // multipliers and the new diagonal, without mutating anything. The
+  // reachable slots pop off a min-heap over the strictly increasing order
+  // keys, i.e. in exactly the ascending pivot order the full later-slot
+  // walk would visit them, and unreached slots hold exact zeros that walk
+  // would skip — so multipliers, eta entry order, and the diagonal
+  // accumulate bit-for-bit identically. On failure the factorization
+  // stays valid.
   scratch_.assign(m_, 0.0);
-  for (const Entry& e : u_rows_[t]) scratch_[e.index] = e.value;
+  ensure_sparse_scratch();
+  ++epoch_;
+  worklist_.clear();
+  const auto later_first = [this](std::uint32_t a, std::uint32_t b) {
+    return order_key_[a] > order_key_[b];  // min-heap over order keys
+  };
+  for (const Entry& e : u_rows_[t]) {
+    scratch_[e.index] = e.value;
+    const std::uint32_t s = slot_of_pos_[e.index];
+    if (stamp_[s] != epoch_) {
+      stamp_[s] = epoch_;
+      worklist_.push_back(s);
+    }
+  }
+  std::make_heap(worklist_.begin(), worklist_.end(), later_first);
   double diag = spike_[target_row];
   double spike_max = std::abs(diag);
-  for (std::size_t r = 0; r < m_; ++r)
-    spike_max = std::max(spike_max, std::abs(spike_[r]));
+  if (spike_pattern_valid_) {
+    // spike_ is zero outside its pattern, so the max over the pattern is
+    // the max over all m rows.
+    for (const std::uint32_t r : spike_pattern_)
+      spike_max = std::max(spike_max, std::abs(spike_[r]));
+  } else {
+    for (std::size_t r = 0; r < m_; ++r)
+      spike_max = std::max(spike_max, std::abs(spike_[r]));
+  }
   RowEta eta;
   eta.row = target_row;
-  for (std::uint32_t s = next_[t]; s != kNoSlot; s = next_[s]) {
+  while (!worklist_.empty()) {
+    std::pop_heap(worklist_.begin(), worklist_.end(), later_first);
+    const std::uint32_t s = worklist_.back();
+    worklist_.pop_back();
     const double v = scratch_[u_pos_[s]];
-    if (v == 0) continue;
+    if (v == 0) continue;  // exact cancellation
     scratch_[u_pos_[s]] = 0;
     const double mult = v / u_pivot_[s];
     eta.entries.push_back({u_row_[s], mult});
-    for (const Entry& e : u_rows_[s]) scratch_[e.index] -= mult * e.value;
+    for (const Entry& e : u_rows_[s]) {
+      scratch_[e.index] -= mult * e.value;
+      const std::uint32_t s2 = slot_of_pos_[e.index];
+      if (stamp_[s2] != epoch_) {
+        stamp_[s2] = epoch_;
+        worklist_.push_back(s2);
+        std::push_heap(worklist_.begin(), worklist_.end(), later_first);
+      }
+    }
     diag -= mult * spike_[u_row_[s]];
   }
   spike_valid_ = false;
@@ -436,28 +544,38 @@ bool BasisLu::update_forrest_tomlin(std::size_t position, double min_pivot) {
   u_nonzeros_ -= u_rows_[t].size();
   u_rows_[t].clear();
   std::size_t spike_nnz = 0;
-  for (std::size_t r = 0; r < m_; ++r) {
+  // Splice the spike in as the new column. Ascending row order matters:
+  // the entry push order into u_rows_ fixes the summation order of every
+  // later dot against those rows, so the sparse stash must splice in the
+  // same order the dense 0..m-1 scan would.
+  const auto splice = [&](std::uint32_t r) {
     const double v = spike_[r];
-    if (v == 0 || r == target_row) continue;
+    if (v == 0 || r == target_row) return;
     const std::uint32_t s = slot_of_row_[r];
     u_rows_[s].push_back({static_cast<std::uint32_t>(position), v});
     col_slots_[position].push_back(s);
     ++u_nonzeros_;
     ++spike_nnz;
+  };
+  if (spike_pattern_valid_) {
+    std::sort(spike_pattern_.begin(), spike_pattern_.end());
+    for (const std::uint32_t r : spike_pattern_) splice(r);
+  } else {
+    for (std::size_t r = 0; r < m_; ++r)
+      splice(static_cast<std::uint32_t>(r));
   }
   u_pivot_[t] = diag;
-  if (t != tail_) {
-    // Unlink t …
-    if (prev_[t] != kNoSlot)
-      next_[prev_[t]] = next_[t];
-    else
-      head_ = next_[t];
-    if (next_[t] != kNoSlot) prev_[next_[t]] = prev_[t];
-    // … and append at the tail.
-    next_[tail_] = t;
-    prev_[t] = tail_;
-    next_[t] = kNoSlot;
-    tail_ = t;
+  const std::uint32_t last = static_cast<std::uint32_t>(m_ - 1);
+  if (order_pos_[t] != last) {
+    // Slide the later slots down one place and append t at the end.
+    const std::uint32_t from = order_pos_[t];
+    std::copy(pivot_order_.begin() + from + 1, pivot_order_.end(),
+              pivot_order_.begin() + from);
+    pivot_order_[last] = t;
+    for (std::uint32_t i = from; i < last; ++i)
+      order_pos_[pivot_order_[i]] = i;
+    order_pos_[t] = last;
+    order_key_[t] = next_order_key_++;
   }
   if (obs::metrics_enabled()) {
     obs::histogram_record("lu.spike_len", static_cast<double>(spike_nnz));
@@ -466,9 +584,523 @@ bool BasisLu::update_forrest_tomlin(std::size_t position, double min_pivot) {
   }
   if (!eta.entries.empty()) {
     r_nonzeros_ += eta.entries.size();
-    retas_.push_back(std::move(eta));
+    RetaSpan span;
+    span.row = eta.row;
+    span.begin = static_cast<std::uint32_t>(reta_pool_.size());
+    reta_pool_.insert(reta_pool_.end(), eta.entries.begin(),
+                      eta.entries.end());
+    span.end = static_cast<std::uint32_t>(reta_pool_.size());
+    retas_.push_back(span);
   }
   ++update_count_;
+  return true;
+}
+
+void BasisLu::ensure_sparse_scratch() const {
+  if (stamp_.size() != m_) {
+    stamp_.assign(m_, 0);
+    stamp2_.assign(m_, 0);
+    result_.assign(m_, 0.0);
+    epoch_ = 0;
+  }
+}
+
+void BasisLu::stash_spike_sparse(
+    const std::vector<double>& x,
+    const std::vector<std::uint32_t>& pattern) const {
+  if (spike_pattern_valid_ && spike_.size() == m_) {
+    for (const std::uint32_t r : spike_pattern_) spike_[r] = 0.0;
+  } else {
+    spike_.assign(m_, 0.0);
+  }
+  spike_pattern_.assign(pattern.begin(), pattern.end());
+  for (const std::uint32_t r : spike_pattern_) spike_[r] = x[r];
+  spike_pattern_valid_ = true;
+  spike_valid_ = true;
+}
+
+bool BasisLu::ftran_sparse(std::vector<double>& x,
+                           std::vector<std::uint32_t>& pattern,
+                           double density_threshold) const {
+  WANPLACE_REQUIRE(x.size() == m_, "ftran dimension mismatch");
+  if (mode_ != UpdateMode::ForrestTomlin || m_ == 0) {
+    ftran(x);
+    return false;
+  }
+  const std::size_t cap = static_cast<std::size_t>(
+      density_threshold * static_cast<double>(m_));
+  if (pattern.size() > cap) {
+    ftran(x);
+    return false;
+  }
+  ensure_sparse_scratch();
+
+  // --- L pass. Symbolic: each constraint row is retired by exactly one
+  // elimination step, and a step can only produce nonzeros in the rows its
+  // l_entries scatter into — the reachability closure over that graph is a
+  // superset of every row the dense loop would touch with a nonzero z.
+  ++epoch_;
+  for (const std::uint32_t r : pattern) stamp_[r] = epoch_;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const std::uint32_t t = slot_of_row_[pattern[i]];
+    const Entry* le = l_begin(t);
+    const std::size_t ln = l_len(t);
+    for (std::size_t k = 0; k < ln; ++k) {
+      if (stamp_[le[k].index] != epoch_) {
+        stamp_[le[k].index] = epoch_;
+        pattern.push_back(le[k].index);
+      }
+    }
+    if (pattern.size() > cap) {
+      // Nothing mutated yet: the whole solve falls back to the dense path.
+      ftran(x);
+      return false;
+    }
+  }
+  // Numeric: the dense loop's arithmetic over just the reachable steps, in
+  // the same ascending step order (the z == 0 skip included).
+  active_.clear();
+  for (const std::uint32_t r : pattern) active_.push_back(slot_of_row_[r]);
+  std::sort(active_.begin(), active_.end());
+  for (const std::uint32_t t : active_) {
+    const double z = x[step_row_[t]];
+    if (z == 0) continue;
+    scatter_axpy(x.data(), l_begin(t), l_len(t), z);
+  }
+
+  // --- R pass, oldest first. An eta whose entries all sit outside the
+  // pattern accumulates an exact zero in the dense loop; skipping it (and
+  // zero accumulations in general) can only change signs of zeros.
+  for (const RetaSpan& eta : retas_) {
+    bool hit = false;
+    for (std::uint32_t i = eta.begin; i < eta.end; ++i) {
+      if (stamp_[reta_pool_[i].index] == epoch_) {
+        hit = true;
+        break;
+      }
+    }
+    if (!hit) continue;
+    double acc = 0;
+    for (std::uint32_t i = eta.begin; i < eta.end; ++i)
+      acc += reta_pool_[i].value * x[reta_pool_[i].index];
+    if (acc == 0) continue;
+    x[eta.row] -= acc;
+    if (stamp_[eta.row] != epoch_) {
+      stamp_[eta.row] = epoch_;
+      pattern.push_back(eta.row);
+    }
+  }
+
+  // --- Spike stash + U back-substitution. Symbolic: slot s can compute a
+  // nonzero only when its row's RHS is nonzero or some already-active slot
+  // feeds the positions its row references; readers of position p are the
+  // col_slots_[p] occupancy list (a lazily stale superset — false
+  // activations compute exact zeros).
+  bool dense_u = pattern.size() > cap;
+  if (!dense_u) {
+    stash_spike_sparse(x, pattern);
+    ++epoch_;
+    active_.clear();
+    for (const std::uint32_t r : pattern) {
+      const std::uint32_t s = slot_of_row_[r];
+      if (stamp_[s] != epoch_) {
+        stamp_[s] = epoch_;
+        active_.push_back(s);
+      }
+    }
+    for (std::size_t i = 0; i < active_.size() && !dense_u; ++i) {
+      for (const std::uint32_t s2 : col_slots_[u_pos_[active_[i]]]) {
+        if (stamp_[s2] != epoch_) {
+          stamp_[s2] = epoch_;
+          active_.push_back(s2);
+        }
+      }
+      dense_u = active_.size() > cap;
+    }
+  } else {
+    // Stash by swap; the dense U pass below reads spike_ in place.
+    spike_.swap(x);
+    spike_pattern_valid_ = false;
+  }
+  if (dense_u) {
+    if (spike_pattern_valid_) {
+      // The closure (not the stash) crossed the threshold: re-stash dense.
+      // x is still the full partial result here (the sparse stash copied,
+      // it did not consume).
+      spike_ = x;
+      spike_pattern_valid_ = false;
+    }
+    spike_valid_ = true;
+    scratch_.assign(m_, 0.0);
+    for (std::size_t i = m_; i-- > 0;) {
+      const std::uint32_t s = pivot_order_[i];
+      double val = spike_[u_row_[s]];
+      for (const Entry& e : u_rows_[s]) val -= e.value * scratch_[e.index];
+      scratch_[u_pos_[s]] = val / u_pivot_[s];
+    }
+    x.swap(scratch_);
+    return false;
+  }
+  // Numeric: reverse pivot order over the active slots only. Entries whose
+  // producing slot is inactive read an exact zero from result_, just as
+  // the dense loop reads the zero it computed into scratch_.
+  std::sort(active_.begin(), active_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return order_key_[a] > order_key_[b];
+            });
+  for (const std::uint32_t s : active_) {
+    double val = x[u_row_[s]];
+    for (const Entry& e : u_rows_[s]) val -= e.value * result_[e.index];
+    result_[u_pos_[s]] = val / u_pivot_[s];
+  }
+  // Hand the result back through x: clear the consumed row-space values
+  // first (row and position index ranges overlap), then move the position-
+  // space result out of result_, restoring its all-zero invariant.
+  for (const std::uint32_t r : pattern) x[r] = 0.0;
+  pattern.clear();
+  for (const std::uint32_t s : active_) {
+    const std::uint32_t p = u_pos_[s];
+    x[p] = result_[p];
+    result_[p] = 0.0;
+    pattern.push_back(p);
+  }
+  return true;
+}
+
+bool BasisLu::btran_sparse(std::vector<double>& x,
+                           std::vector<std::uint32_t>& pattern,
+                           double density_threshold) const {
+  WANPLACE_REQUIRE(x.size() == m_, "btran dimension mismatch");
+  if (mode_ != UpdateMode::ForrestTomlin || m_ == 0) {
+    btran(x);
+    return false;
+  }
+  const std::size_t cap = static_cast<std::size_t>(
+      density_threshold * static_cast<double>(m_));
+  if (pattern.size() > cap) {
+    btran(x);
+    return false;
+  }
+  ensure_sparse_scratch();
+
+  // --- U^T pass. Symbolic closure in position space: the slot owning an
+  // active position scatters into the positions its row references.
+  ++epoch_;
+  worklist_.assign(pattern.begin(), pattern.end());
+  for (const std::uint32_t p : pattern) stamp_[p] = epoch_;
+  active_.clear();
+  for (std::size_t i = 0; i < worklist_.size(); ++i) {
+    const std::uint32_t s = slot_of_pos_[worklist_[i]];
+    active_.push_back(s);
+    for (const Entry& e : u_rows_[s]) {
+      if (stamp_[e.index] != epoch_) {
+        stamp_[e.index] = epoch_;
+        worklist_.push_back(e.index);
+      }
+    }
+    if (worklist_.size() > cap) {
+      btran(x);  // nothing mutated yet
+      return false;
+    }
+  }
+  // Numeric: ascending pivot order over the active slots; identical
+  // divide/scatter arithmetic, results landing in the zero-background
+  // result_ in row space.
+  std::sort(active_.begin(), active_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return order_key_[a] < order_key_[b];
+            });
+  for (const std::uint32_t s : active_) {
+    const double vt = x[u_pos_[s]] / u_pivot_[s];
+    result_[u_row_[s]] = vt;
+    if (vt == 0) continue;
+    scatter_axpy(x.data(), u_rows_[s].data(), u_rows_[s].size(), vt);
+  }
+  // x is consumed; return it to all-zero before the row-space result comes
+  // back through it.
+  for (const std::uint32_t p : worklist_) x[p] = 0.0;
+
+  // --- R^T pass, newest first. A row outside the pattern holds an exact
+  // zero, which the dense loop's own z == 0 check would skip too.
+  ++epoch_;
+  pattern.clear();
+  for (const std::uint32_t s : active_) {
+    const std::uint32_t r = u_row_[s];
+    stamp_[r] = epoch_;
+    pattern.push_back(r);
+  }
+  for (auto it = retas_.rbegin(); it != retas_.rend(); ++it) {
+    if (stamp_[it->row] != epoch_) continue;
+    const double z = result_[it->row];
+    if (z == 0) continue;
+    for (std::uint32_t i = it->begin; i < it->end; ++i) {
+      const Entry& e = reta_pool_[i];
+      result_[e.index] -= e.value * z;
+      if (stamp_[e.index] != epoch_) {
+        stamp_[e.index] = epoch_;
+        pattern.push_back(e.index);
+      }
+    }
+  }
+
+  // --- L^T pass. Symbolic: a step participates when any of the rows its
+  // l_entries read is active, and then its pivot row becomes active.
+  active_.clear();
+  bool dense_l = pattern.size() > cap;
+  for (std::size_t i = 0; i < pattern.size() && !dense_l; ++i) {
+    for (const std::uint32_t t : row_l_steps_[pattern[i]]) {
+      if (stamp2_[t] != epoch_) {
+        stamp2_[t] = epoch_;
+        active_.push_back(t);
+        const std::uint32_t pr = step_row_[t];
+        if (stamp_[pr] != epoch_) {
+          stamp_[pr] = epoch_;
+          pattern.push_back(pr);
+        }
+      }
+    }
+    dense_l = pattern.size() > cap;
+  }
+  if (dense_l) {
+    // result_ is a valid dense row-space vector: finish with the dense
+    // L^T sweep, then swap it out through x (all-zero by now, so the swap
+    // also restores result_'s invariant).
+    for (std::size_t t = steps_.size(); t-- > 0;) {
+      double acc = result_[step_row_[t]];
+      const Entry* le = l_begin(t);
+      const std::size_t ln = l_len(t);
+      for (std::size_t i = 0; i < ln; ++i)
+        acc -= le[i].value * result_[le[i].index];
+      result_[step_row_[t]] = acc;
+    }
+    x.swap(result_);
+    return false;
+  }
+  // Numeric: descending step order over the active steps. Skipped steps
+  // subtract only exact-zero terms in the dense loop.
+  std::sort(active_.begin(), active_.end(), std::greater<std::uint32_t>());
+  for (const std::uint32_t t : active_) {
+    double acc = result_[step_row_[t]];
+    const Entry* le = l_begin(t);
+    const std::size_t ln = l_len(t);
+    for (std::size_t i = 0; i < ln; ++i)
+      acc -= le[i].value * result_[le[i].index];
+    result_[step_row_[t]] = acc;
+  }
+  for (const std::uint32_t r : pattern) {
+    x[r] = result_[r];
+    result_[r] = 0.0;
+  }
+  return true;
+}
+
+bool BasisLu::compress_rfile(double min_pivot) {
+  if (mode_ != UpdateMode::ForrestTomlin || retas_.empty()) return true;
+  const std::size_t entry_cap = kCompressFillFactor * m_ + 64;
+
+  // --- Stage 1: fold the R-file into U, newest eta first. With
+  // B = L E_1^{-1} ... E_k^{-1} U and E^{-1} = I + e_row v^T, the folded
+  // factor is U_fold = E_1^{-1}(...(E_k^{-1} U)) — row by row:
+  // row(eta.row) += sum_j eta.value_j * row(eta.index_j), each source read
+  // in its current folded state. Everything is staged per touched slot
+  // (entries include the diagonal at this stage) so an abort leaves the
+  // factorization untouched.
+  std::vector<std::uint32_t> staged_of(m_, kNoSlot);
+  std::vector<std::uint32_t> staged_slots;
+  std::vector<std::vector<Entry>> staged_rows;
+  std::vector<double> staged_diag;
+  std::vector<char> staged_final;  // re-triangularized already?
+  std::size_t staged_entries = 0;
+  const auto stage_index = [&](std::uint32_t s) -> std::uint32_t {
+    if (staged_of[s] == kNoSlot) {
+      staged_of[s] = static_cast<std::uint32_t>(staged_slots.size());
+      staged_slots.push_back(s);
+      std::vector<Entry> row = u_rows_[s];
+      row.push_back({u_pos_[s], u_pivot_[s]});
+      staged_entries += row.size();
+      staged_rows.push_back(std::move(row));
+      staged_diag.push_back(0.0);
+      staged_final.push_back(0);
+    }
+    return staged_of[s];
+  };
+
+  std::vector<double> work(m_, 0.0);
+  std::vector<char> mark(m_, 0);
+  std::vector<std::uint32_t> touched;
+  for (auto it = retas_.rbegin(); it != retas_.rend(); ++it) {
+    const std::uint32_t target_index = stage_index(slot_of_row_[it->row]);
+    touched.clear();
+    for (const Entry& e : staged_rows[target_index]) {
+      work[e.index] = e.value;
+      mark[e.index] = 1;
+      touched.push_back(e.index);
+    }
+    for (std::uint32_t fi = it->begin; fi < it->end; ++fi) {
+      const Entry& fe = reta_pool_[fi];
+      const std::uint32_t ss = slot_of_row_[fe.index];
+      const double f = fe.value;
+      const auto fold_entry = [&](std::uint32_t p, double v) {
+        if (!mark[p]) {
+          mark[p] = 1;
+          work[p] = 0.0;
+          touched.push_back(p);
+        }
+        work[p] += f * v;
+      };
+      if (staged_of[ss] != kNoSlot) {
+        for (const Entry& e : staged_rows[staged_of[ss]])
+          fold_entry(e.index, e.value);
+      } else {
+        for (const Entry& e : u_rows_[ss]) fold_entry(e.index, e.value);
+        fold_entry(u_pos_[ss], u_pivot_[ss]);
+      }
+    }
+    auto& row = staged_rows[target_index];
+    staged_entries -= row.size();
+    row.clear();
+    for (const std::uint32_t p : touched) {
+      if (work[p] != 0) row.push_back({p, work[p]});
+      work[p] = 0.0;
+      mark[p] = 0;
+    }
+    staged_entries += row.size();
+    if (staged_entries > entry_cap) {
+      if (obs::metrics_enabled())
+        obs::counter_add("lu.rfile.compress_failed");
+      return false;
+    }
+  }
+
+  // --- Stage 2: re-triangularize the touched rows in ascending pivot
+  // order. Eliminating against earlier rows always reads their *final*
+  // form — untouched rows are final already, and touched rows earlier in
+  // the order were processed first — so U_fold = F_1 F_2 ... U'' with the
+  // F factors ordered by pivot order ascending, which is exactly the
+  // oldest-first application order the FTRAN R pass expects.
+  std::sort(staged_slots.begin(), staged_slots.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return order_key_[a] < order_key_[b];
+            });
+  std::vector<RowEta> new_etas;
+  std::size_t new_r_nonzeros = 0;
+  using HeapItem = std::pair<std::uint64_t, std::uint32_t>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      heap;
+  std::vector<Entry> new_row;
+  for (const std::uint32_t ts : staged_slots) {
+    const std::uint32_t ti = staged_of[ts];
+    const std::uint64_t my_key = order_key_[ts];
+    touched.clear();
+    for (const Entry& e : staged_rows[ti]) {
+      work[e.index] = e.value;
+      mark[e.index] = 1;
+      touched.push_back(e.index);
+      const std::uint32_t s2 = slot_of_pos_[e.index];
+      if (order_key_[s2] < my_key) heap.push({order_key_[s2], s2});
+    }
+    RowEta eta;
+    eta.row = u_row_[ts];
+    bool overflow = false;
+    while (!heap.empty()) {
+      const std::uint32_t s2 = heap.top().second;
+      heap.pop();
+      const double v = work[u_pos_[s2]];
+      if (v == 0) continue;  // exact cancellation
+      work[u_pos_[s2]] = 0.0;
+      const std::uint32_t si = staged_of[s2];
+      const double d2 = si != kNoSlot && staged_final[si]
+                            ? staged_diag[si]
+                            : u_pivot_[s2];
+      const double mult = v / d2;
+      eta.entries.push_back({u_row_[s2], mult});
+      const auto eliminate = [&](std::uint32_t p, double val) {
+        if (!mark[p]) {
+          mark[p] = 1;
+          work[p] = 0.0;
+          touched.push_back(p);
+          const std::uint32_t s3 = slot_of_pos_[p];
+          if (order_key_[s3] < my_key) heap.push({order_key_[s3], s3});
+        }
+        work[p] -= mult * val;
+      };
+      if (si != kNoSlot && staged_final[si]) {
+        for (const Entry& e : staged_rows[si]) eliminate(e.index, e.value);
+      } else {
+        for (const Entry& e : u_rows_[s2]) eliminate(e.index, e.value);
+      }
+      if (touched.size() > entry_cap) {
+        overflow = true;
+        break;
+      }
+    }
+    if (overflow) {
+      while (!heap.empty()) heap.pop();
+      for (const std::uint32_t p : touched) {
+        work[p] = 0.0;
+        mark[p] = 0;
+      }
+      if (obs::metrics_enabled())
+        obs::counter_add("lu.rfile.compress_failed");
+      return false;
+    }
+    const double new_diag = work[u_pos_[ts]];
+    double row_max = std::abs(new_diag);
+    new_row.clear();
+    for (const std::uint32_t p : touched) {
+      if (p != u_pos_[ts] && work[p] != 0) {
+        new_row.push_back({p, work[p]});
+        row_max = std::max(row_max, std::abs(work[p]));
+      }
+      work[p] = 0.0;
+      mark[p] = 0;
+    }
+    if (!(std::abs(new_diag) > min_pivot) ||
+        std::abs(new_diag) < kFtRelativeStability * row_max) {
+      if (obs::metrics_enabled())
+        obs::counter_add("lu.rfile.compress_failed");
+      return false;
+    }
+    staged_rows[ti] = new_row;
+    staged_diag[ti] = new_diag;
+    staged_final[ti] = 1;
+    if (!eta.entries.empty()) {
+      new_r_nonzeros += eta.entries.size();
+      new_etas.push_back(std::move(eta));
+    }
+  }
+
+  // --- Stage 3: commit.
+  const std::size_t entries_before = r_nonzeros_;
+  for (const std::uint32_t ts : staged_slots) {
+    const std::uint32_t ti = staged_of[ts];
+    u_nonzeros_ -= u_rows_[ts].size();
+    u_rows_[ts] = std::move(staged_rows[ti]);
+    u_nonzeros_ += u_rows_[ts].size();
+    u_pivot_[ts] = staged_diag[ti];
+    // Occupancy lists stay lazy supersets: duplicates are tolerated by
+    // every consumer (update()'s removal scan and the stamped closures).
+    for (const Entry& e : u_rows_[ts]) col_slots_[e.index].push_back(ts);
+  }
+  retas_.clear();
+  reta_pool_.clear();
+  for (const RowEta& eta : new_etas) {
+    RetaSpan span;
+    span.row = eta.row;
+    span.begin = static_cast<std::uint32_t>(reta_pool_.size());
+    reta_pool_.insert(reta_pool_.end(), eta.entries.begin(),
+                      eta.entries.end());
+    span.end = static_cast<std::uint32_t>(reta_pool_.size());
+    retas_.push_back(span);
+  }
+  r_nonzeros_ = new_r_nonzeros;
+  if (obs::metrics_enabled()) {
+    obs::counter_add("lu.rfile.compressions");
+    obs::histogram_record("lu.rfile.entries_before",
+                          static_cast<double>(entries_before));
+    obs::histogram_record("lu.rfile.entries_after",
+                          static_cast<double>(r_nonzeros_));
+  }
   return true;
 }
 

@@ -24,10 +24,11 @@
 //  - UpdateMode::ForrestTomlin (the default in the simplex): the incoming
 //    column's partial FTRAN result ("spike", stashed by ftran() after the
 //    L and R passes) replaces a column of U in place. Restoring
-//    triangularity takes one cyclic permutation (tracked as a pivot-order
-//    linked list — nothing moves in memory) plus the elimination of the
-//    leftover U row against the later U rows; the elimination multipliers
-//    are appended to a compact R-file of row etas. FTRAN solves L, then R,
+//    triangularity takes one cyclic permutation (tracked as a contiguous
+//    pivot-order array — the slots themselves never move) plus the
+//    elimination of the leftover U row against the later U rows it
+//    actually reaches; the elimination multipliers are appended to a
+//    compact R-file of row etas. FTRAN solves L, then R,
 //    then U; BTRAN the reverse. Updates touch only the affected rows of U,
 //    so solve cost tracks the *current* factor sparsity instead of the
 //    pivot history, and the refactorization period can stretch far past
@@ -35,6 +36,30 @@
 //    out too small (absolutely, or relative to the spike) the update
 //    refuses and leaves the factorization unchanged — the caller must
 //    refactorize (the stability/fill fallback).
+//
+// Hyper-sparse solves (ForrestTomlin mode): replica-placement LP columns
+// touch a handful of rows each, so most FTRAN/BTRAN right-hand sides are
+// far sparser than the basis dimension. ftran_sparse()/btran_sparse()
+// accept the RHS nonzero pattern, run a symbolic reachability pass over
+// the factor's dependency graph (L steps keyed by pivot row, U rows via
+// the per-position occupancy lists, the transposed structures for BTRAN)
+// to find a superset of the result nonzeros, then run the *same arithmetic
+// as the dense loops in the same order* over just those entries — nonzero
+// results are bit-identical to the dense scatter; only signs of exact
+// zeros can differ, and those never feed back into values or control flow.
+// Whenever the tracked pattern crosses the caller's density threshold the
+// remaining stages finish on the dense code path, so the crossover costs
+// nothing beyond the symbolic work already done.
+//
+// R-file compression: long Forrest–Tomlin runs accumulate row etas that
+// every FTRAN/BTRAN replays. compress_rfile() folds the whole R-file back
+// into U in one pass (formally: U_fold = E_1^{-1}···E_k^{-1} U applied
+// newest first) and re-triangularizes the touched rows against the current
+// pivot order; the elimination multipliers become a fresh, much shorter
+// R-file (at most one eta per touched row). The fold is staged and only
+// committed when every re-triangularized diagonal passes the same style of
+// absolute + relative stability guard as update(), so a failed compression
+// leaves the factorization untouched and the caller refactorizes instead.
 #pragma once
 
 #include <cstddef>
@@ -78,6 +103,39 @@ class BasisLu {
   /// position), on exit x is y (indexed by constraint row).
   void btran(std::vector<double>& x) const;
 
+  /// Hyper-sparse FTRAN (ForrestTomlin only; other modes and empty bases
+  /// delegate to the dense ftran()). On entry x must be zero outside
+  /// `pattern`, which lists its nonzero constraint rows (unique, any
+  /// order). Solves in place; when every stage ran sparse, returns true
+  /// and rewrites `pattern` to a superset of the result's nonzero basis
+  /// positions. Returns false when the tracked pattern crossed
+  /// `density_threshold` (as a fraction of the dimension) and the solve
+  /// finished on the dense path — x is then the full dense result and
+  /// `pattern` is meaningless. Either way the result's nonzero values are
+  /// bit-identical to ftran()'s and the spike is stashed for update().
+  bool ftran_sparse(std::vector<double>& x,
+                    std::vector<std::uint32_t>& pattern,
+                    double density_threshold) const;
+
+  /// Hyper-sparse BTRAN, same contract as ftran_sparse with the index
+  /// spaces swapped: on entry x is zero outside `pattern` (nonzero basis
+  /// positions); on a true return `pattern` holds the result's nonzero
+  /// constraint rows.
+  bool btran_sparse(std::vector<double>& x,
+                    std::vector<std::uint32_t>& pattern,
+                    double density_threshold) const;
+
+  /// Fold the accumulated R-file back into U and re-triangularize the
+  /// touched rows against the current pivot order, replacing the R-file
+  /// with the (much shorter) elimination multipliers — the cheap
+  /// alternative to a full refactorization when only the R-file has grown.
+  /// All work is staged: returns false, leaving the factorization
+  /// unchanged, when a re-triangularized diagonal fails the absolute
+  /// (min_pivot) or relative stability guard, or the fold fills in
+  /// pathologically; the caller should refactorize then. ForrestTomlin
+  /// only; a no-op success in other modes or with an empty R-file.
+  bool compress_rfile(double min_pivot);
+
   /// Absorb a basis change: the column at `position` was replaced by a
   /// column a with direction w = B^{-1} a (an ftran() result, indexed by
   /// position). Returns false — leaving the factorization unchanged — when
@@ -106,6 +164,8 @@ class BasisLu {
   std::size_t baseline_nonzeros() const { return baseline_nonzeros_; }
   /// Total entries across the Forrest–Tomlin R-file (0 in ProductForm).
   std::size_t r_nonzeros() const { return r_nonzeros_; }
+  /// Row etas currently in the Forrest–Tomlin R-file.
+  std::size_t reta_count() const { return retas_.size(); }
 
  private:
   /// One elimination step: pivot at (pivot_row, pivot_col), below-pivot
@@ -129,18 +189,33 @@ class BasisLu {
   /// Forrest–Tomlin row eta: one combined row operation
   /// x[row] -= sum_j entries[j].value * x[entries[j].index], all indices in
   /// constraint-row space (stable across later cyclic permutations).
+  /// Staging form used while an update/compression builds an eta; the live
+  /// R-file stores spans into the contiguous reta_pool_ arena instead so
+  /// the per-solve R passes stream memory.
   struct RowEta {
     std::uint32_t row = 0;
     std::vector<Entry> entries;
+  };
+  /// One committed row eta: entries live at
+  /// reta_pool_[begin, end) (constraint-row indexed).
+  struct RetaSpan {
+    std::uint32_t row = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
   };
 
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
   void build_ft_structure();
+  const Entry* l_begin(std::size_t t) const { return l_pool_.data() + l_off_[t]; }
+  std::size_t l_len(std::size_t t) const { return l_off_[t + 1] - l_off_[t]; }
   bool update_product_form(std::size_t position,
                            const std::vector<double>& direction,
                            double min_pivot);
   bool update_forrest_tomlin(std::size_t position, double min_pivot);
+  void ensure_sparse_scratch() const;
+  void stash_spike_sparse(const std::vector<double>& x,
+                          const std::vector<std::uint32_t>& pattern) const;
 
   std::size_t m_ = 0;
   UpdateMode mode_ = UpdateMode::ProductForm;
@@ -157,22 +232,61 @@ class BasisLu {
   std::vector<std::uint32_t> u_pos_;         // basis position per slot
   std::vector<std::vector<Entry>> u_rows_;   // off-diagonal row entries
                                              // (basis-position indexed)
-  std::vector<std::uint32_t> next_, prev_;   // pivot-order linked list
-  std::uint32_t head_ = kNoSlot, tail_ = kNoSlot;
+  /// Pivot order as a contiguous slot array plus its inverse. An update
+  /// moves one slot to the end (a memmove of the tail of pivot_order_);
+  /// the dense triangular passes then stream the array instead of chasing
+  /// a linked list through cold memory.
+  std::vector<std::uint32_t> pivot_order_;   // index in order -> slot
+  std::vector<std::uint32_t> order_pos_;     // slot -> index in order
   std::vector<std::uint32_t> slot_of_pos_;   // basis position -> slot
   std::vector<std::uint32_t> slot_of_row_;   // constraint row -> slot
   /// Per basis position: slots whose U row may hold an entry there
   /// (superset with lazy staleness; rebuilt for a position on update).
   std::vector<std::vector<std::uint32_t>> col_slots_;
-  std::vector<RowEta> retas_;                // the R-file, oldest first
+  std::vector<RetaSpan> retas_;              // the R-file, oldest first
+  std::vector<Entry> reta_pool_;             // R-file entries, contiguous
+  /// L multipliers pooled into one arena in elimination-step order
+  /// (FT mode; immutable between refactorizations — updates touch only U
+  /// and the R-file). l_off_[t] .. l_off_[t+1] is step t's slice and
+  /// step_row_[t] its pivot row, so every L pass streams the arena instead
+  /// of dereferencing per-step heap vectors.
+  std::vector<Entry> l_pool_;
+  std::vector<std::size_t> l_off_;
+  std::vector<std::uint32_t> step_row_;
   std::size_t u_nonzeros_ = 0;               // current off-diagonal U count
   std::size_t l_nonzeros_ = 0;
   std::size_t r_nonzeros_ = 0;
+
+  // --- Hyper-sparse solve machinery (ForrestTomlin mode). Sparse passes
+  // (and the update's sparse dry run) need to order small active sets by
+  // pivot order without scanning it, so every slot carries a strictly
+  // increasing order key (reassigned when an update moves a slot to the
+  // tail of pivot_order_).
+  std::vector<std::uint64_t> order_key_;
+  std::uint64_t next_order_key_ = 0;
+  /// Transposed L adjacency: constraint row -> elimination steps whose
+  /// l_entries read that row (static between refactorizations; drives the
+  /// BTRAN L^T reachability pass).
+  std::vector<std::vector<std::uint32_t>> row_l_steps_;
+  // Epoch-stamped marks and worklists so a sparse solve never pays an
+  // O(m) clear: a cell is marked iff its stamp equals the current epoch.
+  mutable std::vector<std::uint64_t> stamp_;   // rows or positions
+  mutable std::vector<std::uint64_t> stamp2_;  // steps (BTRAN L^T pass)
+  mutable std::uint64_t epoch_ = 0;
+  mutable std::vector<std::uint32_t> worklist_;
+  mutable std::vector<std::uint32_t> active_;
+  /// Kept all-zero between calls; sparse passes scatter into it and
+  /// re-zero exactly the touched entries on the way out.
+  mutable std::vector<double> result_;
 
   mutable std::vector<double> scratch_;
   mutable std::vector<double> scratch2_;
   mutable std::vector<double> spike_;        // post-L,R partial FTRAN
   mutable bool spike_valid_ = false;
+  /// When valid, spike_ is zero outside spike_pattern_ and update() can
+  /// iterate the pattern instead of all m rows.
+  mutable std::vector<std::uint32_t> spike_pattern_;
+  mutable bool spike_pattern_valid_ = false;
 };
 
 }  // namespace wanplace::lp

@@ -236,6 +236,7 @@ class Simplex {
     EtaLimit,          // product-form eta file at its cap
     SingularRollback,  // post-pivot factorization failed; pivot rolled back
     Bland,             // entering Bland mode wants exact reduced costs
+    CompressFailed,    // R-file fold-back refused; refactorized instead
     kCount
   };
 
@@ -261,7 +262,7 @@ class Simplex {
         "simplex.refactor.agreement",  "simplex.refactor.ft_refused",
         "simplex.refactor.period",     "simplex.refactor.fill",
         "simplex.refactor.eta_limit",  "simplex.refactor.singular_rollback",
-        "simplex.refactor.bland"};
+        "simplex.refactor.bland",      "simplex.refactor.compress_failed"};
     static_assert(std::size(kCauseNames) ==
                   static_cast<std::size_t>(RefactorCause::kCount));
     for (std::size_t c = 0; c < std::size(kCauseNames); ++c)
@@ -292,6 +293,18 @@ class Simplex {
     if (dual_repair_flips_ > 0)
       obs::counter_add("simplex.dual.repair_flips",
                        static_cast<double>(dual_repair_flips_));
+    if (ftran_sparse_ > 0)
+      obs::counter_add("simplex.ftran.sparse",
+                       static_cast<double>(ftran_sparse_));
+    if (ftran_dense_ > 0)
+      obs::counter_add("simplex.ftran.dense",
+                       static_cast<double>(ftran_dense_));
+    if (btran_sparse_ > 0)
+      obs::counter_add("simplex.btran.sparse",
+                       static_cast<double>(btran_sparse_));
+    if (btran_dense_ > 0)
+      obs::counter_add("simplex.btran.dense",
+                       static_cast<double>(btran_dense_));
     obs::histogram_record("simplex.solve_seconds", solution.solve_seconds);
   }
 
@@ -320,6 +333,88 @@ class Simplex {
   std::size_t effective_refactor_period() const {
     if (options_.refactor_period > 0) return options_.refactor_period;
     return ft_basis() ? 4096 : 640;
+  }
+
+  /// R-file entry count at which a fold-back compression is attempted.
+  /// Automatic mode engages only on models of at least 512 rows: below
+  /// that a refactorization is cheap, the R-file cannot grow large enough
+  /// for the fold to pay, and the fold's roundoff perturbation would
+  /// shift small-model pivot sequences (the golden iteration pins).
+  std::size_t effective_compress_threshold() const {
+    if (options_.rfile_compress_threshold > 0)
+      return options_.rfile_compress_threshold;
+    if (m_ < 512) return SIZE_MAX;
+    return std::max<std::size_t>(256, m_ / 4);
+  }
+
+  /// Try folding the R-file back into U before the fill guard runs: a
+  /// successful fold absorbs the aged etas for a fraction of a
+  /// refactorization's cost. Returns false when the fold was attempted
+  /// and refused (overflow or a stability guard) — then the R-file is
+  /// oversized and unfoldable, and the only way to shrink it is a real
+  /// refactorization.
+  ///
+  /// Hysteresis: etas whose target rows are still below the diagonal
+  /// legitimately survive a fold, so the file does not shrink to zero and
+  /// a bare `entries >= threshold` trigger would re-run the fold on every
+  /// subsequent pivot. `rfile_compress_at_` is the length at which the
+  /// next fold is attempted — re-based a full threshold above what the
+  /// last fold could not absorb, and pushed out entirely (until the next
+  /// refactorization starts a fresh file) when a fold absorbed less than
+  /// half a threshold: on fill-heavy bases where nothing ages out,
+  /// folding cannot pay and the fill guard is the right tool.
+  bool maybe_compress_rfile() {
+    const std::size_t threshold = effective_compress_threshold();
+    const std::size_t entries = lu_.r_nonzeros();
+    if (entries < threshold) {
+      rfile_compress_at_ = threshold;  // fresh file: re-arm
+      return true;
+    }
+    if (entries < rfile_compress_at_) return true;
+    // Automatic mode folds only while the kernels still see a sparse
+    // regime. When both gates are in dense backoff the basis is
+    // fill-heavy: folds there absorb next to nothing (the etas re-emerge
+    // below the diagonal), occasionally hit a stability refusal that
+    // forces a refactorization, and perturb the trajectory for no return
+    // — the fill guard is the right tool on such bases. An explicit
+    // rfile_compress_threshold still folds unconditionally.
+    if (options_.rfile_compress_threshold == 0 &&
+        ftran_gate_.bail_streak >= kSparseBailStreak &&
+        btran_gate_.bail_streak >= kSparseBailStreak) {
+      rfile_compress_at_ = SIZE_MAX;  // until the next refactorization
+      return true;
+    }
+    // Unprofitability persists across refactorization epochs: the implicit
+    // re-arm above would otherwise buy one wasted fold (and the occasional
+    // stability refusal) per epoch on a basis whose character does not
+    // change between refactorizations. After kRfileUnprofitableCap
+    // consecutive dud folds, automatic mode stops folding and only probes
+    // again every kRfileProbeEpochs refactorizations (reset logic lives in
+    // refactorize()) in case the basis turned sparse.
+    if (options_.rfile_compress_threshold == 0 &&
+        rfile_unprofitable_ >= kRfileUnprofitableCap) {
+      rfile_compress_at_ = SIZE_MAX;
+      return true;
+    }
+    if (!lu_.compress_rfile(1e-9)) {
+      // A stability refusal costs a full refactorization — saturate the
+      // backoff instead of waiting for a second strike.
+      if (options_.rfile_compress_threshold == 0)
+        rfile_unprofitable_ = kRfileUnprofitableCap;
+      return false;
+    }
+    const std::size_t after = lu_.r_nonzeros();
+    const bool unprofitable = after + threshold / 2 > entries;
+    rfile_compress_at_ = unprofitable ? SIZE_MAX : after + threshold;
+    if (options_.rfile_compress_threshold == 0) {
+      if (unprofitable) {
+        ++rfile_unprofitable_;
+      } else {
+        rfile_unprofitable_ = 0;
+        rfile_probe_epochs_ = 0;
+      }
+    }
+    return true;
   }
 
   void build() {
@@ -378,6 +473,7 @@ class Simplex {
       // weight 1; weights then grow from pivot-row updates and the frame
       // resets when they drift past the threshold.
       devex_weight_.assign(total, 1.0);
+      devex_wmax_ub_ = 1.0;
       d_.assign(total, 0.0);
     } else {
       // Devex-style static reference weights: gamma_j = 1 + ||A_j||^2,
@@ -486,17 +582,158 @@ class Simplex {
     return d;
   }
 
+  /// Hyper-sparse kernels engage only under Forrest–Tomlin (the other
+  /// bases have no sparse solve API) and an enabled density threshold.
+  /// The decision depends on the options and the solve history alone —
+  /// never on telemetry or thread count — and both paths compute
+  /// bit-identical nonzero values, so flipping the knob can change
+  /// runtimes but not answers.
+  bool use_sparse_kernels() const {
+    return ft_basis() && options_.sparse_density_threshold > 0.0;
+  }
+
+  /// Adaptive attempt gate. On fill-heavy bases every sparse attempt
+  /// explodes past the density cap and falls back to the dense loop —
+  /// after paying the symbolic-closure walk, which on such bases costs
+  /// more than the dense pass it abandons. Track consecutive bails per
+  /// kernel direction; once kSparseBailStreak solves in a row went
+  /// dense, attempt sparse only every kSparseProbePeriod-th call so the
+  /// solver re-detects a sparse regime (e.g. after refactorization
+  /// sheds the fill) without paying the closure on every pivot. Pure
+  /// path selection: both paths produce bit-identical values, so the
+  /// gate cannot change a pivot, only when the closure walk runs.
+  struct SparseGate {
+    unsigned bail_streak = 0;
+    unsigned skipped = 0;
+  };
+  static constexpr unsigned kSparseBailStreak = 8;
+  static constexpr unsigned kSparseProbePeriod = 16;
+  bool sparse_attempt_allowed(SparseGate& gate) {
+    if (gate.bail_streak < kSparseBailStreak) return true;
+    if (++gate.skipped >= kSparseProbePeriod) {
+      gate.skipped = 0;
+      return true;
+    }
+    return false;
+  }
+  void note_sparse_outcome(SparseGate& gate, bool went_sparse) {
+    if (went_sparse) {
+      gate.bail_streak = 0;
+      gate.skipped = 0;
+    } else if (gate.bail_streak < kSparseBailStreak) {
+      ++gate.bail_streak;
+    }
+  }
+
+  void note_rhs_density(std::size_t nnz) const {
+    if (obs::metrics_enabled() && m_ > 0)
+      obs::histogram_record(
+          "simplex.rhs_density",
+          static_cast<double>(nnz) / static_cast<double>(m_));
+  }
+
   /// w = Binv * A_q
-  void compute_direction(std::size_t q, std::vector<double>& w) const {
+  void compute_direction(std::size_t q, std::vector<double>& w) {
     w.assign(m_, 0.0);
     if (!dense_basis()) {
+      if (use_sparse_kernels() && sparse_attempt_allowed(ftran_gate_)) {
+        rhs_pattern_.clear();
+        cols_.for_column(q, [&](std::size_t r, double v) {
+          w[r] += v;
+          rhs_pattern_.push_back(static_cast<std::uint32_t>(r));
+        });
+        note_rhs_density(rhs_pattern_.size());
+        const bool went_sparse = lu_.ftran_sparse(
+            w, rhs_pattern_, options_.sparse_density_threshold);
+        note_sparse_outcome(ftran_gate_, went_sparse);
+        if (went_sparse) {
+          ++ftran_sparse_;
+        } else {
+          ++ftran_dense_;
+        }
+        return;
+      }
       cols_.for_column(q, [&](std::size_t r, double v) { w[r] += v; });
       lu_.ftran(w);
+      ++ftran_dense_;
       return;
     }
     cols_.for_column(q, [&](std::size_t r, double v) {
       for (std::size_t p = 0; p < m_; ++p) w[p] += v * binv_[p * m_ + r];
     });
+  }
+
+  /// rho_ = B^{-T} e_p, tracking the result's nonzero pattern when the
+  /// hyper-sparse kernel handled it (rho_pattern_valid_). The unit RHS is
+  /// the extreme hyper-sparse case — one nonzero in.
+  void compute_rho(std::size_t p_row) {
+    rho_.assign(m_, 0.0);
+    rho_[p_row] = 1.0;
+    rho_pattern_valid_ = false;
+    if (use_sparse_kernels() && sparse_attempt_allowed(btran_gate_)) {
+      rho_pattern_.assign(1, static_cast<std::uint32_t>(p_row));
+      rho_pattern_valid_ = lu_.btran_sparse(
+          rho_, rho_pattern_, options_.sparse_density_threshold);
+      note_sparse_outcome(btran_gate_, rho_pattern_valid_);
+      if (rho_pattern_valid_) {
+        ++btran_sparse_;
+      } else {
+        ++btran_dense_;
+      }
+      return;
+    }
+    lu_.btran(rho_);
+    ++btran_dense_;
+  }
+
+  /// Columns whose support intersects the constraint rows in
+  /// rho_pattern_: every structural column of those model rows plus the
+  /// row's slack and artificial. Any column outside this set has an
+  /// exactly-zero dot with rho_/pivot_row_, which the dense passes skip
+  /// (or store as a zero) anyway — so enumerating candidates instead of
+  /// scanning all columns changes no decision. Deduplicated with an
+  /// epoch stamp; fn(j) is invoked once per candidate.
+  template <typename Fn>
+  void for_each_rho_candidate(Fn&& fn) {
+    const std::size_t total = total_columns();
+    if (col_stamp_.size() != total) {
+      col_stamp_.assign(total, 0);
+      col_epoch_ = 0;
+    }
+    ++col_epoch_;
+    const auto touch = [&](std::size_t j) {
+      if (col_stamp_[j] == col_epoch_) return;
+      col_stamp_[j] = col_epoch_;
+      fn(j);
+    };
+    for (const std::uint32_t r : rho_pattern_) {
+      for (const std::size_t j : model_.row(r).cols) touch(j);
+      touch(cols_.n + r);
+      touch(cols_.n + m_ + r);
+    }
+  }
+
+  /// Devex reset check for the sparse pricing pass. The sparse pass sees
+  /// only candidate weights, so it maintains devex_wmax_ub_, an upper
+  /// bound on the largest nonbasic weight (weights only grow between
+  /// resets, and every growth happens to a candidate). When the bound is
+  /// below the threshold the dense pass would not have reset either; when
+  /// it crosses, an O(columns) exact scan (no matrix work) recovers the
+  /// true maximum, so the reset decision — and therefore the whole pivot
+  /// sequence — is identical to the dense pass's.
+  void maybe_reset_devex() {
+    if (devex_wmax_ub_ <= options_.devex_reset_threshold) return;
+    double exact = 0;
+    for (std::size_t j = 0; j < total_columns(); ++j)
+      if (status_[j] != VarStatus::Basic)
+        exact = std::max(exact, devex_weight_[j]);
+    if (exact > options_.devex_reset_threshold) {
+      ++devex_resets_;
+      std::fill(devex_weight_.begin(), devex_weight_.end(), 1.0);
+      devex_wmax_ub_ = 1.0;
+    } else {
+      devex_wmax_ub_ = exact;
+    }
   }
 
   /// Factorize the current basis into the sparse LU (clears the eta/R
@@ -521,6 +758,17 @@ class Simplex {
 
   void refactorize() {
     ++refactorizations_;
+    // A fresh factorization sheds the accumulated eta/R fill, so the
+    // sparse kernels get an immediate retry regardless of prior bails.
+    ftran_gate_ = SparseGate{};
+    btran_gate_ = SparseGate{};
+    // Fold backoff probe: after folding was declared unprofitable, allow
+    // one fresh attempt every kRfileProbeEpochs epochs.
+    if (rfile_unprofitable_ >= kRfileUnprofitableCap &&
+        ++rfile_probe_epochs_ >= kRfileProbeEpochs) {
+      rfile_unprofitable_ = 0;
+      rfile_probe_epochs_ = 0;
+    }
     if (!dense_basis()) {
       factorize_lu();
       recompute_basic_values();
@@ -866,6 +1114,28 @@ class Simplex {
   /// bit-identical for any pool size.
   void update_pricing_after_pivot(std::size_t entering, double reduced) {
     const double gamma_q = devex_weight_[entering];
+    if (rho_pattern_valid_) {
+      // Sparse pivot row: only candidate columns can have a nonzero
+      // alpha~_j, so only they can change. Their dots are the same full
+      // cols_.dot the dense pass computes — identical values, a fraction
+      // of the FLOPs. The leaving column is always a candidate (its
+      // alpha~ = 1/alpha_q != 0 forces support overlap with the pattern).
+      double wmax = 0;
+      for_each_rho_candidate([&](std::size_t j) {
+        if (status_[j] == VarStatus::Basic) return;
+        const double t = cols_.dot(j, pivot_row_);
+        if (t != 0) {
+          d_[j] -= reduced * t;
+          const double cand = t * t * gamma_q;
+          if (cand > devex_weight_[j]) devex_weight_[j] = cand;
+        }
+        wmax = std::max(wmax, devex_weight_[j]);
+      });
+      d_[entering] = 0.0;
+      devex_wmax_ub_ = std::max(devex_wmax_ub_, wmax);
+      maybe_reset_devex();
+      return;
+    }
     const std::size_t total = total_columns();
     const std::size_t blocks = (total + kPricingBlock - 1) / kPricingBlock;
     block_max_.assign(blocks, 0.0);
@@ -896,6 +1166,9 @@ class Simplex {
     if (wmax > options_.devex_reset_threshold) {
       ++devex_resets_;
       std::fill(devex_weight_.begin(), devex_weight_.end(), 1.0);
+      devex_wmax_ub_ = 1.0;
+    } else {
+      devex_wmax_ub_ = wmax;
     }
   }
 
@@ -906,6 +1179,16 @@ class Simplex {
   /// is bit-identical for any pool size.
   void compute_alpha_row() {
     const std::size_t total = total_columns();
+    if (rho_pattern_valid_) {
+      // Sparse rho: non-candidate columns have an exactly-zero dot, which
+      // the dense pass would store as 0.0 anyway — zero the row and fill
+      // in only the candidates (same cols_.dot values, far fewer of them).
+      alpha_.assign(total, 0.0);
+      for_each_rho_candidate([&](std::size_t j) {
+        if (status_[j] != VarStatus::Basic) alpha_[j] = cols_.dot(j, rho_);
+      });
+      return;
+    }
     alpha_.resize(total);
     const std::size_t blocks = (total + kPricingBlock - 1) / kPricingBlock;
     const auto pass = [&](std::size_t b) {
@@ -998,9 +1281,7 @@ class Simplex {
 
       // rho = B^{-T} e_p (the pivot row of the inverse), then the full
       // tableau row alpha_j = rho . A_j.
-      rho_.assign(m_, 0.0);
-      rho_[p_row] = 1.0;
-      lu_.btran(rho_);
+      compute_rho(p_row);
       compute_alpha_row();
       const double s = delta > 0 ? 1.0 : -1.0;
 
@@ -1086,6 +1367,16 @@ class Simplex {
       // update consumes the spike stashed by the most recent ftran().
       if (!flips.empty()) {
         flip_rhs_.assign(m_, 0.0);
+        const bool sparse =
+            use_sparse_kernels() && sparse_attempt_allowed(ftran_gate_);
+        if (sparse) {
+          rhs_pattern_.clear();
+          if (row_stamp_.size() != m_) {
+            row_stamp_.assign(m_, 0);
+            row_epoch_ = 0;
+          }
+          ++row_epoch_;
+        }
         for (const std::size_t j : flips) {
           const double amount = status_[j] == VarStatus::AtLower
                                     ? upper_[j] - lower_[j]
@@ -1096,9 +1387,26 @@ class Simplex {
           x_[j] = status_[j] == VarStatus::AtUpper ? upper_[j] : lower_[j];
           cols_.for_column(j, [&](std::size_t r, double v) {
             flip_rhs_[r] += v * amount;
+            if (sparse && row_stamp_[r] != row_epoch_) {
+              row_stamp_[r] = row_epoch_;
+              rhs_pattern_.push_back(static_cast<std::uint32_t>(r));
+            }
           });
         }
-        lu_.ftran(flip_rhs_);
+        if (sparse) {
+          note_rhs_density(rhs_pattern_.size());
+          const bool went_sparse = lu_.ftran_sparse(
+              flip_rhs_, rhs_pattern_, options_.sparse_density_threshold);
+          note_sparse_outcome(ftran_gate_, went_sparse);
+          if (went_sparse) {
+            ++ftran_sparse_;
+          } else {
+            ++ftran_dense_;
+          }
+        } else {
+          lu_.ftran(flip_rhs_);
+          ++ftran_dense_;
+        }
         for (std::size_t i = 0; i < m_; ++i)
           x_[basis_[i]] -= flip_rhs_[i];
         bound_flips_ += flips.size();
@@ -1212,9 +1520,13 @@ class Simplex {
       } else if (pivots_since_refactor >= effective_refactor_period()) {
         cause = RefactorCause::Period;
       } else if (ft_basis()) {
-        refactor = lu_.factor_nonzeros() + lu_.r_nonzeros() >
-                   options_.ft_fill_factor * lu_.baseline_nonzeros() + 64;
-        cause = RefactorCause::Fill;
+        if (!maybe_compress_rfile()) {
+          cause = RefactorCause::CompressFailed;
+        } else {
+          refactor = lu_.factor_nonzeros() + lu_.r_nonzeros() >
+                     options_.ft_fill_factor * lu_.baseline_nonzeros() + 64;
+          cause = RefactorCause::Fill;
+        }
       } else {
         refactor = lu_.eta_count() >= options_.eta_limit;
         cause = RefactorCause::EtaLimit;
@@ -1391,9 +1703,7 @@ class Simplex {
       // retry instead. rho_ is reused below for the dual update, so the
       // test costs one sparse column dot.
       if (!dense_basis() && leaving_pos != SIZE_MAX) {
-        rho_.assign(m_, 0.0);
-        rho_[leaving_pos] = 1.0;
-        lu_.btran(rho_);
+        compute_rho(leaving_pos);
         const double pivot_btran = cols_.dot(entering, rho_);
         if (lu_.update_count() > 0 &&
             !(std::abs(pivot_btran - w[leaving_pos]) <=
@@ -1463,12 +1773,16 @@ class Simplex {
           } else if (pivots_since_refactor >= effective_refactor_period()) {
             cause = RefactorCause::Period;
           } else if (ft_basis()) {
-            // Fill guard: updates add spike + elimination fill that only
-            // a fresh factorization re-compresses. The +64 floor keeps
-            // tiny bases from refactorizing on noise.
-            refactor = lu_.factor_nonzeros() + lu_.r_nonzeros() >
-                       options_.ft_fill_factor * lu_.baseline_nonzeros() + 64;
-            cause = RefactorCause::Fill;
+            if (!maybe_compress_rfile()) {
+              cause = RefactorCause::CompressFailed;
+            } else {
+              // Fill guard: updates add spike + elimination fill that only
+              // a fresh factorization re-compresses. The +64 floor keeps
+              // tiny bases from refactorizing on noise.
+              refactor = lu_.factor_nonzeros() + lu_.r_nonzeros() >
+                         options_.ft_fill_factor * lu_.baseline_nonzeros() + 64;
+              cause = RefactorCause::Fill;
+            }
           } else {
             refactor = lu_.eta_count() >= options_.eta_limit;
             cause = RefactorCause::EtaLimit;
@@ -1504,10 +1818,18 @@ class Simplex {
               continue;
             }
           } else if (dynamic_pricing()) {
-            pivot_row_.resize(m_);
             const double inv_pivot = 1.0 / pivot;
-            for (std::size_t i = 0; i < m_; ++i)
-              pivot_row_[i] = rho_[i] * inv_pivot;
+            if (rho_pattern_valid_) {
+              // rho_ is zero outside its tracked pattern, so only those
+              // entries can scale to a nonzero pivot-row value.
+              pivot_row_.assign(m_, 0.0);
+              for (const std::uint32_t r : rho_pattern_)
+                pivot_row_[r] = rho_[r] * inv_pivot;
+            } else {
+              pivot_row_.resize(m_);
+              for (std::size_t i = 0; i < m_; ++i)
+                pivot_row_[i] = rho_[i] * inv_pivot;
+            }
             update_pricing_after_pivot(entering, choice.reduced);
           }
         } else {
@@ -1636,6 +1958,17 @@ class Simplex {
   std::vector<double> alpha_;        // dual: tableau pivot row rho . A_j
   std::vector<double> dual_weight_;  // dual: Devex row reference weights
   std::vector<double> flip_rhs_;     // dual: batched bound-flip FTRAN rhs
+  std::vector<std::uint32_t> rhs_pattern_;  // FTRAN RHS nonzero rows
+  std::vector<std::uint32_t> rho_pattern_;  // BTRAN result nonzero rows
+  bool rho_pattern_valid_ = false;   // rho_ zero outside rho_pattern_?
+  std::vector<std::uint64_t> col_stamp_;  // candidate-enumeration dedup
+  std::uint64_t col_epoch_ = 0;
+  std::vector<std::uint64_t> row_stamp_;  // flip-batch pattern dedup
+  std::uint64_t row_epoch_ = 0;
+  /// Upper bound on the largest nonbasic Devex weight, maintained so the
+  /// sparse pricing pass reproduces the dense pass's reset decisions
+  /// exactly (see maybe_reset_devex).
+  double devex_wmax_ub_ = 1.0;
   std::unique_ptr<util::ThreadPool> pool_;
   double objective_ = 0;             // incrementally maintained phase obj
   bool duals_clean_ = false;         // y_ recomputed since the last pivot?
@@ -1661,6 +1994,23 @@ class Simplex {
   std::size_t dual_solves_ = 0;
   std::size_t dual_fallbacks_ = 0;
   std::size_t dual_repair_flips_ = 0;
+  std::size_t ftran_sparse_ = 0;
+  std::size_t ftran_dense_ = 0;
+  std::size_t btran_sparse_ = 0;
+  std::size_t btran_dense_ = 0;
+  SparseGate ftran_gate_;
+  SparseGate btran_gate_;
+  /// R-file length at which the next fold-back compression fires
+  /// (see maybe_compress_rfile's hysteresis).
+  std::size_t rfile_compress_at_ = 0;
+  /// Consecutive automatic-mode folds that absorbed less than half a
+  /// threshold (or were refused outright). At kRfileUnprofitableCap the
+  /// automatic mode stops folding; every kRfileProbeEpochs
+  /// refactorizations it probes again in case the basis turned sparse.
+  unsigned rfile_unprofitable_ = 0;
+  unsigned rfile_probe_epochs_ = 0;
+  static constexpr unsigned kRfileUnprofitableCap = 2;
+  static constexpr unsigned kRfileProbeEpochs = 8;
 };
 
 }  // namespace

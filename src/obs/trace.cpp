@@ -249,6 +249,36 @@ std::string Tracer::summary() const {
       out << "  " << key << "=" << json_number(value);
     out << '\n';
   }
+
+  // Kernel telemetry: the hyper-sparse FTRAN/BTRAN path split, the
+  // RHS-density histogram behind it, and R-file compression events. These
+  // live in the metrics registry rather than in spans (they fire per solve,
+  // far too often for span records), so surface them here when present.
+  static constexpr const char* kKernelPrefixes[] = {
+      "simplex.ftran", "simplex.btran", "simplex.rhs_density", "lu.rfile"};
+  Snapshot kernel;
+  for (const auto& [name, value] : Registry::global().snapshot()) {
+    for (const char* prefix : kKernelPrefixes) {
+      if (name.rfind(prefix, 0) == 0) {
+        kernel.emplace(name, value);
+        break;
+      }
+    }
+  }
+  if (!kernel.empty()) {
+    out << "kernel metrics\n";
+    for (const auto& [name, value] : kernel) {
+      out << "  " << name << "  n=" << value.count;
+      if (value.kind == MetricValue::Kind::Histogram) {
+        out << "  mean=" << json_number(value.mean())
+            << "  min=" << json_number(value.min)
+            << "  max=" << json_number(value.max);
+      } else {
+        out << "  total=" << json_number(value.sum);
+      }
+      out << '\n';
+    }
+  }
   return out.str();
 }
 

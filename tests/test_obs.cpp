@@ -242,6 +242,27 @@ TEST(ObsTrace, SummaryAggregatesByPath) {
   EXPECT_TRUE(contains(summary, "iterations=10"));
 }
 
+// summary() surfaces the hyper-sparse kernel telemetry — the FTRAN/BTRAN
+// sparse/dense path split, the RHS-density histogram behind the crossover,
+// and R-file compression events — from the metrics registry below the span
+// tree, without dragging in unrelated metrics.
+TEST(ObsTrace, SummaryIncludesKernelMetrics) {
+  TelemetryScope scope;
+  obs::counter_add("simplex.ftran.sparse", 7);
+  obs::counter_add("simplex.ftran.dense", 3);
+  obs::counter_add("lu.rfile.compressions", 1);
+  obs::histogram_record("simplex.rhs_density", 0.05);
+  obs::histogram_record("simplex.rhs_density", 0.15);
+  obs::counter_add("obs_test.unrelated", 1);
+  const std::string summary = obs::Tracer::global().summary();
+  EXPECT_TRUE(contains(summary, "kernel metrics"));
+  EXPECT_TRUE(contains(summary, "simplex.ftran.sparse  n=1  total=7"));
+  EXPECT_TRUE(contains(summary, "simplex.ftran.dense  n=1  total=3"));
+  EXPECT_TRUE(contains(summary, "lu.rfile.compressions  n=1  total=1"));
+  EXPECT_TRUE(contains(summary, "simplex.rhs_density  n=2  mean=0.1"));
+  EXPECT_FALSE(contains(summary, "obs_test.unrelated"));
+}
+
 // The bounds.gap histogram must only record gaps that were actually
 // computed: a solve with rounding skipped (run_rounding = false, or the
 // average-latency goal) must not contribute a spurious 0 sample that drags
