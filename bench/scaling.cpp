@@ -7,7 +7,14 @@
 // bound/rounding split.
 #include "common.h"
 
+#include <chrono>
+
 #include "core/planner.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+#include "graph/shortest_paths.h"
+#include "tree/family.h"
+#include "tree/tree_dp.h"
 
 namespace {
 
@@ -16,6 +23,125 @@ using namespace wanplace;
 struct Size {
   std::size_t nodes, intervals, objects, requests;
 };
+
+/// Single-interval closest-allocation instance on a complete fanout-4 tree
+/// of the given depth (85 / 341 / 1365 nodes) — the exact-DP window, so the
+/// tree rows can race the DP against the LP pipeline on identical inputs.
+mcperf::Instance tree_bench_instance(std::size_t depth) {
+  graph::TreeParams params;
+  params.depth = depth;
+  params.fanout = 4;
+  params.level_latency_ms = {100, 70, 50, 30, 30};
+  params.local_latency_ms = 10;
+  Rng rng(1);
+  const auto topology = graph::tree(params, rng);
+
+  mcperf::Instance instance;
+  instance.latencies = graph::all_pairs_latencies(topology);
+  instance.dist = graph::within_threshold(instance.latencies, 150);
+  instance.demand = workload::Demand(topology.node_count(), 1, 1);
+  for (std::size_t n = 0; n < topology.node_count(); ++n)
+    instance.demand.read(n, 0, 0) = static_cast<double>(1 + n % 4);
+  instance.goal = mcperf::QosGoal{1.0, mcperf::QosScope::PerUserPerObject};
+  instance.origin = 0;
+  instance.links = tree::extract_links(topology, 0, 150);
+  instance.costs.alpha = 1;
+  instance.costs.beta = 0.5;
+  return instance;
+}
+
+/// Register the tree-family crossover points: the exact DP vs the exact
+/// simplex LP vs PDHG on the same hierarchical instances. One row per
+/// (size, method); for the DP the solver-iters column carries the DP state
+/// count and the LP dimension columns are blank.
+void register_tree_points() {
+  for (const std::size_t depth : {3u, 4u, 5u}) {
+    const std::size_t nodes = graph::tree_node_count(depth, 4);
+    const std::string label = "scaling/tree/N=" + std::to_string(nodes);
+    ::benchmark::RegisterBenchmark(
+        label.c_str(),
+        [depth, nodes](::benchmark::State& state) {
+          const auto instance = tree_bench_instance(depth);
+          const auto spec = mcperf::classes::closest();
+
+          tree::TreeDpResult dp;
+          double dp_s = 0;
+          bounds::BoundDetail auto_detail, pdhg_detail;
+          double auto_it = 0, auto_s = 0, pdhg_it = 0, pdhg_s = 0;
+          for (auto _ : state) {
+            const auto start = std::chrono::steady_clock::now();
+            dp = tree::solve_tree_dp(instance, spec);
+            dp_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+            auto options = bench::bound_options();
+            options.solver = bounds::BoundOptions::Solver::Auto;
+            bench::reset_metrics();
+            auto_detail = bounds::compute_bound_detail(instance, spec,
+                                                       options);
+            auto_it = bench::metric_sum("bounds.iterations");
+            auto_s = bench::metric_sum("bounds.solve_seconds");
+
+            options.solver = bounds::BoundOptions::Solver::Pdhg;
+            bench::reset_metrics();
+            pdhg_detail = bounds::compute_bound_detail(instance, spec,
+                                                       options);
+            pdhg_it = bench::metric_sum("bounds.iterations");
+            pdhg_s = bench::metric_sum("bounds.solve_seconds");
+          }
+          state.counters["dp_seconds"] = dp_s;
+          state.counters["dp_optimum"] = dp.optimum;
+          state.counters["lp_bound"] = auto_detail.bound.lower_bound;
+
+          const bool exact = auto_detail.bound.lp_rows <=
+                             bench::bound_options().simplex_row_limit;
+          bench::results()
+              .cell(static_cast<std::int64_t>(nodes))
+              .cell(std::int64_t{1})
+              .cell(std::int64_t{1})
+              .cell("-")
+              .cell("-")
+              .cell("tree-dp")
+              .cell(static_cast<std::int64_t>(dp.states))
+              .cell(dp_s, 3)
+              .cell(dp.states > 0
+                        ? format_number(dp_s / dp.states * 1e6, 2)
+                        : std::string("-"))
+              .cell("-")
+              .cell("-")
+              .cell("-")
+              .cell("-");
+          bench::results().finish_row();
+          for (const bool pdhg : {false, true}) {
+            const auto& detail = pdhg ? pdhg_detail : auto_detail;
+            const double it = pdhg ? pdhg_it : auto_it;
+            const double secs = pdhg ? pdhg_s : auto_s;
+            bench::results()
+                .cell(static_cast<std::int64_t>(nodes))
+                .cell(std::int64_t{1})
+                .cell(std::int64_t{1})
+                .cell(static_cast<std::int64_t>(detail.bound.lp_rows))
+                .cell(static_cast<std::int64_t>(detail.bound.lp_variables))
+                .cell(pdhg ? "pdhg" : (exact ? "simplex-ft" : "pdhg"))
+                .cell(static_cast<std::int64_t>(it))
+                .cell(secs, 3)
+                .cell(it > 0 ? format_number(secs / it * 1e6, 1)
+                             : std::string("-"))
+                .cell(static_cast<std::int64_t>(bench::metric_sum(
+                    "rounding.round_ups")))
+                .cell(detail.bound.rounded_feasible
+                          ? format_number(detail.bound.gap, 3)
+                          : std::string("-"))
+                .cell("-")
+                .cell("-");
+            bench::results().finish_row();
+          }
+        })
+        ->Iterations(1)
+        ->Unit(::benchmark::kSecond);
+  }
+}
 
 void register_points() {
   bench::results({"nodes", "intervals", "objects", "lp-rows", "lp-vars",
@@ -178,5 +304,6 @@ void register_points() {
 
 int main(int argc, char** argv) {
   register_points();
+  register_tree_points();
   return wanplace::bench::run_main("scaling", argc, argv);
 }

@@ -1,6 +1,7 @@
 #include "bounds/engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "mcperf/builder.h"
 #include "obs/metrics.h"
@@ -68,6 +69,56 @@ bool map_warm_iterates(const BoundDetail& seed, const mcperf::BuiltModel& to,
         y[trow.row] = sol.y[frow.row];
         break;
       }
+  return true;
+}
+
+// Deterministic closest-routing audit for tree instances. The LP's
+// assignment rows encode "served by the first stored ancestor" exactly, but
+// the rounding pass only knows the weaker "some reachable ancestor" coverage
+// — so its output must be re-checked under the real routing semantics, and
+// the induced per-(up-link, interval) read flows compared against the link
+// capacities when any are finite.
+bool closest_placement_feasible(const mcperf::Instance& instance,
+                                const Placement& placement) {
+  const auto& links = *instance.links;
+  const std::size_t n_count = instance.node_count();
+  const std::size_t i_count = instance.interval_count();
+  const std::size_t k_count = instance.object_count();
+  const auto& qos = std::get<mcperf::QosGoal>(instance.goal);
+  const mcperf::QosGroups groups(instance, qos.scope);
+  std::vector<double> covered(groups.count(), 0.0);
+  std::vector<double> load(n_count * i_count, 0.0);
+  const auto stored = [&](graph::NodeId m, std::size_t i, std::size_t k) {
+    return instance.is_origin(m) || placement(m, i, k) != 0;
+  };
+  for (std::size_t n = 0; n < n_count; ++n) {
+    for (std::size_t i = 0; i < i_count; ++i) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const double reads = instance.demand.read(n, i, k);
+        if (reads <= 0) continue;
+        graph::NodeId serve = static_cast<graph::NodeId>(n);
+        while (!stored(serve, i, k) && links.parent[serve] >= 0)
+          serve = links.parent[serve];
+        if (!stored(serve, i, k) || !instance.dist(n, serve))
+          continue;  // first replica on the way up is beyond Tlat (or none)
+        covered[groups.group_of(n, k)] += reads;
+        for (graph::NodeId walk = static_cast<graph::NodeId>(n);
+             walk != serve; walk = links.parent[walk])
+          load[static_cast<std::size_t>(walk) * i_count + i] += reads;
+      }
+    }
+  }
+  for (std::size_t g = 0; g < groups.count(); ++g) {
+    const double total = groups.total_reads(g);
+    if (total > 0 && covered[g] / total < qos.tqos - 1e-9) return false;
+  }
+  for (std::size_t u = 0; u < n_count; ++u) {
+    if (links.parent[u] < 0) continue;
+    const double cap = links.up_capacity[u];
+    if (!std::isfinite(cap)) continue;
+    for (std::size_t i = 0; i < i_count; ++i)
+      if (load[u * i_count + i] > cap * (1 + 1e-9)) return false;
+  }
   return true;
 }
 
@@ -166,6 +217,10 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
     detail.rounding = round_solution(instance, spec, detail.built,
                                      detail.solution.x, options.rounding);
     detail.bound.rounded_feasible = detail.rounding.feasible;
+    if (detail.bound.rounded_feasible &&
+        spec.routing == mcperf::Routing::Closest &&
+        !closest_placement_feasible(instance, detail.rounding.placement))
+      detail.bound.rounded_feasible = false;
     if (detail.rounding.feasible) {
       detail.bound.rounded_cost = detail.rounding.evaluation.cost;
       detail.bound.gap =

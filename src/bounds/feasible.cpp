@@ -34,14 +34,19 @@ Evaluation evaluate_placement(const Instance& instance, const ClassSpec& spec,
     return instance.is_origin(n) || placement(n, i, k);
   };
 
+  WANPLACE_REQUIRE(
+      instance.storage_scale.empty() || (!spec.storage && !spec.replicas),
+      "storage_scale is incompatible with provisioned-capacity classes");
+
   // Creation validity + creation/storage counts (non-origin nodes only).
-  double stored_cells = 0, creations = 0;
+  double stored_cells = 0, creations = 0, plain_storage_cost = 0;
   for (std::size_t n = 0; n < n_count; ++n) {
     if (instance.is_origin(n)) continue;
     for (std::size_t k = 0; k < k_count; ++k) {
       for (std::size_t i = 0; i < i_count; ++i) {
         if (!placement(n, i, k)) continue;
         stored_cells += 1;
+        plain_storage_cost += instance.storage_alpha(n);
         const bool fresh = i == 0 || !placement(n, i - 1, k);
         if (fresh) {
           creations += 1;
@@ -149,7 +154,9 @@ Evaluation evaluate_placement(const Instance& instance, const ClassSpec& spec,
       eval.creation_cost = costs.beta * creations;
     }
   } else {
-    eval.storage_cost = costs.alpha * stored_cells;
+    eval.storage_cost = instance.storage_scale.empty()
+                            ? costs.alpha * stored_cells
+                            : plain_storage_cost;
     eval.creation_cost = costs.beta * creations;
   }
 

@@ -175,7 +175,7 @@ class Rounder {
     const double create_delta =
         creation_sum(m, k, first, last, new_probe) -
         creation_sum(m, k, first, last, old_probe);
-    return costs.alpha * storage + costs.beta * create_delta;
+    return instance_.storage_alpha(m) * storage + costs.beta * create_delta;
   }
 
   /// Cost delta of flipping a single cell to 0 (negative = saving).
@@ -187,7 +187,8 @@ class Rounder {
     };
     const double create_delta = creation_sum(m, k, i, i, new_probe) -
                                 creation_sum(m, k, i, i, old_probe);
-    return -costs.alpha * value_(m, i, k) + costs.beta * create_delta;
+    return -instance_.storage_alpha(m) * value_(m, i, k) +
+           costs.beta * create_delta;
   }
 
   void apply(std::size_t m, std::size_t i, std::size_t k, double new_value) {

@@ -65,6 +65,8 @@ std::string HeuristicSelector::suggested_heuristic(
   if (class_name == "caching-prefetch") return "LRU caching with prefetching";
   if (class_name == "coop-caching-prefetch")
     return "cooperative caching with prefetching";
+  if (class_name == "closest")
+    return "closest-allocation on the hierarchy (Benoit/Rehn/Robert)";
   return "custom heuristic from class " + class_name;
 }
 

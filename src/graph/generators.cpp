@@ -125,6 +125,64 @@ Topology waxman(const WaxmanParams& params, Rng& rng) {
   return topology;
 }
 
+std::size_t tree_node_count(std::size_t depth, std::size_t fanout) {
+  std::size_t nodes = 1, level = 1;
+  for (std::size_t d = 0; d < depth; ++d) {
+    level *= fanout;
+    nodes += level;
+  }
+  return nodes;
+}
+
+Topology tree(const TreeParams& params, Rng& rng) {
+  WANPLACE_REQUIRE(params.depth >= 1, "tree depth must be >= 1");
+  WANPLACE_REQUIRE(params.fanout >= 1, "tree fanout must be >= 1");
+  WANPLACE_REQUIRE(!params.level_latency_ms.empty(),
+                   "tree needs at least one level latency");
+  for (const double latency : params.level_latency_ms)
+    WANPLACE_REQUIRE(latency > 0, "level latency must be positive");
+  for (const double cap : params.level_bandwidth)
+    WANPLACE_REQUIRE(cap >= 0, "level bandwidth must be >= 0");
+  WANPLACE_REQUIRE(params.latency_jitter >= 0 && params.latency_jitter < 1,
+                   "latency jitter must be in [0, 1)");
+
+  const std::size_t nodes = tree_node_count(params.depth, params.fanout);
+  Topology topology(nodes, params.local_latency_ms);
+
+  auto level_value = [](const std::vector<double>& profile,
+                        std::size_t level) {
+    return profile[std::min(level, profile.size() - 1)];
+  };
+  // Breadth-first: the root is node 0 and each level's children are
+  // numbered contiguously after their parents' level.
+  std::vector<NodeId> parents{0};
+  NodeId next = 1;
+  for (std::size_t level = 0; level < params.depth; ++level) {
+    std::vector<NodeId> children;
+    children.reserve(parents.size() * params.fanout);
+    for (const NodeId parent : parents) {
+      for (std::size_t c = 0; c < params.fanout; ++c) {
+        double latency = level_value(params.level_latency_ms, level);
+        if (params.latency_jitter > 0)
+          latency *= 1 + rng.uniform(-params.latency_jitter,
+                                     params.latency_jitter);
+        double bandwidth = kUnlimitedBandwidth;
+        if (!params.level_bandwidth.empty()) {
+          const double cap = level_value(params.level_bandwidth, level);
+          if (cap > 0) bandwidth = cap;
+        }
+        topology.add_edge(parent, next, latency, bandwidth);
+        children.push_back(next);
+        ++next;
+      }
+    }
+    parents = std::move(children);
+  }
+  WANPLACE_CHECK(static_cast<std::size_t>(next) == nodes,
+                 "tree generator node accounting is off");
+  return topology;
+}
+
 Topology ring(std::size_t node_count, double link_latency_ms,
               double local_latency_ms) {
   WANPLACE_REQUIRE(node_count >= 3, "ring needs at least three nodes");

@@ -39,6 +39,38 @@ struct WaxmanParams {
 };
 Topology waxman(const WaxmanParams& params, Rng& rng);
 
+/// Parameters for the hierarchical (tree) generator: a rooted complete
+/// `fanout`-ary tree of `depth` levels below the root, in the CDN /
+/// distribution-hierarchy style of Benoit/Rehn/Robert and Rehn-Sonigo.
+/// Nodes are numbered breadth-first with the root at 0, so level boundaries
+/// are contiguous id ranges.
+struct TreeParams {
+  /// Levels below the root (>= 1). depth=1 is a star around the root.
+  std::size_t depth = 3;
+  /// Children per internal node (>= 1). fanout=1 degenerates to a path.
+  std::size_t fanout = 2;
+  /// Link latency per level: entry L applies to links from level-L parents
+  /// to their level-(L+1) children; the last entry repeats for deeper
+  /// levels. Must be non-empty with positive entries.
+  std::vector<double> level_latency_ms = {100.0};
+  /// Uniform multiplicative jitter on each link latency, as a fraction in
+  /// [0, 1): latency *= 1 + uniform(-jitter, jitter).
+  double latency_jitter = 0.0;
+  /// Bandwidth cap per level, indexed like level_latency_ms (requests per
+  /// interval). Empty = every link uncapped; a zero entry means "uncapped"
+  /// at that level; the last entry repeats for deeper levels.
+  std::vector<double> level_bandwidth = {};
+  double local_latency_ms = 10.0;
+};
+
+/// Number of nodes in a complete tree(depth, fanout).
+std::size_t tree_node_count(std::size_t depth, std::size_t fanout);
+
+/// Complete fanout-ary tree rooted at node 0, breadth-first numbering.
+/// Deterministic for a given rng state (the rng is only consumed when
+/// latency_jitter > 0).
+Topology tree(const TreeParams& params, Rng& rng);
+
 /// Ring of n nodes with uniform link latency (test topology).
 Topology ring(std::size_t node_count, double link_latency_ms,
               double local_latency_ms = 10.0);

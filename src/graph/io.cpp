@@ -1,5 +1,6 @@
 #include "graph/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -33,7 +34,8 @@ Topology load_topology(std::istream& in) {
       if (topology) fail("duplicate nodes directive");
       topology.emplace(count, local_latency);
       for (const auto& edge : pending)
-        topology->add_edge(edge.from, edge.to, edge.latency_ms);
+        topology->add_edge(edge.from, edge.to, edge.latency_ms,
+                           edge.bandwidth);
       pending.clear();
     } else if (directive == "local_latency") {
       if (!(fields >> local_latency) || local_latency < 0)
@@ -43,8 +45,15 @@ Topology load_topology(std::istream& in) {
       Edge edge;
       if (!(fields >> edge.from >> edge.to >> edge.latency_ms))
         fail("bad edge");
+      // Optional fourth field: a finite bandwidth cap (requests/interval).
+      double bandwidth = 0;
+      if (fields >> bandwidth) {
+        if (bandwidth <= 0) fail("bad edge bandwidth");
+        edge.bandwidth = bandwidth;
+      }
       if (topology)
-        topology->add_edge(edge.from, edge.to, edge.latency_ms);
+        topology->add_edge(edge.from, edge.to, edge.latency_ms,
+                           edge.bandwidth);
       else
         pending.push_back(edge);
     } else {
@@ -72,9 +81,11 @@ void save_topology(const Topology& topology, std::ostream& out) {
   out << "nodes " << topology.node_count() << '\n';
   for (std::size_t n = 0; n < topology.node_count(); ++n)
     for (const auto& nb : topology.neighbors(static_cast<NodeId>(n)))
-      if (static_cast<std::size_t>(nb.node) > n)  // undirected: emit once
-        out << "edge " << n << ' ' << nb.node << ' ' << nb.latency_ms
-            << '\n';
+      if (static_cast<std::size_t>(nb.node) > n) {  // undirected: emit once
+        out << "edge " << n << ' ' << nb.node << ' ' << nb.latency_ms;
+        if (std::isfinite(nb.bandwidth)) out << ' ' << nb.bandwidth;
+        out << '\n';
+      }
 }
 
 void save_topology_file(const Topology& topology, const std::string& path) {

@@ -1,6 +1,7 @@
 #include "graph/topology.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -19,14 +20,17 @@ void Topology::require_valid(NodeId n) const {
                    "node id out of range");
 }
 
-void Topology::add_edge(NodeId a, NodeId b, double latency_ms) {
+void Topology::add_edge(NodeId a, NodeId b, double latency_ms,
+                        double bandwidth) {
   require_valid(a);
   require_valid(b);
   WANPLACE_REQUIRE(a != b, "self loops are not allowed");
   WANPLACE_REQUIRE(latency_ms > 0, "edge latency must be positive");
-  adjacency_[a].push_back({b, latency_ms});
-  adjacency_[b].push_back({a, latency_ms});
+  WANPLACE_REQUIRE(bandwidth > 0, "edge bandwidth must be positive");
+  adjacency_[a].push_back({b, latency_ms, bandwidth});
+  adjacency_[b].push_back({a, latency_ms, bandwidth});
   ++edge_count_;
+  if (std::isfinite(bandwidth)) ++capped_edge_count_;
 }
 
 const std::vector<Topology::Neighbor>& Topology::neighbors(NodeId n) const {
@@ -71,6 +75,8 @@ std::string Topology::summary() const {
   std::ostringstream out;
   out << node_count() << " nodes, " << edge_count() << " edges";
   if (!first) out << ", link latency " << lo << "-" << hi << "ms";
+  if (capped_edge_count_ > 0)
+    out << ", " << capped_edge_count_ << " capped links";
   return out.str();
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -14,11 +15,17 @@ namespace wanplace::graph {
 
 using NodeId = std::int32_t;
 
-/// An undirected link between two sites with a fixed one-way latency.
+/// Bandwidth value meaning "this link is not capacity-constrained".
+inline constexpr double kUnlimitedBandwidth =
+    std::numeric_limits<double>::infinity();
+
+/// An undirected link between two sites with a fixed one-way latency and an
+/// optional capacity (requests per interval; infinity = uncapped).
 struct Edge {
   NodeId from = 0;
   NodeId to = 0;
   double latency_ms = 0;
+  double bandwidth = kUnlimitedBandwidth;
 };
 
 /// An undirected latency-weighted graph of sites.
@@ -33,18 +40,24 @@ class Topology {
   std::size_t node_count() const { return adjacency_.size(); }
   double local_latency_ms() const { return local_latency_ms_; }
 
-  /// Add an undirected edge. Requires distinct valid endpoints and a
-  /// positive latency. Parallel edges are allowed (shortest wins in paths).
-  void add_edge(NodeId a, NodeId b, double latency_ms);
+  /// Add an undirected edge. Requires distinct valid endpoints, a positive
+  /// latency, and a positive bandwidth (infinity = uncapped). Parallel edges
+  /// are allowed (shortest wins in paths).
+  void add_edge(NodeId a, NodeId b, double latency_ms,
+                double bandwidth = kUnlimitedBandwidth);
 
-  /// Neighbors of n as (neighbor, latency) pairs.
+  /// Neighbors of n as (neighbor, latency, bandwidth) tuples.
   struct Neighbor {
     NodeId node;
     double latency_ms;
+    double bandwidth = kUnlimitedBandwidth;
   };
   const std::vector<Neighbor>& neighbors(NodeId n) const;
 
   std::size_t edge_count() const { return edge_count_; }
+
+  /// True if any edge carries a finite bandwidth cap.
+  bool has_bandwidth_caps() const { return capped_edge_count_ > 0; }
 
   /// True if every node can reach every other node.
   bool connected() const;
@@ -57,6 +70,7 @@ class Topology {
 
   std::vector<std::vector<Neighbor>> adjacency_;
   std::size_t edge_count_ = 0;
+  std::size_t capped_edge_count_ = 0;
   double local_latency_ms_ = 10.0;
 };
 

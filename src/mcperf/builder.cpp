@@ -1,6 +1,7 @@
 #include "mcperf/builder.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <string>
 
@@ -22,6 +23,27 @@ std::string nik_name(const char* prefix, std::size_t n, std::size_t i,
 BoolMatrix compute_fetch(const Instance& instance, const ClassSpec& spec) {
   const std::size_t n_count = instance.node_count();
   if (spec.routing == Routing::Global) return graph::fetch_all(n_count);
+  if (spec.routing == Routing::Closest) {
+    // Closest allocation: a request climbs toward the root and is served by
+    // the first replica on the way, so a node can only ever fetch from its
+    // ancestor chain (itself included). The assignment rows added by
+    // build_lp() sharpen "some ancestor" into "the first stored ancestor"
+    // when routes are modeled.
+    WANPLACE_REQUIRE(instance.links.has_value(),
+                     "Routing::Closest requires tree links on the instance");
+    WANPLACE_REQUIRE(instance.origin.has_value() &&
+                         *instance.origin == instance.links->root(),
+                     "Routing::Closest requires the origin at the tree root");
+    BoolMatrix fetch(n_count, n_count, 0);
+    for (std::size_t n = 0; n < n_count; ++n) {
+      graph::NodeId walk = static_cast<graph::NodeId>(n);
+      while (walk >= 0) {
+        fetch(n, static_cast<std::size_t>(walk)) = 1;
+        walk = instance.links->parent[static_cast<std::size_t>(walk)];
+      }
+    }
+    return fetch;
+  }
   WANPLACE_REQUIRE(instance.origin.has_value(),
                    "Routing::OriginOnly requires an origin node");
   return graph::fetch_origin_only(n_count, *instance.origin);
@@ -77,8 +99,13 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
   const auto& demand = instance.demand;
   const CostModel& costs = instance.costs;
   const bool qos_metric = std::holds_alternative<QosGoal>(instance.goal);
+  // Finite link capacities need the route block even under the QoS metric:
+  // only explicit routes say which links a served request loads.
+  const bool bandwidth_caps = instance.has_bandwidth_caps();
   const bool needs_routes =
-      !qos_metric || (qos_metric && costs.gamma > 0);
+      !qos_metric || costs.gamma > 0 || bandwidth_caps;
+  WANPLACE_REQUIRE(!bandwidth_caps || !instance.latencies.empty(),
+                   "bandwidth capacity rows need the latency matrix");
 
   BuiltModel built;
   built.fetch = compute_fetch(instance, spec);
@@ -106,16 +133,20 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
           writes_ik[i * k_count + k] += demand.write(n, i, k);
   }
 
-  // Storage cost per store variable: alpha unless a provisioned-capacity
-  // constraint replaces it, plus the update-message term.
+  // Storage cost per store variable: alpha (scaled by the node's
+  // storage_scale entry) unless a provisioned-capacity constraint replaces
+  // it, plus the update-message term.
   const bool provisioned = spec.storage || spec.replicas;
+  WANPLACE_REQUIRE(instance.storage_scale.empty() || !provisioned,
+                   "storage_scale is incompatible with provisioned SC/RC "
+                   "classes (their capacity accounting is per cell)");
 
   // --- store / create variables -------------------------------------------
   for (std::size_t n = 0; n < n_count; ++n) {
     const bool origin = instance.is_origin(n);
     for (std::size_t i = 0; i < i_count; ++i) {
       for (std::size_t k = 0; k < k_count; ++k) {
-        double store_cost = provisioned ? 0.0 : costs.alpha;
+        double store_cost = provisioned ? 0.0 : instance.storage_alpha(n);
         if (costs.delta > 0)
           store_cost += costs.delta * writes_ik[i * k_count + k];
         if (origin) {
@@ -156,6 +187,10 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
 
   // --- QoS metric: covered variables, coverage rows, QoS rows per scope
   // group (constraint (2) and its three variations) ------------------------
+  // With bandwidth caps the coverage rows reference route variables (built
+  // below), so they are deferred: a capped link can keep a stored-and-
+  // reachable replica from actually serving the demand.
+  std::vector<std::array<std::size_t, 4>> deferred_coverage;  // cov, n, i, k
   if (qos_metric) {
     const auto& goal = std::get<QosGoal>(instance.goal);
     const QosGroups groups(instance, goal.scope);
@@ -171,6 +206,9 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
           built.covered(n, i, k) = cov;
           if (built.reach[n].empty()) {
             model.fix_variable(cov, 0);
+          } else if (bandwidth_caps) {
+            deferred_coverage.push_back(
+                {static_cast<std::size_t>(cov), n, i, k});
           } else {
             // (5)/(18): covered <= sum of reachable stores.
             std::vector<std::size_t> cols{static_cast<std::size_t>(cov)};
@@ -198,13 +236,59 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
     }
   }
 
-  // --- route variables (avg-latency goal (7)-(10), penalty term (11)) -----
+  // --- route variables (avg-latency goal (7)-(10), penalty term (11),
+  // bandwidth capacity rows) ------------------------------------------------
+  // Tree-link machinery: node depths for path walks, per-(link, interval)
+  // flow accumulators, and a route-variable lookup for the deferred
+  // coverage rows.
+  std::vector<std::size_t> node_depth;
+  if (instance.links && needs_routes) {
+    node_depth.assign(n_count, 0);
+    for (std::size_t n = 0; n < n_count; ++n) {
+      std::size_t hops = 0;
+      graph::NodeId walk = instance.links->parent[n];
+      while (walk >= 0) {
+        ++hops;
+        walk = instance.links->parent[static_cast<std::size_t>(walk)];
+      }
+      node_depth[n] = hops;
+    }
+  }
+  std::vector<std::vector<std::size_t>> bw_cols;
+  std::vector<std::vector<double>> bw_coeffs;
+  std::vector<std::int32_t> route_lookup;
+  if (bandwidth_caps) {
+    bw_cols.resize(n_count * i_count);
+    bw_coeffs.resize(n_count * i_count);
+    if (qos_metric)
+      route_lookup.assign(n_count * i_count * k_count * n_count, -1);
+  }
+  // Links (child-side endpoints) crossed by the tree path n -> m.
+  const auto crossed_links = [&](std::size_t n, std::size_t m) {
+    std::vector<std::size_t> links_crossed;
+    auto a = static_cast<graph::NodeId>(n);
+    auto b = static_cast<graph::NodeId>(m);
+    const auto& parent = instance.links->parent;
+    while (node_depth[a] > node_depth[b]) {
+      links_crossed.push_back(static_cast<std::size_t>(a));
+      a = parent[static_cast<std::size_t>(a)];
+    }
+    while (node_depth[b] > node_depth[a]) {
+      links_crossed.push_back(static_cast<std::size_t>(b));
+      b = parent[static_cast<std::size_t>(b)];
+    }
+    while (a != b) {
+      links_crossed.push_back(static_cast<std::size_t>(a));
+      links_crossed.push_back(static_cast<std::size_t>(b));
+      a = parent[static_cast<std::size_t>(a)];
+      b = parent[static_cast<std::size_t>(b)];
+    }
+    return links_crossed;
+  };
   if (needs_routes) {
     WANPLACE_REQUIRE(instance.origin.has_value(),
                      "route-based models need an origin so every request "
                      "has a server");
-    const double tlat_proxy = 0;  // penalty threshold handled via coefficients
-    (void)tlat_proxy;
     for (std::size_t n = 0; n < n_count; ++n) {
       const double total = demand.total_reads(n);
       std::vector<std::size_t> avg_cols;
@@ -238,6 +322,33 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
                 {static_cast<std::size_t>(var),
                  static_cast<std::size_t>(built.store(m, i, k))},
                 {1, -1});
+            if (!route_lookup.empty())
+              route_lookup[((n * i_count + i) * k_count + k) * n_count + m] =
+                  var;
+            if (bandwidth_caps && m != n) {
+              // The served reads flow across every link on the tree path.
+              for (const std::size_t u : crossed_links(n, m)) {
+                if (!std::isfinite(instance.links->up_capacity[u])) continue;
+                bw_cols[u * i_count + i].push_back(
+                    static_cast<std::size_t>(var));
+                bw_coeffs[u * i_count + i].push_back(reads);
+              }
+            }
+            if (spec.routing == Routing::Closest && m != n) {
+              // Closest-assignment rows: serving n from ancestor m is only
+              // possible when no node strictly below m on the path stores
+              // the object (the request would have stopped there).
+              for (auto b = static_cast<graph::NodeId>(n);
+                   static_cast<std::size_t>(b) != m;
+                   b = instance.links->parent[static_cast<std::size_t>(b)]) {
+                model.add_row(
+                    lp::RowType::Le, 1,
+                    {static_cast<std::size_t>(var),
+                     static_cast<std::size_t>(
+                         built.store(static_cast<std::size_t>(b), i, k))},
+                    {1, 1});
+              }
+            }
             if (!qos_metric && total > 0) {
               avg_cols.push_back(static_cast<std::size_t>(var));
               avg_coeffs.push_back(reads * latency / total);
@@ -254,6 +365,39 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
         const double tavg = std::get<AvgLatencyGoal>(instance.goal).tavg_ms;
         model.add_row(lp::RowType::Le, tavg, avg_cols, avg_coeffs,
                       "avg[" + std::to_string(n) + "]");
+      }
+    }
+  }
+
+  // --- deferred route-based coverage rows (bandwidth instances) -----------
+  // covered <= sum of in-threshold routes: a replica only covers demand it
+  // can actually serve through the capped links.
+  for (const auto& [cov, n, i, k] : deferred_coverage) {
+    std::vector<std::size_t> cols{cov};
+    std::vector<double> coeffs{-1};
+    for (std::size_t m : built.reach[n]) {
+      const std::int32_t var =
+          route_lookup[((n * i_count + i) * k_count + k) * n_count + m];
+      WANPLACE_CHECK(var >= 0, "missing route for a reachable replica");
+      cols.push_back(static_cast<std::size_t>(var));
+      coeffs.push_back(1);
+    }
+    model.add_row(lp::RowType::Ge, 0, cols, coeffs);
+  }
+
+  // --- per-(link, interval) bandwidth capacity rows ------------------------
+  if (bandwidth_caps) {
+    for (std::size_t u = 0; u < n_count; ++u) {
+      const double cap = instance.links->up_capacity[u];
+      if (instance.links->parent[u] < 0 || !std::isfinite(cap)) continue;
+      for (std::size_t i = 0; i < i_count; ++i) {
+        auto& cols = bw_cols[u * i_count + i];
+        if (cols.empty()) continue;  // no flow can cross this link
+        const std::size_t row = model.add_row(
+            lp::RowType::Le, cap, cols, bw_coeffs[u * i_count + i],
+            "bw[" + std::to_string(u) + "," + std::to_string(i) + "]");
+        built.bandwidth_rows.push_back(
+            {row, static_cast<graph::NodeId>(u), i, cap});
       }
     }
   }

@@ -67,6 +67,21 @@ struct BuiltModel {
     double total_reads = 0;
   };
   std::vector<QosRowInfo> qos_rows;
+
+  /// Per-(link, interval) bandwidth capacity rows (tree instances with
+  /// finite Instance::links capacities): sum of read flows routed across the
+  /// link <= capacity. `link_child` is the lower endpoint of the link, i.e.
+  /// the link is link_child -> parent(link_child). Presence of these rows
+  /// forces the route block even under the QoS metric, and switches the
+  /// coverage rows from store-based to route-based so covered demand is
+  /// demand that is actually routed within Tlat.
+  struct BandwidthRowInfo {
+    std::size_t row = 0;
+    graph::NodeId link_child = 0;
+    std::size_t interval = 0;
+    double capacity = 0;
+  };
+  std::vector<BandwidthRowInfo> bandwidth_rows;
 };
 
 /// Build the LP relaxation of MC-PERF for `spec`. The instance must satisfy

@@ -82,4 +82,11 @@ ClassSpec reactive() {
   return spec;
 }
 
+ClassSpec closest() {
+  ClassSpec spec;
+  spec.name = "closest";
+  spec.routing = Routing::Closest;
+  return spec;
+}
+
 }  // namespace wanplace::mcperf::classes

@@ -26,6 +26,11 @@ enum class ReplicaConstraint { PerSystem, PerObject };
 enum class Routing {
   Global,      // fetch[n][m] = 1 everywhere (cooperative / centralized)
   OriginOnly,  // fetch[n][m] = 1 only for m = n and m = origin (caching)
+  Closest,     // fetch[n][m] = 1 only on the path from n to the tree root:
+               // the closest-allocation policy of Benoit/Rehn/Robert and
+               // Rehn-Sonigo, where a request climbs toward the origin and
+               // is served by the first replica it meets. Requires
+               // Instance::links with the origin at the root.
 };
 
 /// Placement knowledge (Section 4.1 "Global/Local knowledge" — the know
@@ -82,6 +87,10 @@ ClassSpec caching_with_prefetching();
 ClassSpec cooperative_caching_with_prefetching();
 /// The reactive general bound used in the deployment scenario (Section 6.2).
 ClassSpec reactive();
+/// Closest-allocation heuristics on hierarchical (tree) instances: requests
+/// climb toward the origin root and are served by the first replica on the
+/// way (Benoit/Rehn/Robert; Rehn-Sonigo). Requires Instance::links.
+ClassSpec closest();
 }  // namespace classes
 
 }  // namespace wanplace::mcperf

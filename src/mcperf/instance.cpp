@@ -1,8 +1,55 @@
 #include "mcperf/instance.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/check.h"
 
 namespace wanplace::mcperf {
+
+graph::NodeId LinkModel::root() const {
+  for (std::size_t n = 0; n < parent.size(); ++n)
+    if (parent[n] < 0) return static_cast<graph::NodeId>(n);
+  WANPLACE_REQUIRE(false, "link model has no root");
+  return -1;
+}
+
+bool LinkModel::any_finite_capacity() const {
+  for (std::size_t n = 0; n < parent.size(); ++n)
+    if (parent[n] >= 0 && std::isfinite(up_capacity[n])) return true;
+  return false;
+}
+
+void LinkModel::validate(std::size_t node_count) const {
+  WANPLACE_REQUIRE(parent.size() == node_count &&
+                       up_latency_ms.size() == node_count &&
+                       up_capacity.size() == node_count,
+                   "link model dimensions do not match node count");
+  WANPLACE_REQUIRE(local_latency_ms >= 0 && tlat_ms >= 0,
+                   "link model latencies must be >= 0");
+  std::size_t roots = 0;
+  for (std::size_t n = 0; n < node_count; ++n) {
+    if (parent[n] < 0) {
+      ++roots;
+      continue;
+    }
+    WANPLACE_REQUIRE(static_cast<std::size_t>(parent[n]) < node_count &&
+                         static_cast<std::size_t>(parent[n]) != n,
+                     "link parent out of range");
+    WANPLACE_REQUIRE(up_latency_ms[n] > 0, "up-link latency must be positive");
+    WANPLACE_REQUIRE(up_capacity[n] > 0, "up-link capacity must be positive");
+  }
+  WANPLACE_REQUIRE(roots == 1, "link model needs exactly one root");
+  // Acyclic: every node must reach the root in at most node_count hops.
+  for (std::size_t n = 0; n < node_count; ++n) {
+    graph::NodeId walk = static_cast<graph::NodeId>(n);
+    std::size_t hops = 0;
+    while (parent[walk] >= 0) {
+      walk = parent[walk];
+      WANPLACE_REQUIRE(++hops <= node_count, "link model contains a cycle");
+    }
+  }
+}
 
 void Instance::validate() const {
   const std::size_t n = node_count();
@@ -28,6 +75,13 @@ void Instance::validate() const {
   WANPLACE_REQUIRE(costs.alpha >= 0 && costs.beta >= 0 && costs.gamma >= 0 &&
                        costs.delta >= 0 && costs.zeta >= 0,
                    "unit costs must be non-negative");
+  if (links) links->validate(n);
+  if (!storage_scale.empty()) {
+    WANPLACE_REQUIRE(storage_scale.size() == n,
+                     "storage_scale does not match node count");
+    for (const double scale : storage_scale)
+      WANPLACE_REQUIRE(scale > 0, "storage_scale entries must be positive");
+  }
 }
 
 QosGroups::QosGroups(const Instance& instance, QosScope scope)
@@ -67,7 +121,10 @@ double Instance::max_possible_cost() const {
   const auto n = static_cast<double>(node_count());
   const auto i = static_cast<double>(interval_count());
   const auto k = static_cast<double>(object_count());
-  double total = (costs.alpha + costs.beta) * n * i * k;
+  double alpha_max = costs.alpha;
+  for (std::size_t nn = 0; nn < storage_scale.size(); ++nn)
+    alpha_max = std::max(alpha_max, storage_alpha(nn));
+  double total = (alpha_max + costs.beta) * n * i * k;
   total += costs.zeta * n;
   if (costs.delta > 0) {
     double writes = 0;

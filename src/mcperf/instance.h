@@ -51,6 +51,30 @@ struct AvgLatencyGoal {
 
 using Goal = std::variant<QosGoal, AvgLatencyGoal>;
 
+/// Tree-link metadata for instances built on tree topologies. Everything the
+/// closest-allocation routing restriction, the per-link bandwidth rows, and
+/// the exact DP certifier (src/tree) need beyond the dist/latency matrices:
+/// the rooted parent structure, the latency and capacity of every up-link,
+/// and the raw Tlat that Instance::dist was thresholded with.
+struct LinkModel {
+  /// parent[n] of each node; -1 exactly at the root.
+  std::vector<graph::NodeId> parent;
+  /// Latency of the n -> parent[n] link (unused at the root).
+  std::vector<double> up_latency_ms;
+  /// Capacity of the n -> parent[n] link in requests per interval;
+  /// infinity = uncapped (unused at the root).
+  std::vector<double> up_capacity;
+  /// A node serving its own reads (the latency-matrix diagonal).
+  double local_latency_ms = 10.0;
+  /// The latency threshold Instance::dist was derived from.
+  double tlat_ms = 0;
+
+  graph::NodeId root() const;
+  bool any_finite_capacity() const;
+  /// Structural validation (sizes, single root, acyclic, positive values).
+  void validate(std::size_t node_count) const;
+};
+
 /// A complete MC-PERF instance.
 struct Instance {
   workload::Demand demand;
@@ -65,6 +89,13 @@ struct Instance {
   /// object at no model cost. Requests can always fall back to it (whether
   /// they meet the latency goal depends on dist/latencies).
   std::optional<graph::NodeId> origin;
+  /// Tree-link metadata; required by Routing::Closest and by per-link
+  /// bandwidth capacity rows, absent on general topologies.
+  std::optional<LinkModel> links;
+  /// Per-node storage cost multiplier on alpha (per-level storage-cost
+  /// profiles of the tree family); empty = uniform 1. Incompatible with
+  /// provisioned SC/RC classes, whose capacity accounting is per-cell.
+  std::vector<double> storage_scale;
 
   std::size_t node_count() const { return demand.node_count(); }
   std::size_t interval_count() const { return demand.interval_count(); }
@@ -72,6 +103,17 @@ struct Instance {
 
   bool is_origin(std::size_t n) const {
     return origin && static_cast<std::size_t>(*origin) == n;
+  }
+
+  /// Storage cost of one (node, interval, object) cell: alpha scaled by the
+  /// node's storage_scale entry (1 when no profile is set).
+  double storage_alpha(std::size_t n) const {
+    return costs.alpha * (storage_scale.empty() ? 1.0 : storage_scale[n]);
+  }
+
+  /// True when bandwidth capacity rows apply (tree links with a finite cap).
+  bool has_bandwidth_caps() const {
+    return links && links->any_finite_capacity();
   }
 
   /// Validate dimension consistency; throws InvalidArgument on mismatch.

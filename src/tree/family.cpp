@@ -1,0 +1,67 @@
+#include "tree/family.h"
+
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+
+namespace wanplace::tree {
+
+bool is_tree(const graph::Topology& topology) {
+  const std::size_t n = topology.node_count();
+  if (n == 0) return false;
+  std::size_t directed_edges = 0;
+  for (std::size_t v = 0; v < n; ++v)
+    directed_edges += topology.neighbors(static_cast<graph::NodeId>(v)).size();
+  if (directed_edges != 2 * (n - 1)) return false;
+  std::vector<char> seen(n, 0);
+  std::queue<graph::NodeId> frontier;
+  seen[0] = 1;
+  frontier.push(0);
+  std::size_t visited = 1;
+  while (!frontier.empty()) {
+    const graph::NodeId u = frontier.front();
+    frontier.pop();
+    for (const auto& nb : topology.neighbors(u)) {
+      if (seen[nb.node]) continue;
+      seen[nb.node] = 1;
+      ++visited;
+      frontier.push(nb.node);
+    }
+  }
+  return visited == n;
+}
+
+mcperf::LinkModel extract_links(const graph::Topology& topology,
+                                graph::NodeId root, double tlat_ms) {
+  const std::size_t n = topology.node_count();
+  WANPLACE_REQUIRE(root >= 0 && static_cast<std::size_t>(root) < n,
+                   "root out of range");
+  WANPLACE_REQUIRE(is_tree(topology), "extract_links needs a tree topology");
+  mcperf::LinkModel links;
+  links.parent.assign(n, -1);
+  links.up_latency_ms.assign(n, 0.0);
+  links.up_capacity.assign(n, graph::kUnlimitedBandwidth);
+  links.local_latency_ms = topology.local_latency_ms();
+  links.tlat_ms = tlat_ms;
+  std::vector<char> seen(n, 0);
+  std::queue<graph::NodeId> frontier;
+  seen[static_cast<std::size_t>(root)] = 1;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const graph::NodeId u = frontier.front();
+    frontier.pop();
+    for (const auto& nb : topology.neighbors(u)) {
+      if (seen[nb.node]) continue;
+      seen[nb.node] = 1;
+      links.parent[nb.node] = u;
+      links.up_latency_ms[nb.node] = nb.latency_ms;
+      links.up_capacity[nb.node] = nb.bandwidth;
+      frontier.push(nb.node);
+    }
+  }
+  links.validate(n);
+  return links;
+}
+
+}  // namespace wanplace::tree

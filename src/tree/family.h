@@ -1,0 +1,22 @@
+// Tree-instance plumbing: recognizing tree topologies and deriving the
+// Instance::LinkModel (parent pointers, up-link latencies and capacities)
+// that the exact DP certifier and the LP bandwidth rows both consume.
+#pragma once
+
+#include "graph/topology.h"
+#include "mcperf/instance.h"
+
+namespace wanplace::tree {
+
+/// True iff the topology is a connected tree (n-1 undirected edges reaching
+/// every node from node 0).
+bool is_tree(const graph::Topology& topology);
+
+/// Orient a tree topology at `root` and derive the hierarchical link model:
+/// parent[root] = -1, up_latency_ms / up_capacity from the edge toward the
+/// parent. `tlat_ms` is carried into the model so the DP and the LP agree on
+/// the coverage radius. REQUIREs the topology to be a tree.
+mcperf::LinkModel extract_links(const graph::Topology& topology,
+                                graph::NodeId root, double tlat_ms);
+
+}  // namespace wanplace::tree

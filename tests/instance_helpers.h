@@ -5,6 +5,7 @@
 #include "graph/reachability.h"
 #include "graph/shortest_paths.h"
 #include "mcperf/instance.h"
+#include "tree/family.h"
 #include "util/rng.h"
 #include "workload/demand.h"
 #include "workload/generators.h"
@@ -54,6 +55,26 @@ inline mcperf::Instance random_instance(std::uint64_t seed,
   instance.demand = workload::aggregate(trace, intervals);
   instance.goal = mcperf::QosGoal{tqos};
   instance.origin = 0;
+  return instance;
+}
+
+/// Build an MC-PERF instance over a tree topology rooted (and origin'd) at
+/// node 0: latency/dist matrices from the tree paths, Instance::links from
+/// tree::extract_links (carrying per-link bandwidth caps), single or
+/// multi-interval demand left all-zero for the caller to fill.
+/// Requires linking wanplace_tree.
+inline mcperf::Instance tree_instance(
+    const graph::Topology& topology, double tlat_ms, std::size_t intervals,
+    std::size_t objects, double tqos,
+    mcperf::QosScope scope = mcperf::QosScope::PerUserPerObject) {
+  mcperf::Instance instance;
+  instance.latencies = graph::all_pairs_latencies(topology);
+  instance.dist = graph::within_threshold(instance.latencies, tlat_ms);
+  instance.demand =
+      workload::Demand(topology.node_count(), intervals, objects);
+  instance.goal = mcperf::QosGoal{tqos, scope};
+  instance.origin = 0;
+  instance.links = tree::extract_links(topology, 0, tlat_ms);
   return instance;
 }
 

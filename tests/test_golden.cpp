@@ -30,6 +30,7 @@
 #include "bounds/engine.h"
 #include "instance_helpers.h"
 #include "mcperf/heuristic_class.h"
+#include "tree/tree_dp.h"
 
 namespace wanplace {
 namespace {
@@ -300,6 +301,174 @@ TEST(Golden, DualSimplexBealePinned) {
   ASSERT_EQ(sol.status, lp::SolveStatus::Optimal);
   EXPECT_EQ(sol.iterations, std::size_t{3});
   EXPECT_NEAR(sol.objective, -0.05, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Tree-family fixtures: six fixed tree instances pinning the exact DP
+// optimum (deterministic integer/double arithmetic — bit-for-bit), the
+// DenseInverse LP lower bound (bit-for-bit) and the DevexDynamic simplex
+// iteration count. The capped-closest fixture additionally certifies the
+// acceptance property that binding bandwidth rows make the true optimum
+// STRICTLY tighter than the unconstrained bound. Regenerate deliberately
+// with WANPLACE_PRINT_GOLDEN=1 as for kGolden.
+
+struct GoldenTreeFixture {
+  mcperf::Instance instance;
+  mcperf::ClassSpec spec;
+};
+
+GoldenTreeFixture golden_tree(std::size_t index) {
+  graph::TreeParams params;
+  params.local_latency_ms = 10;
+  Rng rng(1);
+  GoldenTreeFixture fx;
+  switch (index) {
+    case 0: {  // star-global: fanout-3 star, 2 objects, full coverage
+      params.depth = 1;
+      params.fanout = 3;
+      params.level_latency_ms = {100};
+      const auto topology = graph::tree(params, rng);
+      // Tlat 90 < the 100ms up-links: every demanding leaf must self-store.
+      fx.instance = test::tree_instance(topology, 90, 1, 2, 1.0);
+      fx.spec = mcperf::classes::general();
+      break;
+    }
+    case 1: {  // binary-global: depth-2 binary tree, tqos 0.9 per (n,k)
+      params.depth = 2;
+      params.fanout = 2;
+      params.level_latency_ms = {100, 50};
+      const auto topology = graph::tree(params, rng);
+      // Tlat 120: leaves reach their parent (50) but not the root (150).
+      fx.instance = test::tree_instance(topology, 120, 1, 2, 0.9);
+      fx.spec = mcperf::classes::general();
+      break;
+    }
+    case 2: {  // path-closest: 4-node chain under the closest policy
+      params.depth = 3;
+      params.fanout = 1;
+      params.level_latency_ms = {100, 50, 50};
+      const auto topology = graph::tree(params, rng);
+      fx.instance = test::tree_instance(topology, 120, 1, 1, 1.0);
+      fx.spec = mcperf::classes::closest();
+      break;
+    }
+    case 3: {  // binary-closest-capped: binding caps on the root links
+      params.depth = 2;
+      params.fanout = 2;
+      params.level_latency_ms = {100, 50};
+      params.level_bandwidth = {4, 0};
+      const auto topology = graph::tree(params, rng);
+      fx.instance = test::tree_instance(topology, 250, 1, 1, 1.0);
+      fx.spec = mcperf::classes::closest();
+      break;
+    }
+    case 4: {  // ternary-neighborhood: per-level storage-cost profile
+      params.depth = 2;
+      params.fanout = 3;
+      params.level_latency_ms = {70, 30};
+      const auto topology = graph::tree(params, rng);
+      // Tlat 90: mid nodes reach the root (70) but leaves do not (100).
+      fx.instance = test::tree_instance(topology, 90, 1, 2, 1.0);
+      fx.spec = mcperf::classes::general();
+      fx.spec.name = "neighborhood";
+      fx.spec.knowledge = mcperf::Knowledge::Neighborhood;
+      fx.instance.storage_scale.assign(fx.instance.node_count(), 1.0);
+      for (std::size_t n = 1; n < fx.instance.node_count(); ++n)
+        fx.instance.storage_scale[n] = n <= 3 ? 2.0 : 0.5;
+      break;
+    }
+    default: {  // star-reactive: single interval, origin radius covers all
+      params.depth = 1;
+      params.fanout = 2;
+      params.level_latency_ms = {100};
+      const auto topology = graph::tree(params, rng);
+      fx.instance = test::tree_instance(topology, 150, 1, 1, 1.0);
+      fx.spec = mcperf::classes::reactive();
+      break;
+    }
+  }
+  auto& instance = fx.instance;
+  instance.costs.alpha = 1;
+  instance.costs.beta = 2;
+  instance.costs.delta = 0.25;
+  const std::size_t k_count = instance.object_count();
+  for (std::size_t n = 0; n < instance.node_count(); ++n) {
+    for (std::size_t k = 0; k < k_count; ++k) {
+      instance.demand.read(n, 0, k) =
+          static_cast<double>(1 + (2 * n + 3 * k) % 4);
+      instance.demand.write(n, 0, k) = (n + k) % 2 ? 0.5 : 0.0;
+    }
+  }
+  return fx;
+}
+
+struct GoldenTreeCase {
+  const char* name;        // fixture label (index order in golden_tree)
+  double dp_optimum;       // frozen exact DP optimum (bit-for-bit)
+  double lower_bound;      // frozen DenseInverse LP bound (bit-for-bit)
+  std::size_t iterations;  // frozen DevexDynamic simplex iteration count
+};
+
+constexpr GoldenTreeCase kGoldenTree[] = {
+    {"star-global", 19.5, 19.5, 28},
+    {"binary-global", 13.75, 12.375, 36},
+    {"path-closest", 3.25, 3.25, 16},
+    {"binary-closest-capped", 6.75, 2.1214285714285706, 47},
+    {"ternary-neighborhood", 19.875, 19.875, 120},
+    {"star-reactive", 0, 0, 9},
+};
+
+TEST(GoldenTree, DpOptimaBoundsAndIterationsPinned) {
+  const bool print = std::getenv("WANPLACE_PRINT_GOLDEN") != nullptr;
+  for (std::size_t index = 0; index < std::size(kGoldenTree); ++index) {
+    const auto& g = kGoldenTree[index];
+    const auto fx = golden_tree(index);
+    const auto dp = tree::solve_tree_dp(fx.instance, fx.spec);
+    const auto dense = bounds::compute_bound(
+        fx.instance, fx.spec,
+        golden_options(lp::SimplexOptions::Basis::DenseInverse));
+    const auto devex =
+        bounds::compute_bound(fx.instance, fx.spec, devex_options());
+    if (print) {
+      std::printf("    {\"%s\", %.17g, %.17g, %zu},\n", g.name, dp.optimum,
+                  dense.lower_bound, devex.solver_iterations);
+      continue;
+    }
+    ASSERT_TRUE(dp.feasible) << g.name;
+    ASSERT_EQ(dense.status, lp::SolveStatus::Optimal) << g.name;
+    // Exact comparisons on purpose: see the file comment.
+    EXPECT_EQ(dp.optimum, g.dp_optimum) << g.name;
+    EXPECT_EQ(dense.lower_bound, g.lower_bound) << g.name;
+    EXPECT_EQ(devex.solver_iterations, g.iterations) << g.name;
+    // The sandwich the differential suite asserts statistically, pinned
+    // here on fixed instances.
+    EXPECT_LE(dense.lower_bound,
+              dp.optimum + 1e-7 * (1 + std::abs(dp.optimum)))
+        << g.name;
+    if (dense.rounded_feasible) {
+      EXPECT_LE(dp.optimum,
+                dense.rounded_cost + 1e-7 * (1 + std::abs(dp.optimum)))
+          << g.name;
+    }
+  }
+}
+
+// The acceptance property for the bandwidth rows: on the capped-closest
+// fixture the DP optimum is STRICTLY above the bound of the same instance
+// with every capacity lifted — capacity is what forces paid replicas.
+TEST(GoldenTree, CappedClosestStrictlyTighterThanUncapped) {
+  if (std::getenv("WANPLACE_PRINT_GOLDEN") != nullptr) GTEST_SKIP();
+  const auto fx = golden_tree(3);
+  auto uncapped = fx.instance;
+  uncapped.links->up_capacity.assign(uncapped.node_count(),
+                                     graph::kUnlimitedBandwidth);
+  const auto capped_dp = tree::solve_tree_dp(fx.instance, fx.spec);
+  const auto free_bound = bounds::compute_bound(
+      uncapped, fx.spec,
+      golden_options(lp::SimplexOptions::Basis::DenseInverse));
+  ASSERT_TRUE(capped_dp.feasible);
+  ASSERT_EQ(free_bound.status, lp::SolveStatus::Optimal);
+  EXPECT_GT(capped_dp.optimum, free_bound.lower_bound + 0.5);
 }
 
 // The golden fixture's bounds must also respect the paper's dominance

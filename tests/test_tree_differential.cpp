@@ -1,0 +1,171 @@
+// TreeDifferential: the exact-DP cross-check certifier for the tree family.
+//
+// Every fuzzed tree instance is solved twice — by the LP bound engine
+// (achievability, LP relaxation, rounding) and by the exact DP in src/tree
+// that shares no code with the LP path — and the results must sandwich:
+//
+//   LP lower bound  <=  DP optimum  <=  rounded feasible cost
+//
+// together with the status cross-implications (unachievable => DP
+// infeasible, rounded-feasible => DP feasible, and exact equivalence with
+// the achievability analysis for Global routing without caps). A failure
+// localizes the bug: a broken left inequality is an LP/builder bug, a
+// broken right inequality is a rounding/audit bug, a status mismatch is a
+// coverage-semantics bug in one of the two sides.
+//
+// Replay a failure with WANPLACE_FUZZ_SEED=<seed>; scale the suite with
+// WANPLACE_FUZZ_COUNT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "bounds/engine.h"
+#include "bounds/feasible.h"
+#include "tree/tree_dp.h"
+#include "tree_fuzz.h"
+
+namespace wanplace {
+namespace {
+
+using test::fuzz_base_seed;
+using test::fuzz_shard_count;
+using test::fuzz_tree_instance;
+
+struct Outcome {
+  bool dp_feasible = false;
+  bool achievable = false;
+  bool rounded_feasible = false;
+  bool capped = false;
+};
+
+Outcome check_sandwich(std::uint64_t seed) {
+  const auto fuzz = fuzz_tree_instance(seed);
+  const std::string label = "seed " + std::to_string(seed) + " class " +
+                            fuzz.spec.name +
+                            (fuzz.capped ? " (capped)" : "");
+
+  const auto dp = tree::solve_tree_dp(fuzz.instance, fuzz.spec);
+  const auto detail = bounds::compute_bound_detail(fuzz.instance, fuzz.spec);
+  const auto& bound = detail.bound;
+  const double tol = 1e-7 * std::max(1.0, std::abs(dp.optimum));
+
+  // Unachievable coverage (reach-based) upper-bounds every routing policy,
+  // so the DP cannot be feasible either.
+  if (!bound.achievable) {
+    EXPECT_FALSE(dp.feasible) << label;
+  }
+
+  if (dp.feasible) {
+    // Left inequality: the LP relaxation can only be below the integral
+    // optimum (the DP witness is LP-feasible).
+    if (bound.achievable) {
+      EXPECT_LE(bound.lower_bound, dp.optimum + tol) << label;
+    }
+
+    // The DP witness must be a genuinely feasible placement of its class,
+    // priced identically by the shared ground-truth evaluator.
+    const auto ev =
+        bounds::evaluate_placement(fuzz.instance, fuzz.spec, dp.placement);
+    EXPECT_TRUE(ev.create_valid) << label;
+    EXPECT_NEAR(ev.cost, dp.optimum, tol) << label;
+    if (fuzz.spec.routing == mcperf::Routing::Closest) {
+      const auto loads = tree::closest_loads(fuzz.instance, dp.placement);
+      EXPECT_TRUE(loads.covered) << label;
+      EXPECT_TRUE(loads.within_caps) << label;
+    } else {
+      EXPECT_TRUE(ev.goal_met) << label;
+    }
+  } else {
+    // Right side vacuous — but then no feasible rounding may exist either
+    // (the engine's closest audit must have cleared rounded_feasible).
+    EXPECT_FALSE(bound.rounded_feasible) << label;
+  }
+
+  // Right inequality: any feasible rounding is an upper bound on the
+  // integral optimum.
+  if (bound.rounded_feasible) {
+    EXPECT_TRUE(dp.feasible) << label;
+    if (dp.feasible) {
+      EXPECT_LE(dp.optimum, bound.rounded_cost + tol) << label;
+    }
+  }
+
+  Outcome out;
+  out.dp_feasible = dp.feasible;
+  out.achievable = bound.achievable;
+  out.rounded_feasible = bound.rounded_feasible;
+  out.capped = fuzz.capped;
+  return out;
+}
+
+TEST(TreeDifferential, SandwichHoldsOnFuzzedTrees) {
+  const std::uint64_t base = fuzz_base_seed();
+  const std::size_t count = fuzz_shard_count(100);
+  std::size_t feasible = 0, infeasible = 0, rounded = 0;
+  for (std::uint64_t offset = 0; offset < count; ++offset) {
+    const auto out = check_sandwich(base + offset);
+    (out.dp_feasible ? feasible : infeasible) += 1;
+    rounded += out.rounded_feasible ? 1 : 0;
+  }
+  // Generator-health guards: the shard must exercise both statuses and
+  // produce feasible roundings, or the sandwich is vacuous.
+  EXPECT_GE(feasible, count / 4);
+  EXPECT_GE(rounded, count / 8);
+  RecordProperty("feasible", static_cast<int>(feasible));
+  RecordProperty("infeasible", static_cast<int>(infeasible));
+  RecordProperty("rounded_feasible", static_cast<int>(rounded));
+}
+
+TEST(TreeDifferential, CappedClosestShard) {
+  // A dedicated shard of capacity-constrained closest instances: the only
+  // configurations where the DP prices flow, and where the LP's bandwidth
+  // rows and the engine's closest audit earn their keep.
+  const std::uint64_t base = fuzz_base_seed();
+  const std::size_t count = fuzz_shard_count(60);
+  std::size_t found = 0;
+  for (std::uint64_t offset = 0; found < count && offset < count * 8;
+       ++offset) {
+    const std::uint64_t seed = base + 200000 + offset;
+    const auto fuzz = fuzz_tree_instance(seed);
+    if (!fuzz.capped) continue;
+    ++found;
+    const auto out = check_sandwich(seed);
+
+    // Monotonicity: relaxing every cap can only lower the optimum.
+    if (out.dp_feasible) {
+      auto uncapped = fuzz.instance;
+      uncapped.links->up_capacity.assign(uncapped.node_count(),
+                                         graph::kUnlimitedBandwidth);
+      const auto capped_dp = tree::solve_tree_dp(fuzz.instance, fuzz.spec);
+      const auto free_dp = tree::solve_tree_dp(uncapped, fuzz.spec);
+      ASSERT_TRUE(free_dp.feasible) << "seed " << seed;
+      EXPECT_GE(capped_dp.optimum,
+                free_dp.optimum - 1e-9 * std::max(1.0, free_dp.optimum))
+          << "seed " << seed;
+    }
+  }
+  EXPECT_EQ(found, count);
+}
+
+TEST(TreeDifferential, GlobalFeasibilityMatchesAchievability) {
+  // For Global routing without capacities the reach-based achievability
+  // analysis decides exactly the same question as the DP's coverage
+  // feasibility — assert the equivalence, not just the implication.
+  const std::uint64_t base = fuzz_base_seed();
+  const std::size_t count = fuzz_shard_count(60);
+  std::size_t found = 0;
+  for (std::uint64_t offset = 0; found < count && offset < count * 8;
+       ++offset) {
+    const std::uint64_t seed = base + 300000 + offset;
+    const auto fuzz = fuzz_tree_instance(seed);
+    if (fuzz.spec.routing == mcperf::Routing::Closest) continue;
+    ++found;
+    const auto out = check_sandwich(seed);
+    EXPECT_EQ(out.dp_feasible, out.achievable) << "seed " << seed;
+  }
+  EXPECT_EQ(found, count);
+}
+
+}  // namespace
+}  // namespace wanplace

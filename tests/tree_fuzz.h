@@ -1,0 +1,132 @@
+// Seeded random tree-instance generator for the DP differential harness.
+//
+// Each seed deterministically produces one single-interval tree instance
+// inside the exact-DP window (full-coverage QoS semantics, gamma = zeta =
+// 0, origin at the root) plus a heuristic class to bound it with. Latencies
+// and Tlat are integers so the DP's path sums and the Dijkstra-derived
+// dist/latency matrices agree exactly; reads are small integers so the
+// 1e-9-relative QoS tolerances can never swallow a whole demand.
+//
+// A seeded fraction of the closest-routing instances gets finite per-link
+// bandwidth caps (single object, per the DP window); caps are drawn around
+// the actual subtree read volumes so they genuinely bind.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "instance_helpers.h"
+#include "lp_fuzz.h"  // fuzz_base_seed / fuzz_shard_count
+#include "mcperf/heuristic_class.h"
+
+namespace wanplace::test {
+
+struct FuzzTree {
+  mcperf::Instance instance;
+  mcperf::ClassSpec spec;
+  bool capped = false;  // some up-link has a finite capacity
+};
+
+inline FuzzTree fuzz_tree_instance(std::uint64_t seed) {
+  Rng rng(seed ^ 0x7331BEEFULL);
+  FuzzTree out;
+
+  graph::TreeParams params;
+  params.depth = 1 + rng.uniform_index(3);   // 1..3
+  params.fanout = 1 + rng.uniform_index(3);  // 1..3
+  params.latency_jitter = 0;                 // keep path sums integral
+  params.local_latency_ms = 10;
+  const double level_choices[] = {30, 50, 70, 100};
+  params.level_latency_ms.clear();
+  for (std::size_t level = 0; level < params.depth; ++level)
+    params.level_latency_ms.push_back(level_choices[rng.uniform_index(4)]);
+
+  // Class roll: Global-routing variants and the closest-allocation policy.
+  const std::size_t cls = rng.uniform_index(5);
+  switch (cls) {
+    case 0: out.spec = mcperf::classes::general(); break;
+    case 1: out.spec = mcperf::classes::reactive(); break;
+    case 2: {
+      // Neighborhood knowledge without the provisioned-capacity part of
+      // the preset (the DP window has no SC/RC).
+      out.spec = mcperf::classes::general();
+      out.spec.name = "neighborhood";
+      out.spec.knowledge = mcperf::Knowledge::Neighborhood;
+      break;
+    }
+    default: out.spec = mcperf::classes::closest(); break;
+  }
+  const bool closest = out.spec.routing == mcperf::Routing::Closest;
+  out.capped = closest && rng.bernoulli(0.5);
+
+  const std::size_t objects = out.capped ? 1 : 1 + rng.uniform_index(3);
+  const double tlat_choices[] = {90, 120, 160, 240};
+  const double tlat = tlat_choices[rng.uniform_index(4)];
+
+  if (out.capped) {
+    // Rough per-link volume scale: reads average ~2 per demanding cell and
+    // a level-L link carries at most the reads of a fanout^(depth-L)
+    // subtree. Draw caps around that so some bind and some do not.
+    params.level_bandwidth.clear();
+    std::size_t below = 1;
+    for (std::size_t d = 0; d < params.depth; ++d) below *= params.fanout;
+    for (std::size_t level = 0; level < params.depth; ++level) {
+      const double scale = static_cast<double>(below) * 2.0;
+      const double cap =
+          rng.bernoulli(0.3)
+              ? 0.0  // uncapped level
+              : std::max(1.0, std::floor(scale * rng.uniform(0.3, 1.5)));
+      params.level_bandwidth.push_back(cap);
+      below = below > params.fanout ? below / params.fanout : 1;
+    }
+  }
+
+  Rng topo_rng = rng.split();
+  const auto topology = graph::tree(params, topo_rng);
+
+  // Scope/tqos inside the full-coverage window.
+  mcperf::QosScope scope = mcperf::QosScope::PerUserPerObject;
+  double tqos = 1.0;
+  if (rng.bernoulli(0.7)) {
+    const double tqos_choices[] = {0.7, 0.9, 1.0};
+    tqos = tqos_choices[rng.uniform_index(3)];
+  } else {
+    const mcperf::QosScope scopes[] = {mcperf::QosScope::PerUser,
+                                       mcperf::QosScope::Overall,
+                                       mcperf::QosScope::PerObject};
+    scope = scopes[rng.uniform_index(3)];
+  }
+
+  out.instance = tree_instance(topology, tlat, 1, objects, tqos, scope);
+
+  // Integer reads (1..5 on ~60% of cells) and occasional halves-free
+  // integer writes so the update term exercises without FP dust.
+  const std::size_t n_count = out.instance.node_count();
+  for (std::size_t n = 0; n < n_count; ++n)
+    for (std::size_t k = 0; k < objects; ++k) {
+      if (rng.bernoulli(0.6))
+        out.instance.demand.read(n, 0, k) =
+            static_cast<double>(1 + rng.uniform_index(5));
+      if (rng.bernoulli(0.2))
+        out.instance.demand.write(n, 0, k) =
+            static_cast<double>(1 + rng.uniform_index(3));
+    }
+
+  // Costs inside the DP window; heterogeneous per-node storage sometimes.
+  out.instance.costs.alpha = 1;
+  const double betas[] = {0.25, 1, 3};
+  out.instance.costs.beta = betas[rng.uniform_index(3)];
+  out.instance.costs.delta = rng.bernoulli(0.4) ? 0.125 : 0.0;
+  out.instance.costs.gamma = 0;
+  out.instance.costs.zeta = 0;
+  if (rng.bernoulli(0.35)) {
+    out.instance.storage_scale.assign(n_count, 1.0);
+    const double scales[] = {0.5, 1, 2, 4};
+    for (std::size_t n = 0; n < n_count; ++n)
+      out.instance.storage_scale[n] = scales[rng.uniform_index(4)];
+  }
+  return out;
+}
+
+}  // namespace wanplace::test

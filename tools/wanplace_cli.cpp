@@ -2,6 +2,12 @@
 //
 //   wanplace_cli gen-example --out DIR
 //       Write a sample topology + trace pair to experiment with.
+//       --gen as-like (default) takes --nodes; --gen tree builds a
+//       hierarchical topology from --depth/--fanout/--level-latency
+//       [--level-bandwidth CAP to cap every link, --jitter F for latency
+//       jitter]. Tree topologies loaded by the commands below
+//       automatically carry the link model that enables --class closest
+//       and per-link bandwidth capacity rows.
 //
 //   wanplace_cli select --topology T --trace R [options]
 //       Section 6.1: class lower bounds + heuristic recommendation.
@@ -49,6 +55,7 @@
 #include "obs/metrics.h"
 #include "obs/solve_report.h"
 #include "obs/trace.h"
+#include "tree/family.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "workload/generators.h"
@@ -117,12 +124,12 @@ mcperf::ClassSpec parse_class(const std::string& name) {
         mcperf::classes::neighborhood_caching(),
         mcperf::classes::caching_with_prefetching(),
         mcperf::classes::cooperative_caching_with_prefetching(),
-        mcperf::classes::reactive()}) {
+        mcperf::classes::reactive(), mcperf::classes::closest()}) {
     if (spec.name == name) return spec;
   }
   throw Error("unknown class '" + name + "' (try: general, "
               "storage-constrained, replica-constrained, caching, "
-              "coop-caching, ...)");
+              "coop-caching, closest, ...)");
 }
 
 struct Loaded {
@@ -153,6 +160,12 @@ Loaded load(const Args& args) {
       parse_scope(args.get("scope", "per-user"))};
   loaded.instance.origin =
       static_cast<graph::NodeId>(args.get_size("origin", 0));
+  // Tree topologies get the hierarchical link model (parents, up-link
+  // latencies and bandwidth caps) rooted at the origin — required by the
+  // closest class and by the per-link capacity rows on capped topologies.
+  if (tree::is_tree(loaded.topology))
+    loaded.instance.links =
+        tree::extract_links(loaded.topology, *loaded.instance.origin, tlat);
   return loaded;
 }
 
@@ -202,13 +215,31 @@ int cmd_gen_example(const Args& args) {
   std::filesystem::create_directories(out);
 
   Rng rng(args.get_size("seed", 42));
-  graph::AsLikeParams params;
-  params.node_count = args.get_size("nodes", 12);
-  const auto topology = graph::as_like(params, rng);
+  graph::Topology topology;
+  const std::string gen = args.get("gen", "as-like");
+  if (gen == "tree") {
+    // Hierarchical CDN-style topology: --depth/--fanout shape, one link
+    // latency per level via --level-latency (last repeats), optional
+    // per-level bandwidth caps via --level-bandwidth (0 = uncapped).
+    graph::TreeParams params;
+    params.depth = args.get_size("depth", 3);
+    params.fanout = args.get_size("fanout", 2);
+    params.level_latency_ms = {args.get_double("level-latency", 100)};
+    params.latency_jitter = args.get_double("jitter", 0);
+    const double bandwidth = args.get_double("level-bandwidth", 0);
+    if (bandwidth > 0) params.level_bandwidth = {bandwidth};
+    topology = graph::tree(params, rng);
+  } else if (gen == "as-like") {
+    graph::AsLikeParams params;
+    params.node_count = args.get_size("nodes", 12);
+    topology = graph::as_like(params, rng);
+  } else {
+    throw Error("unknown generator '" + gen + "' (as-like|tree)");
+  }
   graph::save_topology_file(topology, out + "/topology.txt");
 
   workload::WebParams web;
-  web.shape.node_count = params.node_count;
+  web.shape.node_count = topology.node_count();
   web.shape.object_count = args.get_size("objects", 60);
   web.shape.request_count = args.get_size("requests", 20'000);
   web.shape.interval_weights = workload::diurnal_interval_weights(24);
