@@ -9,12 +9,16 @@
 // 600), PDHG takes over beyond that.
 #include "common.h"
 
+#include <filesystem>
+#include <iostream>
+
 #include "core/case_study.h"
 #include "lp/pdhg.h"
 #include "lp/simplex.h"
 #include "mcperf/builder.h"
 #include "mcperf/heuristic_class.h"
 #include "util/rng.h"
+#include "workload/trace.h"
 
 namespace {
 
@@ -52,7 +56,7 @@ lp::LpModel random_lp(Rng& rng, std::size_t vars, std::size_t rows) {
 
 /// The ~3900-row tree-structured LP the engine actually meets: the scaling
 /// case study at 8 nodes x 8 intervals x 60 objects, general class.
-lp::LpModel mcperf_lp(double tqos) {
+mcperf::Instance mcperf_instance(double tqos) {
   core::CaseStudyConfig config;
   config.node_count = 8;
   config.interval_count = 8;
@@ -60,8 +64,95 @@ lp::LpModel mcperf_lp(double tqos) {
   config.web_requests = 16'000;
   config.web_head_count = 6;
   const auto study = core::make_case_study(config);
-  const auto instance = study.web_instance(tqos);
-  return mcperf::build_lp(instance, mcperf::classes::general()).model;
+  return study.web_instance(tqos);
+}
+
+lp::LpModel mcperf_lp(double tqos) {
+  return mcperf::build_lp(mcperf_instance(tqos), mcperf::classes::general())
+      .model;
+}
+
+/// Continuous re-placement replay on the q90 MC-PERF LP: a seeded stream of
+/// demand deltas, each mirrored into the standing model by
+/// mcperf::apply_delta and re-solved warm (dual simplex from the carried
+/// basis) — versus a full rebuild + cold two-phase solve of the same
+/// post-event instance. The per-event pivot ratio is the operating cost of
+/// the re-placement daemon per drift event; the objectives cross-check the
+/// delta path. Rows land in lp_replay.csv next to this binary's main table.
+void run_event_replay(::benchmark::State& state) {
+  auto instance = mcperf_instance(0.9);
+  const auto spec = mcperf::classes::general();
+  Table table({"event", "cold-it", "warm-it", "cold/warm", "cold-obj",
+               "warm-obj"});
+  double warm_total = 0, cold_total = 0;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    auto built = mcperf::build_lp(instance, spec);
+    lp::SimplexOptions cold_options;
+    const auto base = lp::solve_simplex(built.model, cold_options);
+    lp::BasisSnapshot basis = base.basis;
+    Rng rng(0xE7E7);
+    for (int e = 0; e < 10; ++e) {
+      workload::DemandDeltaEvent event;
+      event.node = static_cast<graph::NodeId>(
+          rng.uniform_index(instance.node_count()));
+      event.interval = rng.uniform_index(instance.interval_count());
+      event.object = static_cast<workload::ObjectId>(
+          rng.uniform_index(instance.object_count()));
+      const double reads = instance.demand.read(
+          static_cast<std::size_t>(event.node), event.interval,
+          static_cast<std::size_t>(event.object));
+      // Flash-crowd scale: the cells average ~4 reads, so drift has to be
+      // tens of reads to move the group-normalized QoS coefficients enough
+      // that the carried basis actually needs repair pivots.
+      event.read_delta = rng.bernoulli(0.7) ? rng.uniform(20.0, 150.0)
+                                            : -rng.uniform(0.0, reads);
+      if (rng.bernoulli(0.3)) event.write_delta = rng.uniform(0.0, 5.0);
+      instance.apply_delta(event, 0);
+      mcperf::apply_delta(instance, spec, event, built, basis);
+
+      lp::SimplexOptions warm_options;
+      warm_options.method = lp::SimplexOptions::Method::Dual;
+      warm_options.warm_start = &basis;
+      const auto warm = lp::solve_simplex(built.model, warm_options);
+      basis = warm.basis;
+
+      auto rebuilt = mcperf::build_lp(instance, spec);
+      const auto cold = lp::solve_simplex(rebuilt.model, cold_options);
+
+      warm_total += static_cast<double>(warm.iterations);
+      cold_total += static_cast<double>(cold.iterations);
+      ++events;
+      table.cell(static_cast<std::int64_t>(e))
+          .cell(static_cast<std::int64_t>(cold.iterations))
+          .cell(static_cast<std::int64_t>(warm.iterations))
+          .cell(warm.iterations > 0
+                    ? format_number(static_cast<double>(cold.iterations) /
+                                        static_cast<double>(warm.iterations),
+                                    1)
+                    : std::string("inf"));
+      table.cell(cold.objective, 4).cell(warm.objective, 4);
+      table.finish_row();
+    }
+  }
+  state.counters["cold_it_per_event"] =
+      cold_total / static_cast<double>(events);
+  state.counters["warm_it_per_event"] =
+      warm_total / static_cast<double>(events);
+  state.counters["pivot_ratio"] =
+      warm_total > 0 ? cold_total / warm_total : 0;
+
+  std::cout << "\n=== lp_replay (warm dual vs cold rebuild per event) ===\n"
+            << table.to_ascii();
+  const char* env = std::getenv("WANPLACE_BENCH_OUT");
+  const std::string out_dir = env && *env ? env : "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (!ec) {
+    const std::string path = out_dir + "/lp_replay.csv";
+    table.write_csv(path);
+    std::cout << "(csv written to " << path << ")\n";
+  }
 }
 
 struct Paths {
@@ -218,6 +309,13 @@ void register_points() {
         const auto model = mcperf_lp(0.9);
         run_point(state, model, {true, true, false}, 2'000'000, 1e-8);
       })
+      ->Iterations(1)
+      ->Unit(::benchmark::kSecond);
+
+  // The daemon's steady state: drift events against the standing q90 model.
+  // Named without the instance tag so the bench_smoke per-pivot gate (which
+  // filters on "mcperf-8x8x60-q90") keeps timing the plain solve only.
+  ::benchmark::RegisterBenchmark("lp/event-replay-q90", run_event_replay)
       ->Iterations(1)
       ->Unit(::benchmark::kSecond);
 

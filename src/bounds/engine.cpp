@@ -122,16 +122,22 @@ bool closest_placement_feasible(const mcperf::Instance& instance,
   return true;
 }
 
-}  // namespace
-
-BoundDetail compute_bound_detail(const mcperf::Instance& instance,
-                                 const mcperf::ClassSpec& spec,
-                                 const BoundOptions& options) {
+// The bound pipeline behind both public entry points. `prebuilt` non-null
+// means the caller already holds the LP for (instance, spec) — typically
+// delta-maintained across drift events — so the build step is skipped and
+// the model is moved into the returned detail even when the achievability
+// gate fires (the daemon must keep its model state across transiently
+// unachievable instances).
+BoundDetail bound_pipeline(const mcperf::Instance& instance,
+                           const mcperf::ClassSpec& spec,
+                           const BoundOptions& options,
+                           mcperf::BuiltModel* prebuilt) {
   Stopwatch watch;
   obs::Span span("bound");
   span.label("class", spec.name);
   BoundDetail detail;
   detail.bound.class_name = spec.name;
+  if (prebuilt != nullptr) detail.built = std::move(*prebuilt);
 
   // Structural feasibility first: can this class reach the QoS goal at all?
   if (std::holds_alternative<mcperf::QosGoal>(instance.goal)) {
@@ -151,7 +157,7 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
                                      // by the solver
   }
 
-  {
+  if (prebuilt == nullptr) {
     WANPLACE_SPAN("build_lp");
     detail.built = mcperf::build_lp(instance, spec);
   }
@@ -256,6 +262,21 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
            " rows=", detail.bound.lp_rows, " time=",
            detail.bound.solve_seconds, "s");
   return detail;
+}
+
+}  // namespace
+
+BoundDetail compute_bound_detail(const mcperf::Instance& instance,
+                                 const mcperf::ClassSpec& spec,
+                                 const BoundOptions& options) {
+  return bound_pipeline(instance, spec, options, nullptr);
+}
+
+BoundDetail compute_bound_built(const mcperf::Instance& instance,
+                                const mcperf::ClassSpec& spec,
+                                mcperf::BuiltModel built,
+                                const BoundOptions& options) {
+  return bound_pipeline(instance, spec, options, &built);
 }
 
 ClassBound compute_bound(const mcperf::Instance& instance,

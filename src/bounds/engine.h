@@ -100,4 +100,18 @@ BoundDetail compute_bound_detail(const mcperf::Instance& instance,
                                  const mcperf::ClassSpec& spec,
                                  const BoundOptions& options = {});
 
+/// Solve a model the caller already holds for (instance, spec) — the
+/// continuous re-placement path, where the LP was built once and then
+/// mutated in step with the instance by mcperf::apply_delta, so the engine
+/// must not rebuild it. Takes the model by value: move it in and move
+/// `detail.built` back out to carry the state to the next event without a
+/// copy; it is returned even when the achievability gate fires, so a
+/// transiently unachievable instance does not lose the model. Otherwise
+/// behaves exactly like compute_bound_detail; `options.warm.basis`
+/// supplies the event-carried (shape-repaired) basis.
+BoundDetail compute_bound_built(const mcperf::Instance& instance,
+                                const mcperf::ClassSpec& spec,
+                                mcperf::BuiltModel built,
+                                const BoundOptions& options = {});
+
 }  // namespace wanplace::bounds

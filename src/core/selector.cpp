@@ -85,14 +85,33 @@ SelectionReport HeuristicSelector::select(
   // solve (warm_start). Seeding only from the general solve — never from
   // whichever sibling class finished first — is what keeps reports
   // bit-identical for every parallelism value.
+  // Positional basis carry from a previous report of the same class list
+  // (SelectorOptions::previous): detail slot i warm-starts from the basis
+  // its own predecessor exported, never from a sibling.
+  const auto previous_basis =
+      [&](std::size_t detail_idx) -> const lp::BasisSnapshot* {
+    if (options_.previous == nullptr) return nullptr;
+    const auto& prior = options_.previous->details;
+    if (detail_idx >= prior.size()) return nullptr;
+    const auto& basis = prior[detail_idx].solution.basis;
+    return basis.empty() ? nullptr : &basis;
+  };
+  bounds::BoundOptions general_options = options_.bounds;
+  if (general_options.warm.basis == nullptr)
+    general_options.warm.basis = previous_basis(0);
   details[0] = bounds::compute_bound_detail(
-      instance, mcperf::classes::general(), options_.bounds);
+      instance, mcperf::classes::general(), general_options);
   bounds::BoundOptions class_options = options_.bounds;
   if (options_.warm_start) class_options.warm.seed = &details[0];
+  const auto solve_class = [&](std::size_t idx,
+                               const bounds::BoundOptions& base) {
+    bounds::BoundOptions opt = base;
+    if (opt.warm.basis == nullptr) opt.warm.basis = previous_basis(1 + idx);
+    return bounds::compute_bound_detail(instance, options_.classes[idx], opt);
+  };
   if (parallelism <= 1) {
     for (std::size_t idx = 0; idx < options_.classes.size(); ++idx)
-      details[1 + idx] = bounds::compute_bound_detail(
-          instance, options_.classes[idx], class_options);
+      details[1 + idx] = solve_class(idx, class_options);
   } else {
     // Every class bound is an independent solve over a separately built
     // LpModel — fan them out. Nested solver parallelism is disabled so the
@@ -102,10 +121,9 @@ SelectionReport HeuristicSelector::select(
         std::min<std::size_t>(parallelism, options_.classes.size()));
     std::vector<std::future<bounds::BoundDetail>> futures;
     futures.reserve(options_.classes.size());
-    for (const auto& spec : options_.classes)
-      futures.push_back(pool.submit([&, spec] {
-        return bounds::compute_bound_detail(instance, spec, class_options);
-      }));
+    for (std::size_t idx = 0; idx < options_.classes.size(); ++idx)
+      futures.push_back(pool.submit(
+          [&, idx] { return solve_class(idx, class_options); }));
     for (std::size_t idx = 0; idx < futures.size(); ++idx)
       details[1 + idx] = futures[idx].get();
   }

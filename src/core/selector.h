@@ -20,6 +20,8 @@
 
 namespace wanplace::core {
 
+struct SelectionReport;
+
 struct SelectorOptions {
   /// Classes to evaluate; empty means default_classes().
   std::vector<mcperf::ClassSpec> classes;
@@ -44,6 +46,16 @@ struct SelectorOptions {
   /// details hold the whole LP per class. Needed for `--report`-style
   /// sensitivity output (obs::make_solve_report).
   bool keep_details = false;
+  /// Cross-run warm carry (the continuous re-placement service): a prior
+  /// SelectionReport of a drifted copy of the same instance over the SAME
+  /// class list, solved with keep_details so its per-solve bases survive.
+  /// Each solve — general and per-class — then warm-starts from its own
+  /// previous basis (positionally matched, never a sibling, so reports stay
+  /// bit-identical at every parallelism value); a shape-incompatible basis
+  /// falls back to the engine's cold path. Composes with `warm_start`,
+  /// which still seeds classes from this run's general solve when no
+  /// previous basis is available. Borrowed for the select() call.
+  const SelectionReport* previous = nullptr;
 };
 
 struct SelectionReport {

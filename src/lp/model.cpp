@@ -53,6 +53,20 @@ std::size_t LpModel::add_row(RowType type, double rhs,
   return rows_.size() - 1;
 }
 
+void LpModel::set_row(std::size_t r, double rhs,
+                      const std::vector<std::size_t>& cols,
+                      const std::vector<double>& coeffs) {
+  WANPLACE_REQUIRE(r < row_count(), "row out of range");
+  WANPLACE_REQUIRE(cols.size() == coeffs.size(),
+                   "row cols/coeffs arity mismatch");
+  WANPLACE_REQUIRE(!std::isnan(rhs), "NaN rhs");
+  for (std::size_t col : cols)
+    WANPLACE_REQUIRE(col < variable_count(), "row references unknown column");
+  rows_[r].rhs = rhs;
+  rows_[r].cols = cols;
+  rows_[r].coeffs = coeffs;
+}
+
 void LpModel::set_bounds(std::size_t j, double lower, double upper) {
   WANPLACE_REQUIRE(j < variable_count(), "variable out of range");
   WANPLACE_REQUIRE(lower <= upper, "variable bounds inverted");

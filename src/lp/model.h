@@ -76,6 +76,13 @@ class LpModel {
   /// Change the objective coefficient of a variable.
   void set_objective(std::size_t j, double objective);
 
+  /// Replace the right-hand side and coefficients of an existing row in
+  /// place, keeping its type and name — the model-delta API used by
+  /// `mcperf::apply_delta` to renormalize QoS/coverage rows under demand
+  /// drift without a rebuild. An empty column list makes the row vacuous.
+  void set_row(std::size_t r, double rhs, const std::vector<std::size_t>& cols,
+               const std::vector<double>& coeffs);
+
   /// Constraint matrix in CSR form (rows in insertion order).
   SparseMatrix matrix() const;
 

@@ -159,11 +159,12 @@ class Simplex {
   }
 
   /// Dual simplex driver: warm basis if supplied (else the cold slack
-  /// basis with artificials pinned), dual-feasibility repair, then the
-  /// dual iteration. Any condition the dual method cannot handle — no
-  /// dual-feasible start, an unusable snapshot, a terminal stall — falls
-  /// back to the cold two-phase primal, so callers never observe a wrong
-  /// answer from choosing Method::Dual.
+  /// basis with artificials pinned), dual-feasibility repair (bound flips,
+  /// with cost shifts covering one-sided columns — repair always
+  /// succeeds), then the dual iteration. When shifts were needed, a warm
+  /// primal phase 2 under the true costs closes the perturbation gap. A
+  /// terminal stall still falls back to the cold two-phase primal, so
+  /// callers never observe a wrong answer from choosing Method::Dual.
   LpSolution run_dual() {
     Stopwatch watch;
     dual_mode_ = true;
@@ -173,25 +174,35 @@ class Simplex {
     set_phase_costs(/*phase1=*/false);
     if (d_.size() < total_columns()) d_.assign(total_columns(), 0.0);
     refresh_incremental_state();
-    if (!make_dual_feasible()) {
-      ++dual_fallbacks_;
-      dual_mode_ = false;
-      build();
-      return run_cold_phases(watch);
-    }
+    dual_shifted_ = false;
+    make_dual_feasible();
     if (warm) ++warm_accepted_;
     stall_count_ = 0;
     bland_ = false;
-    const SolveStatus status = run_dual_phase();
+    SolveStatus status = run_dual_phase();
     if (dual_abort_) {
       ++dual_fallbacks_;
       dual_mode_ = false;
       dual_abort_ = false;
+      dual_shifted_ = false;
       build();
       stall_count_ = 0;
       bland_ = false;
       return run_cold_phases(watch);
     }
+    if (dual_shifted_ && status == SolveStatus::Optimal) {
+      // The dual phase optimized shifted costs, so its end point is primal
+      // feasible but possibly not optimal for the true objective: restore
+      // the true costs and let a warm primal phase 2 close the gap.
+      set_phase_costs(/*phase1=*/false);
+      dual_mode_ = false;
+      dual_shifted_ = false;
+      refresh_incremental_state();
+      stall_count_ = 0;
+      bland_ = false;
+      status = run_phase(/*phase1=*/false);
+    }
+    dual_shifted_ = false;
     LpSolution solution;
     solution.status = status;
     if (status == SolveStatus::Infeasible) {
@@ -293,6 +304,9 @@ class Simplex {
     if (dual_repair_flips_ > 0)
       obs::counter_add("simplex.dual.repair_flips",
                        static_cast<double>(dual_repair_flips_));
+    if (dual_cost_shifts_ > 0)
+      obs::counter_add("simplex.dual.cost_shifts",
+                       static_cast<double>(dual_cost_shifts_));
     if (ftran_sparse_ > 0)
       obs::counter_add("simplex.ftran.sparse",
                        static_cast<double>(ftran_sparse_));
@@ -940,38 +954,49 @@ class Simplex {
     return true;
   }
 
-  /// Repair dual feasibility of the cached reduced costs by flipping boxed
-  /// nonbasic variables whose reduced cost has the wrong sign for their
-  /// bound (cheap: the basis, duals and reduced costs are all unchanged by
-  /// a flip). Returns false when a wrong-sign column cannot be flipped
-  /// (free variable, or a one-sided bound) — then no dual-feasible start
-  /// exists at this basis and the caller falls back to the cold primal.
+  /// Repair dual feasibility of the cached reduced costs. Boxed nonbasic
+  /// variables whose reduced cost has the wrong sign for their bound are
+  /// flipped (cheap: the basis, duals and reduced costs are all unchanged
+  /// by a flip). A wrong-sign column that cannot be flipped (free
+  /// variable, or a one-sided bound — typically a row slack whose dual
+  /// changed sign after a coefficient patch) gets its working cost shifted
+  /// so its reduced cost is exactly zero. Shifting solves a perturbed
+  /// objective, so whenever it fires the driver must finish with a primal
+  /// phase-2 cleanup under the true costs — `dual_shifted_` records that
+  /// debt. Bounds are untouched, so an infeasibility certificate found by
+  /// the shifted dual iteration remains valid for the true problem.
   bool make_dual_feasible() {
     const double tol = options_.tolerance;
     bool flipped = false;
+    bool shifted = false;
     for (std::size_t j = 0; j < total_columns(); ++j) {
       if (status_[j] == VarStatus::Basic || lower_[j] == upper_[j]) continue;
       const double d = d_[j];
-      if (status_[j] == VarStatus::FreeZero) {
-        if (std::abs(d) > tol) return false;
-      } else if (status_[j] == VarStatus::AtLower && d < -tol) {
-        if (!(upper_[j] < kInf)) return false;
+      const bool wrong_sign =
+          (status_[j] == VarStatus::FreeZero && std::abs(d) > tol) ||
+          (status_[j] == VarStatus::AtLower && d < -tol) ||
+          (status_[j] == VarStatus::AtUpper && d > tol);
+      if (!wrong_sign) continue;
+      if (status_[j] == VarStatus::AtLower && upper_[j] < kInf) {
         status_[j] = VarStatus::AtUpper;
         x_[j] = upper_[j];
         flipped = true;
         ++dual_repair_flips_;
-      } else if (status_[j] == VarStatus::AtUpper && d > tol) {
-        if (!(lower_[j] > -kInf)) return false;
+      } else if (status_[j] == VarStatus::AtUpper && lower_[j] > -kInf) {
         status_[j] = VarStatus::AtLower;
         x_[j] = lower_[j];
         flipped = true;
         ++dual_repair_flips_;
+      } else {
+        cost_[j] -= d;
+        d_[j] = 0;
+        shifted = true;
+        ++dual_cost_shifts_;
       }
     }
-    if (flipped) {
-      recompute_basic_values();
-      objective_ = phase_objective();
-    }
+    if (shifted) dual_shifted_ = true;
+    if (flipped) recompute_basic_values();
+    if (flipped || shifted) objective_ = phase_objective();
     return true;
   }
 
@@ -1586,9 +1611,10 @@ class Simplex {
   }
 
   /// Refresh incremental state from fresh factors, then re-establish the
-  /// dual loop's invariant: flipping any boxed nonbasic whose recomputed
-  /// reduced cost has the wrong sign (drift repair). False only when the
-  /// invariant cannot be restored — the caller aborts to the cold primal.
+  /// dual loop's invariant: flipping (or cost-shifting) any nonbasic whose
+  /// recomputed reduced cost has the wrong sign (drift repair). Always
+  /// true since shifts cover the unflippable columns; kept boolean for the
+  /// call sites' abort plumbing.
   bool refresh_dual_state() {
     refresh_incremental_state();
     return make_dual_feasible();
@@ -1974,6 +2000,7 @@ class Simplex {
   bool duals_clean_ = false;         // y_ recomputed since the last pivot?
   bool dual_mode_ = false;           // running the dual method?
   bool dual_abort_ = false;          // dual stalled: rerun cold primal
+  bool dual_shifted_ = false;        // costs shifted: primal cleanup owed
   std::size_t pricing_cursor_ = 0;
   std::size_t iterations_ = 0;
   std::size_t refactorizations_ = 0;
@@ -1994,6 +2021,7 @@ class Simplex {
   std::size_t dual_solves_ = 0;
   std::size_t dual_fallbacks_ = 0;
   std::size_t dual_repair_flips_ = 0;
+  std::size_t dual_cost_shifts_ = 0;
   std::size_t ftran_sparse_ = 0;
   std::size_t ftran_dense_ = 0;
   std::size_t btran_sparse_ = 0;

@@ -113,6 +113,7 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
   built.store = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
   built.create = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
   built.covered = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
+  built.coverage_rows = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
 
   lp::LpModel& model = built.model;
 
@@ -217,7 +218,8 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
               cols.push_back(static_cast<std::size_t>(built.store(m, i, k)));
               coeffs.push_back(1);
             }
-            model.add_row(lp::RowType::Ge, 0, cols, coeffs);
+            built.coverage_rows(n, i, k) = static_cast<std::int32_t>(
+                model.add_row(lp::RowType::Ge, 0, cols, coeffs));
           }
           const std::size_t group = groups.group_of(n, k);
           qos_cols[group].push_back(static_cast<std::size_t>(cov));
@@ -482,6 +484,343 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
   }
 
   return built;
+}
+
+// --- incremental model deltas ------------------------------------------------
+
+namespace {
+
+/// Shape-repair a basis snapshot after apply_delta appended columns and/or
+/// rows. Appended structurals slot in at the structural/slack seam with
+/// status AtLower (every delta-added column has a finite lower bound), which
+/// shifts every slack reference in the basis up by the number added;
+/// appended rows start with their slack basic, keeping the basis matrix
+/// nonsingular. Dual-sign violations on the appended columns are boxed and
+/// handled by the dual simplex's bound-flip repair.
+void extend_basis(lp::BasisSnapshot& basis, std::size_t old_vars,
+                  std::size_t old_rows, std::size_t new_vars,
+                  std::size_t new_rows) {
+  const std::size_t added_vars = new_vars - old_vars;
+  const std::size_t added_rows = new_rows - old_rows;
+  basis.status.insert(
+      basis.status.begin() + static_cast<std::ptrdiff_t>(old_vars), added_vars,
+      lp::BasisSnapshot::AtLower);
+  basis.status.insert(basis.status.end(), added_rows,
+                      lp::BasisSnapshot::Basic);
+  if (added_vars > 0)
+    for (auto& col : basis.basis)
+      if (col != lp::BasisSnapshot::kArtificialBasic && col >= old_vars)
+        col += static_cast<std::uint32_t>(added_vars);
+  for (std::size_t r = 0; r < added_rows; ++r)
+    basis.basis.push_back(
+        static_cast<std::uint32_t>(new_vars + old_rows + r));
+  basis.variables = new_vars;
+  basis.rows = new_rows;
+}
+
+/// In-place mutation of a BuiltModel to track a post-event instance.
+/// Invariants maintained (matching build_lp's store-based QoS window):
+///   - covered(n,i,k) >= 0 exactly for cells that ever had reads > 0; its
+///     bounds are [0,1] iff reads > 0 and reach[n] is non-empty, else
+///     [0,0],
+///   - coverage_rows(n,i,k) tracks the `-cov + sum reachable stores >= 0`
+///     row (rewritten, never deleted; an unreachable cell's row degrades to
+///     `-cov >= 0` which its fixed bounds already imply),
+///   - qos_rows holds one row per scope group that ever had reads, with
+///     coefficients renormalized to the group's current volume; a drained
+///     group's row is rewritten vacuous (0 >= 0).
+class DeltaPatcher {
+ public:
+  DeltaPatcher(const Instance& instance, const ClassSpec& spec,
+               BuiltModel& built)
+      : instance_(instance),
+        spec_(spec),
+        built_(built),
+        model_(built.model) {}
+
+  void demand_delta(const workload::DemandDeltaEvent& event) {
+    const auto n = static_cast<std::size_t>(event.node);
+    const auto k = static_cast<std::size_t>(event.object);
+    ensure_covered(n, event.interval, k);
+    sync_cell_coverage(n, event.interval, k);
+    if (event.read_delta != 0) sync_qos_rows();
+    if (event.write_delta != 0 && instance_.costs.delta > 0)
+      sync_store_costs(event.interval, k);
+    sync_create_bounds();
+  }
+
+  void node_leave(const workload::NodeLeaveEvent& event) {
+    const auto n = static_cast<std::size_t>(event.node);
+    for (std::size_t i = 0; i < instance_.interval_count(); ++i)
+      for (std::size_t k = 0; k < instance_.object_count(); ++k) {
+        model_.fix_variable(
+            static_cast<std::size_t>(built_.store(n, i, k)), 0);
+        model_.fix_variable(
+            static_cast<std::size_t>(built_.create(n, i, k)), 0);
+      }
+    if (!built_.open.empty() && built_.open[n] >= 0)
+      model_.fix_variable(static_cast<std::size_t>(built_.open[n]), 0);
+    for (std::size_t m = 0; m < instance_.node_count(); ++m)
+      if (rebuild_reach(m)) sync_node_coverage(m);
+    sync_qos_rows();
+    // The departed node's writes are zeroed with it, so the write-propagation
+    // component of every store cost shrinks.
+    if (instance_.costs.delta > 0)
+      for (std::size_t i = 0; i < instance_.interval_count(); ++i)
+        for (std::size_t k = 0; k < instance_.object_count(); ++k)
+          sync_store_costs(i, k);
+    sync_create_bounds();
+  }
+
+  void node_join() {
+    const std::size_t n_count = instance_.node_count();  // post-join
+    const std::size_t i_count = instance_.interval_count();
+    const std::size_t k_count = instance_.object_count();
+    const std::size_t fresh = n_count - 1;
+    const CostModel& costs = instance_.costs;
+    built_.store.grow_x(n_count, -1);
+    built_.create.grow_x(n_count, -1);
+    built_.covered.grow_x(n_count, -1);
+    built_.coverage_rows.grow_x(n_count, -1);
+    // Unrestricted classes never run the sync below (the permission cube is
+    // identically 1), so the fresh rows must be born allowed.
+    built_.create_allowed.grow_x(n_count,
+                                 spec_.restricts_creation() ? 0 : 1);
+    built_.reach.resize(n_count);
+    built_.fetch = compute_fetch(instance_, spec_);
+    // Wider dist can unlock creation at existing nodes (Neighborhood
+    // knowledge); refresh before the new node's create bounds are read.
+    sync_create_bounds();
+    for (std::size_t i = 0; i < i_count; ++i) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        double store_cost = instance_.storage_alpha(fresh);
+        if (costs.delta > 0) {
+          double writes_ik = 0;
+          for (std::size_t m = 0; m < n_count; ++m)
+            writes_ik += instance_.demand.write(m, i, k);
+          store_cost += costs.delta * writes_ik;
+        }
+        built_.store(fresh, i, k) = static_cast<std::int32_t>(
+            model_.add_variable(0, 1, store_cost,
+                                nik_name("store", fresh, i, k)));
+        const double create_ub =
+            built_.create_allowed(fresh, i, k) ? 1.0 : 0.0;
+        built_.create(fresh, i, k) = static_cast<std::int32_t>(
+            model_.add_variable(0, create_ub, costs.beta,
+                                nik_name("create", fresh, i, k)));
+        std::vector<std::size_t> cols{
+            static_cast<std::size_t>(built_.store(fresh, i, k)),
+            static_cast<std::size_t>(built_.create(fresh, i, k))};
+        std::vector<double> coeffs{1, -1};
+        if (i > 0) {
+          cols.push_back(
+              static_cast<std::size_t>(built_.store(fresh, i - 1, k)));
+          coeffs.push_back(-1);
+        }
+        model_.add_row(lp::RowType::Le, 0, cols, coeffs);
+      }
+    }
+    if (costs.zeta > 0) {
+      built_.open.resize(n_count, -1);
+      built_.open[fresh] = static_cast<std::int32_t>(model_.add_variable(
+          0, 1, costs.zeta, "open[" + std::to_string(fresh) + "]"));
+      for (std::size_t i = 0; i < i_count; ++i)
+        for (std::size_t k = 0; k < k_count; ++k)
+          model_.add_row(
+              lp::RowType::Le, 0,
+              {static_cast<std::size_t>(built_.store(fresh, i, k)),
+               static_cast<std::size_t>(built_.open[fresh])},
+              {1, -1});
+    }
+    for (std::size_t m = 0; m < n_count; ++m)
+      if (rebuild_reach(m)) sync_node_coverage(m);
+  }
+
+  void latency_update(const workload::LatencyUpdateEvent& event) {
+    for (const auto node : {event.a, event.b}) {
+      const auto n = static_cast<std::size_t>(node);
+      if (rebuild_reach(n)) sync_node_coverage(n);
+    }
+    sync_create_bounds();
+  }
+
+ private:
+  /// Recompute reach[n] from the post-event dist/fetch; true if it changed.
+  bool rebuild_reach(std::size_t n) {
+    std::vector<std::size_t> reach;
+    for (std::size_t m = 0; m < instance_.node_count(); ++m)
+      if (instance_.dist(n, m) && built_.fetch(n, m)) reach.push_back(m);
+    if (reach == built_.reach[n]) return false;
+    built_.reach[n] = std::move(reach);
+    return true;
+  }
+
+  /// Create the covered variable for a cell whose reads just turned
+  /// positive; bounds are set by sync_cell_coverage.
+  void ensure_covered(std::size_t n, std::size_t i, std::size_t k) {
+    if (built_.covered(n, i, k) >= 0) return;
+    if (instance_.demand.read(n, i, k) <= 0) return;
+    built_.covered(n, i, k) = static_cast<std::int32_t>(
+        model_.add_variable(0, 0, 0, nik_name("covered", n, i, k)));
+  }
+
+  /// Re-derive one cell's covered bounds and coverage row from the current
+  /// reads and reach set.
+  void sync_cell_coverage(std::size_t n, std::size_t i, std::size_t k) {
+    const std::int32_t cov = built_.covered(n, i, k);
+    if (cov < 0) return;
+    const bool reachable = !built_.reach[n].empty();
+    const bool active = instance_.demand.read(n, i, k) > 0 && reachable;
+    model_.set_bounds(static_cast<std::size_t>(cov), 0, active ? 1 : 0);
+    std::vector<std::size_t> cols{static_cast<std::size_t>(cov)};
+    std::vector<double> coeffs{-1};
+    if (reachable)
+      for (std::size_t m : built_.reach[n]) {
+        cols.push_back(static_cast<std::size_t>(built_.store(m, i, k)));
+        coeffs.push_back(1);
+      }
+    const std::int32_t row = built_.coverage_rows(n, i, k);
+    if (row >= 0) {
+      model_.set_row(static_cast<std::size_t>(row), 0, cols, coeffs);
+    } else if (reachable) {
+      built_.coverage_rows(n, i, k) = static_cast<std::int32_t>(
+          model_.add_row(lp::RowType::Ge, 0, cols, coeffs));
+    }
+  }
+
+  void sync_node_coverage(std::size_t n) {
+    for (std::size_t i = 0; i < instance_.interval_count(); ++i)
+      for (std::size_t k = 0; k < instance_.object_count(); ++k)
+        sync_cell_coverage(n, i, k);
+  }
+
+  /// Rewrite every QoS accounting row from the post-event demand: group
+  /// volumes renormalize all member coefficients, drained groups go
+  /// vacuous, newly active groups get a fresh row.
+  void sync_qos_rows() {
+    const auto& goal = std::get<QosGoal>(instance_.goal);
+    const QosGroups groups(instance_, goal.scope);
+    std::vector<std::vector<std::size_t>> cols(groups.count());
+    std::vector<std::vector<double>> coeffs(groups.count());
+    for (std::size_t n = 0; n < instance_.node_count(); ++n)
+      for (std::size_t i = 0; i < instance_.interval_count(); ++i)
+        for (std::size_t k = 0; k < instance_.object_count(); ++k) {
+          const double reads = instance_.demand.read(n, i, k);
+          if (reads <= 0) continue;
+          const std::int32_t cov = built_.covered(n, i, k);
+          WANPLACE_CHECK(cov >= 0, "read-positive cell without covered var");
+          const std::size_t group = groups.group_of(n, k);
+          cols[group].push_back(static_cast<std::size_t>(cov));
+          coeffs[group].push_back(reads / groups.total_reads(group));
+        }
+    std::vector<std::ptrdiff_t> row_of_group(groups.count(), -1);
+    for (std::size_t q = 0; q < built_.qos_rows.size(); ++q)
+      row_of_group[built_.qos_rows[q].group] =
+          static_cast<std::ptrdiff_t>(q);
+    for (std::size_t group = 0; group < groups.count(); ++group) {
+      const double total = groups.total_reads(group);
+      const std::ptrdiff_t q = row_of_group[group];
+      if (q >= 0) {
+        auto& info = built_.qos_rows[static_cast<std::size_t>(q)];
+        if (total > 0)
+          model_.set_row(info.row, goal.tqos, cols[group], coeffs[group]);
+        else
+          model_.set_row(info.row, 0, {}, {});
+        info.total_reads = total;
+      } else if (total > 0) {
+        const std::size_t row =
+            model_.add_row(lp::RowType::Ge, goal.tqos, cols[group],
+                           coeffs[group], "qos[" + std::to_string(group) + "]");
+        built_.qos_rows.push_back({row, group, total});
+      }
+    }
+  }
+
+  /// Refresh the update-message term of every store column of (i,k) after
+  /// a write-count change.
+  void sync_store_costs(std::size_t i, std::size_t k) {
+    const bool provisioned = spec_.storage || spec_.replicas;
+    double writes_ik = 0;
+    for (std::size_t n = 0; n < instance_.node_count(); ++n)
+      writes_ik += instance_.demand.write(n, i, k);
+    for (std::size_t n = 0; n < instance_.node_count(); ++n) {
+      if (instance_.is_origin(n) || built_.store(n, i, k) < 0) continue;
+      const double store_cost =
+          (provisioned ? 0.0 : instance_.storage_alpha(n)) +
+          instance_.costs.delta * writes_ik;
+      model_.set_objective(static_cast<std::size_t>(built_.store(n, i, k)),
+                           store_cost);
+    }
+  }
+
+  /// Re-derive the create-permission cube (demand activity and, for
+  /// Neighborhood knowledge, reachability feed it) and retighten bounds
+  /// where it changed.
+  void sync_create_bounds() {
+    if (!spec_.restricts_creation()) return;
+    const BoolCube allowed = compute_create_allowed(instance_, spec_);
+    for (std::size_t n = 0; n < instance_.node_count(); ++n) {
+      if (instance_.is_origin(n)) continue;
+      for (std::size_t i = 0; i < instance_.interval_count(); ++i)
+        for (std::size_t k = 0; k < instance_.object_count(); ++k) {
+          if (built_.create(n, i, k) < 0) continue;
+          if (allowed(n, i, k) == built_.create_allowed(n, i, k)) continue;
+          model_.set_bounds(static_cast<std::size_t>(built_.create(n, i, k)),
+                            0, allowed(n, i, k) ? 1.0 : 0.0);
+        }
+    }
+    built_.create_allowed = allowed;
+  }
+
+  const Instance& instance_;
+  const ClassSpec& spec_;
+  BuiltModel& built_;
+  lp::LpModel& model_;
+};
+
+}  // namespace
+
+bool delta_supported(const Instance& instance, const ClassSpec& spec,
+                     const workload::Event& event) {
+  // The incremental window is the store-based QoS formulation: any route
+  // block (avg-latency metric, gamma penalty, bandwidth caps) entangles
+  // rows this patcher does not track.
+  if (!std::holds_alternative<QosGoal>(instance.goal)) return false;
+  if (instance.costs.gamma > 0 || instance.has_bandwidth_caps()) return false;
+  if (std::holds_alternative<workload::NodeJoinEvent>(event))
+    return !instance.links && !spec.storage && !spec.replicas;
+  if (std::holds_alternative<workload::NodeLeaveEvent>(event) ||
+      std::holds_alternative<workload::LatencyUpdateEvent>(event))
+    return !instance.links;
+  return true;
+}
+
+bool apply_delta(const Instance& instance, const ClassSpec& spec,
+                 const workload::Event& event, BuiltModel& built,
+                 lp::BasisSnapshot& basis) {
+  if (!delta_supported(instance, spec, event)) return false;
+  lp::LpModel& model = built.model;
+  const std::size_t old_vars = model.variable_count();
+  const std::size_t old_rows = model.row_count();
+  const bool repair_basis =
+      !basis.empty() && basis.compatible(old_vars, old_rows);
+
+  DeltaPatcher patcher(instance, spec, built);
+  if (const auto* d = std::get_if<workload::DemandDeltaEvent>(&event))
+    patcher.demand_delta(*d);
+  else if (std::holds_alternative<workload::NodeJoinEvent>(event))
+    patcher.node_join();
+  else if (const auto* l = std::get_if<workload::NodeLeaveEvent>(&event))
+    patcher.node_leave(*l);
+  else
+    patcher.latency_update(std::get<workload::LatencyUpdateEvent>(event));
+
+  if (repair_basis)
+    extend_basis(basis, old_vars, old_rows, model.variable_count(),
+                 model.row_count());
+  else
+    basis = {};
+  return true;
 }
 
 }  // namespace wanplace::mcperf

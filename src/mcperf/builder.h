@@ -58,6 +58,13 @@ struct BuiltModel {
   /// fetch[n][m] actually used (derived from the class routing property).
   BoolMatrix fetch;
 
+  /// Store-based coverage rows per (n,i,k): the row
+  /// `-covered + sum reachable stores >= 0`; -1 where none exists (zero
+  /// reads at build time, empty reach, or route-based coverage). Tracked so
+  /// apply_delta can rewrite a node's coverage in place when membership or
+  /// latency drift changes its reach set.
+  DenseCube<std::int32_t> coverage_rows;
+
   /// QoS rows (constraint (2), rhs = tqos), one per scope group with demand.
   /// Kept so solve reports can map row duals back to named constraints: the
   /// dual on `row` is d(cost)/d(tqos) for that group — its shadow price.
@@ -98,5 +105,32 @@ BoolCube compute_create_allowed(const Instance& instance,
 
 /// The fetch matrix implied by the class routing property.
 BoolMatrix compute_fetch(const Instance& instance, const ClassSpec& spec);
+
+/// True when `event` can be mirrored into an existing BuiltModel for
+/// (instance, spec) by apply_delta below. The incremental window is the
+/// store-based QoS formulation — QoS metric, gamma = 0, no bandwidth caps —
+/// where every row the event touches is tracked (QoS, coverage,
+/// conservation, open). Node joins additionally need a class without
+/// provisioned SC/RC capacity (their row sets are not tracked per node).
+bool delta_supported(const Instance& instance, const ClassSpec& spec,
+                     const workload::Event& event);
+
+/// Mirror one drift event into an existing BuiltModel. `instance` must be
+/// the POST-event instance (Instance::apply_delta already applied) and
+/// `built` the model previously built or delta-maintained for the pre-event
+/// instance. Returns false with `built` and `basis` untouched when the
+/// event falls outside the supported window — the caller rebuilds.
+///
+/// On success the LP has the same feasible region and objective as a fresh
+/// build_lp of the post-event instance (up to vacuous fixed columns and
+/// rows kept for index stability), and `basis` — when non-empty and
+/// shape-compatible with the pre-event model — is repaired to the new
+/// shape: appended structural columns enter at their lower bound, appended
+/// rows enter with their slack basic, so the dual simplex can warm-start
+/// and repair any sign-violated boxed column by bound-flipping instead of
+/// falling back to a cold primal solve. An incompatible basis is cleared.
+bool apply_delta(const Instance& instance, const ClassSpec& spec,
+                 const workload::Event& event, BuiltModel& built,
+                 lp::BasisSnapshot& basis);
 
 }  // namespace wanplace::mcperf

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "util/check.h"
+#include "util/log.h"
 
 namespace wanplace::mcperf {
 
@@ -81,6 +83,128 @@ void Instance::validate() const {
                      "storage_scale does not match node count");
     for (const double scale : storage_scale)
       WANPLACE_REQUIRE(scale > 0, "storage_scale entries must be positive");
+  }
+}
+
+namespace {
+
+[[noreturn]] void reject_delta(const std::string& message) {
+  log_error("apply_delta rejected: ", message);
+  throw InvalidArgument("apply_delta: " + message);
+}
+
+}  // namespace
+
+void Instance::apply_delta(const workload::Event& event, double tlat_ms) {
+  const std::size_t n_count = node_count();
+  // A tombstoned node keeps its id but loses its whole dist row/column,
+  // diagonal included — so dist(n, n) doubles as the liveness marker.
+  const auto live = [&](std::size_t n) { return dist(n, n) != 0; };
+
+  if (const auto* d = std::get_if<workload::DemandDeltaEvent>(&event)) {
+    if (d->node < 0 || static_cast<std::size_t>(d->node) >= n_count)
+      reject_delta("demand delta references unknown node " +
+                   std::to_string(d->node));
+    if (d->interval >= interval_count())
+      reject_delta("demand delta references unknown interval " +
+                   std::to_string(d->interval));
+    if (d->object < 0 || static_cast<std::size_t>(d->object) >= object_count())
+      reject_delta("demand delta references unknown object " +
+                   std::to_string(d->object));
+    if (!std::isfinite(d->read_delta) || !std::isfinite(d->write_delta))
+      reject_delta("demand delta must be finite");
+    const auto n = static_cast<std::size_t>(d->node);
+    const auto k = static_cast<std::size_t>(d->object);
+    const double new_read = demand.read(n, d->interval, k) + d->read_delta;
+    const double new_write = demand.write(n, d->interval, k) + d->write_delta;
+    if (new_read < -1e-9 || new_write < -1e-9)
+      reject_delta("demand delta would make a count negative");
+    demand.read(n, d->interval, k) = std::max(0.0, new_read);
+    demand.write(n, d->interval, k) = std::max(0.0, new_write);
+    return;
+  }
+
+  if (const auto* j = std::get_if<workload::NodeJoinEvent>(&event)) {
+    if (links)
+      reject_delta("node join is unsupported on tree instances");
+    if (!std::isfinite(tlat_ms) || tlat_ms <= 0)
+      reject_delta("node join needs a positive Tlat threshold");
+    if (!std::isfinite(j->default_latency_ms) || j->default_latency_ms <= 0)
+      reject_delta("join default latency must be positive");
+    for (const auto& [m, latency] : j->latency_overrides) {
+      if (m < 0 || static_cast<std::size_t>(m) >= n_count)
+        reject_delta("join latency override references unknown node " +
+                     std::to_string(m));
+      if (!std::isfinite(latency) || latency <= 0)
+        reject_delta("join override latency must be positive");
+    }
+    const std::size_t fresh = n_count;
+    std::vector<double> to_existing(n_count, j->default_latency_ms);
+    for (const auto& [m, latency] : j->latency_overrides)
+      to_existing[static_cast<std::size_t>(m)] = latency;
+    demand.grow_nodes(fresh + 1);
+    dist.grow(fresh + 1, fresh + 1, 0);
+    for (std::size_t m = 0; m < n_count; ++m) {
+      const unsigned char within =
+          live(m) && to_existing[m] <= tlat_ms ? 1 : 0;
+      dist(fresh, m) = within;
+      dist(m, fresh) = within;
+    }
+    dist(fresh, fresh) = 1;
+    if (!latencies.empty()) {
+      latencies.grow(fresh + 1, fresh + 1, 0);
+      for (std::size_t m = 0; m < n_count; ++m) {
+        latencies(fresh, m) = to_existing[m];
+        latencies(m, fresh) = to_existing[m];
+      }
+    }
+    if (!storage_scale.empty()) storage_scale.push_back(1.0);
+    return;
+  }
+
+  if (const auto* l = std::get_if<workload::NodeLeaveEvent>(&event)) {
+    if (links)
+      reject_delta("node leave is unsupported on tree instances");
+    if (l->node < 0 || static_cast<std::size_t>(l->node) >= n_count)
+      reject_delta("leave references unknown node " + std::to_string(l->node));
+    const auto n = static_cast<std::size_t>(l->node);
+    if (is_origin(n)) reject_delta("the origin node cannot leave");
+    if (!live(n))
+      reject_delta("node " + std::to_string(n) + " already left");
+    for (std::size_t i = 0; i < interval_count(); ++i)
+      for (std::size_t k = 0; k < object_count(); ++k) {
+        demand.read(n, i, k) = 0;
+        demand.write(n, i, k) = 0;
+      }
+    for (std::size_t m = 0; m < n_count; ++m) {
+      dist(n, m) = 0;
+      dist(m, n) = 0;
+    }
+    return;
+  }
+
+  const auto& u = std::get<workload::LatencyUpdateEvent>(event);
+  if (links)
+    reject_delta("latency update is unsupported on tree instances");
+  if (!std::isfinite(tlat_ms) || tlat_ms <= 0)
+    reject_delta("latency update needs a positive Tlat threshold");
+  if (u.a < 0 || static_cast<std::size_t>(u.a) >= n_count ||
+      u.b < 0 || static_cast<std::size_t>(u.b) >= n_count)
+    reject_delta("latency update references an unknown node");
+  if (u.a == u.b)
+    reject_delta("latency update needs two distinct nodes");
+  if (!std::isfinite(u.latency_ms) || u.latency_ms <= 0)
+    reject_delta("updated latency must be positive");
+  const auto a = static_cast<std::size_t>(u.a);
+  const auto b = static_cast<std::size_t>(u.b);
+  if (!live(a) || !live(b))
+    reject_delta("latency update references a departed node");
+  const unsigned char within = u.latency_ms <= tlat_ms ? 1 : 0;
+  dist(a, b) = within;
+  dist(b, a) = within;
+  if (!latencies.empty()) {
+    latencies(a, b) = u.latency_ms;
+    latencies(b, a) = u.latency_ms;
   }
 }
 

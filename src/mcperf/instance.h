@@ -119,6 +119,19 @@ struct Instance {
   /// Validate dimension consistency; throws InvalidArgument on mismatch.
   void validate() const;
 
+  /// Apply one drift event in place (demand delta, node join/leave/latency
+  /// update). The event is fully validated against the current instance
+  /// BEFORE any mutation: a malformed event (unknown node/interval/object,
+  /// non-finite or count-negating delta, topology change on a tree
+  /// instance, departed-node reference) logs an error and throws
+  /// InvalidArgument with the instance untouched, so a long-running daemon
+  /// can drop bad stream entries and keep serving. `tlat_ms` is the
+  /// latency threshold `dist` was derived from; join and latency-update
+  /// events re-threshold reachability against it. A leave tombstones the
+  /// node (demand and the whole dist row/column zeroed, diagonal included)
+  /// rather than renumbering, so later events keep stable ids.
+  void apply_delta(const workload::Event& event, double tlat_ms);
+
   /// An upper bound on the cost of any 0/1 placement: every non-origin node
   /// stores and re-creates everything in every interval (plus write/open
   /// costs). Used as the PDHG infeasibility threshold.

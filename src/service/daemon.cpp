@@ -1,0 +1,136 @@
+#include "service/daemon.h"
+
+#include <utility>
+#include <variant>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace wanplace::service {
+
+PlacementDaemon::PlacementDaemon(mcperf::Instance instance,
+                                 DaemonOptions options)
+    : instance_(std::move(instance)), options_(std::move(options)) {
+  WANPLACE_REQUIRE(std::holds_alternative<mcperf::QosGoal>(instance_.goal),
+                   "PlacementDaemon requires a QoS-metric instance");
+  if (options_.tlat_ms <= 0 && instance_.links)
+    options_.tlat_ms = instance_.links->tlat_ms;
+}
+
+EventOutcome PlacementDaemon::start() {
+  WANPLACE_REQUIRE(!started_, "PlacementDaemon::start called twice");
+  started_ = true;
+  EventOutcome out;
+  out.kind = "start";
+  // The initial model is by definition a full build.
+  if (obs::metrics_enabled()) obs::counter_add("service.rebuilds");
+  auto detail =
+      bounds::compute_bound_detail(instance_, options_.spec, options_.bounds);
+  return finish(std::move(out), std::move(detail));
+}
+
+EventOutcome PlacementDaemon::on_event(const workload::Event& event) {
+  WANPLACE_REQUIRE(started_, "call PlacementDaemon::start before on_event");
+  EventOutcome out;
+  out.index = ++events_;
+  out.kind = workload::event_kind(event);
+  if (obs::metrics_enabled()) obs::counter_add("service.events");
+  WANPLACE_SPAN("service.event");
+
+  try {
+    instance_.apply_delta(event, options_.tlat_ms);
+  } catch (const InvalidArgument& err) {
+    // apply_delta validates before mutating, so the instance — and with it
+    // the model and the live plan — are exactly as before the bad event.
+    out.rejected = true;
+    out.error = err.what();
+    out.reason = "rejected";
+    if (obs::metrics_enabled()) obs::counter_add("service.rejected");
+    return out;
+  }
+
+  out.incremental = advance_model(instance_, options_.spec, event, state_);
+
+  bounds::BoundOptions solve = options_.bounds;
+  if (!state_.basis.empty()) {
+    solve.warm.basis = &state_.basis;
+    out.warm = true;
+  }
+  auto detail = bounds::compute_bound_built(
+      instance_, options_.spec, std::move(state_.built), solve);
+
+  // The live plan keeps its shape in step with the node set: a fresh node
+  // stores nothing until a publish says otherwise.
+  if (incumbent_ && std::holds_alternative<workload::NodeJoinEvent>(event))
+    incumbent_->grow_x(instance_.node_count());
+
+  return finish(std::move(out), std::move(detail));
+}
+
+EventOutcome PlacementDaemon::finish(EventOutcome out,
+                                     bounds::BoundDetail detail) {
+  state_.built = std::move(detail.built);
+  state_.valid = state_.built.model.variable_count() > 0;
+  if (!detail.solution.basis.empty()) {
+    state_.basis = std::move(detail.solution.basis);
+  } else if (!state_.basis.compatible(state_.built.model.variable_count(),
+                                      state_.built.model.row_count())) {
+    // No basis exported (infeasible solve, PDHG, or gated-out build) and
+    // the carried one no longer fits — drop it rather than mislead the
+    // next warm start.
+    state_.basis = {};
+  }
+
+  out.status = detail.bound.status;
+  out.achievable = detail.bound.achievable;
+  out.lower_bound = detail.bound.lower_bound;
+  out.pivots = detail.solution.iterations;
+  if (obs::metrics_enabled())
+    obs::counter_add("service.pivots", static_cast<double>(out.pivots));
+  if (out.warm) {
+    if (last_cold_pivots_ > out.pivots && obs::metrics_enabled())
+      obs::counter_add("service.pivots_saved",
+                       static_cast<double>(last_cold_pivots_ - out.pivots));
+  } else if (out.achievable) {
+    last_cold_pivots_ = out.pivots;
+  }
+
+  CandidatePlan candidate;
+  candidate.feasible = detail.bound.rounded_feasible;
+  candidate.cost = detail.bound.rounded_cost;
+  out.candidate_feasible = candidate.feasible;
+  out.candidate_cost = candidate.cost;
+
+  IncumbentPlan incumbent;
+  if (incumbent_) {
+    const bounds::Evaluation eval =
+        bounds::evaluate_placement(instance_, options_.spec, *incumbent_);
+    incumbent.exists = true;
+    incumbent.feasible = eval.feasible();
+    incumbent.cost = eval.cost;
+  }
+  out.incumbent_feasible = incumbent.feasible;
+  out.incumbent_cost = incumbent.cost;
+
+  const PublishDecision decision = decide(options_.policy, incumbent, candidate);
+  out.published = decision.publish;
+  out.reason = decision.reason;
+  if (decision.publish) {
+    incumbent_ = detail.rounding.placement;
+    published_cost_ = candidate.cost;
+    ++publishes_;
+    if (obs::metrics_enabled()) obs::counter_add("service.publishes");
+  } else if (obs::metrics_enabled()) {
+    obs::counter_add("service.holds");
+  }
+  return out;
+}
+
+const bounds::Placement& PlacementDaemon::plan() const {
+  WANPLACE_REQUIRE(incumbent_.has_value(),
+                   "PlacementDaemon has no published plan");
+  return *incumbent_;
+}
+
+}  // namespace wanplace::service

@@ -1,0 +1,100 @@
+// Continuous re-placement daemon: the paper's one-shot bound pipeline run
+// as a long-lived service over a drifting instance.
+//
+// The daemon owns an Instance and mutates it in place as events arrive
+// (per-interval demand deltas, node join/leave, latency updates). After
+// every event it re-optimizes: the LP is delta-patched instead of rebuilt
+// whenever the event is inside the incremental window (see
+// mcperf::delta_supported), the dual simplex warm-starts from the basis of
+// the previous solve (shape-repaired across add/drop), and the rounded
+// plan is handed to the publish policy, which decides whether the live
+// placement is worth swapping.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "bounds/engine.h"
+#include "bounds/feasible.h"
+#include "service/delta.h"
+#include "service/policy.h"
+
+namespace wanplace::service {
+
+struct DaemonOptions {
+  /// The heuristic class the daemon tracks; defaults to the general bound.
+  mcperf::ClassSpec spec;
+  bounds::BoundOptions bounds;
+  PublishPolicy policy;
+  /// The QoS latency threshold the instance's dist matrix was built with;
+  /// join/latency-update events re-threshold new edges against it. Must be
+  /// positive when the event stream contains topology events.
+  double tlat_ms = 0;
+};
+
+/// What one event did to the daemon, for replay logs and the golden tests.
+struct EventOutcome {
+  std::size_t index = 0;       // 0 for start(), 1.. for events
+  std::string kind;            // "start" or workload::event_kind
+  bool rejected = false;       // malformed event; daemon state untouched
+  std::string error;           // rejection message when rejected
+
+  bool incremental = false;    // LP delta-patched (vs rebuilt)
+  bool warm = false;           // solve started from a carried basis
+  lp::SolveStatus status = lp::SolveStatus::IterationLimit;
+  bool achievable = false;
+  double lower_bound = 0;
+  std::size_t pivots = 0;      // solver iterations of this event's solve
+
+  bool candidate_feasible = false;
+  double candidate_cost = 0;
+  bool incumbent_feasible = false;  // incumbent re-evaluated post-event
+  double incumbent_cost = 0;
+
+  bool published = false;
+  std::string reason;          // PublishDecision::reason or "rejected"
+};
+
+class PlacementDaemon {
+ public:
+  /// QoS-metric instances only (the incumbent is re-evaluated with
+  /// bounds::evaluate_placement after every event).
+  PlacementDaemon(mcperf::Instance instance, DaemonOptions options);
+
+  /// Cold-solve the initial instance; publishes the first plan when the
+  /// rounding produced a feasible one. Call once, before any on_event.
+  EventOutcome start();
+
+  /// Ingest one drift event: apply it to the instance (a malformed event
+  /// is rejected atomically — instance, model and plan all unchanged),
+  /// advance the LP, warm re-solve, re-evaluate the incumbent under the
+  /// drifted instance, and run the publish policy.
+  EventOutcome on_event(const workload::Event& event);
+
+  const mcperf::Instance& instance() const { return instance_; }
+  bool has_plan() const { return incumbent_.has_value(); }
+  /// The live placement; REQUIREs has_plan().
+  const bounds::Placement& plan() const;
+  /// Cost of the live placement at the moment it was published.
+  double published_cost() const { return published_cost_; }
+  std::size_t events_seen() const { return events_; }
+  std::size_t publishes() const { return publishes_; }
+
+ private:
+  EventOutcome finish(EventOutcome outcome, bounds::BoundDetail detail);
+
+  mcperf::Instance instance_;
+  DaemonOptions options_;
+  ModelState state_;
+  std::optional<bounds::Placement> incumbent_;
+  double published_cost_ = 0;
+  std::size_t events_ = 0;
+  std::size_t publishes_ = 0;
+  /// Iterations of the most recent cold (basis-free) solve: the baseline
+  /// for the service.pivots_saved counter.
+  std::size_t last_cold_pivots_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace wanplace::service

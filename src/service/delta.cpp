@@ -1,0 +1,24 @@
+#include "service/delta.h"
+
+#include "obs/metrics.h"
+
+namespace wanplace::service {
+
+bool advance_model(const mcperf::Instance& instance,
+                   const mcperf::ClassSpec& spec,
+                   const workload::Event& event, ModelState& state) {
+  if (state.valid &&
+      mcperf::apply_delta(instance, spec, event, state.built, state.basis)) {
+    if (obs::metrics_enabled()) obs::counter_add("service.incremental");
+    return true;
+  }
+  state.built = mcperf::build_lp(instance, spec);
+  state.valid = true;
+  if (!state.basis.compatible(state.built.model.variable_count(),
+                              state.built.model.row_count()))
+    state.basis = {};
+  if (obs::metrics_enabled()) obs::counter_add("service.rebuilds");
+  return false;
+}
+
+}  // namespace wanplace::service

@@ -1,0 +1,36 @@
+// Incrementally maintained solver state: one (BuiltModel, basis) pair kept
+// in step with a drifting instance across events.
+#pragma once
+
+#include "lp/model.h"
+#include "mcperf/builder.h"
+#include "mcperf/heuristic_class.h"
+#include "mcperf/instance.h"
+#include "workload/trace.h"
+
+namespace wanplace::service {
+
+/// The solver-facing state of one (instance, class) the daemon carries
+/// across events: the LP (built once, then delta-patched) and the basis
+/// exported by the last solve (shape-repaired on add/drop so the dual
+/// simplex can warm-start).
+struct ModelState {
+  mcperf::BuiltModel built;
+  lp::BasisSnapshot basis;
+  /// True when `built` tracks the current instance. False before the first
+  /// build (or when the initial achievability gate skipped it).
+  bool valid = false;
+};
+
+/// Advance `state` across one event already applied to `instance` (the
+/// POST-event instance): mirrors the event into the existing LP via
+/// mcperf::apply_delta when it is inside the incremental window, otherwise
+/// rebuilds from scratch — keeping a still shape-compatible basis either
+/// way, so even the rebuild path can warm-start after pure-demand drift on
+/// classes outside the delta window. Returns true when the incremental
+/// path was taken. Counters: service.incremental / service.rebuilds.
+bool advance_model(const mcperf::Instance& instance,
+                   const mcperf::ClassSpec& spec,
+                   const workload::Event& event, ModelState& state);
+
+}  // namespace wanplace::service

@@ -1,0 +1,21 @@
+#include "service/policy.h"
+
+#include <algorithm>
+
+namespace wanplace::service {
+
+PublishDecision decide(const PublishPolicy& policy,
+                       const IncumbentPlan& incumbent,
+                       const CandidatePlan& candidate) {
+  if (!candidate.feasible) return {false, "no-candidate"};
+  if (!incumbent.exists) return {true, "initial"};
+  if (!incumbent.feasible && policy.publish_on_infeasible)
+    return {true, "incumbent-infeasible"};
+  const double gain = incumbent.cost - candidate.cost;
+  const double margin =
+      policy.min_relative_gain * std::max(incumbent.cost, 1.0);
+  if (gain > 0 && gain >= margin) return {true, "improved"};
+  return {false, "held"};
+}
+
+}  // namespace wanplace::service

@@ -1,0 +1,48 @@
+// Publish policy of the continuous re-placement daemon.
+//
+// The daemon re-solves on every drift event — warm starts make that cheap —
+// but swapping the live plan is not free for the deployment (replica
+// transfers, cache invalidation, routing churn), so a new plan is only
+// published when it is worth acting on: the certified candidate must beat
+// the incumbent's current cost by a configurable relative margin, or the
+// incumbent must have stopped meeting the goal under the drifted instance.
+#pragma once
+
+namespace wanplace::service {
+
+struct PublishPolicy {
+  /// Minimum relative improvement before a publish: the candidate's cost
+  /// must undercut the incumbent's current (re-evaluated) cost by at least
+  /// this fraction of max(incumbent cost, 1). 0 publishes every strict
+  /// improvement.
+  double min_relative_gain = 0.01;
+  /// Publish any feasible candidate the moment the incumbent stops meeting
+  /// the goal under the drifted instance, regardless of cost.
+  bool publish_on_infeasible = true;
+};
+
+/// The freshly solved-and-rounded plan of this event.
+struct CandidatePlan {
+  bool feasible = false;
+  double cost = 0;
+};
+
+/// The live plan, re-evaluated under the post-event instance.
+struct IncumbentPlan {
+  bool exists = false;
+  bool feasible = false;
+  double cost = 0;
+};
+
+struct PublishDecision {
+  bool publish = false;
+  /// "initial", "incumbent-infeasible", "improved", "held" or
+  /// "no-candidate"; stable strings pinned by the golden policy tests.
+  const char* reason = "held";
+};
+
+PublishDecision decide(const PublishPolicy& policy,
+                       const IncumbentPlan& incumbent,
+                       const CandidatePlan& candidate);
+
+}  // namespace wanplace::service

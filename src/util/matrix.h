@@ -38,6 +38,24 @@ class DenseMatrix {
 
   void fill(T value) { data_.assign(data_.size(), value); }
 
+  /// Grow to (new_rows, new_cols), preserving existing entries and filling
+  /// new cells with `fill`. Dimensions must not shrink.
+  void grow(std::size_t new_rows, std::size_t new_cols, T fill = T{}) {
+    WANPLACE_REQUIRE(new_rows >= rows_ && new_cols >= cols_,
+                     "matrix grow must not shrink");
+    if (new_cols == cols_) {
+      data_.resize(new_rows * new_cols, fill);
+    } else {
+      std::vector<T> grown(new_rows * new_cols, fill);
+      for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+          grown[r * new_cols + c] = data_[r * cols_ + c];
+      data_ = std::move(grown);
+    }
+    rows_ = new_rows;
+    cols_ = new_cols;
+  }
+
   const std::vector<T>& data() const { return data_; }
 
   friend bool operator==(const DenseMatrix&, const DenseMatrix&) = default;
@@ -83,6 +101,15 @@ class DenseCube {
   }
 
   void fill(T value) { data_.assign(data_.size(), value); }
+
+  /// Grow the outermost dimension to `new_x`, filling the appended slices
+  /// with `fill`. x is outermost in the layout, so this is a pure append:
+  /// every existing entry keeps its flat offset.
+  void grow_x(std::size_t new_x, T fill = T{}) {
+    WANPLACE_REQUIRE(new_x >= x_, "cube grow must not shrink");
+    data_.resize(new_x * y_ * z_, fill);
+    x_ = new_x;
+  }
 
   const std::vector<T>& data() const { return data_; }
 

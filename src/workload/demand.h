@@ -45,6 +45,12 @@ class Demand {
     return reads_(n, i, k) > 0;
   }
 
+  /// Append zero-demand nodes until `new_node_count` (node join events).
+  void grow_nodes(std::size_t new_node_count) {
+    reads_.grow_x(new_node_count);
+    writes_.grow_x(new_node_count);
+  }
+
  private:
   DenseCube<double> reads_;
   DenseCube<double> writes_;

@@ -104,4 +104,102 @@ Trace Trace::load_file(const std::string& path) {
   return load(file);
 }
 
+const char* event_kind(const Event& event) {
+  struct Kind {
+    const char* operator()(const DemandDeltaEvent&) const { return "demand"; }
+    const char* operator()(const NodeJoinEvent&) const { return "join"; }
+    const char* operator()(const NodeLeaveEvent&) const { return "leave"; }
+    const char* operator()(const LatencyUpdateEvent&) const {
+      return "latency";
+    }
+  };
+  return std::visit(Kind{}, event);
+}
+
+void save_events(const std::vector<Event>& events, std::ostream& out) {
+  out.precision(17);  // round-trippable doubles
+  out << "wanplace-events v1\n";
+  for (const auto& event : events) {
+    if (const auto* d = std::get_if<DemandDeltaEvent>(&event)) {
+      out << "demand " << d->node << ' ' << d->interval << ' ' << d->object
+          << ' ' << d->read_delta << ' ' << d->write_delta << '\n';
+    } else if (const auto* j = std::get_if<NodeJoinEvent>(&event)) {
+      out << "join " << j->default_latency_ms;
+      for (const auto& [node, latency] : j->latency_overrides)
+        out << ' ' << node << ':' << latency;
+      out << '\n';
+    } else if (const auto* l = std::get_if<NodeLeaveEvent>(&event)) {
+      out << "leave " << l->node << '\n';
+    } else {
+      const auto& u = std::get<LatencyUpdateEvent>(event);
+      out << "latency " << u.a << ' ' << u.b << ' ' << u.latency_ms << '\n';
+    }
+  }
+}
+
+std::vector<Event> load_events(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header) ||
+      header.rfind("wanplace-events v1", 0) != 0)
+    throw Error("not a wanplace event stream");
+  std::vector<Event> events;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind) || kind[0] == '#') continue;
+    if (kind == "demand") {
+      DemandDeltaEvent d;
+      if (!(fields >> d.node >> d.interval >> d.object >> d.read_delta >>
+            d.write_delta))
+        throw Error("bad demand event: " + line);
+      events.push_back(d);
+    } else if (kind == "join") {
+      NodeJoinEvent j;
+      if (!(fields >> j.default_latency_ms))
+        throw Error("bad join event: " + line);
+      std::string override_spec;
+      while (fields >> override_spec) {
+        const auto colon = override_spec.find(':');
+        if (colon == std::string::npos)
+          throw Error("bad join override (want node:latency): " + line);
+        try {
+          j.latency_overrides.emplace_back(
+              std::stol(override_spec.substr(0, colon)),
+              std::stod(override_spec.substr(colon + 1)));
+        } catch (const std::exception&) {
+          throw Error("bad join override (want node:latency): " + line);
+        }
+      }
+      events.push_back(std::move(j));
+    } else if (kind == "leave") {
+      NodeLeaveEvent l;
+      if (!(fields >> l.node)) throw Error("bad leave event: " + line);
+      events.push_back(l);
+    } else if (kind == "latency") {
+      LatencyUpdateEvent u;
+      if (!(fields >> u.a >> u.b >> u.latency_ms))
+        throw Error("bad latency event: " + line);
+      events.push_back(u);
+    } else {
+      throw Error("unknown event kind: " + kind);
+    }
+  }
+  return events;
+}
+
+void save_events_file(const std::vector<Event>& events,
+                      const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw Error("cannot open " + path + " for writing");
+  save_events(events, file);
+  if (!file) throw Error("failed writing " + path);
+}
+
+std::vector<Event> load_events_file(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw Error("cannot open " + path);
+  return load_events(file);
+}
+
 }  // namespace wanplace::workload

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "graph/topology.h"
@@ -65,5 +67,70 @@ class Trace {
   std::size_t object_count_ = 0;
   std::size_t read_count_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Drift events: the input stream of the continuous re-placement service.
+//
+// Each event describes one change to a live MC-PERF instance between two
+// re-optimization points. Demand deltas perturb one (node, interval, object)
+// cell; topology events join, tombstone or re-measure nodes. Events are
+// applied by `mcperf::Instance::apply_delta` (which validates them against
+// the current instance) and mirrored into an existing LP by
+// `mcperf::apply_delta` so the solver can warm-start instead of rebuilding.
+
+/// Additive change to the read/write counts of one demand cell. The
+/// resulting counts must stay non-negative.
+struct DemandDeltaEvent {
+  graph::NodeId node = 0;
+  std::size_t interval = 0;
+  ObjectId object = 0;
+  double read_delta = 0;
+  double write_delta = 0;
+};
+
+/// A new node joins with no demand and no stored replicas. Its latency to
+/// every existing node defaults to `default_latency_ms`, selectively
+/// overridden per neighbor; reachability is re-thresholded against Tlat.
+struct NodeJoinEvent {
+  double default_latency_ms = 100;
+  /// (existing node, symmetric latency in ms) overrides.
+  std::vector<std::pair<graph::NodeId, double>> latency_overrides;
+};
+
+/// A node leaves: its demand is dropped and it can neither serve nor be
+/// served within Tlat (dist row and column zeroed). The id is tombstoned,
+/// not recycled, so later events keep stable indices.
+struct NodeLeaveEvent {
+  graph::NodeId node = 0;
+};
+
+/// A re-measured symmetric latency between two existing nodes;
+/// reachability between them is re-thresholded against Tlat.
+struct LatencyUpdateEvent {
+  graph::NodeId a = 0;
+  graph::NodeId b = 0;
+  double latency_ms = 100;
+};
+
+using Event =
+    std::variant<DemandDeltaEvent, NodeJoinEvent, NodeLeaveEvent,
+                 LatencyUpdateEvent>;
+
+/// Short lower-case tag for logs and replay output ("demand", "join",
+/// "leave", "latency").
+const char* event_kind(const Event& event);
+
+/// Plain text serialization, one event per line after a
+/// "wanplace-events v1" header:
+///   demand <node> <interval> <object> <read_delta> <write_delta>
+///   join <default_latency_ms> [<node>:<latency_ms> ...]
+///   leave <node>
+///   latency <a> <b> <latency_ms>
+/// Blank lines and lines starting with '#' are skipped on load.
+void save_events(const std::vector<Event>& events, std::ostream& out);
+std::vector<Event> load_events(std::istream& in);
+void save_events_file(const std::vector<Event>& events,
+                      const std::string& path);
+std::vector<Event> load_events_file(const std::string& path);
 
 }  // namespace wanplace::workload

@@ -1,0 +1,255 @@
+// Differential certification of the incremental model-delta path.
+//
+// Each seed deterministically produces one instance and one event sequence
+// (demand perturbations, node join/leave, latency updates). The harness
+// maintains the daemon's solver state across the sequence — apply_delta on
+// the instance, delta-patch (or rebuild) the LP, warm dual re-solve from
+// the carried basis — and after EVERY event cross-checks against a cold
+// full rebuild of the same post-event instance: achievability must agree,
+// solve statuses must agree, and Optimal bounds must match to 1e-7
+// relative. The pure-demand shard additionally asserts the acceptance
+// property that demand drift never leaves the incremental window (zero
+// rebuilds) and never costs the dual simplex its warm start (zero
+// simplex.dual.fallbacks).
+//
+// WANPLACE_FUZZ_SEED replays a CI failure locally; WANPLACE_FUZZ_COUNT
+// scales the per-shard sequence count (the fuzz-delta nightly shard cranks
+// it up).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bounds/engine.h"
+#include "instance_helpers.h"
+#include "lp_fuzz.h"
+#include "mcperf/heuristic_class.h"
+#include "obs/metrics.h"
+#include "service/delta.h"
+#include "tree_fuzz.h"
+#include "util/rng.h"
+
+namespace wanplace {
+namespace {
+
+/// Solve options for the harness: exact simplex, no rounding (the
+/// differential property is about the certified bound).
+bounds::BoundOptions harness_options() {
+  bounds::BoundOptions options;
+  options.solver = bounds::BoundOptions::Solver::Simplex;
+  options.run_rounding = false;
+  return options;
+}
+
+/// The daemon's solver-state loop, reduced to its essentials.
+struct DeltaHarness {
+  mcperf::Instance instance;
+  mcperf::ClassSpec spec;
+  double tlat_ms;
+  service::ModelState state;
+
+  DeltaHarness(mcperf::Instance inst, mcperf::ClassSpec s, double tlat)
+      : instance(std::move(inst)), spec(std::move(s)), tlat_ms(tlat) {
+    auto detail =
+        bounds::compute_bound_detail(instance, spec, harness_options());
+    state.built = std::move(detail.built);
+    state.valid = state.built.model.variable_count() > 0;
+    state.basis = std::move(detail.solution.basis);
+  }
+
+  /// Apply one event and warm re-solve; `incremental` reports whether the
+  /// LP was delta-patched rather than rebuilt.
+  bounds::BoundDetail step(const workload::Event& event, bool* incremental) {
+    instance.apply_delta(event, tlat_ms);
+    const bool inc = service::advance_model(instance, spec, event, state);
+    if (incremental != nullptr) *incremental = inc;
+    bounds::BoundOptions options = harness_options();
+    if (!state.basis.empty()) options.warm.basis = &state.basis;
+    auto detail = bounds::compute_bound_built(instance, spec,
+                                              std::move(state.built), options);
+    state.built = std::move(detail.built);
+    state.valid = state.built.model.variable_count() > 0;
+    if (!detail.solution.basis.empty())
+      state.basis = detail.solution.basis;
+    else if (!state.basis.compatible(state.built.model.variable_count(),
+                                     state.built.model.row_count()))
+      state.basis = {};
+    return detail;
+  }
+};
+
+/// Compare one incrementally maintained solve against a cold rebuild of
+/// the same post-event instance.
+void expect_matches_cold(const DeltaHarness& harness,
+                         const bounds::BoundDetail& warm,
+                         const std::string& label) {
+  const auto cold = bounds::compute_bound_detail(harness.instance,
+                                                 harness.spec,
+                                                 harness_options());
+  ASSERT_EQ(warm.bound.achievable, cold.bound.achievable) << label;
+  if (!warm.bound.achievable) return;
+  ASSERT_EQ(warm.bound.status, cold.bound.status) << label;
+  if (warm.bound.status != lp::SolveStatus::Optimal) return;
+  EXPECT_NEAR(warm.bound.lower_bound, cold.bound.lower_bound,
+              1e-7 * (1 + std::abs(cold.bound.lower_bound)))
+      << label;
+}
+
+workload::Event random_demand_event(Rng& rng,
+                                    const mcperf::Instance& instance) {
+  workload::DemandDeltaEvent event;
+  event.node =
+      static_cast<graph::NodeId>(rng.uniform_index(instance.node_count()));
+  event.interval = rng.uniform_index(instance.interval_count());
+  event.object = static_cast<workload::ObjectId>(
+      rng.uniform_index(instance.object_count()));
+  const double reads = instance.demand.read(
+      static_cast<std::size_t>(event.node), event.interval,
+      static_cast<std::size_t>(event.object));
+  // Mostly growth; shrinks stay within the current count so the event is
+  // valid by construction.
+  event.read_delta = rng.bernoulli(0.7) ? rng.uniform(0.5, 4.0)
+                                        : -rng.uniform(0.0, reads);
+  if (rng.bernoulli(0.3)) event.write_delta = rng.uniform(0.0, 1.5);
+  return event;
+}
+
+workload::Event random_event(Rng& rng, const mcperf::Instance& instance) {
+  const double roll = rng.uniform();
+  if (roll < 0.15) {
+    workload::NodeJoinEvent event;
+    // A 160ms default is beyond the 150ms Tlat, so some joiners arrive
+    // isolated except for their overrides.
+    event.default_latency_ms = rng.bernoulli(0.5) ? 100.0 : 160.0;
+    if (rng.bernoulli(0.6)) event.latency_overrides.push_back({0, 90.0});
+    return event;
+  }
+  if (roll < 0.25) {
+    std::vector<graph::NodeId> live;
+    for (std::size_t n = 0; n < instance.node_count(); ++n)
+      if (instance.dist(n, n) != 0 && !instance.is_origin(n))
+        live.push_back(static_cast<graph::NodeId>(n));
+    if (live.size() > 1)
+      return workload::NodeLeaveEvent{live[rng.uniform_index(live.size())]};
+  } else if (roll < 0.4) {
+    std::vector<graph::NodeId> live;
+    for (std::size_t n = 0; n < instance.node_count(); ++n)
+      if (instance.dist(n, n) != 0)
+        live.push_back(static_cast<graph::NodeId>(n));
+    if (live.size() >= 2) {
+      const auto a = live[rng.uniform_index(live.size())];
+      auto b = live[rng.uniform_index(live.size())];
+      while (b == a) b = live[rng.uniform_index(live.size())];
+      const double choices[] = {60, 110, 140, 200};
+      return workload::LatencyUpdateEvent{a, b,
+                                          choices[rng.uniform_index(4)]};
+    }
+  }
+  return random_demand_event(rng, instance);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(DeltaDifferential, MixedSequencesMatchColdRebuilds) {
+  const auto base = test::fuzz_base_seed();
+  const auto count = test::fuzz_shard_count();
+  for (std::size_t c = 0; c < count; ++c) {
+    const auto seed = base + c;
+    Rng rng(seed ^ 0xD17AULL);
+    // Vary the formulation: scope, tqos, and occasionally a class with
+    // creation restrictions so the rebuild path is exercised too.
+    const mcperf::QosScope scopes[] = {
+        mcperf::QosScope::PerUser, mcperf::QosScope::Overall,
+        mcperf::QosScope::PerObject, mcperf::QosScope::PerUserPerObject};
+    auto instance = test::random_instance(seed, 5 + rng.uniform_index(3), 3,
+                                          4, rng.bernoulli(0.5) ? 0.9 : 0.75);
+    std::get<mcperf::QosGoal>(instance.goal).scope =
+        scopes[rng.uniform_index(4)];
+    // Half the seeds price update propagation so events that move writes
+    // (demand deltas, leaves) exercise the store-cost resync too.
+    if (rng.bernoulli(0.5)) instance.costs.delta = 0.2;
+    const auto spec = rng.bernoulli(0.25) ? mcperf::classes::caching()
+                                          : mcperf::classes::general();
+    DeltaHarness harness(std::move(instance), spec, 150);
+    const std::size_t events = 3 + rng.uniform_index(6);
+    for (std::size_t e = 0; e < events; ++e) {
+      const auto event = random_event(rng, harness.instance);
+      const auto detail = harness.step(event, nullptr);
+      expect_matches_cold(harness, detail,
+                          "seed " + std::to_string(seed) + " event " +
+                              std::to_string(e) + " [" +
+                              workload::event_kind(event) + "]");
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(DeltaDifferential, PureDemandStaysWarmWithoutFallback) {
+  auto& registry = obs::Registry::global();
+  registry.enable(true);
+  registry.reset();
+  const auto base = test::fuzz_base_seed();
+  const auto count = test::fuzz_shard_count();
+  for (std::size_t c = 0; c < count; ++c) {
+    const auto seed = base + 0x5151ULL + c;
+    Rng rng(seed ^ 0xBEADULL);
+    DeltaHarness harness(test::random_instance(seed),
+                         mcperf::classes::general(), 150);
+    if (!harness.state.valid || harness.state.basis.empty()) continue;
+    const std::size_t events = 3 + rng.uniform_index(6);
+    for (std::size_t e = 0; e < events; ++e) {
+      const auto event = random_demand_event(rng, harness.instance);
+      bool incremental = false;
+      const auto detail = harness.step(event, &incremental);
+      const auto label =
+          "seed " + std::to_string(seed) + " event " + std::to_string(e);
+      // Demand drift never leaves the incremental window and never costs
+      // the solver its basis.
+      EXPECT_TRUE(incremental) << label;
+      EXPECT_FALSE(harness.state.basis.empty()) << label;
+      expect_matches_cold(harness, detail, label);
+      if (HasFatalFailure()) {
+        registry.enable(false);
+        return;
+      }
+    }
+  }
+  const auto snapshot = registry.snapshot();
+  registry.enable(false);
+  const auto fallbacks = snapshot.find("simplex.dual.fallbacks");
+  EXPECT_TRUE(fallbacks == snapshot.end() || fallbacks->second.sum == 0)
+      << "warm dual re-solves fell back to the cold primal";
+  const auto rebuilds = snapshot.find("service.rebuilds");
+  EXPECT_TRUE(rebuilds == snapshot.end() || rebuilds->second.sum == 0)
+      << "pure demand deltas triggered full rebuilds";
+}
+
+TEST(DeltaDifferential, TreeFamilySequencesMatchColdRebuilds) {
+  const auto base = test::fuzz_base_seed();
+  const auto count = test::fuzz_shard_count();
+  for (std::size_t c = 0; c < count; ++c) {
+    const auto seed = base + 0x7EEE000ULL + c;
+    Rng rng(seed ^ 0x79EEULL);
+    auto fuzz = test::fuzz_tree_instance(seed);
+    const double tlat = fuzz.instance.links->tlat_ms;
+    // Tree instances carry a link model, so the stream is demand-only
+    // (joins/leaves/latency updates are rejected on them — see
+    // DeltaValidation). Capped closest instances leave the incremental
+    // window and exercise the rebuild path differentially.
+    DeltaHarness harness(std::move(fuzz.instance), fuzz.spec, tlat);
+    const std::size_t events = 2 + rng.uniform_index(5);
+    for (std::size_t e = 0; e < events; ++e) {
+      const auto event = random_demand_event(rng, harness.instance);
+      const auto detail = harness.step(event, nullptr);
+      expect_matches_cold(harness, detail,
+                          "seed " + std::to_string(seed) + " (" +
+                              harness.spec.name + ") event " +
+                              std::to_string(e));
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wanplace

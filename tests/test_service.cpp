@@ -1,0 +1,423 @@
+// Continuous re-placement service tests: model-delta validation, the
+// publish policy, and the daemon end to end.
+//
+// The Service.GoldenPublishPins fixture freezes the publish/hold decision
+// sequence and the final published cost of a fixed drift-event script over
+// the six case-study classes. The daemon pipeline is deterministic
+// (simplex + deterministic rounding), so the reason strings pin exactly
+// and the costs to 1e-9 relative. Regenerate after a DELIBERATE semantic
+// change with WANPLACE_PRINT_GOLDEN=1 and paste over kServiceGolden.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bounds/engine.h"
+#include "instance_helpers.h"
+#include "mcperf/heuristic_class.h"
+#include "obs/metrics.h"
+#include "service/daemon.h"
+#include "service/delta.h"
+#include "service/policy.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace wanplace {
+namespace {
+
+constexpr double kTlat = 150;
+
+// ---------------------------------------------------------------------------
+// Instance::apply_delta validation: every malformed event must throw
+// InvalidArgument and leave the instance untouched.
+
+double demand_sum(const mcperf::Instance& instance) {
+  double sum = 0;
+  for (std::size_t n = 0; n < instance.node_count(); ++n)
+    for (std::size_t i = 0; i < instance.interval_count(); ++i)
+      for (std::size_t k = 0; k < instance.object_count(); ++k)
+        sum += instance.demand.read(n, i, k) + instance.demand.write(n, i, k);
+  return sum;
+}
+
+void expect_rejected(mcperf::Instance& instance, const workload::Event& event,
+                     double tlat = kTlat) {
+  const double before = demand_sum(instance);
+  const std::size_t nodes = instance.node_count();
+  EXPECT_THROW(instance.apply_delta(event, tlat), InvalidArgument);
+  EXPECT_EQ(instance.node_count(), nodes);
+  EXPECT_EQ(demand_sum(instance), before);
+}
+
+TEST(DeltaValidation, DemandUnknownNode) {
+  auto instance = test::random_instance(1);
+  expect_rejected(instance, workload::DemandDeltaEvent{99, 0, 0, 1, 0});
+  expect_rejected(instance, workload::DemandDeltaEvent{-1, 0, 0, 1, 0});
+}
+
+TEST(DeltaValidation, DemandUnknownInterval) {
+  auto instance = test::random_instance(1);
+  expect_rejected(instance, workload::DemandDeltaEvent{0, 99, 0, 1, 0});
+}
+
+TEST(DeltaValidation, DemandUnknownObject) {
+  auto instance = test::random_instance(1);
+  expect_rejected(instance, workload::DemandDeltaEvent{0, 0, 99, 1, 0});
+  expect_rejected(instance, workload::DemandDeltaEvent{0, 0, -3, 1, 0});
+}
+
+TEST(DeltaValidation, DemandNonFinite) {
+  auto instance = test::random_instance(1);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  expect_rejected(instance, workload::DemandDeltaEvent{0, 0, 0, nan, 0});
+  expect_rejected(instance, workload::DemandDeltaEvent{0, 0, 0, 0, inf});
+}
+
+TEST(DeltaValidation, DemandCannotGoNegative) {
+  auto instance = test::line_instance(4, 2, 2, 0.9);
+  instance.demand.read(0, 0, 0) = 2;
+  expect_rejected(instance, workload::DemandDeltaEvent{0, 0, 0, -5, 0});
+  expect_rejected(instance, workload::DemandDeltaEvent{0, 0, 0, 0, -1});
+  // A delta down to (numerically) zero is fine and clamps exactly.
+  instance.apply_delta(workload::DemandDeltaEvent{0, 0, 0, -2, 0}, kTlat);
+  EXPECT_EQ(instance.demand.read(0, 0, 0), 0);
+}
+
+TEST(DeltaValidation, JoinRejectedOnTreeInstances) {
+  graph::TreeParams params;
+  params.depth = 2;
+  params.fanout = 2;
+  params.level_latency_ms = {100, 50};
+  Rng rng(3);
+  auto instance =
+      test::tree_instance(graph::tree(params, rng), 120, 1, 2, 0.9);
+  expect_rejected(instance, workload::NodeJoinEvent{100, {}}, 120);
+  expect_rejected(instance, workload::NodeLeaveEvent{1}, 120);
+  expect_rejected(instance, workload::LatencyUpdateEvent{1, 2, 80}, 120);
+}
+
+TEST(DeltaValidation, JoinNeedsPositiveTlat) {
+  auto instance = test::random_instance(2);
+  expect_rejected(instance, workload::NodeJoinEvent{100, {}}, 0);
+  expect_rejected(instance, workload::LatencyUpdateEvent{0, 1, 80}, -5);
+}
+
+TEST(DeltaValidation, JoinBadLatencies) {
+  auto instance = test::random_instance(2);
+  expect_rejected(instance, workload::NodeJoinEvent{-10, {}});
+  expect_rejected(instance, workload::NodeJoinEvent{100, {{99, 50.0}}});
+  expect_rejected(instance, workload::NodeJoinEvent{100, {{0, -50.0}}});
+}
+
+TEST(DeltaValidation, LeaveUnknownOriginOrDeparted) {
+  auto instance = test::random_instance(3);  // origin at node 0
+  expect_rejected(instance, workload::NodeLeaveEvent{42});
+  expect_rejected(instance, workload::NodeLeaveEvent{0});
+  instance.apply_delta(workload::NodeLeaveEvent{2}, kTlat);
+  expect_rejected(instance, workload::NodeLeaveEvent{2});  // already left
+}
+
+TEST(DeltaValidation, LatencyUpdateBadReferences) {
+  auto instance = test::random_instance(4);
+  expect_rejected(instance, workload::LatencyUpdateEvent{0, 99, 80});
+  expect_rejected(instance, workload::LatencyUpdateEvent{2, 2, 80});
+  expect_rejected(instance, workload::LatencyUpdateEvent{0, 1, 0});
+  instance.apply_delta(workload::NodeLeaveEvent{3}, kTlat);
+  expect_rejected(instance, workload::LatencyUpdateEvent{0, 3, 80});
+}
+
+TEST(DeltaValidation, JoinAndLeaveMaintainLiveness) {
+  auto instance = test::random_instance(5);
+  const std::size_t before = instance.node_count();
+  instance.apply_delta(workload::NodeJoinEvent{100, {{0, 60.0}}}, kTlat);
+  ASSERT_EQ(instance.node_count(), before + 1);
+  const auto fresh = static_cast<graph::NodeId>(before);
+  EXPECT_NE(instance.dist(before, before), 0);
+  EXPECT_NE(instance.dist(before, 0), 0);  // 60 <= Tlat
+  instance.apply_delta(workload::NodeLeaveEvent{fresh}, kTlat);
+  EXPECT_EQ(instance.dist(before, before), 0);  // tombstoned, id kept
+  EXPECT_EQ(instance.node_count(), before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Publish policy unit cases: one per reason string.
+
+TEST(Policy, ReasonsCoverEveryBranch) {
+  service::PublishPolicy policy;  // 1% margin, publish on infeasible
+  const service::CandidatePlan none{false, 0};
+  const service::CandidatePlan cheap{true, 90};
+  const service::CandidatePlan close{true, 99.5};
+  const service::IncumbentPlan fresh{false, false, 0};
+  const service::IncumbentPlan live{true, true, 100};
+  const service::IncumbentPlan broken{true, false, 100};
+
+  EXPECT_STREQ(decide(policy, fresh, none).reason, "no-candidate");
+  EXPECT_FALSE(decide(policy, fresh, none).publish);
+  EXPECT_STREQ(decide(policy, fresh, cheap).reason, "initial");
+  EXPECT_STREQ(decide(policy, broken, cheap).reason, "incumbent-infeasible");
+  EXPECT_STREQ(decide(policy, live, cheap).reason, "improved");
+  EXPECT_STREQ(decide(policy, live, close).reason, "held");
+
+  service::PublishPolicy sticky;
+  sticky.publish_on_infeasible = false;
+  // Cost gate still applies when infeasible publishing is off.
+  EXPECT_STREQ(decide(sticky, broken, cheap).reason, "improved");
+  EXPECT_STREQ(decide(sticky, broken, close).reason, "held");
+
+  service::PublishPolicy eager;
+  eager.min_relative_gain = 0;
+  EXPECT_STREQ(decide(eager, live, close).reason, "improved");
+  // Zero margin still demands a STRICT improvement.
+  EXPECT_STREQ(decide(eager, live, {true, 100}).reason, "held");
+}
+
+// ---------------------------------------------------------------------------
+// Daemon end to end.
+
+/// The service golden fixture: the 4-node line of the golden bound tests
+/// (origin at node 3) with the same deterministic demand and cost pattern.
+mcperf::Instance service_instance() {
+  auto instance = test::line_instance(4, 3, 3, 0.6);
+  instance.costs.alpha = 1;
+  instance.costs.beta = 2;
+  instance.costs.delta = 0.25;
+  for (std::size_t n = 0; n < 4; ++n)
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t k = 0; k < 3; ++k) {
+        instance.demand.read(n, i, k) =
+            static_cast<double>(1 + (n + 2 * i + 3 * k) % 4);
+        instance.demand.write(n, i, k) = (n + i + k) % 2 ? 0.5 : 0.0;
+      }
+  return instance;
+}
+
+/// Fixed drift script: demand swings, a latency change, a join, demand on
+/// the fresh node, a leave, and a final perturbation.
+std::vector<workload::Event> service_events() {
+  return {
+      workload::DemandDeltaEvent{0, 1, 2, 3.0, 0.0},
+      workload::DemandDeltaEvent{2, 0, 0, 5.0, 0.5},
+      workload::LatencyUpdateEvent{0, 2, 120.0},
+      workload::NodeJoinEvent{100.0, {}},
+      workload::DemandDeltaEvent{4, 0, 1, 4.0, 0.0},
+      workload::NodeLeaveEvent{1},
+      workload::DemandDeltaEvent{0, 2, 1, 2.0, 0.0},
+  };
+}
+
+service::DaemonOptions daemon_options(mcperf::ClassSpec spec) {
+  service::DaemonOptions options;
+  options.spec = std::move(spec);
+  options.tlat_ms = kTlat;
+  return options;
+}
+
+TEST(Service, StartPublishesInitialPlan) {
+  service::PlacementDaemon daemon(service_instance(),
+                                  daemon_options(mcperf::classes::general()));
+  const auto out = daemon.start();
+  EXPECT_EQ(out.kind, "start");
+  EXPECT_TRUE(out.published);
+  EXPECT_EQ(out.reason, "initial");
+  EXPECT_TRUE(daemon.has_plan());
+  EXPECT_GT(daemon.published_cost(), 0);
+  EXPECT_FALSE(out.warm);
+}
+
+TEST(Service, RejectedEventLeavesStateUntouched) {
+  service::PlacementDaemon daemon(service_instance(),
+                                  daemon_options(mcperf::classes::general()));
+  daemon.start();
+  const double cost = daemon.published_cost();
+  const auto out =
+      daemon.on_event(workload::DemandDeltaEvent{99, 0, 0, 1, 0});
+  EXPECT_TRUE(out.rejected);
+  EXPECT_EQ(out.reason, "rejected");
+  EXPECT_FALSE(out.error.empty());
+  EXPECT_EQ(daemon.events_seen(), 1u);
+  EXPECT_EQ(daemon.published_cost(), cost);
+  // The stream keeps flowing after a bad entry.
+  const auto next =
+      daemon.on_event(workload::DemandDeltaEvent{0, 0, 0, 1, 0});
+  EXPECT_FALSE(next.rejected);
+}
+
+TEST(Service, IncrementalBoundsMatchColdRebuild) {
+  service::PlacementDaemon daemon(service_instance(),
+                                  daemon_options(mcperf::classes::general()));
+  daemon.start();
+  for (const auto& event : service_events()) {
+    const auto out = daemon.on_event(event);
+    ASSERT_FALSE(out.rejected);
+    const auto cold =
+        bounds::compute_bound(daemon.instance(), mcperf::classes::general());
+    EXPECT_EQ(out.achievable, cold.achievable);
+    if (!out.achievable) continue;
+    ASSERT_EQ(out.status, cold.status) << out.kind;
+    if (out.status == lp::SolveStatus::Optimal)
+      EXPECT_NEAR(out.lower_bound, cold.lower_bound,
+                  1e-7 * (1 + std::abs(cold.lower_bound)))
+          << out.kind;
+  }
+}
+
+// The six case-study classes of the selector experiments.
+std::vector<mcperf::ClassSpec> service_classes() {
+  return {mcperf::classes::general(),
+          mcperf::classes::storage_constrained(),
+          mcperf::classes::replica_constrained(),
+          mcperf::classes::decentralized_local_routing(),
+          mcperf::classes::caching(),
+          mcperf::classes::cooperative_caching()};
+}
+
+struct ServiceGoldenCase {
+  const char* name;      // class preset name
+  const char* reasons;   // comma-joined decision reasons, start() first
+  std::size_t publishes; // publish count over start + 7 events
+  double final_cost;     // published cost after the last event (1e-9 rel)
+};
+
+constexpr ServiceGoldenCase kServiceGolden[] = {
+    {"general",
+     "initial,held,held,held,held,held,improved,incumbent-infeasible", 3, 10},
+    {"storage-constrained",
+     "initial,improved,held,held,held,held,incumbent-infeasible,"
+     "incumbent-infeasible",
+     4, 21},
+    {"replica-constrained", "initial,held,held,held,held,held,held,held", 1,
+     16.25},
+    {"decentral-local-routing",
+     "initial,held,held,held,held,held,incumbent-infeasible,"
+     "incumbent-infeasible",
+     3, 11},
+    {"caching", "initial,held,held,held,held,held,incumbent-infeasible,held",
+     2, 61},
+    {"coop-caching",
+     "initial,held,held,improved,held,held,incumbent-infeasible,held", 3, 21},
+};
+
+TEST(Service, GoldenPublishPins) {
+  const bool print = std::getenv("WANPLACE_PRINT_GOLDEN") != nullptr;
+  const auto classes = service_classes();
+  ASSERT_EQ(classes.size(), std::size(kServiceGolden));
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const auto& g = kServiceGolden[c];
+    service::PlacementDaemon daemon(service_instance(),
+                                    daemon_options(classes[c]));
+    std::string reasons = daemon.start().reason;
+    for (const auto& event : service_events()) {
+      const auto out = daemon.on_event(event);
+      reasons += ",";
+      reasons += out.reason;
+    }
+    if (print) {
+      std::printf("    {\"%s\", \"%s\", %zu, %.17g},\n",
+                  classes[c].name.c_str(), reasons.c_str(),
+                  daemon.publishes(), daemon.published_cost());
+      continue;
+    }
+    EXPECT_EQ(classes[c].name, g.name);
+    EXPECT_EQ(reasons, g.reasons) << g.name;
+    EXPECT_EQ(daemon.publishes(), g.publishes) << g.name;
+    EXPECT_NEAR(daemon.published_cost(), g.final_cost,
+                1e-9 * (1 + std::abs(g.final_cost)))
+        << g.name;
+  }
+}
+
+TEST(Service, CountersTrackEventsAndPivotSavings) {
+  auto& registry = obs::Registry::global();
+  registry.enable(true);
+  registry.reset();
+  {
+    service::PlacementDaemon daemon(
+        service_instance(), daemon_options(mcperf::classes::general()));
+    daemon.start();
+    // Demand-only drift: every event takes the incremental path and the
+    // warm dual re-solve needs far fewer pivots than the cold baseline.
+    for (int i = 0; i < 5; ++i) {
+      const auto out = daemon.on_event(
+          workload::DemandDeltaEvent{i % 4, 1, i % 3, 1.5, 0.0});
+      ASSERT_FALSE(out.rejected);
+      EXPECT_TRUE(out.incremental);
+      EXPECT_TRUE(out.warm);
+    }
+  }
+  const auto snapshot = registry.snapshot();
+  registry.enable(false);
+  const auto sum = [&](const char* name) {
+    const auto it = snapshot.find(name);
+    return it == snapshot.end() ? 0.0 : it->second.sum;
+  };
+  EXPECT_EQ(sum("service.events"), 5);
+  EXPECT_EQ(sum("service.incremental"), 5);
+  EXPECT_EQ(sum("service.rebuilds"), 1);  // the start() build
+  EXPECT_EQ(sum("service.publishes") + sum("service.holds"), 6);
+  EXPECT_GT(sum("service.pivots_saved"), 0);
+}
+
+TEST(Service, ChurnSoak) {
+  auto instance = test::random_instance(123, 6, 3, 4, 0.85);
+  service::PlacementDaemon daemon(
+      std::move(instance), daemon_options(mcperf::classes::general()));
+  daemon.start();
+  Rng rng(2024);
+  std::size_t joins = 0;
+  for (std::size_t step = 0; step < 40; ++step) {
+    workload::Event event = workload::DemandDeltaEvent{
+        static_cast<graph::NodeId>(
+            rng.uniform_index(daemon.instance().node_count())),
+        rng.uniform_index(3),
+        static_cast<workload::ObjectId>(rng.uniform_index(4)),
+        rng.uniform(0.0, 3.0), rng.bernoulli(0.3) ? 0.5 : 0.0};
+    const double roll = rng.uniform();
+    if (roll < 0.12 && joins < 4) {
+      event = workload::NodeJoinEvent{rng.bernoulli(0.5) ? 100.0 : 200.0,
+                                      {{0, 90.0}}};
+      ++joins;
+    } else if (roll < 0.2) {
+      // Leave a random live non-origin node, when one exists.
+      const auto& inst = daemon.instance();
+      std::vector<graph::NodeId> live;
+      for (std::size_t n = 0; n < inst.node_count(); ++n)
+        if (inst.dist(n, n) != 0 && !inst.is_origin(n))
+          live.push_back(static_cast<graph::NodeId>(n));
+      if (live.size() > 2)
+        event = workload::NodeLeaveEvent{live[rng.uniform_index(live.size())]};
+    } else if (roll < 0.3) {
+      const auto n = daemon.instance().node_count();
+      const auto a = rng.uniform_index(n);
+      const auto b = (a + 1 + rng.uniform_index(n - 1)) % n;
+      if (daemon.instance().dist(a, a) != 0 &&
+          daemon.instance().dist(b, b) != 0)
+        event = workload::LatencyUpdateEvent{
+            static_cast<graph::NodeId>(a), static_cast<graph::NodeId>(b),
+            rng.bernoulli(0.5) ? 80.0 : 220.0};
+    }
+    const auto out = daemon.on_event(event);
+    ASSERT_FALSE(out.rejected) << "step " << step << ": " << out.error;
+    ASSERT_FALSE(out.reason.empty());
+    // Spot-check the maintained bound against a cold rebuild.
+    if (step % 13 == 0) {
+      const auto cold =
+          bounds::compute_bound(daemon.instance(), mcperf::classes::general());
+      EXPECT_EQ(out.achievable, cold.achievable) << "step " << step;
+      if (out.achievable && out.status == lp::SolveStatus::Optimal &&
+          cold.status == lp::SolveStatus::Optimal)
+        EXPECT_NEAR(out.lower_bound, cold.lower_bound,
+                    1e-7 * (1 + std::abs(cold.lower_bound)))
+            << "step " << step;
+    }
+  }
+  EXPECT_EQ(daemon.events_seen(), 40u);
+}
+
+}  // namespace
+}  // namespace wanplace

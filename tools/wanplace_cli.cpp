@@ -18,6 +18,15 @@
 //   wanplace_cli bound --class NAME --topology T --trace R [options]
 //       Lower bound for one heuristic class.
 //
+//   wanplace_cli serve --topology T --trace R --events E [options]
+//       Continuous re-placement replay: run the placement daemon over a
+//       drift-event stream (demand deltas, node join/leave, latency
+//       updates; gen-example writes a sample events.txt). The LP is
+//       delta-patched and warm-started per event; a new plan is published
+//       only when it beats the incumbent by --margin (default 0.01) or the
+//       incumbent turned infeasible. --class NAME (default general),
+//       --max-events N to truncate the stream.
+//
 // Common options:
 //   --tqos 0.99        QoS target (fraction of reads within the threshold)
 //   --tlat 150         latency threshold in ms
@@ -55,6 +64,7 @@
 #include "obs/metrics.h"
 #include "obs/solve_report.h"
 #include "obs/trace.h"
+#include "service/daemon.h"
 #include "tree/family.h"
 #include "util/check.h"
 #include "util/rng.h"
@@ -246,12 +256,94 @@ int cmd_gen_example(const Args& args) {
   const auto trace = workload::generate_web(web, rng);
   trace.save_file(out + "/trace.txt");
 
+  // Drift-event stream for `serve`: seeded demand perturbations, plus a
+  // join / latency-update / leave episode on general topologies. Tree
+  // topologies carry a link model whose node set is fixed, so they get
+  // demand drift only. Intervals are drawn below 6 so the stream replays
+  // under any --intervals >= 6.
+  std::vector<workload::Event> events;
+  const auto demand_event = [&] {
+    workload::DemandDeltaEvent event;
+    event.node = static_cast<graph::NodeId>(
+        rng.uniform_index(topology.node_count()));
+    event.interval = rng.uniform_index(6);
+    event.object = static_cast<workload::ObjectId>(
+        rng.uniform_index(web.shape.object_count));
+    event.read_delta = rng.uniform(0.5, 4.0);
+    event.write_delta = rng.bernoulli(0.3) ? rng.uniform(0.0, 1.0) : 0.0;
+    events.push_back(event);
+  };
+  for (int i = 0; i < 6; ++i) demand_event();
+  if (gen != "tree") {
+    const auto fresh = static_cast<graph::NodeId>(topology.node_count());
+    events.push_back(workload::NodeJoinEvent{120.0, {{0, 80.0}}});
+    demand_event();
+    demand_event();
+    events.push_back(workload::LatencyUpdateEvent{fresh, 1, 90.0});
+    events.push_back(workload::NodeLeaveEvent{fresh});
+  }
+  demand_event();
+  demand_event();
+  workload::save_events_file(events, out + "/events.txt");
+
   std::cout << "wrote " << out << "/topology.txt ("
             << topology.summary() << ")\n"
             << "wrote " << out << "/trace.txt (" << trace.read_count()
             << " reads over " << web.shape.object_count << " objects)\n"
+            << "wrote " << out << "/events.txt (" << events.size()
+            << " drift events)\n"
             << "try: wanplace_cli select --topology " << out
             << "/topology.txt --trace " << out << "/trace.txt\n";
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  telemetry_begin(args);
+  const auto loaded = load(args);
+  const std::string events_path = args.get("events", "");
+  WANPLACE_REQUIRE(!events_path.empty(), "--events is required");
+  auto events = workload::load_events_file(events_path);
+  const std::size_t max_events = args.get_size("max-events", events.size());
+  if (events.size() > max_events) events.resize(max_events);
+
+  service::DaemonOptions options;
+  options.spec = parse_class(args.get("class", "general"));
+  options.bounds = bound_options(args);
+  options.policy.min_relative_gain = args.get_double("margin", 0.01);
+  options.tlat_ms = args.get_double("tlat", 150);
+  service::PlacementDaemon daemon(loaded.instance, options);
+
+  std::size_t incremental = 0, rejected = 0, pivots = 0;
+  const auto report = [&](const service::EventOutcome& outcome) {
+    std::cout << "event " << outcome.index << " [" << outcome.kind << "] ";
+    if (outcome.rejected) {
+      ++rejected;
+      std::cout << "rejected: " << outcome.error << "\n";
+      return;
+    }
+    incremental += outcome.incremental ? 1 : 0;
+    pivots += outcome.pivots;
+    std::cout << (outcome.incremental ? "incremental" : "rebuild")
+              << (outcome.warm ? "+warm" : "") << " bound "
+              << format_number(outcome.lower_bound, 1) << " pivots "
+              << outcome.pivots << " -> "
+              << (outcome.published ? "publish" : "hold") << " ("
+              << outcome.reason << ")\n";
+  };
+
+  report(daemon.start());
+  for (const auto& event : events) report(daemon.on_event(event));
+
+  std::cout << "served " << daemon.events_seen() << " events: "
+            << incremental << " incremental, "
+            << daemon.events_seen() - incremental - rejected << " rebuilds, "
+            << rejected << " rejected, " << daemon.publishes()
+            << " publishes, " << pivots << " total pivots\n";
+  if (daemon.has_plan())
+    std::cout << "live plan cost "
+              << format_number(daemon.published_cost(), 1) << "\n";
+  telemetry_end(args);
+  std::cout << "replay complete\n";
   return 0;
 }
 
@@ -340,7 +432,8 @@ int main(int argc, char** argv) {
     if (args.command == "select") return cmd_select(args);
     if (args.command == "plan") return cmd_plan(args);
     if (args.command == "bound") return cmd_bound(args);
-    std::cerr << "usage: wanplace_cli <gen-example|select|plan|bound> "
+    if (args.command == "serve") return cmd_serve(args);
+    std::cerr << "usage: wanplace_cli <gen-example|select|plan|bound|serve> "
                  "[--flag value ...]\n(see the header of tools/"
                  "wanplace_cli.cpp for details)\n";
     return args.command.empty() ? 1 : 2;
