@@ -1,0 +1,170 @@
+#include "obs/export.h"
+
+#include <ostream>
+
+#include "obs/json_util.h"
+
+namespace wanplace::obs {
+
+namespace {
+
+using detail::json_number;
+using detail::json_string;
+
+/// Prometheus sample value. The exposition format allows bare floats;
+/// non-finite values render as +Inf/-Inf/NaN per the spec.
+std::string prom_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void write_prom_metric(std::ostream& out, const std::string& name,
+                       const MetricValue& value) {
+  const std::string prom = prometheus_name(name);
+  switch (value.kind) {
+    case MetricValue::Kind::Counter:
+      out << "# TYPE " << prom << " counter\n"
+          << prom << ' ' << prom_number(value.sum) << '\n';
+      break;
+    case MetricValue::Kind::Gauge:
+      out << "# TYPE " << prom << " gauge\n"
+          << prom << ' ' << prom_number(value.sum) << '\n';
+      break;
+    case MetricValue::Kind::Histogram:
+      // Rendered as a summary: pre-computed quantiles + _sum/_count, with
+      // the exact extremes as companion gauges.
+      out << "# TYPE " << prom << " summary\n"
+          << prom << "{quantile=\"0.5\"} " << prom_number(value.quantile(0.50))
+          << '\n'
+          << prom << "{quantile=\"0.9\"} " << prom_number(value.quantile(0.90))
+          << '\n'
+          << prom << "{quantile=\"0.99\"} "
+          << prom_number(value.quantile(0.99)) << '\n'
+          << prom << "_sum " << prom_number(value.sum) << '\n'
+          << prom << "_count " << value.count << '\n';
+      out << "# TYPE " << prom << "_min gauge\n"
+          << prom << "_min " << prom_number(value.min) << '\n'
+          << "# TYPE " << prom << "_max gauge\n"
+          << prom << "_max " << prom_number(value.max) << '\n';
+      break;
+  }
+}
+
+void write_values(std::ostream& out,
+                  const std::vector<std::pair<std::string, double>>& values) {
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : values) {
+    if (!first) out << ',';
+    first = false;
+    out << json_string(key) << ':' << json_number(value);
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::optional<MetricsFormat> parse_metrics_format(std::string_view text) {
+  if (text == "prom" || text == "prometheus") return MetricsFormat::Prometheus;
+  if (text == "jsonl") return MetricsFormat::Jsonl;
+  return std::nullopt;
+}
+
+const char* to_string(MetricsFormat format) {
+  switch (format) {
+    case MetricsFormat::Prometheus: return "prometheus";
+    case MetricsFormat::Jsonl: return "jsonl";
+  }
+  return "?";
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+        c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    out.push_back(alpha || (digit && i > 0) ? c : '_');
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& out, const Snapshot& snapshot,
+                      const TimeSeries* series) {
+  for (const auto& [name, value] : snapshot)
+    write_prom_metric(out, name, value);
+  if (series == nullptr) return;
+  // Latest-point view of the per-event series: a scraper polling the file
+  // sees the most recent event's deterministic values as gauges, plus ring
+  // occupancy so dashboards can tell how much history is retained.
+  out << "# TYPE wanplace_series_points gauge\n"
+      << "wanplace_series_points " << series->size() << '\n'
+      << "# TYPE wanplace_series_dropped counter\n"
+      << "wanplace_series_dropped " << series->dropped() << '\n';
+  const auto points = series->points();
+  if (points.empty()) return;
+  const SeriesPoint& last = points.back();
+  out << "# TYPE wanplace_series_event_index gauge\n"
+      << "wanplace_series_event_index " << last.index << '\n'
+      << "# TYPE wanplace_series_event_rejected gauge\n"
+      << "wanplace_series_event_rejected " << (last.rejected ? 1 : 0)
+      << '\n';
+  for (const auto& [key, value] : last.values) {
+    const std::string prom = "wanplace_series_" + prometheus_name(key);
+    out << "# TYPE " << prom << " gauge\n"
+        << prom << ' ' << prom_number(value) << '\n';
+  }
+}
+
+void write_jsonl_header(std::ostream& out) {
+  out << "{\"type\":\"meta\",\"stream\":\"wanplace-metrics\",\"version\":1}"
+      << '\n';
+}
+
+void write_point_jsonl(std::ostream& out, const SeriesPoint& point) {
+  out << "{\"type\":\"point\",\"index\":" << point.index
+      << ",\"kind\":" << json_string(point.kind)
+      << ",\"rejected\":" << (point.rejected ? "true" : "false")
+      << ",\"values\":";
+  write_values(out, point.values);
+  out << ",\"seconds\":";
+  write_values(out, point.seconds);
+  out << "}\n";
+}
+
+void write_snapshot_jsonl(std::ostream& out, const Snapshot& snapshot) {
+  for (const auto& [name, value] : snapshot) {
+    out << "{\"type\":\"metric\",\"name\":" << json_string(name)
+        << ",\"kind\":\"" << to_string(value.kind) << "\",\"count\":"
+        << value.count << ",\"sum\":" << json_number(value.sum);
+    if (value.kind == MetricValue::Kind::Histogram) {
+      out << ",\"min\":" << json_number(value.min)
+          << ",\"max\":" << json_number(value.max)
+          << ",\"p50\":" << json_number(value.quantile(0.50))
+          << ",\"p90\":" << json_number(value.quantile(0.90))
+          << ",\"p99\":" << json_number(value.quantile(0.99));
+    }
+    out << "}\n";
+  }
+}
+
+void export_metrics(std::ostream& out, MetricsFormat format,
+                    const Snapshot& snapshot, const TimeSeries* series) {
+  if (format == MetricsFormat::Prometheus) {
+    write_prometheus(out, snapshot, series);
+    return;
+  }
+  write_jsonl_header(out);
+  if (series != nullptr)
+    for (const SeriesPoint& point : series->points())
+      write_point_jsonl(out, point);
+  write_snapshot_jsonl(out, snapshot);
+}
+
+}  // namespace wanplace::obs

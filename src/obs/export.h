@@ -1,0 +1,56 @@
+// Metric export: Prometheus text exposition and JSONL streaming.
+//
+// Two consumers, two formats. `Prometheus` renders a registry snapshot
+// (plus the latest time-series point) as the text-exposition format a
+// scraper expects — the daemon rewrites the whole file after every event,
+// mirroring how an exporter endpoint would serve its current state.
+// `Jsonl` is an append-only stream: one header line, one `point` line per
+// event as it happens, and the final registry snapshot as `metric` lines —
+// the shape `tools/validate_metrics.py` checks and replay analysis scripts
+// consume.
+//
+// Everything here only *reads* telemetry state; exporting never perturbs
+// solves (asserted by Service.BitIdenticalWithExportEnabled).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+
+namespace wanplace::obs {
+
+enum class MetricsFormat { Prometheus, Jsonl };
+
+/// Parse "prom"/"prometheus" or "jsonl"; nullopt otherwise.
+std::optional<MetricsFormat> parse_metrics_format(std::string_view text);
+const char* to_string(MetricsFormat format);
+
+/// Prometheus metric name: dots and other invalid characters become '_'.
+std::string prometheus_name(std::string_view name);
+
+/// Full Prometheus text-exposition document: every snapshot metric (with
+/// histograms rendered as summaries carrying p50/p90/p99 quantiles), and,
+/// when `series` is given, the latest point's deterministic values as
+/// `wanplace_series_*` gauges plus ring occupancy/drop gauges.
+void write_prometheus(std::ostream& out, const Snapshot& snapshot,
+                      const TimeSeries* series = nullptr);
+
+/// JSONL stream header (must be the first line of a stream).
+void write_jsonl_header(std::ostream& out);
+/// One `{"type":"point",...}` line for one event.
+void write_point_jsonl(std::ostream& out, const SeriesPoint& point);
+/// One `{"type":"metric",...}` line per snapshot entry (histograms carry
+/// p50/p90/p99), in name-sorted order.
+void write_snapshot_jsonl(std::ostream& out, const Snapshot& snapshot);
+
+/// Whole-document convenience: Prometheus exposition, or a JSONL stream of
+/// header + every retained point + the snapshot.
+void export_metrics(std::ostream& out, MetricsFormat format,
+                    const Snapshot& snapshot,
+                    const TimeSeries* series = nullptr);
+
+}  // namespace wanplace::obs

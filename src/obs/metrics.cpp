@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <string_view>
@@ -40,6 +42,35 @@ void atomic_max(std::atomic<double>& slot, double value) {
 
 }  // namespace
 
+std::size_t quantile_bucket(double value) {
+  // Non-positive (and NaN) samples share bucket 0; min/max still record the
+  // exact extremes, so quantile() clamps them back into range.
+  if (!(value > 0)) return 0;
+  const int exponent = static_cast<int>(std::floor(std::log2(value)));
+  return static_cast<std::size_t>(std::clamp(exponent, -40, 22) + 41);
+}
+
+double MetricValue::quantile(double p) const {
+  if (count == 0 || buckets.empty()) return 0;
+  const double clamped_p = std::clamp(p, 0.0, 1.0);
+  // Nearest-rank: the smallest bucket whose cumulative count reaches rank.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(clamped_p * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= rank) {
+      // Geometric midpoint of bucket b's [2^(b-41), 2^(b-40)) range;
+      // bucket 0 (non-positive samples) reports the recorded minimum.
+      const double estimate =
+          b == 0 ? min : std::ldexp(std::sqrt(2.0), static_cast<int>(b) - 41);
+      return std::clamp(estimate, min, max);
+    }
+  }
+  return max;
+}
+
 const char* to_string(MetricValue::Kind kind) {
   switch (kind) {
     case MetricValue::Kind::Counter: return "counter";
@@ -53,7 +84,11 @@ struct Registry::Impl {
   /// One metric within one shard. All fields are atomics so the owning
   /// thread updates and snapshot() reads concurrently without locks.
   struct Cell {
-    explicit Cell(MetricValue::Kind k) : kind(k) {}
+    explicit Cell(MetricValue::Kind k) : kind(k) {
+      if (kind == MetricValue::Kind::Histogram)
+        buckets = std::make_unique<std::atomic<std::uint64_t>[]>(
+            kQuantileBuckets);
+    }
     const MetricValue::Kind kind;
     std::atomic<std::uint64_t> count{0};
     std::atomic<double> sum{0.0};
@@ -62,6 +97,9 @@ struct Registry::Impl {
     /// Gauges: global write sequence of the last set(); the merge keeps the
     /// highest sequence so "latest write wins" across shards.
     std::atomic<std::uint64_t> seq{0};
+    /// Histograms only: per-log2-bucket sample counts for quantiles
+    /// (value-initialized to zero by make_unique).
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
   };
 
   /// Per-thread shard. The map's *shape* is guarded by `mutex` (taken by
@@ -149,6 +187,8 @@ void Registry::record(const char* name, double value) {
   }
   atomic_min(cell.min, value);
   atomic_max(cell.max, value);
+  cell.buckets[quantile_bucket(value)].fetch_add(1,
+                                                std::memory_order_relaxed);
 }
 
 Snapshot Registry::snapshot() const {
@@ -184,6 +224,10 @@ Snapshot Registry::snapshot() const {
                                cell->min.load(std::memory_order_relaxed));
           value.max = std::max(value.max,
                                cell->max.load(std::memory_order_relaxed));
+          if (value.buckets.empty()) value.buckets.resize(kQuantileBuckets);
+          for (std::size_t b = 0; b < kQuantileBuckets; ++b)
+            value.buckets[b] +=
+                cell->buckets[b].load(std::memory_order_relaxed);
           break;
       }
     }
@@ -201,6 +245,9 @@ void Registry::reset() {
       cell->min.store(kInf, std::memory_order_relaxed);
       cell->max.store(-kInf, std::memory_order_relaxed);
       cell->seq.store(0, std::memory_order_relaxed);
+      if (cell->buckets)
+        for (std::size_t b = 0; b < kQuantileBuckets; ++b)
+          cell->buckets[b].store(0, std::memory_order_relaxed);
     }
   }
 }

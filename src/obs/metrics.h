@@ -26,8 +26,15 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace wanplace::obs {
+
+/// Number of log2 buckets kept per histogram for quantile estimation.
+/// Bucket 0 holds non-positive samples; bucket b in [1, 63] holds samples
+/// with floor(log2(v)) == b - 41 (clamped), spanning ~2^-40 .. 2^23 — wide
+/// enough for seconds, pivot counts and cost values alike.
+inline constexpr std::size_t kQuantileBuckets = 64;
 
 /// Aggregated state of one metric in a snapshot().
 struct MetricValue {
@@ -42,9 +49,22 @@ struct MetricValue {
   /// Histogram only: extremes of the recorded samples.
   double min = std::numeric_limits<double>::infinity();
   double max = -std::numeric_limits<double>::infinity();
+  /// Histogram only: log2 bucket counts (size kQuantileBuckets when
+  /// populated). Integer counts, so merging across shards is exact and the
+  /// derived quantiles are deterministic at every parallelism.
+  std::vector<std::uint64_t> buckets;
 
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0; }
+
+  /// Estimated p-quantile (p in [0, 1]) from the log2 buckets: the rank-th
+  /// sample's bucket, reported as the bucket's geometric midpoint clamped
+  /// to [min, max] (so a single-sample histogram returns that sample
+  /// exactly). Returns 0 for an empty histogram.
+  double quantile(double p) const;
 };
+
+/// Bucket index a sample value lands in (see kQuantileBuckets).
+std::size_t quantile_bucket(double value);
 
 const char* to_string(MetricValue::Kind kind);
 

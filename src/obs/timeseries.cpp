@@ -1,0 +1,50 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wanplace::obs {
+
+TimeSeries::TimeSeries(std::size_t capacity) : capacity_(capacity) {
+  WANPLACE_REQUIRE(capacity > 0, "TimeSeries capacity must be positive");
+}
+
+void TimeSeries::append(SeriesPoint point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(point));
+  ++total_appended_;
+}
+
+std::vector<SeriesPoint> TimeSeries::points() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::size_t TimeSeries::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t TimeSeries::total_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_appended_;
+}
+
+std::uint64_t TimeSeries::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void TimeSeries::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  total_appended_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace wanplace::obs

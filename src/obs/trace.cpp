@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/json_util.h"
 #include "obs/metrics.h"
 
 namespace wanplace::obs {
@@ -20,40 +21,8 @@ namespace wanplace::obs {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-/// Format doubles so the JSONL stays valid JSON (no inf/nan literals) and
-/// round-trips through standard parsers.
-std::string json_number(double value) {
-  if (!std::isfinite(value)) return "null";
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  return buffer;
-}
-
-std::string json_string(std::string_view text) {
-  std::string out;
-  out.reserve(text.size() + 2);
-  out.push_back('"');
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-  return out;
-}
+using detail::json_number;
+using detail::json_string;
 
 }  // namespace
 
@@ -171,7 +140,7 @@ std::vector<SampleRecord> Tracer::samples() const {
 void Tracer::write_jsonl(std::ostream& out) const {
   const std::vector<SpanRecord> spans = this->spans();
   const std::vector<SampleRecord> samples = this->samples();
-  out << "{\"type\":\"meta\",\"version\":1,\"spans\":" << spans.size()
+  out << "{\"type\":\"meta\",\"version\":2,\"spans\":" << spans.size()
       << ",\"samples\":" << samples.size() << "}\n";
   for (const SpanRecord& span : spans) {
     out << "{\"type\":\"span\",\"id\":" << span.id << ",\"parent\":"
@@ -205,7 +174,10 @@ void Tracer::write_jsonl(std::ostream& out) const {
         << value.count << ",\"sum\":" << json_number(value.sum);
     if (value.kind == MetricValue::Kind::Histogram) {
       out << ",\"min\":" << json_number(value.min)
-          << ",\"max\":" << json_number(value.max);
+          << ",\"max\":" << json_number(value.max)
+          << ",\"p50\":" << json_number(value.quantile(0.50))
+          << ",\"p90\":" << json_number(value.quantile(0.90))
+          << ",\"p99\":" << json_number(value.quantile(0.99));
     }
     out << "}\n";
   }
@@ -250,35 +222,45 @@ std::string Tracer::summary() const {
     out << '\n';
   }
 
-  // Kernel telemetry: the hyper-sparse FTRAN/BTRAN path split, the
-  // RHS-density histogram behind it, and R-file compression events. These
-  // live in the metrics registry rather than in spans (they fire per solve,
-  // far too often for span records), so surface them here when present.
-  static constexpr const char* kKernelPrefixes[] = {
-      "simplex.ftran", "simplex.btran", "simplex.rhs_density", "lu.rfile"};
-  Snapshot kernel;
-  for (const auto& [name, value] : Registry::global().snapshot()) {
-    for (const char* prefix : kKernelPrefixes) {
-      if (name.rfind(prefix, 0) == 0) {
-        kernel.emplace(name, value);
-        break;
-      }
-    }
-  }
-  if (!kernel.empty()) {
-    out << "kernel metrics\n";
-    for (const auto& [name, value] : kernel) {
+  // Registry highlights below the span tree. Kernel telemetry (the
+  // hyper-sparse FTRAN/BTRAN path split, the RHS-density histogram behind
+  // it, R-file compressions) and the daemon's service.* series live in the
+  // metrics registry rather than in spans (they fire per solve/event, far
+  // too often for span records), so surface them here when present.
+  // Histograms carry p50/p90/p99 from the log2-bucket quantile sketch.
+  const Snapshot snapshot = Registry::global().snapshot();
+  const auto write_section = [&](const char* header,
+                                 const auto& prefix_match) {
+    Snapshot picked;
+    for (const auto& [name, value] : snapshot)
+      if (prefix_match(name)) picked.emplace(name, value);
+    if (picked.empty()) return;
+    out << header << '\n';
+    for (const auto& [name, value] : picked) {
       out << "  " << name << "  n=" << value.count;
       if (value.kind == MetricValue::Kind::Histogram) {
         out << "  mean=" << json_number(value.mean())
             << "  min=" << json_number(value.min)
-            << "  max=" << json_number(value.max);
+            << "  max=" << json_number(value.max)
+            << "  p50=" << json_number(value.quantile(0.50))
+            << "  p90=" << json_number(value.quantile(0.90))
+            << "  p99=" << json_number(value.quantile(0.99));
       } else {
         out << "  total=" << json_number(value.sum);
       }
       out << '\n';
     }
-  }
+  };
+  static constexpr const char* kKernelPrefixes[] = {
+      "simplex.ftran", "simplex.btran", "simplex.rhs_density", "lu.rfile"};
+  write_section("kernel metrics", [](const std::string& name) {
+    for (const char* prefix : kKernelPrefixes)
+      if (name.rfind(prefix, 0) == 0) return true;
+    return false;
+  });
+  write_section("service metrics", [](const std::string& name) {
+    return name.rfind("service.", 0) == 0;
+  });
   return out.str();
 }
 

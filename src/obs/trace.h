@@ -20,13 +20,18 @@
 // aggregated human-readable tree (span path, call count, total seconds,
 // summed numeric attributes).
 //
-// JSONL schema (version 1):
-//   {"type":"meta","version":1,"spans":N,"samples":M}
+// JSONL schema (version 2):
+//   {"type":"meta","version":2,"spans":N,"samples":M}
 //   {"type":"span","id":I,"parent":P,"name":"...","thread":T,
 //    "start_s":S,"dur_s":D,"attrs":{"k":v,...}}        // parent 0 = root
 //   {"type":"sample","name":"...","thread":T,"time_s":S,"step":X,"value":V}
 //   {"type":"metric","name":"...","kind":"counter|gauge|histogram",
-//    "count":N,"sum":S[,"min":m,"max":M]}
+//    "count":N,"sum":S[,"min":m,"max":M,"p50":q,"p90":q,"p99":q]}
+// Version 2 adds (a) the histogram quantile fields above and (b) event
+// causality for daemon traces: every `service.event` span carries an
+// integer "event" attr (the monotonic event index) and a "kind" label, and
+// per-stage spans (service.validate/patch/resolve/audit/policy) nest under
+// it, so tools/validate_trace.py can attribute every stage to its event.
 #pragma once
 
 #include <cstddef>

@@ -1,17 +1,39 @@
 #include "service/daemon.h"
 
+#include <algorithm>
 #include <utility>
 #include <variant>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace wanplace::service {
 
+namespace {
+
+/// Time one stage into `slot` and (when enabled) the matching
+/// service.stage.* histogram, so --trace-summary can show stage quantiles.
+struct StageTimer {
+  StageTimer(double& slot, const char* metric)
+      : slot_(slot), metric_(metric) {}
+  ~StageTimer() {
+    slot_ = watch_.elapsed_seconds();
+    if (obs::metrics_enabled()) obs::histogram_record(metric_, slot_);
+  }
+  double& slot_;
+  const char* metric_;
+  Stopwatch watch_;
+};
+
+}  // namespace
+
 PlacementDaemon::PlacementDaemon(mcperf::Instance instance,
                                  DaemonOptions options)
-    : instance_(std::move(instance)), options_(std::move(options)) {
+    : instance_(std::move(instance)),
+      options_(std::move(options)),
+      series_(options_.series_capacity) {
   WANPLACE_REQUIRE(std::holds_alternative<mcperf::QosGoal>(instance_.goal),
                    "PlacementDaemon requires a QoS-metric instance");
   if (options_.tlat_ms <= 0 && instance_.links)
@@ -23,11 +45,21 @@ EventOutcome PlacementDaemon::start() {
   started_ = true;
   EventOutcome out;
   out.kind = "start";
+  obs::Span span("service.event");
+  span.attr("event", 0);
+  span.label("kind", out.kind);
   // The initial model is by definition a full build.
+  ++rebuilds_;
   if (obs::metrics_enabled()) obs::counter_add("service.rebuilds");
-  auto detail =
-      bounds::compute_bound_detail(instance_, options_.spec, options_.bounds);
-  return finish(std::move(out), std::move(detail));
+  StageSeconds stages;
+  bounds::BoundDetail detail;
+  {
+    StageTimer timer(stages.resolve, "service.stage.resolve_s");
+    obs::Span resolve("service.resolve");
+    detail = bounds::compute_bound_detail(instance_, options_.spec,
+                                          options_.bounds);
+  }
+  return finish(std::move(out), std::move(detail), stages);
 }
 
 EventOutcome PlacementDaemon::on_event(const workload::Event& event) {
@@ -35,41 +67,76 @@ EventOutcome PlacementDaemon::on_event(const workload::Event& event) {
   EventOutcome out;
   out.index = ++events_;
   out.kind = workload::event_kind(event);
-  if (obs::metrics_enabled()) obs::counter_add("service.events");
-  WANPLACE_SPAN("service.event");
+  obs::Span span("service.event");
+  span.attr("event", static_cast<double>(out.index));
+  span.label("kind", out.kind);
+  if (obs::metrics_enabled()) {
+    obs::counter_add("service.events");
+    obs::gauge_set("service.event_index", static_cast<double>(out.index));
+  }
+  StageSeconds stages;
 
-  try {
-    instance_.apply_delta(event, options_.tlat_ms);
-  } catch (const InvalidArgument& err) {
-    // apply_delta validates before mutating, so the instance — and with it
-    // the model and the live plan — are exactly as before the bad event.
-    out.rejected = true;
-    out.error = err.what();
-    out.reason = "rejected";
-    if (obs::metrics_enabled()) obs::counter_add("service.rejected");
+  {
+    StageTimer timer(stages.validate, "service.stage.validate_s");
+    obs::Span validate("service.validate");
+    try {
+      instance_.apply_delta(event, options_.tlat_ms);
+    } catch (const InvalidArgument& err) {
+      // apply_delta validates before mutating, so the instance — and with
+      // it the model and the live plan — are exactly as before the bad
+      // event. The event still consumed its index: the rejection is
+      // recorded at that index in the counters, the span and the series,
+      // so applied + rejected == events always holds.
+      out.rejected = true;
+      out.error = err.what();
+      out.reason = "rejected";
+      ++rejected_;
+      validate.attr("rejected", 1);
+      if (obs::metrics_enabled()) obs::counter_add("service.rejected");
+    }
+  }
+  if (out.rejected) {
+    append_point(out, stages);
     return out;
   }
+  ++applied_;
+  if (obs::metrics_enabled()) obs::counter_add("service.applied");
 
-  out.incremental = advance_model(instance_, options_.spec, event, state_);
-
-  bounds::BoundOptions solve = options_.bounds;
-  if (!state_.basis.empty()) {
-    solve.warm.basis = &state_.basis;
-    out.warm = true;
+  {
+    StageTimer timer(stages.patch, "service.stage.patch_s");
+    obs::Span patch("service.patch");
+    out.incremental = advance_model(instance_, options_.spec, event, state_);
+    patch.attr("incremental", out.incremental ? 1 : 0);
   }
-  auto detail = bounds::compute_bound_built(
-      instance_, options_.spec, std::move(state_.built), solve);
+  if (out.incremental)
+    ++incremental_;
+  else
+    ++rebuilds_;
+
+  bounds::BoundDetail detail;
+  {
+    StageTimer timer(stages.resolve, "service.stage.resolve_s");
+    obs::Span resolve("service.resolve");
+    bounds::BoundOptions solve = options_.bounds;
+    if (!state_.basis.empty()) {
+      solve.warm.basis = &state_.basis;
+      out.warm = true;
+    }
+    detail = bounds::compute_bound_built(instance_, options_.spec,
+                                         std::move(state_.built), solve);
+  }
 
   // The live plan keeps its shape in step with the node set: a fresh node
   // stores nothing until a publish says otherwise.
   if (incumbent_ && std::holds_alternative<workload::NodeJoinEvent>(event))
     incumbent_->grow_x(instance_.node_count());
 
-  return finish(std::move(out), std::move(detail));
+  return finish(std::move(out), std::move(detail), stages);
 }
 
 EventOutcome PlacementDaemon::finish(EventOutcome out,
-                                     bounds::BoundDetail detail) {
+                                     bounds::BoundDetail detail,
+                                     StageSeconds stages) {
   state_.built = std::move(detail.built);
   state_.valid = state_.built.model.variable_count() > 0;
   if (!detail.solution.basis.empty()) {
@@ -79,6 +146,10 @@ EventOutcome PlacementDaemon::finish(EventOutcome out,
     // No basis exported (infeasible solve, PDHG, or gated-out build) and
     // the carried one no longer fits — drop it rather than mislead the
     // next warm start.
+    if (!state_.basis.empty()) {
+      ++basis_drops_;
+      if (obs::metrics_enabled()) obs::counter_add("service.basis_drops");
+    }
     state_.basis = {};
   }
 
@@ -86,6 +157,7 @@ EventOutcome PlacementDaemon::finish(EventOutcome out,
   out.achievable = detail.bound.achievable;
   out.lower_bound = detail.bound.lower_bound;
   out.pivots = detail.solution.iterations;
+  last_bound_ = out.lower_bound;
   if (obs::metrics_enabled())
     obs::counter_add("service.pivots", static_cast<double>(out.pivots));
   if (out.warm) {
@@ -103,28 +175,114 @@ EventOutcome PlacementDaemon::finish(EventOutcome out,
   out.candidate_cost = candidate.cost;
 
   IncumbentPlan incumbent;
-  if (incumbent_) {
-    const bounds::Evaluation eval =
-        bounds::evaluate_placement(instance_, options_.spec, *incumbent_);
-    incumbent.exists = true;
-    incumbent.feasible = eval.feasible();
-    incumbent.cost = eval.cost;
+  {
+    StageTimer timer(stages.audit, "service.stage.audit_s");
+    obs::Span audit_span("service.audit");
+    if (incumbent_) {
+      out.audit = audit_incumbent(instance_, options_.spec, *incumbent_);
+      out.audit.lower_bound = out.lower_bound;
+      out.audit.bound_certified = out.achievable;
+      if (out.audit.bound_certified) {
+        out.audit.regret = out.audit.cost - out.audit.lower_bound;
+        out.audit.relative_regret =
+            out.audit.regret / std::max(out.audit.lower_bound, 1.0);
+      }
+      incumbent.exists = true;
+      incumbent.feasible = out.audit.feasible();
+      incumbent.cost = out.audit.cost;
+    }
   }
   out.incumbent_feasible = incumbent.feasible;
   out.incumbent_cost = incumbent.cost;
 
-  const PublishDecision decision = decide(options_.policy, incumbent, candidate);
+  PublishDecision decision;
+  {
+    StageTimer timer(stages.policy, "service.stage.policy_s");
+    obs::Span policy_span("service.policy");
+    decision = decide(options_.policy, incumbent, candidate);
+  }
   out.published = decision.publish;
   out.reason = decision.reason;
+  last_reason_ = out.reason;
   if (decision.publish) {
     incumbent_ = detail.rounding.placement;
     published_cost_ = candidate.cost;
     ++publishes_;
+    events_since_publish_ = 0;
     if (obs::metrics_enabled()) obs::counter_add("service.publishes");
-  } else if (obs::metrics_enabled()) {
-    obs::counter_add("service.holds");
+  } else {
+    ++holds_;
+    if (incumbent_) ++events_since_publish_;
+    if (obs::metrics_enabled()) obs::counter_add("service.holds");
   }
+  out.audit.events_since_publish = events_since_publish_;
+  last_audit_ = out.audit;
+  publish_audit_metrics(out.audit);
+
+  append_point(out, stages);
   return out;
+}
+
+void PlacementDaemon::append_point(const EventOutcome& out,
+                                   const StageSeconds& stages) {
+  obs::SeriesPoint point;
+  point.index = out.index;
+  point.kind = out.kind;
+  point.rejected = out.rejected;
+  if (!out.rejected) {
+    point.values = {
+        {"lower_bound", out.lower_bound},
+        {"achievable", out.achievable ? 1.0 : 0.0},
+        {"pivots", static_cast<double>(out.pivots)},
+        {"incremental", out.incremental ? 1.0 : 0.0},
+        {"candidate_cost", out.candidate_cost},
+        {"candidate_feasible", out.candidate_feasible ? 1.0 : 0.0},
+        {"incumbent_cost", out.incumbent_cost},
+        {"incumbent_feasible", out.incumbent_feasible ? 1.0 : 0.0},
+        {"published", out.published ? 1.0 : 0.0},
+    };
+    if (out.audit.exists) {
+      point.values.emplace_back("min_qos", out.audit.min_qos);
+      point.values.emplace_back("qos_slack", out.audit.qos_slack);
+      point.values.emplace_back(
+          "staleness", static_cast<double>(out.audit.events_since_publish));
+      if (out.audit.bound_certified) {
+        point.values.emplace_back("regret", out.audit.regret);
+        point.values.emplace_back("relative_regret",
+                                  out.audit.relative_regret);
+      }
+    }
+  }
+  point.seconds = {
+      {"validate", stages.validate}, {"patch", stages.patch},
+      {"resolve", stages.resolve},   {"audit", stages.audit},
+      {"policy", stages.policy},
+  };
+  series_.append(std::move(point));
+}
+
+DaemonStatus PlacementDaemon::status() const {
+  DaemonStatus status;
+  status.has_plan = incumbent_.has_value();
+  status.incumbent_cost = last_audit_.exists ? last_audit_.cost : 0;
+  status.published_cost = published_cost_;
+  status.lower_bound = last_bound_;
+  if (last_audit_.exists && last_audit_.bound_certified) {
+    status.regret = last_audit_.regret;
+    status.relative_regret = last_audit_.relative_regret;
+  }
+  status.margin = options_.policy.min_relative_gain;
+  status.last_reason = last_reason_;
+  status.events = events_;
+  status.applied = applied_;
+  status.rejected = rejected_;
+  status.publishes = publishes_;
+  status.holds = holds_;
+  status.rebuilds = rebuilds_;
+  status.incremental = incremental_;
+  status.basis_drops = basis_drops_;
+  status.events_since_publish = events_since_publish_;
+  return status;
 }
 
 const bounds::Placement& PlacementDaemon::plan() const {

@@ -9,14 +9,26 @@
 // the previous solve (shape-repaired across add/drop), and the rounded
 // plan is handed to the publish policy, which decides whether the live
 // placement is worth swapping.
+//
+// Observability: every event is traced as a `service.event` span (attrs:
+// monotonic event index, kind label) with nested per-stage spans
+// (service.validate / patch / resolve / audit / policy), the regret
+// auditor re-evaluates the incumbent against the drifted instance
+// (service.regret.* metrics), and one SeriesPoint per event — rejected
+// events included, at their consumed index — lands in a bounded ring
+// (`series()`) that `wanplace_cli serve --metrics-out` exports after every
+// event. `status()` is the health snapshot a probe would poll.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
 #include "bounds/engine.h"
 #include "bounds/feasible.h"
+#include "obs/timeseries.h"
+#include "service/audit.h"
 #include "service/delta.h"
 #include "service/policy.h"
 
@@ -31,6 +43,8 @@ struct DaemonOptions {
   /// join/latency-update events re-threshold new edges against it. Must be
   /// positive when the event stream contains topology events.
   double tlat_ms = 0;
+  /// Ring capacity of the per-event time series (memory bound).
+  std::size_t series_capacity = 4096;
 };
 
 /// What one event did to the daemon, for replay logs and the golden tests.
@@ -52,14 +66,40 @@ struct EventOutcome {
   bool incumbent_feasible = false;  // incumbent re-evaluated post-event
   double incumbent_cost = 0;
 
+  /// Full regret audit of the standing incumbent against the drifted
+  /// instance (audit.exists == false before the first publish).
+  RegretAudit audit;
+
   bool published = false;
   std::string reason;          // PublishDecision::reason or "rejected"
 };
 
+/// Point-in-time health snapshot of the daemon, for probes and the CLI's
+/// end-of-replay report.
+struct DaemonStatus {
+  bool has_plan = false;
+  double incumbent_cost = 0;   // latest audited cost of the live plan
+  double published_cost = 0;   // its cost at the moment it was published
+  double lower_bound = 0;      // latest certified bound
+  double regret = 0;           // incumbent_cost - lower_bound
+  double relative_regret = 0;
+  double margin = 0;           // policy min_relative_gain in force
+  std::string last_reason;     // last publish-policy reason
+  std::uint64_t events = 0;    // total events ingested (incl. rejected)
+  std::uint64_t applied = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t holds = 0;
+  std::uint64_t rebuilds = 0;        // full model rebuilds (incl. start)
+  std::uint64_t incremental = 0;     // delta-patched events
+  std::uint64_t basis_drops = 0;     // warm-start basis discarded (fallback)
+  std::uint64_t events_since_publish = 0;
+};
+
 class PlacementDaemon {
  public:
-  /// QoS-metric instances only (the incumbent is re-evaluated with
-  /// bounds::evaluate_placement after every event).
+  /// QoS-metric instances only (the incumbent is re-audited after every
+  /// event).
   PlacementDaemon(mcperf::Instance instance, DaemonOptions options);
 
   /// Cold-solve the initial instance; publishes the first plan when the
@@ -68,8 +108,8 @@ class PlacementDaemon {
 
   /// Ingest one drift event: apply it to the instance (a malformed event
   /// is rejected atomically — instance, model and plan all unchanged),
-  /// advance the LP, warm re-solve, re-evaluate the incumbent under the
-  /// drifted instance, and run the publish policy.
+  /// advance the LP, warm re-solve, audit the incumbent under the drifted
+  /// instance, and run the publish policy.
   EventOutcome on_event(const workload::Event& event);
 
   const mcperf::Instance& instance() const { return instance_; }
@@ -81,13 +121,25 @@ class PlacementDaemon {
   std::size_t events_seen() const { return events_; }
   std::size_t publishes() const { return publishes_; }
 
+  /// Per-event time series (one point per start/event, rejected included).
+  const obs::TimeSeries& series() const { return series_; }
+  /// Health snapshot reflecting the last finished event.
+  DaemonStatus status() const;
+
  private:
-  EventOutcome finish(EventOutcome outcome, bounds::BoundDetail detail);
+  struct StageSeconds {
+    double validate = 0, patch = 0, resolve = 0, audit = 0, policy = 0;
+  };
+
+  EventOutcome finish(EventOutcome outcome, bounds::BoundDetail detail,
+                      StageSeconds stages);
+  void append_point(const EventOutcome& outcome, const StageSeconds& stages);
 
   mcperf::Instance instance_;
   DaemonOptions options_;
   ModelState state_;
   std::optional<bounds::Placement> incumbent_;
+  obs::TimeSeries series_;
   double published_cost_ = 0;
   std::size_t events_ = 0;
   std::size_t publishes_ = 0;
@@ -95,6 +147,19 @@ class PlacementDaemon {
   /// for the service.pivots_saved counter.
   std::size_t last_cold_pivots_ = 0;
   bool started_ = false;
+
+  // Status bookkeeping (mirrors the service.* counters so status() works
+  // with metrics disabled).
+  std::uint64_t applied_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t holds_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t incremental_ = 0;
+  std::uint64_t basis_drops_ = 0;
+  std::uint64_t events_since_publish_ = 0;
+  RegretAudit last_audit_;
+  double last_bound_ = 0;
+  std::string last_reason_;
 };
 
 }  // namespace wanplace::service

@@ -18,14 +18,19 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <variant>
 #include <vector>
 
 #include "bounds/engine.h"
+#include "bounds/feasible.h"
 #include "instance_helpers.h"
 #include "lp_fuzz.h"
 #include "mcperf/heuristic_class.h"
 #include "obs/metrics.h"
+#include "service/audit.h"
 #include "service/delta.h"
 #include "tree_fuzz.h"
 #include "util/rng.h"
@@ -223,6 +228,90 @@ TEST(DeltaDifferential, PureDemandStaysWarmWithoutFallback) {
   const auto rebuilds = snapshot.find("service.rebuilds");
   EXPECT_TRUE(rebuilds == snapshot.end() || rebuilds->second.sum == 0)
       << "pure demand deltas triggered full rebuilds";
+}
+
+// Certifies the regret auditor: `service::audit_incumbent` (provider-mask,
+// interval-major sweep) must agree with `bounds::evaluate_placement` (the
+// reader-major ground truth) on every field after every event of a fuzzed
+// drift sequence. Placements are sampled at varying densities so both
+// feasible and infeasible incumbents are covered, and the class pool spans
+// every cost branch (storage/replica constraints, per-object variants,
+// creation-restricted caching).
+TEST(DeltaDifferential, RegretAuditMatchesColdEvaluation) {
+  const auto base = test::fuzz_base_seed();
+  const auto count = test::fuzz_shard_count();
+  const mcperf::ClassSpec class_pool[] = {
+      mcperf::classes::general(),
+      mcperf::classes::caching(),
+      mcperf::classes::cooperative_caching(),
+      mcperf::classes::storage_constrained(),
+      mcperf::classes::replica_constrained(),
+      mcperf::classes::replica_constrained_per_object()};
+  for (std::size_t c = 0; c < count; ++c) {
+    const auto seed = base + 0xAD170000ULL + c;
+    Rng rng(seed ^ 0xA0D1ULL);
+    const mcperf::QosScope scopes[] = {
+        mcperf::QosScope::PerUser, mcperf::QosScope::Overall,
+        mcperf::QosScope::PerObject, mcperf::QosScope::PerUserPerObject};
+    auto instance = test::random_instance(seed, 5 + rng.uniform_index(3), 3,
+                                          4, rng.bernoulli(0.5) ? 0.9 : 0.75);
+    std::get<mcperf::QosGoal>(instance.goal).scope =
+        scopes[rng.uniform_index(4)];
+    if (rng.bernoulli(0.5)) instance.costs.delta = 0.2;
+    const auto& spec = class_pool[rng.uniform_index(std::size(class_pool))];
+    const double tqos = std::get<mcperf::QosGoal>(instance.goal).tqos;
+
+    // Incumbent: a random store schedule. Density varies so some seeds
+    // audit a clearly feasible plan and others a starved/infeasible one.
+    const double density = 0.15 + 0.25 * rng.uniform_index(3);
+    bounds::Placement placement(instance.node_count(),
+                                instance.interval_count(),
+                                instance.object_count());
+    for (std::size_t n = 0; n < instance.node_count(); ++n)
+      for (std::size_t i = 0; i < instance.interval_count(); ++i)
+        for (std::size_t k = 0; k < instance.object_count(); ++k)
+          placement(n, i, k) = rng.bernoulli(density) ? 1 : 0;
+
+    const auto check = [&](const std::string& label) {
+      const auto audit = service::audit_incumbent(instance, spec, placement);
+      const auto truth = bounds::evaluate_placement(instance, spec, placement);
+      ASSERT_TRUE(audit.exists) << label;
+      EXPECT_EQ(audit.create_valid, truth.create_valid) << label;
+      EXPECT_NEAR(audit.min_qos, truth.min_qos, 1e-7) << label;
+      // goal_met is a strict threshold test; only compare it away from the
+      // knife edge where the two sweeps' summation order could disagree.
+      if (std::abs(truth.min_qos - tqos) > 1e-7) {
+        EXPECT_EQ(audit.goal_met, truth.goal_met) << label;
+      }
+      const auto near = [&](double a, double b, const char* what) {
+        EXPECT_NEAR(a, b, 1e-7 * (1 + std::abs(b))) << label << " " << what;
+      };
+      near(audit.cost, truth.cost, "cost");
+      near(audit.storage_cost, truth.storage_cost, "storage");
+      near(audit.creation_cost, truth.creation_cost, "creation");
+      near(audit.write_cost, truth.write_cost, "write");
+      EXPECT_NEAR(audit.qos_slack, audit.min_qos - tqos, 1e-12) << label;
+      // The per-group breakdown must be consistent with its own minimum.
+      ASSERT_FALSE(audit.group_qos.empty()) << label;
+      double worst = 1.0;
+      for (const double q : audit.group_qos) worst = std::min(worst, q);
+      EXPECT_NEAR(worst, audit.min_qos, 1e-12) << label;
+    };
+
+    check("seed " + std::to_string(seed) + " initial");
+    if (HasFatalFailure()) return;
+    const std::size_t events = 3 + rng.uniform_index(6);
+    for (std::size_t e = 0; e < events; ++e) {
+      const auto event = random_event(rng, instance);
+      instance.apply_delta(event, 150);
+      // Track the daemon: a joiner stores nothing until a publish says so.
+      if (std::holds_alternative<workload::NodeJoinEvent>(event))
+        placement.grow_x(instance.node_count());
+      check("seed " + std::to_string(seed) + " event " + std::to_string(e) +
+            " [" + workload::event_kind(event) + "]");
+      if (HasFatalFailure()) return;
+    }
+  }
 }
 
 TEST(DeltaDifferential, TreeFamilySequencesMatchColdRebuilds) {

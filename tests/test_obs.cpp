@@ -199,7 +199,7 @@ TEST(ObsTrace, JsonlMatchesSchema) {
 
   ASSERT_EQ(lines.size(), 5u);  // meta + 1 span + 1 sample + 2 metrics
   EXPECT_EQ(lines[0],
-            "{\"type\":\"meta\",\"version\":1,\"spans\":1,\"samples\":1}");
+            "{\"type\":\"meta\",\"version\":2,\"spans\":1,\"samples\":1}");
   EXPECT_TRUE(contains(lines[1], "{\"type\":\"span\",\"id\":"));
   EXPECT_TRUE(contains(lines[1], "\"parent\":0"));
   EXPECT_TRUE(contains(lines[1], "\"name\":\"solve\""));
@@ -216,10 +216,12 @@ TEST(ObsTrace, JsonlMatchesSchema) {
   EXPECT_EQ(counter_line,
             "{\"type\":\"metric\",\"name\":\"obs_test.jsonl_counter\","
             "\"kind\":\"counter\",\"count\":1,\"sum\":2}");
+  // A single-sample histogram's quantiles clamp to the sample itself.
   EXPECT_EQ(hist_line,
             "{\"type\":\"metric\",\"name\":\"obs_test.jsonl_hist\","
             "\"kind\":\"histogram\",\"count\":1,\"sum\":1.5,"
-            "\"min\":1.5,\"max\":1.5}");
+            "\"min\":1.5,\"max\":1.5,\"p50\":1.5,\"p90\":1.5,"
+            "\"p99\":1.5}");
   for (const auto& line : lines) {
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');

@@ -14,12 +14,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bounds/engine.h"
+#include "bounds/feasible.h"
 #include "instance_helpers.h"
 #include "mcperf/heuristic_class.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "service/daemon.h"
 #include "service/delta.h"
@@ -417,6 +420,110 @@ TEST(Service, ChurnSoak) {
     }
   }
   EXPECT_EQ(daemon.events_seen(), 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: the regret audit, the status snapshot, and the export
+// no-perturbation guarantee.
+
+TEST(Service, RegretAuditTracksIncumbentAndBound) {
+  service::PlacementDaemon daemon(service_instance(),
+                                  daemon_options(mcperf::classes::general()));
+  daemon.start();
+  for (const auto& event : service_events()) {
+    const auto out = daemon.on_event(event);
+    if (out.rejected) continue;
+    ASSERT_TRUE(out.audit.exists) << out.kind;
+    // The audit's cost must agree with the ground-truth evaluator on the
+    // drifted instance. The audit runs before the publish decision, so
+    // daemon.plan() is the audited placement only when the event held it.
+    if (!out.published) {
+      const auto truth = bounds::evaluate_placement(
+          daemon.instance(), mcperf::classes::general(), daemon.plan());
+      EXPECT_NEAR(out.audit.cost, truth.cost,
+                  1e-9 * (1 + std::abs(truth.cost)))
+          << out.kind;
+      EXPECT_EQ(out.audit.feasible(), truth.feasible()) << out.kind;
+      EXPECT_NEAR(out.audit.min_qos, truth.min_qos, 1e-9) << out.kind;
+    }
+    if (out.audit.bound_certified) {
+      EXPECT_NEAR(out.audit.regret, out.audit.cost - out.lower_bound, 1e-12)
+          << out.kind;
+      // A feasible incumbent can never beat the certified lower bound.
+      if (out.audit.feasible())
+        EXPECT_GE(out.audit.regret, -1e-7 * (1 + std::abs(out.lower_bound)))
+            << out.kind;
+    }
+  }
+}
+
+TEST(Service, StatusSnapshotCountsAppliedAndRejected) {
+  service::PlacementDaemon daemon(service_instance(),
+                                  daemon_options(mcperf::classes::general()));
+  daemon.start();
+  daemon.on_event(workload::DemandDeltaEvent{0, 0, 0, 2.0, 0.0});
+  daemon.on_event(workload::DemandDeltaEvent{99, 0, 0, 1.0, 0.0});  // bad
+  daemon.on_event(workload::DemandDeltaEvent{1, 1, 1, 1.0, 0.0});
+
+  const auto status = daemon.status();
+  EXPECT_TRUE(status.has_plan);
+  EXPECT_EQ(status.events, 3u);
+  EXPECT_EQ(status.applied, 2u);
+  EXPECT_EQ(status.rejected, 1u);
+  EXPECT_EQ(status.publishes + status.holds, 3u);  // start + 2 applied
+  EXPECT_GE(status.rebuilds, 1u);                  // at least the start build
+  EXPECT_GT(status.incumbent_cost, 0);
+  EXPECT_GT(status.lower_bound, 0);
+  EXPECT_NEAR(status.regret, status.incumbent_cost - status.lower_bound,
+              1e-12);
+  EXPECT_FALSE(status.last_reason.empty());
+  // The series consumed one index per event, rejected included.
+  EXPECT_EQ(daemon.series().total_appended(), 4u);  // start + 3 events
+  const auto points = daemon.series().points();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_TRUE(points[2].rejected);
+  EXPECT_TRUE(points[2].values.empty());  // no solve happened
+  EXPECT_FALSE(points[3].rejected);
+}
+
+TEST(Service, BitIdenticalWithExportEnabled) {
+  // One replay with telemetry off...
+  std::vector<double> plain_bounds, plain_costs;
+  {
+    service::PlacementDaemon daemon(
+        service_instance(), daemon_options(mcperf::classes::general()));
+    daemon.start();
+    for (const auto& event : service_events()) {
+      const auto out = daemon.on_event(event);
+      plain_bounds.push_back(out.lower_bound);
+      plain_costs.push_back(out.audit.exists ? out.audit.cost : -1);
+    }
+  }
+  // ...and one with the registry live and a full export after every event.
+  auto& registry = obs::Registry::global();
+  registry.enable(true);
+  registry.reset();
+  std::vector<double> traced_bounds, traced_costs;
+  {
+    service::PlacementDaemon daemon(
+        service_instance(), daemon_options(mcperf::classes::general()));
+    daemon.start();
+    for (const auto& event : service_events()) {
+      const auto out = daemon.on_event(event);
+      traced_bounds.push_back(out.lower_bound);
+      traced_costs.push_back(out.audit.exists ? out.audit.cost : -1);
+      std::ostringstream sink;
+      obs::export_metrics(sink, obs::MetricsFormat::Prometheus,
+                          registry.snapshot(), &daemon.series());
+      obs::export_metrics(sink, obs::MetricsFormat::Jsonl, registry.snapshot(),
+                          &daemon.series());
+      EXPECT_FALSE(sink.str().empty());
+    }
+  }
+  registry.enable(false);
+  // Exporting only reads telemetry state: solves stay BIT-identical.
+  EXPECT_EQ(plain_bounds, traced_bounds);
+  EXPECT_EQ(plain_costs, traced_costs);
 }
 
 }  // namespace

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Validate a wanplace metrics export (Prometheus exposition or JSONL).
+
+Usage: validate_metrics.py FILE [--format prom|jsonl]
+
+The format is auto-detected when not forced: a first line starting with
+'{' is the JSONL stream, anything else the Prometheus text exposition.
+
+Prometheus checks (the subset write_prometheus emits): every non-comment
+line is `name[{labels}] value` with a legal metric name and a float value
+(+Inf/-Inf/NaN allowed), every sample's family was declared by a preceding
+`# TYPE` line (summary samples may carry a quantile label and the
+`_sum`/`_count` suffixes), and declared TYPE values are known.
+
+JSONL checks: the first line is the stream meta record
+{"type":"meta","stream":"wanplace-metrics","version":1}; `point` records
+carry an integer index (strictly increasing across the stream), a string
+kind, a boolean `rejected`, and numeric `values`/`seconds` maps; `metric`
+records have the trace-schema metric shape, with p50/p90/p99 required on
+histograms. Exits 1 with a message on the first violation.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$")
+VALUE_RE = re.compile(
+    r"^(?:[+-]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?|\+Inf|-Inf|NaN)$")
+KNOWN_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def fail(lineno, message):
+    print(f"validate_metrics: line {lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def family_of(name, declared):
+    """The declared family a sample belongs to (summaries export
+    name{quantile=...}, name_sum, name_count, and our min/max gauges)."""
+    if name in declared:
+        return name
+    for suffix in ("_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in declared:
+            return name[: -len(suffix)]
+    return None
+
+
+def check_prometheus(path):
+    declared = {}
+    samples = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split()
+                if len(parts) >= 2 and parts[1] == "TYPE":
+                    if len(parts) != 4:
+                        fail(lineno, "malformed # TYPE line")
+                    if not NAME_RE.match(parts[2]):
+                        fail(lineno, f"illegal metric name {parts[2]!r}")
+                    if parts[3] not in KNOWN_TYPES:
+                        fail(lineno, f"unknown metric type {parts[3]!r}")
+                    declared[parts[2]] = parts[3]
+                continue
+            match = SAMPLE_RE.match(line)
+            if not match:
+                fail(lineno, f"malformed sample line: {line!r}")
+            if not VALUE_RE.match(match.group("value")):
+                fail(lineno, f"malformed sample value {match.group('value')!r}")
+            name = match.group("name")
+            family = family_of(name, declared)
+            if family is None:
+                fail(lineno, f"sample {name!r} has no preceding # TYPE")
+            labels = match.group("labels")
+            if labels and "quantile=" in labels and \
+                    declared.get(family) != "summary":
+                fail(lineno, f"quantile label on non-summary {family!r}")
+            samples += 1
+    if samples == 0:
+        fail(0, "no samples in the exposition")
+    print(f"ok: prometheus exposition, {len(declared)} families, "
+          f"{samples} samples")
+
+
+def is_number(value):
+    return value is None or (
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+    )
+
+
+def check_number_map(lineno, obj, key):
+    values = obj.get(key)
+    if not isinstance(values, dict):
+        fail(lineno, f"point field {key!r} missing or not an object")
+    for name, value in values.items():
+        if not is_number(value):
+            fail(lineno, f"point {key}[{name!r}] is not numeric")
+
+
+def check_jsonl(path):
+    meta = None
+    last_index = None
+    points = metrics = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                fail(lineno, "blank line")
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(lineno, f"not valid JSON: {error}")
+            if not isinstance(obj, dict):
+                fail(lineno, "line is not a JSON object")
+            kind = obj.get("type")
+            if lineno == 1:
+                if kind != "meta":
+                    fail(lineno, "first line must be the meta record")
+                if obj.get("stream") != "wanplace-metrics":
+                    fail(lineno, f"unknown stream {obj.get('stream')!r}")
+                if obj.get("version") != 1:
+                    fail(lineno, f"unsupported version {obj.get('version')!r}")
+                meta = obj
+                continue
+            if kind == "meta":
+                fail(lineno, "duplicate meta record")
+            elif kind == "point":
+                index = obj.get("index")
+                if not isinstance(index, int) or isinstance(index, bool) or \
+                        index < 0:
+                    fail(lineno, "point 'index' missing or not a "
+                                 "non-negative int")
+                if last_index is not None and index <= last_index:
+                    fail(lineno, f"point index {index} not increasing "
+                                 f"(previous {last_index})")
+                last_index = index
+                if not isinstance(obj.get("kind"), str):
+                    fail(lineno, "point 'kind' missing or not a string")
+                if not isinstance(obj.get("rejected"), bool):
+                    fail(lineno, "point 'rejected' missing or not a bool")
+                check_number_map(lineno, obj, "values")
+                check_number_map(lineno, obj, "seconds")
+                points += 1
+            elif kind == "metric":
+                if not isinstance(obj.get("name"), str):
+                    fail(lineno, "metric 'name' missing or not a string")
+                if obj.get("kind") not in ("counter", "gauge", "histogram"):
+                    fail(lineno, f"unknown metric kind {obj.get('kind')!r}")
+                count = obj.get("count")
+                if not isinstance(count, int) or isinstance(count, bool) or \
+                        count < 0:
+                    fail(lineno, "metric 'count' missing or not a "
+                                 "non-negative int")
+                if "sum" not in obj or not is_number(obj["sum"]):
+                    fail(lineno, "metric 'sum' missing or not numeric")
+                if obj["kind"] == "histogram":
+                    for key in ("min", "max", "p50", "p90", "p99"):
+                        if key not in obj or not is_number(obj[key]):
+                            fail(lineno, f"histogram field {key!r} missing "
+                                         "or not numeric")
+                metrics += 1
+            else:
+                fail(lineno, f"unknown record type {kind!r}")
+    if meta is None:
+        fail(0, "empty stream (no meta record)")
+    print(f"ok: metrics jsonl, {points} points, {metrics} metrics")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file")
+    parser.add_argument("--format", choices=("prom", "jsonl"))
+    args = parser.parse_args()
+
+    fmt = args.format
+    if fmt is None:
+        with open(args.file, encoding="utf-8") as handle:
+            first = handle.readline()
+        fmt = "jsonl" if first.lstrip().startswith("{") else "prom"
+    if fmt == "prom":
+        check_prometheus(args.file)
+    else:
+        check_jsonl(args.file)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,28 +1,40 @@
 #!/usr/bin/env python3
-"""Validate a wanplace telemetry JSONL trace (schema version 1).
+"""Validate a wanplace telemetry JSONL trace (schema versions 1 and 2).
 
 Usage: validate_trace.py TRACE.jsonl [--require SPAN_NAME ...]
 
 Schema (see src/obs/trace.h):
-  {"type":"meta","version":1,"spans":N,"samples":M}        -- first line
+  {"type":"meta","version":V,"spans":N,"samples":M}        -- first line
   {"type":"span","id":I,"parent":P,"name":"...","thread":T,
    "start_s":S,"dur_s":D,"attrs":{...}}                    -- parent 0 = root
   {"type":"sample","name":"...","thread":T,"time_s":S,"step":X,"value":V}
   {"type":"metric","name":"...","kind":"counter|gauge|histogram",
-   "count":N,"sum":S[,"min":m,"max":M]}
+   "count":N,"sum":S[,"min":m,"max":M,"p50":q,"p90":q,"p99":q]}
 
 Checks: every line parses as a JSON object of a known type with the right
 field types (numbers may be null: non-finite doubles are exported as null),
 span ids are unique and parents reference an earlier span (spans are sorted
 by start time, and a parent always starts before its children), durations
 are non-negative, and the meta counts match the body. Every --require NAME
-must appear among the span names. Exits 1 with a message on the first
-violation.
+must appear among the span names.
+
+Version 2 adds histogram quantiles (p50/p90/p99, all three required on
+histogram metrics) and daemon event causality: every `service.event` span
+must carry a numeric "event" attr (the monotonic event index) and a string
+"kind" attr, and every per-stage span (service.validate / service.patch /
+service.resolve / service.audit / service.policy) must have a
+`service.event` ancestor, so per-stage latency is always attributable to
+one event. Exits 1 with a message on the first violation.
 """
 
 import argparse
 import json
 import sys
+
+STAGE_SPANS = {
+    "service.validate", "service.patch", "service.resolve",
+    "service.audit", "service.policy",
+}
 
 
 def fail(lineno, message):
@@ -57,6 +69,24 @@ def check_span(lineno, obj, span_ids):
         fail(lineno, f"span parent {obj['parent']} not seen before child")
 
 
+def check_span_causality(lineno, obj, name_by_id, parent_by_id):
+    """Schema v2: daemon spans carry event identity and stage spans nest
+    under a service.event ancestor."""
+    name = obj["name"]
+    if name == "service.event":
+        attrs = obj["attrs"]
+        if not is_number(attrs.get("event")) or attrs.get("event") is None:
+            fail(lineno, "service.event span lacks a numeric 'event' attr")
+        if not isinstance(attrs.get("kind"), str):
+            fail(lineno, "service.event span lacks a string 'kind' attr")
+    if name in STAGE_SPANS:
+        ancestor = obj["parent"]
+        while ancestor != 0 and name_by_id.get(ancestor) != "service.event":
+            ancestor = parent_by_id.get(ancestor, 0)
+        if ancestor == 0:
+            fail(lineno, f"stage span {name!r} has no service.event ancestor")
+
+
 def check_sample(lineno, obj):
     if not isinstance(obj.get("name"), str):
         fail(lineno, "sample field 'name' missing or not a string")
@@ -67,7 +97,7 @@ def check_sample(lineno, obj):
             fail(lineno, f"sample field {key!r} missing or not numeric")
 
 
-def check_metric(lineno, obj):
+def check_metric(lineno, obj, version):
     if not isinstance(obj.get("name"), str):
         fail(lineno, "metric field 'name' missing or not a string")
     if obj.get("kind") not in ("counter", "gauge", "histogram"):
@@ -78,7 +108,9 @@ def check_metric(lineno, obj):
     if "sum" not in obj or not is_number(obj["sum"]):
         fail(lineno, "metric field 'sum' missing or not numeric")
     if obj["kind"] == "histogram":
-        for key in ("min", "max"):
+        extremes = ("min", "max")
+        quantiles = ("p50", "p90", "p99") if version >= 2 else ()
+        for key in extremes + quantiles:
             if key not in obj or not is_number(obj[key]):
                 fail(lineno, f"histogram field {key!r} missing or not numeric")
 
@@ -92,8 +124,11 @@ def main():
     args = parser.parse_args()
 
     meta = None
+    version = 1
     span_ids = set()
     span_names = set()
+    name_by_id = {}
+    parent_by_id = {}
     spans = samples = 0
     with open(args.trace, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, 1):
@@ -112,8 +147,9 @@ def main():
             if kind == "meta":
                 if meta is not None:
                     fail(lineno, "duplicate meta record")
-                if obj.get("version") != 1:
+                if obj.get("version") not in (1, 2):
                     fail(lineno, f"unsupported version {obj.get('version')!r}")
+                version = obj["version"]
                 for key in ("spans", "samples"):
                     if not isinstance(obj.get(key), int):
                         fail(lineno, f"meta field {key!r} missing or not int")
@@ -122,12 +158,17 @@ def main():
                 check_span(lineno, obj, span_ids)
                 span_ids.add(obj["id"])
                 span_names.add(obj["name"])
+                name_by_id[obj["id"]] = obj["name"]
+                parent_by_id[obj["id"]] = obj["parent"]
+                if version >= 2:
+                    check_span_causality(lineno, obj, name_by_id,
+                                         parent_by_id)
                 spans += 1
             elif kind == "sample":
                 check_sample(lineno, obj)
                 samples += 1
             elif kind == "metric":
-                check_metric(lineno, obj)
+                check_metric(lineno, obj, version)
             else:
                 fail(lineno, f"unknown record type {kind!r}")
 
@@ -141,7 +182,7 @@ def main():
     if missing:
         fail(0, f"required span names missing: {', '.join(missing)} "
                 f"(present: {', '.join(sorted(span_names))})")
-    print(f"ok: {spans} spans, {samples} samples"
+    print(f"ok: schema v{version}, {spans} spans, {samples} samples"
           + (f", covers {', '.join(args.require)}" if args.require else ""))
 
 

@@ -26,6 +26,14 @@
 //       only when it beats the incumbent by --margin (default 0.01) or the
 //       incumbent turned infeasible. --class NAME (default general),
 //       --max-events N to truncate the stream.
+//       --metrics-out FILE [--metrics-format prom|jsonl] exports service
+//       metrics after every event: `prom` rewrites FILE with the current
+//       Prometheus text exposition (scrape-style), `jsonl` appends one
+//       {"type":"point",...} line per event (regret, bound, pivots, stage
+//       seconds) and the final metric snapshot (validated by
+//       tools/validate_metrics.py). The end-of-replay status line reports
+//       the daemon health snapshot (incumbent cost, regret vs the bound,
+//       staleness, rebuild/basis-drop totals).
 //
 // Common options:
 //   --tqos 0.99        QoS target (fraction of reads within the threshold)
@@ -61,6 +69,7 @@
 #include "graph/reachability.h"
 #include "graph/shortest_paths.h"
 #include "mcperf/builder.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/solve_report.h"
 #include "obs/trace.h"
@@ -201,7 +210,7 @@ bounds::BoundOptions bound_options(const Args& args) {
 /// Turn on the telemetry layer when any telemetry flag asks for output.
 void telemetry_begin(const Args& args) {
   if (args.get("trace-out", "").empty() && !args.has("trace-summary") &&
-      !args.has("report"))
+      !args.has("report") && args.get("metrics-out", "").empty())
     return;
   obs::Registry::global().enable(true);
   obs::Tracer::global().enable(true);
@@ -282,6 +291,17 @@ int cmd_gen_example(const Args& args) {
     events.push_back(workload::LatencyUpdateEvent{fresh, 1, 90.0});
     events.push_back(workload::NodeLeaveEvent{fresh});
   }
+  // One deliberately malformed event (unknown node): the daemon rejects it
+  // atomically but still consumes its event index, so replays exercise the
+  // rejection path and the applied/rejected counter split.
+  {
+    workload::DemandDeltaEvent bad;
+    bad.node = static_cast<graph::NodeId>(topology.node_count() + 7);
+    bad.interval = 0;
+    bad.object = 0;
+    bad.read_delta = 1.0;
+    events.push_back(bad);
+  }
   demand_event();
   demand_event();
   workload::save_events_file(events, out + "/events.txt");
@@ -313,12 +333,44 @@ int cmd_serve(const Args& args) {
   options.tlat_ms = args.get_double("tlat", 150);
   service::PlacementDaemon daemon(loaded.instance, options);
 
+  // Metric export, flushed after every event. Prometheus rewrites the file
+  // with the current exposition (what a scraper would see); JSONL is an
+  // append-only stream of per-event points closed with a metric snapshot.
+  const std::string metrics_path = args.get("metrics-out", "");
+  const auto format_name = args.get("metrics-format", "prom");
+  const auto metrics_format = obs::parse_metrics_format(format_name);
+  WANPLACE_REQUIRE(metrics_format.has_value(),
+                   "unknown --metrics-format (prom|jsonl)");
+  std::ofstream metrics_stream;
+  if (!metrics_path.empty() &&
+      *metrics_format == obs::MetricsFormat::Jsonl) {
+    metrics_stream.open(metrics_path);
+    WANPLACE_REQUIRE(metrics_stream.good(),
+                     "cannot open --metrics-out file");
+    obs::write_jsonl_header(metrics_stream);
+  }
+  const auto flush_metrics = [&] {
+    if (metrics_path.empty()) return;
+    if (*metrics_format == obs::MetricsFormat::Prometheus) {
+      std::ofstream out(metrics_path);
+      WANPLACE_REQUIRE(out.good(), "cannot open --metrics-out file");
+      obs::write_prometheus(out, obs::Registry::global().snapshot(),
+                            &daemon.series());
+      return;
+    }
+    const auto points = daemon.series().points();
+    if (!points.empty())
+      obs::write_point_jsonl(metrics_stream, points.back());
+    metrics_stream.flush();
+  };
+
   std::size_t incremental = 0, rejected = 0, pivots = 0;
   const auto report = [&](const service::EventOutcome& outcome) {
     std::cout << "event " << outcome.index << " [" << outcome.kind << "] ";
     if (outcome.rejected) {
       ++rejected;
       std::cout << "rejected: " << outcome.error << "\n";
+      flush_metrics();
       return;
     }
     incremental += outcome.incremental ? 1 : 0;
@@ -328,7 +380,13 @@ int cmd_serve(const Args& args) {
               << format_number(outcome.lower_bound, 1) << " pivots "
               << outcome.pivots << " -> "
               << (outcome.published ? "publish" : "hold") << " ("
-              << outcome.reason << ")\n";
+              << outcome.reason << ")";
+    if (outcome.audit.exists && outcome.audit.bound_certified)
+      std::cout << " regret "
+                << format_number(outcome.audit.relative_regret * 100, 1)
+                << "%";
+    std::cout << "\n";
+    flush_metrics();
   };
 
   report(daemon.start());
@@ -342,6 +400,24 @@ int cmd_serve(const Args& args) {
   if (daemon.has_plan())
     std::cout << "live plan cost "
               << format_number(daemon.published_cost(), 1) << "\n";
+  const service::DaemonStatus status = daemon.status();
+  std::cout << "status: plan=" << (status.has_plan ? "yes" : "no")
+            << " incumbent " << format_number(status.incumbent_cost, 1)
+            << " bound " << format_number(status.lower_bound, 1)
+            << " regret " << format_number(status.relative_regret * 100, 1)
+            << "% stale " << status.events_since_publish << " (last: "
+            << (status.last_reason.empty() ? "none" : status.last_reason)
+            << ", rebuilds " << status.rebuilds << ", basis drops "
+            << status.basis_drops << ")\n";
+  if (!metrics_path.empty() &&
+      *metrics_format == obs::MetricsFormat::Jsonl) {
+    obs::write_snapshot_jsonl(metrics_stream,
+                              obs::Registry::global().snapshot());
+    metrics_stream.flush();
+  }
+  if (!metrics_path.empty())
+    std::cout << "metrics written to " << metrics_path << " ("
+              << obs::to_string(*metrics_format) << ")\n";
   telemetry_end(args);
   std::cout << "replay complete\n";
   return 0;
