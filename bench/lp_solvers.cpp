@@ -256,6 +256,71 @@ void run_event_replay(::benchmark::State& state) {
     state.SkipWithError("telemetry+export overhead exceeded the 2% budget");
   }
 
+  // Batched replay: the same drift script folded through on_batch in bursts
+  // of 5 — one warm re-solve per burst instead of one per event. Reports
+  // pivots/event and the rebuild count next to the per-event baseline; both
+  // land in BENCH_lp.json.
+  struct ReplayCounts {
+    std::size_t pivots = 0;
+    std::size_t solves = 0;  // warm re-solves after drift (one per burst)
+    service::DaemonStatus status;
+  };
+  const auto replay_counts = [&script](std::size_t batch_size) {
+    service::DaemonOptions options;
+    options.spec = mcperf::classes::general();
+    service::PlacementDaemon daemon(mcperf_instance(0.9),
+                                    std::move(options));
+    ReplayCounts counts;
+    daemon.start();  // the initial cold solve is not drift cost
+    for (std::size_t start = 0; start < script.size();
+         start += batch_size) {
+      const auto last = std::min(script.size(), start + batch_size);
+      counts.pivots +=
+          batch_size <= 1
+              ? daemon.on_event(script[start]).pivots
+              : daemon
+                    .on_batch(workload::EventBatch(script.begin() + start,
+                                                   script.begin() + last))
+                    .pivots;
+      ++counts.solves;
+    }
+    counts.status = daemon.status();
+    return counts;
+  };
+  const auto per_event = replay_counts(1);
+  const auto batched = replay_counts(5);
+  const double event_count = static_cast<double>(script.size());
+  state.counters["replay_pivots_per_event"] =
+      static_cast<double>(per_event.pivots) / event_count;
+  state.counters["batched_pivots_per_event"] =
+      static_cast<double>(batched.pivots) / event_count;
+  state.counters["replay_drift_rebuilds"] =
+      static_cast<double>(per_event.status.rebuilds - 1);
+  state.counters["batched_drift_rebuilds"] =
+      static_cast<double>(batched.status.rebuilds - 1);
+  state.counters["replay_solves"] = static_cast<double>(per_event.solves);
+  state.counters["batched_solves"] = static_cast<double>(batched.solves);
+  std::cout << "batched replay (burst 5): "
+            << format_number(static_cast<double>(batched.pivots) /
+                                 event_count,
+                             1)
+            << " pivots/event over " << batched.solves
+            << " warm re-solves and " << batched.status.rebuilds - 1
+            << " drift rebuilds, vs per-event "
+            << format_number(static_cast<double>(per_event.pivots) /
+                                 event_count,
+                             1)
+            << " pivots/event over " << per_event.solves << " and "
+            << per_event.status.rebuilds - 1
+            << "; bounds "
+            << format_number(batched.status.lower_bound, 6) << " vs "
+            << format_number(per_event.status.lower_bound, 6) << "\n";
+  if (std::abs(batched.status.lower_bound -
+               per_event.status.lower_bound) >
+      1e-6 * (1 + std::abs(per_event.status.lower_bound))) {
+    state.SkipWithError("batched replay bound diverged from per-event");
+  }
+
   // Per-event series of the telemetry run: the regret-over-replay raw data
   // the EXPERIMENTS tables are built from.
   Table series_table({"event", "kind", "pivots", "bound", "incumbent",

@@ -114,6 +114,7 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
   built.create = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
   built.covered = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
   built.coverage_rows = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
+  built.route_rows = DenseCube<std::int32_t>(n_count, i_count, k_count, -1);
 
   lp::LpModel& model = built.model;
 
@@ -358,8 +359,9 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
           }
           // (8): demand is served by exactly one replica.
           WANPLACE_CHECK(!sum_cols.empty(), "no feasible route for demand");
-          model.add_row(lp::RowType::Eq, 1, sum_cols,
-                        std::vector<double>(sum_cols.size(), 1.0));
+          built.route_rows(n, i, k) = static_cast<std::int32_t>(
+              model.add_row(lp::RowType::Eq, 1, sum_cols,
+                            std::vector<double>(sum_cols.size(), 1.0)));
         }
       }
       if (!qos_metric && total > 0) {
@@ -431,7 +433,8 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
         }
         cols.push_back(static_cast<std::size_t>(cap));
         coeffs.push_back(-1);
-        model.add_row(lp::RowType::Le, 0, cols, coeffs);
+        built.capacity_rows.push_back(
+            {model.add_row(lp::RowType::Le, 0, cols, coeffs), n, i});
       }
     }
   }
@@ -461,7 +464,8 @@ BuiltModel build_lp(const Instance& instance, const ClassSpec& spec) {
         }
         cols.push_back(static_cast<std::size_t>(rep));
         coeffs.push_back(-1);
-        model.add_row(lp::RowType::Le, 0, cols, coeffs);
+        built.replica_rows.push_back(
+            {model.add_row(lp::RowType::Le, 0, cols, coeffs), k, i});
       }
     }
   }
@@ -519,7 +523,7 @@ void extend_basis(lp::BasisSnapshot& basis, std::size_t old_vars,
 }
 
 /// In-place mutation of a BuiltModel to track a post-event instance.
-/// Invariants maintained (matching build_lp's store-based QoS window):
+/// Invariants maintained (matching build_lp's uncapped QoS window):
 ///   - covered(n,i,k) >= 0 exactly for cells that ever had reads > 0; its
 ///     bounds are [0,1] iff reads > 0 and reach[n] is non-empty, else
 ///     [0,0],
@@ -528,7 +532,14 @@ void extend_basis(lp::BasisSnapshot& basis, std::size_t old_vars,
 ///     `-cov >= 0` which its fixed bounds already imply),
 ///   - qos_rows holds one row per scope group that ever had reads, with
 ///     coefficients renormalized to the group's current volume; a drained
-///     group's row is rewritten vacuous (0 >= 0).
+///     group's row is rewritten vacuous (0 >= 0),
+///   - route_rows(n,i,k) tracks each cell's `sum routes == 1` row when
+///     routes are modeled (gamma > 0): a drained cell's block is
+///     tombstoned (routes fixed at 0, row vacated), a re-activated or
+///     freshly read-positive cell gets its block rebuilt/extended in place,
+///     and route penalty coefficients follow the current reads/dist,
+///   - capacity_rows / replica_rows track the provisioned SC/RC rows so a
+///     join appends the fresh node's budget rows instead of rebuilding.
 class DeltaPatcher {
  public:
   DeltaPatcher(const Instance& instance, const ClassSpec& spec,
@@ -536,7 +547,19 @@ class DeltaPatcher {
       : instance_(instance),
         spec_(spec),
         built_(built),
-        model_(built.model) {}
+        model_(built.model) {
+    routes_modeled_ = !std::holds_alternative<QosGoal>(instance.goal) ||
+                      instance.costs.gamma > 0 ||
+                      instance.has_bandwidth_caps();
+    if (routes_modeled_) {
+      cell_routes_.resize(instance.node_count() * instance.interval_count() *
+                          instance.object_count());
+      for (std::size_t r = 0; r < built_.routes.size(); ++r) {
+        const RouteVar& rv = built_.routes[r];
+        cell_routes_[cell_index(rv.n, rv.i, rv.k)].push_back(r);
+      }
+    }
+  }
 
   void demand_delta(const workload::DemandDeltaEvent& event) {
     const auto n = static_cast<std::size_t>(event.node);
@@ -546,6 +569,7 @@ class DeltaPatcher {
     if (event.read_delta != 0) sync_qos_rows();
     if (event.write_delta != 0 && instance_.costs.delta > 0)
       sync_store_costs(event.interval, k);
+    sync_route_block(n, event.interval, k);
     sync_create_bounds();
   }
 
@@ -569,6 +593,9 @@ class DeltaPatcher {
       for (std::size_t i = 0; i < instance_.interval_count(); ++i)
         for (std::size_t k = 0; k < instance_.object_count(); ++k)
           sync_store_costs(i, k);
+    // The departed node's own cells drained (tombstone their blocks) and
+    // its latencies went infinite (routes serving from it fix to 0).
+    sync_all_route_blocks();
     sync_create_bounds();
   }
 
@@ -578,10 +605,12 @@ class DeltaPatcher {
     const std::size_t k_count = instance_.object_count();
     const std::size_t fresh = n_count - 1;
     const CostModel& costs = instance_.costs;
+    const bool provisioned = spec_.storage || spec_.replicas;
     built_.store.grow_x(n_count, -1);
     built_.create.grow_x(n_count, -1);
     built_.covered.grow_x(n_count, -1);
     built_.coverage_rows.grow_x(n_count, -1);
+    built_.route_rows.grow_x(n_count, -1);
     // Unrestricted classes never run the sync below (the permission cube is
     // identically 1), so the fresh rows must be born allowed.
     built_.create_allowed.grow_x(n_count,
@@ -593,7 +622,7 @@ class DeltaPatcher {
     sync_create_bounds();
     for (std::size_t i = 0; i < i_count; ++i) {
       for (std::size_t k = 0; k < k_count; ++k) {
-        double store_cost = instance_.storage_alpha(fresh);
+        double store_cost = provisioned ? 0.0 : instance_.storage_alpha(fresh);
         if (costs.delta > 0) {
           double writes_ik = 0;
           for (std::size_t m = 0; m < n_count; ++m)
@@ -632,14 +661,86 @@ class DeltaPatcher {
                static_cast<std::size_t>(built_.open[fresh])},
               {1, -1});
     }
+    const std::size_t open_nodes =
+        n_count - (instance_.origin.has_value() ? 1 : 0);
+    if (spec_.storage) {
+      const bool per_system = *spec_.storage == StorageConstraint::PerSystem;
+      std::int32_t cap;
+      if (per_system) {
+        cap = built_.capacity[0];
+        // (16): the shared budget is priced per candidate site, and the
+        // join added one.
+        model_.set_objective(static_cast<std::size_t>(cap),
+                             costs.alpha * static_cast<double>(i_count) *
+                                 static_cast<double>(open_nodes));
+      } else {
+        cap = static_cast<std::int32_t>(model_.add_variable(
+            0, static_cast<double>(k_count),
+            costs.alpha * static_cast<double>(i_count),
+            "cap[" + std::to_string(fresh) + "]"));
+        built_.capacity.push_back(cap);
+      }
+      for (std::size_t i = 0; i < i_count; ++i) {
+        std::vector<std::size_t> cols;
+        std::vector<double> coeffs;
+        for (std::size_t k = 0; k < k_count; ++k) {
+          cols.push_back(static_cast<std::size_t>(built_.store(fresh, i, k)));
+          coeffs.push_back(1);
+        }
+        cols.push_back(static_cast<std::size_t>(cap));
+        coeffs.push_back(-1);
+        built_.capacity_rows.push_back(
+            {model_.add_row(lp::RowType::Le, 0, cols, coeffs), fresh, i});
+      }
+    }
+    if (spec_.replicas) {
+      // (17): one more candidate site raises every replication budget's
+      // ceiling, and each (object, interval) row gains the fresh node's
+      // store column.
+      for (const std::int32_t rep : built_.replication)
+        model_.set_bounds(static_cast<std::size_t>(rep), 0,
+                          static_cast<double>(open_nodes));
+      const bool per_system = *spec_.replicas == ReplicaConstraint::PerSystem;
+      for (const auto& info : built_.replica_rows) {
+        const std::int32_t rep = per_system
+                                     ? built_.replication[0]
+                                     : built_.replication[info.object];
+        std::vector<std::size_t> cols;
+        std::vector<double> coeffs;
+        for (std::size_t m = 0; m < n_count; ++m) {
+          if (instance_.is_origin(m)) continue;
+          cols.push_back(static_cast<std::size_t>(
+              built_.store(m, info.interval, info.object)));
+          coeffs.push_back(1);
+        }
+        cols.push_back(static_cast<std::size_t>(rep));
+        coeffs.push_back(-1);
+        model_.set_row(info.row, 0, cols, coeffs);
+      }
+    }
     for (std::size_t m = 0; m < n_count; ++m)
       if (rebuild_reach(m)) sync_node_coverage(m);
+    // Under Global fetch every existing read-positive cell gains the fresh
+    // node as a candidate server; the block sync appends those routes.
+    sync_all_route_blocks();
   }
 
   void latency_update(const workload::LatencyUpdateEvent& event) {
-    for (const auto node : {event.a, event.b}) {
-      const auto n = static_cast<std::size_t>(node);
-      if (rebuild_reach(n)) sync_node_coverage(n);
+    if (instance_.links) {
+      // An up-link re-measure shifts the latency of every pair whose tree
+      // path crosses the link, so every node's reach and route block is
+      // suspect.
+      for (std::size_t n = 0; n < instance_.node_count(); ++n)
+        if (rebuild_reach(n)) sync_node_coverage(n);
+      sync_all_route_blocks();
+    } else {
+      for (const auto node : {event.a, event.b}) {
+        const auto n = static_cast<std::size_t>(node);
+        if (rebuild_reach(n)) sync_node_coverage(n);
+        for (std::size_t i = 0; i < instance_.interval_count(); ++i)
+          for (std::size_t k = 0; k < instance_.object_count(); ++k)
+            sync_route_block(n, i, k);
+      }
     }
     sync_create_bounds();
   }
@@ -753,6 +854,101 @@ class DeltaPatcher {
     }
   }
 
+  std::size_t cell_index(std::size_t n, std::size_t i, std::size_t k) const {
+    return (n * instance_.interval_count() + i) * instance_.object_count() + k;
+  }
+
+  /// Bring one cell's route block — route variables, their route<=store
+  /// rows (9), closest-assignment rows, and the sum-routes==1 row (8) —
+  /// in line with the post-event instance. A drained cell's block is
+  /// tombstoned (route vars fixed at 0, sum row vacated) so the LP matches
+  /// a fresh build that would not create the block at all; when reads
+  /// return, or drift gives the cell a server a fresh build would see
+  /// (a joiner under Global fetch, a latency turning finite), the block is
+  /// re-activated or extended in place. Penalty coefficients follow the
+  /// current reads and dist thresholding.
+  void sync_route_block(std::size_t n, std::size_t i, std::size_t k) {
+    if (!routes_modeled_) return;
+    const std::size_t n_count = instance_.node_count();
+    auto& cell = cell_routes_[cell_index(n, i, k)];
+    const double reads = instance_.demand.read(n, i, k);
+    if (reads <= 0) {
+      const std::int32_t row = built_.route_rows(n, i, k);
+      if (row < 0) return;  // the cell never had a block
+      for (const std::size_t r : cell) {
+        model_.fix_variable(static_cast<std::size_t>(built_.routes[r].var),
+                            0);
+        // Zero the coefficient too: a fixed column still feeds c*x, and a
+        // departed server's penalty would be gamma * reads * infinity.
+        model_.set_objective(static_cast<std::size_t>(built_.routes[r].var),
+                             0);
+      }
+      model_.set_row(static_cast<std::size_t>(row), 0, {}, {});
+      return;
+    }
+    std::vector<char> have(n_count, 0);
+    for (const std::size_t r : cell) have[built_.routes[r].m] = 1;
+    for (std::size_t m = 0; m < n_count; ++m) {
+      if (have[m] || !built_.fetch(n, m)) continue;
+      if (!std::isfinite(instance_.latencies(n, m))) continue;
+      const auto var = static_cast<std::int32_t>(model_.add_variable(
+          0, 1, 0,
+          "route[" + std::to_string(n) + "," + std::to_string(m) + "," +
+              std::to_string(i) + "," + std::to_string(k) + "]"));
+      cell.push_back(built_.routes.size());
+      built_.routes.push_back(RouteVar{n, m, i, k, var});
+      // (9): route <= store at the server.
+      model_.add_row(lp::RowType::Le, 0,
+                     {static_cast<std::size_t>(var),
+                      static_cast<std::size_t>(built_.store(m, i, k))},
+                     {1, -1});
+      if (spec_.routing == Routing::Closest && m != n)
+        for (auto b = static_cast<graph::NodeId>(n);
+             static_cast<std::size_t>(b) != m;
+             b = instance_.links->parent[static_cast<std::size_t>(b)])
+          model_.add_row(lp::RowType::Le, 1,
+                         {static_cast<std::size_t>(var),
+                          static_cast<std::size_t>(built_.store(
+                              static_cast<std::size_t>(b), i, k))},
+                         {1, 1});
+    }
+    std::vector<std::size_t> sum_cols;
+    for (const std::size_t r : cell) {
+      const RouteVar& rv = built_.routes[r];
+      const double latency = instance_.latencies(n, rv.m);
+      if (!built_.fetch(n, rv.m) || !std::isfinite(latency)) {
+        // A departed server: a fresh build has no such column.
+        model_.fix_variable(static_cast<std::size_t>(rv.var), 0);
+        model_.set_objective(static_cast<std::size_t>(rv.var), 0);
+        continue;
+      }
+      model_.set_bounds(static_cast<std::size_t>(rv.var), 0, 1);
+      double route_cost = 0;
+      if (instance_.costs.gamma > 0) {
+        const double excess = instance_.dist(n, rv.m) ? 0.0 : latency;
+        route_cost = instance_.costs.gamma * reads * excess;
+      }
+      model_.set_objective(static_cast<std::size_t>(rv.var), route_cost);
+      sum_cols.push_back(static_cast<std::size_t>(rv.var));
+    }
+    WANPLACE_CHECK(!sum_cols.empty(), "no feasible route for demand");
+    const std::vector<double> ones(sum_cols.size(), 1.0);
+    const std::int32_t row = built_.route_rows(n, i, k);
+    if (row >= 0)
+      model_.set_row(static_cast<std::size_t>(row), 1, sum_cols, ones);
+    else
+      built_.route_rows(n, i, k) = static_cast<std::int32_t>(
+          model_.add_row(lp::RowType::Eq, 1, sum_cols, ones));
+  }
+
+  void sync_all_route_blocks() {
+    if (!routes_modeled_) return;
+    for (std::size_t n = 0; n < instance_.node_count(); ++n)
+      for (std::size_t i = 0; i < instance_.interval_count(); ++i)
+        for (std::size_t k = 0; k < instance_.object_count(); ++k)
+          sync_route_block(n, i, k);
+  }
+
   /// Re-derive the create-permission cube (demand activity and, for
   /// Neighborhood knowledge, reachability feed it) and retighten bounds
   /// where it changed.
@@ -776,21 +972,28 @@ class DeltaPatcher {
   const ClassSpec& spec_;
   BuiltModel& built_;
   lp::LpModel& model_;
+  bool routes_modeled_ = false;
+  /// Indices into built_.routes per cell (n,i,k), mirroring the block each
+  /// cell owns; appended routes are recorded here too.
+  std::vector<std::vector<std::size_t>> cell_routes_;
 };
 
 }  // namespace
 
-bool delta_supported(const Instance& instance, const ClassSpec& spec,
+bool delta_supported(const Instance& instance, const ClassSpec& /*spec*/,
                      const workload::Event& event) {
-  // The incremental window is the store-based QoS formulation: any route
-  // block (avg-latency metric, gamma penalty, bandwidth caps) entangles
-  // rows this patcher does not track.
+  // The incremental window is every QoS-metric formulation without finite
+  // link capacities: gamma > 0 route blocks, provisioned SC/RC classes, and
+  // uncapped tree instances are all tracked per row family. Bandwidth caps
+  // entangle every route with per-link flow rows the patcher does not
+  // track, and the avg-latency metric would need its per-node mean rows
+  // rewritten. Joins stay out on trees — a joiner carries no parent edge,
+  // so Instance::apply_delta rejects the event before the model is asked.
+  // Every predicate here reads state no event mutates (goal, costs, link
+  // capacities, link presence), so pre- and post-event decisions agree.
   if (!std::holds_alternative<QosGoal>(instance.goal)) return false;
-  if (instance.costs.gamma > 0 || instance.has_bandwidth_caps()) return false;
+  if (instance.has_bandwidth_caps()) return false;
   if (std::holds_alternative<workload::NodeJoinEvent>(event))
-    return !instance.links && !spec.storage && !spec.replicas;
-  if (std::holds_alternative<workload::NodeLeaveEvent>(event) ||
-      std::holds_alternative<workload::LatencyUpdateEvent>(event))
     return !instance.links;
   return true;
 }

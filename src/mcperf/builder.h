@@ -65,6 +65,13 @@ struct BuiltModel {
   /// latency drift changes its reach set.
   DenseCube<std::int32_t> coverage_rows;
 
+  /// Per-cell route-sum rows (constraint (8), `sum routes == 1`); -1 where
+  /// the cell has no route block (zero reads, or routes not modeled).
+  /// Tracked so apply_delta can tombstone a drained cell's block (fix routes
+  /// to 0, vacate the row) and re-activate or extend it when reads return or
+  /// drift adds a reachable server.
+  DenseCube<std::int32_t> route_rows;
+
   /// QoS rows (constraint (2), rhs = tqos), one per scope group with demand.
   /// Kept so solve reports can map row duals back to named constraints: the
   /// dual on `row` is d(cost)/d(tqos) for that group — its shadow price.
@@ -74,6 +81,26 @@ struct BuiltModel {
     double total_reads = 0;
   };
   std::vector<QosRowInfo> qos_rows;
+
+  /// Provisioned-storage rows (constraint (16)/(16a)): one per (non-origin
+  /// node, interval), `sum_k store(n,i,k) - cap <= 0`. Tracked so a node
+  /// join can append the fresh node's rows without a rebuild.
+  struct CapacityRowInfo {
+    std::size_t row = 0;
+    std::size_t node = 0;
+    std::size_t interval = 0;
+  };
+  std::vector<CapacityRowInfo> capacity_rows;
+
+  /// Provisioned-replica rows (constraint (17)/(17a)): one per (object,
+  /// interval), `sum_n store(n,i,k) - rep <= 0`. Tracked so a node join can
+  /// rewrite each row to include the fresh node's store columns.
+  struct ReplicaRowInfo {
+    std::size_t row = 0;
+    std::size_t object = 0;
+    std::size_t interval = 0;
+  };
+  std::vector<ReplicaRowInfo> replica_rows;
 
   /// Per-(link, interval) bandwidth capacity rows (tree instances with
   /// finite Instance::links capacities): sum of read flows routed across the
@@ -107,11 +134,16 @@ BoolCube compute_create_allowed(const Instance& instance,
 BoolMatrix compute_fetch(const Instance& instance, const ClassSpec& spec);
 
 /// True when `event` can be mirrored into an existing BuiltModel for
-/// (instance, spec) by apply_delta below. The incremental window is the
-/// store-based QoS formulation — QoS metric, gamma = 0, no bandwidth caps —
-/// where every row the event touches is tracked (QoS, coverage,
-/// conservation, open). Node joins additionally need a class without
-/// provisioned SC/RC capacity (their row sets are not tracked per node).
+/// (instance, spec) by apply_delta below. The incremental window is every
+/// QoS-metric formulation without bandwidth caps: gamma > 0 route blocks,
+/// provisioned SC/RC classes (capacity/replica rows tracked per node/object,
+/// so joins append instead of rebuilding), and uncapped link-model (tree)
+/// instances are all patched in place. Outside the window: the avg-latency
+/// metric, bandwidth-capped trees (per-link flow rows entangle every route),
+/// and node joins on tree instances (a joiner has no parent edge).
+/// Every predicate reads state no event mutates (goal, costs, link
+/// capacities, link presence), so the decision is identical on the pre- and
+/// post-event instance.
 bool delta_supported(const Instance& instance, const ClassSpec& spec,
                      const workload::Event& event);
 

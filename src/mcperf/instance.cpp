@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "util/check.h"
@@ -114,6 +115,9 @@ void Instance::apply_delta(const workload::Event& event, double tlat_ms) {
     if (!std::isfinite(d->read_delta) || !std::isfinite(d->write_delta))
       reject_delta("demand delta must be finite");
     const auto n = static_cast<std::size_t>(d->node);
+    if (!live(n))
+      reject_delta("demand delta targets departed node " +
+                   std::to_string(d->node));
     const auto k = static_cast<std::size_t>(d->object);
     const double new_read = demand.read(n, d->interval, k) + d->read_delta;
     const double new_write = demand.write(n, d->interval, k) + d->write_delta;
@@ -154,8 +158,13 @@ void Instance::apply_delta(const workload::Event& event, double tlat_ms) {
     if (!latencies.empty()) {
       latencies.grow(fresh + 1, fresh + 1, 0);
       for (std::size_t m = 0; m < n_count; ++m) {
-        latencies(fresh, m) = to_existing[m];
-        latencies(m, fresh) = to_existing[m];
+        // A tombstoned node is unreachable, not merely slow: infinity keeps
+        // route-based models from ever pairing the joiner with it.
+        const double latency =
+            live(m) ? to_existing[m]
+                    : std::numeric_limits<double>::infinity();
+        latencies(fresh, m) = latency;
+        latencies(m, fresh) = latency;
       }
     }
     if (!storage_scale.empty()) storage_scale.push_back(1.0);
@@ -163,14 +172,23 @@ void Instance::apply_delta(const workload::Event& event, double tlat_ms) {
   }
 
   if (const auto* l = std::get_if<workload::NodeLeaveEvent>(&event)) {
-    if (links)
-      reject_delta("node leave is unsupported on tree instances");
     if (l->node < 0 || static_cast<std::size_t>(l->node) >= n_count)
       reject_delta("leave references unknown node " + std::to_string(l->node));
     const auto n = static_cast<std::size_t>(l->node);
     if (is_origin(n)) reject_delta("the origin node cannot leave");
     if (!live(n))
       reject_delta("node " + std::to_string(n) + " already left");
+    if (links) {
+      // Tree membership shrinks from the leaves inward: an interior node
+      // carries its subtree's traffic, so it can only leave once every
+      // child is gone (by induction its whole subtree is then gone, and no
+      // live node's path to the root crosses it).
+      if (links->parent[n] < 0) reject_delta("the tree root cannot leave");
+      for (std::size_t m = 0; m < n_count; ++m)
+        if (links->parent[m] == l->node && live(m))
+          reject_delta("node " + std::to_string(n) +
+                       " still has live children in the tree");
+    }
     for (std::size_t i = 0; i < interval_count(); ++i)
       for (std::size_t k = 0; k < object_count(); ++k) {
         demand.read(n, i, k) = 0;
@@ -180,12 +198,19 @@ void Instance::apply_delta(const workload::Event& event, double tlat_ms) {
       dist(n, m) = 0;
       dist(m, n) = 0;
     }
+    if (!latencies.empty()) {
+      // Departed means unreachable at any latency; route-based models key
+      // server eligibility off latency finiteness.
+      constexpr double inf = std::numeric_limits<double>::infinity();
+      for (std::size_t m = 0; m < n_count; ++m) {
+        latencies(n, m) = inf;
+        latencies(m, n) = inf;
+      }
+    }
     return;
   }
 
   const auto& u = std::get<workload::LatencyUpdateEvent>(event);
-  if (links)
-    reject_delta("latency update is unsupported on tree instances");
   if (!std::isfinite(tlat_ms) || tlat_ms <= 0)
     reject_delta("latency update needs a positive Tlat threshold");
   if (u.a < 0 || static_cast<std::size_t>(u.a) >= n_count ||
@@ -199,6 +224,41 @@ void Instance::apply_delta(const workload::Event& event, double tlat_ms) {
   const auto b = static_cast<std::size_t>(u.b);
   if (!live(a) || !live(b))
     reject_delta("latency update references a departed node");
+  if (links) {
+    // Tree instances re-measure an up-link: (a, b) must be a live
+    // parent/child pair. The change propagates to every pair whose tree
+    // path crosses the link — exactly the pairs with one endpoint inside
+    // the child's subtree — and dist re-thresholds from the shifted
+    // latencies.
+    if (latencies.empty())
+      reject_delta("tree latency update needs the latency matrix");
+    graph::NodeId child;
+    if (links->parent[a] == u.b)
+      child = u.a;
+    else if (links->parent[b] == u.a)
+      child = u.b;
+    else
+      reject_delta("tree latency update must re-measure an up-link "
+                   "(an adjacent parent/child pair)");
+    const double shift =
+        u.latency_ms - links->up_latency_ms[static_cast<std::size_t>(child)];
+    links->up_latency_ms[static_cast<std::size_t>(child)] = u.latency_ms;
+    std::vector<char> in_subtree(n_count, 0);
+    for (std::size_t m = 0; m < n_count; ++m) {
+      graph::NodeId walk = static_cast<graph::NodeId>(m);
+      while (walk >= 0 && walk != child)
+        walk = links->parent[static_cast<std::size_t>(walk)];
+      in_subtree[m] = walk == child ? 1 : 0;
+    }
+    for (std::size_t x = 0; x < n_count; ++x)
+      for (std::size_t y = 0; y < n_count; ++y) {
+        if (x == y || in_subtree[x] == in_subtree[y]) continue;
+        latencies(x, y) += shift;
+        dist(x, y) =
+            live(x) && live(y) && latencies(x, y) <= tlat_ms ? 1 : 0;
+      }
+    return;
+  }
   const unsigned char within = u.latency_ms <= tlat_ms ? 1 : 0;
   dist(a, b) = within;
   dist(b, a) = within;

@@ -122,14 +122,19 @@ struct Instance {
   /// Apply one drift event in place (demand delta, node join/leave/latency
   /// update). The event is fully validated against the current instance
   /// BEFORE any mutation: a malformed event (unknown node/interval/object,
-  /// non-finite or count-negating delta, topology change on a tree
-  /// instance, departed-node reference) logs an error and throws
-  /// InvalidArgument with the instance untouched, so a long-running daemon
-  /// can drop bad stream entries and keep serving. `tlat_ms` is the
-  /// latency threshold `dist` was derived from; join and latency-update
-  /// events re-threshold reachability against it. A leave tombstones the
-  /// node (demand and the whole dist row/column zeroed, diagonal included)
-  /// rather than renumbering, so later events keep stable ids.
+  /// non-finite or count-negating delta, join on a tree instance,
+  /// departed-node reference) logs an error and throws InvalidArgument
+  /// with the instance untouched, so a long-running daemon can drop bad
+  /// stream entries and keep serving. `tlat_ms` is the latency threshold
+  /// `dist` was derived from; join and latency-update events re-threshold
+  /// reachability against it. A leave tombstones the node (demand and the
+  /// whole dist row/column zeroed, diagonal included; latencies to it go
+  /// infinite so route models drop it as a server) rather than
+  /// renumbering, so later events keep stable ids. On tree instances a
+  /// leave is allowed only once the node has no live children (membership
+  /// shrinks leaf-inward), and a latency update re-measures an up-link:
+  /// (a, b) must be a live parent/child pair, and the shift propagates to
+  /// every node pair whose tree path crosses that link.
   void apply_delta(const workload::Event& event, double tlat_ms);
 
   /// An upper bound on the cost of any 0/1 placement: every non-origin node

@@ -76,6 +76,13 @@ EventOutcome PlacementDaemon::on_event(const workload::Event& event) {
   }
   StageSeconds stages;
 
+  // Capture the incremental-window decision on the PRE-event instance:
+  // whether an event is patchable must not depend on the mutation it is
+  // about to make (apply_delta re-checks post-event as a guard; the two
+  // views agreeing is regression-fuzzed).
+  const bool pre_supported =
+      mcperf::delta_supported(instance_, options_.spec, event);
+
   {
     StageTimer timer(stages.validate, "service.stage.validate_s");
     obs::Span validate("service.validate");
@@ -105,7 +112,8 @@ EventOutcome PlacementDaemon::on_event(const workload::Event& event) {
   {
     StageTimer timer(stages.patch, "service.stage.patch_s");
     obs::Span patch("service.patch");
-    out.incremental = advance_model(instance_, options_.spec, event, state_);
+    out.incremental =
+        advance_model(instance_, options_.spec, event, state_, pre_supported);
     patch.attr("incremental", out.incremental ? 1 : 0);
   }
   if (out.incremental)
@@ -131,6 +139,93 @@ EventOutcome PlacementDaemon::on_event(const workload::Event& event) {
   if (incumbent_ && std::holds_alternative<workload::NodeJoinEvent>(event))
     incumbent_->grow_x(instance_.node_count());
 
+  return finish(std::move(out), std::move(detail), stages);
+}
+
+EventOutcome PlacementDaemon::on_batch(const workload::EventBatch& batch) {
+  WANPLACE_REQUIRE(started_, "call PlacementDaemon::start before on_batch");
+  WANPLACE_REQUIRE(!batch.empty(), "on_batch needs at least one event");
+  EventOutcome out;
+  events_ += batch.size();
+  out.index = events_;  // the batch's last consumed event index
+  out.kind = "batch[" + std::to_string(batch.size()) + "]";
+  obs::Span span("service.event");
+  span.attr("event", static_cast<double>(out.index));
+  span.attr("batch", static_cast<double>(batch.size()));
+  span.label("kind", out.kind);
+  if (obs::metrics_enabled()) {
+    obs::counter_add("service.events", static_cast<double>(batch.size()));
+    obs::gauge_set("service.event_index", static_cast<double>(out.index));
+  }
+  StageSeconds stages;
+
+  {
+    StageTimer timer(stages.validate, "service.stage.validate_s");
+    obs::Span validate("service.validate");
+    // Atomic all-or-nothing: dry-run the whole batch on a scratch copy, so
+    // one bad event anywhere rejects the batch before the real instance,
+    // the model, or the live plan is touched. Every event in a rejected
+    // batch still consumes its index, keeping applied + rejected == events.
+    mcperf::Instance scratch = instance_;
+    try {
+      for (const auto& event : batch)
+        scratch.apply_delta(event, options_.tlat_ms);
+    } catch (const InvalidArgument& err) {
+      out.rejected = true;
+      out.error = err.what();
+      out.reason = "rejected";
+      rejected_ += batch.size();
+      validate.attr("rejected", static_cast<double>(batch.size()));
+      if (obs::metrics_enabled())
+        obs::counter_add("service.rejected",
+                         static_cast<double>(batch.size()));
+    }
+  }
+  if (out.rejected) {
+    append_point(out, stages);
+    return out;
+  }
+  applied_ += batch.size();
+  if (obs::metrics_enabled())
+    obs::counter_add("service.applied", static_cast<double>(batch.size()));
+
+  {
+    StageTimer timer(stages.patch, "service.stage.patch_s");
+    obs::Span patch("service.patch");
+    // Fold every event's mutation and model patch in before the single
+    // re-solve below; the outcome is incremental only if every event was.
+    out.incremental = true;
+    for (const auto& event : batch) {
+      const bool pre_supported =
+          mcperf::delta_supported(instance_, options_.spec, event);
+      instance_.apply_delta(event, options_.tlat_ms);
+      const bool incremental =
+          advance_model(instance_, options_.spec, event, state_,
+                        pre_supported);
+      out.incremental = out.incremental && incremental;
+      if (incremental)
+        ++incremental_;
+      else
+        ++rebuilds_;
+      if (incumbent_ &&
+          std::holds_alternative<workload::NodeJoinEvent>(event))
+        incumbent_->grow_x(instance_.node_count());
+    }
+    patch.attr("incremental", out.incremental ? 1 : 0);
+  }
+
+  bounds::BoundDetail detail;
+  {
+    StageTimer timer(stages.resolve, "service.stage.resolve_s");
+    obs::Span resolve("service.resolve");
+    bounds::BoundOptions solve = options_.bounds;
+    if (!state_.basis.empty()) {
+      solve.warm.basis = &state_.basis;
+      out.warm = true;
+    }
+    detail = bounds::compute_bound_built(instance_, options_.spec,
+                                         std::move(state_.built), solve);
+  }
   return finish(std::move(out), std::move(detail), stages);
 }
 
@@ -173,6 +268,18 @@ EventOutcome PlacementDaemon::finish(EventOutcome out,
   candidate.cost = detail.bound.rounded_cost;
   out.candidate_feasible = candidate.feasible;
   out.candidate_cost = candidate.cost;
+  if (!candidate.feasible && obs::metrics_enabled()) {
+    // The regret table's "no-candidate" cells come from here: either the
+    // certified bound already says the QoS goal is unachievable for this
+    // class on the drifted instance (no placement can hit tqos — e.g.
+    // plain caching once drift pushes demand outside the origin's reach),
+    // or the LP was achievable but rounding failed to extract a feasible
+    // integral plan from it.
+    obs::counter_add("service.regret.no_candidate");
+    obs::counter_add(out.achievable
+                         ? "service.regret.no_candidate.rounding"
+                         : "service.regret.no_candidate.unachievable");
+  }
 
   IncumbentPlan incumbent;
   {

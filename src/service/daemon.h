@@ -112,6 +112,17 @@ class PlacementDaemon {
   /// instance, and run the publish policy.
   EventOutcome on_event(const workload::Event& event);
 
+  /// Ingest a burst of events as ONE re-optimization point: the whole
+  /// batch is dry-run on a scratch instance first, so one invalid event
+  /// anywhere rejects the batch atomically (instance, model and plan all
+  /// unchanged, every event counted rejected at its consumed index); a
+  /// valid batch folds every mutation and model patch in and then runs a
+  /// single warm re-solve + audit + publish decision. Per-event accounting
+  /// is preserved — applied + rejected == events — while the solve-side
+  /// work (and the series) advances once per batch, under kind
+  /// "batch[N]". REQUIREs a non-empty batch.
+  EventOutcome on_batch(const workload::EventBatch& batch);
+
   const mcperf::Instance& instance() const { return instance_; }
   bool has_plan() const { return incumbent_.has_value(); }
   /// The live placement; REQUIREs has_plan().

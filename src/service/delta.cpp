@@ -6,8 +6,9 @@ namespace wanplace::service {
 
 bool advance_model(const mcperf::Instance& instance,
                    const mcperf::ClassSpec& spec,
-                   const workload::Event& event, ModelState& state) {
-  if (state.valid &&
+                   const workload::Event& event, ModelState& state,
+                   bool pre_supported) {
+  if (state.valid && pre_supported &&
       mcperf::apply_delta(instance, spec, event, state.built, state.basis)) {
     if (obs::metrics_enabled()) obs::counter_add("service.incremental");
     return true;

@@ -29,8 +29,17 @@ struct ModelState {
 /// way, so even the rebuild path can warm-start after pure-demand drift on
 /// classes outside the delta window. Returns true when the incremental
 /// path was taken. Counters: service.incremental / service.rebuilds.
+///
+/// `pre_supported` is mcperf::delta_supported evaluated on the PRE-event
+/// instance — the caller captures it before Instance::apply_delta mutates
+/// anything, so the window decision never depends on the mutation it is
+/// deciding about. (The predicates only read state no event mutates, so
+/// pre and post agree — regression-fuzzed — but the pre-event view is the
+/// semantically correct input and apply_delta re-checks post-event as a
+/// belt-and-braces guard.)
 bool advance_model(const mcperf::Instance& instance,
                    const mcperf::ClassSpec& spec,
-                   const workload::Event& event, ModelState& state);
+                   const workload::Event& event, ModelState& state,
+                   bool pre_supported);
 
 }  // namespace wanplace::service

@@ -1,6 +1,7 @@
 #include "workload/trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -137,52 +138,141 @@ void save_events(const std::vector<Event>& events, std::ostream& out) {
   }
 }
 
-std::vector<Event> load_events(std::istream& in) {
+namespace {
+
+[[noreturn]] void bad_token(const std::string& source, std::size_t line_no,
+                            const std::string& message,
+                            const std::string& token) {
+  throw Error(source + ":" + std::to_string(line_no) + ": " + message + " '" +
+              token + "'");
+}
+
+/// Parse a whole token as an integer; partial consumption ("3x", "1.5")
+/// and overflow are rejected with the token in the message.
+long event_int(const std::string& source, std::size_t line_no,
+               const std::string& token, const char* what) {
+  std::size_t consumed = 0;
+  long value = 0;
+  try {
+    value = std::stol(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (token.empty() || consumed != token.size())
+    bad_token(source, line_no, std::string(what) + " is not an integer:",
+              token);
+  return value;
+}
+
+/// Parse a whole token as a finite double; "nan"/"inf" parse fine through
+/// std::stod but poison every downstream demand/latency computation, so
+/// they are rejected here at the file boundary.
+double event_num(const std::string& source, std::size_t line_no,
+                 const std::string& token, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (token.empty() || consumed != token.size())
+    bad_token(source, line_no, std::string(what) + " is not a number:",
+              token);
+  if (!std::isfinite(value))
+    bad_token(source, line_no, std::string(what) + " must be finite, got",
+              token);
+  return value;
+}
+
+}  // namespace
+
+std::vector<Event> load_events(std::istream& in, const std::string& source) {
   std::string header;
   if (!std::getline(in, header) ||
       header.rfind("wanplace-events v1", 0) != 0)
-    throw Error("not a wanplace event stream");
+    throw Error(source + ":1: not a wanplace event stream (expected a "
+                "\"wanplace-events v1\" header)");
   std::vector<Event> events;
   std::string line;
+  std::size_t line_no = 1;
   while (std::getline(in, line)) {
+    ++line_no;
     std::istringstream fields(line);
     std::string kind;
     if (!(fields >> kind) || kind[0] == '#') continue;
+    const auto next = [&](const char* what) {
+      std::string token;
+      if (!(fields >> token))
+        throw Error(source + ":" + std::to_string(line_no) + ": " + kind +
+                    " event is missing its " + what + " field: '" + line +
+                    "'");
+      return token;
+    };
+    const auto reject_extras = [&] {
+      std::string extra;
+      if (fields >> extra)
+        bad_token(source, line_no,
+                  "unexpected trailing token on a " + kind + " event:",
+                  extra);
+    };
     if (kind == "demand") {
       DemandDeltaEvent d;
-      if (!(fields >> d.node >> d.interval >> d.object >> d.read_delta >>
-            d.write_delta))
-        throw Error("bad demand event: " + line);
+      d.node = static_cast<graph::NodeId>(
+          event_int(source, line_no, next("node"), "node"));
+      const long interval =
+          event_int(source, line_no, next("interval"), "interval");
+      if (interval < 0)
+        bad_token(source, line_no, "interval must be >= 0, got",
+                  std::to_string(interval));
+      d.interval = static_cast<std::size_t>(interval);
+      d.object = static_cast<ObjectId>(
+          event_int(source, line_no, next("object"), "object"));
+      d.read_delta =
+          event_num(source, line_no, next("read_delta"), "read_delta");
+      d.write_delta =
+          event_num(source, line_no, next("write_delta"), "write_delta");
+      reject_extras();
       events.push_back(d);
     } else if (kind == "join") {
       NodeJoinEvent j;
-      if (!(fields >> j.default_latency_ms))
-        throw Error("bad join event: " + line);
+      j.default_latency_ms =
+          event_num(source, line_no, next("default_latency_ms"),
+                    "default latency");
       std::string override_spec;
       while (fields >> override_spec) {
         const auto colon = override_spec.find(':');
         if (colon == std::string::npos)
-          throw Error("bad join override (want node:latency): " + line);
-        try {
-          j.latency_overrides.emplace_back(
-              std::stol(override_spec.substr(0, colon)),
-              std::stod(override_spec.substr(colon + 1)));
-        } catch (const std::exception&) {
-          throw Error("bad join override (want node:latency): " + line);
-        }
+          bad_token(source, line_no, "join override wants node:latency, got",
+                    override_spec);
+        const long node =
+            event_int(source, line_no, override_spec.substr(0, colon),
+                      "join override node");
+        const double latency =
+            event_num(source, line_no, override_spec.substr(colon + 1),
+                      "join override latency");
+        j.latency_overrides.emplace_back(static_cast<graph::NodeId>(node),
+                                         latency);
       }
       events.push_back(std::move(j));
     } else if (kind == "leave") {
       NodeLeaveEvent l;
-      if (!(fields >> l.node)) throw Error("bad leave event: " + line);
+      l.node = static_cast<graph::NodeId>(
+          event_int(source, line_no, next("node"), "node"));
+      reject_extras();
       events.push_back(l);
     } else if (kind == "latency") {
       LatencyUpdateEvent u;
-      if (!(fields >> u.a >> u.b >> u.latency_ms))
-        throw Error("bad latency event: " + line);
+      u.a = static_cast<graph::NodeId>(
+          event_int(source, line_no, next("a"), "node a"));
+      u.b = static_cast<graph::NodeId>(
+          event_int(source, line_no, next("b"), "node b"));
+      u.latency_ms =
+          event_num(source, line_no, next("latency_ms"), "latency");
+      reject_extras();
       events.push_back(u);
     } else {
-      throw Error("unknown event kind: " + kind);
+      bad_token(source, line_no, "unknown event kind", kind);
     }
   }
   return events;
@@ -199,7 +289,7 @@ void save_events_file(const std::vector<Event>& events,
 std::vector<Event> load_events_file(const std::string& path) {
   std::ifstream file(path);
   if (!file) throw Error("cannot open " + path);
-  return load_events(file);
+  return load_events(file, path);
 }
 
 }  // namespace wanplace::workload

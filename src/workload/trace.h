@@ -116,6 +116,12 @@ using Event =
     std::variant<DemandDeltaEvent, NodeJoinEvent, NodeLeaveEvent,
                  LatencyUpdateEvent>;
 
+/// A burst of drift events folded into one re-optimization point: the
+/// daemon applies a batch as one instance mutation + one model patch + one
+/// warm re-solve. Validation is atomic — any invalid event rejects the
+/// whole batch before the instance, model, or plan is touched.
+using EventBatch = std::vector<Event>;
+
 /// Short lower-case tag for logs and replay output ("demand", "join",
 /// "leave", "latency").
 const char* event_kind(const Event& event);
@@ -126,9 +132,16 @@ const char* event_kind(const Event& event);
 ///   join <default_latency_ms> [<node>:<latency_ms> ...]
 ///   leave <node>
 ///   latency <a> <b> <latency_ms>
-/// Blank lines and lines starting with '#' are skipped on load.
+/// Blank lines and lines starting with '#' are skipped on load. Every
+/// numeric field is validated token by token: a malformed, trailing,
+/// missing, or non-finite (NaN/Inf) field is rejected with an Error whose
+/// message carries `<source>:<line>` and the offending token, so a CLI can
+/// point at the exact bad line instead of surfacing a raw std::stod throw.
+/// `source` names the stream in those messages (load_events_file passes
+/// the path).
 void save_events(const std::vector<Event>& events, std::ostream& out);
-std::vector<Event> load_events(std::istream& in);
+std::vector<Event> load_events(std::istream& in,
+                               const std::string& source = "events");
 void save_events_file(const std::vector<Event>& events,
                       const std::string& path);
 std::vector<Event> load_events_file(const std::string& path);

@@ -31,6 +31,7 @@
 #include "mcperf/heuristic_class.h"
 #include "obs/metrics.h"
 #include "service/audit.h"
+#include "service/daemon.h"
 #include "service/delta.h"
 #include "tree_fuzz.h"
 #include "util/rng.h"
@@ -66,8 +67,15 @@ struct DeltaHarness {
   /// Apply one event and warm re-solve; `incremental` reports whether the
   /// LP was delta-patched rather than rebuilt.
   bounds::BoundDetail step(const workload::Event& event, bool* incremental) {
+    // The window decision is captured on the pre-event view, like the
+    // daemon's; the post-event re-check below is the satellite regression
+    // that the predicates are event-invariant.
+    const bool pre_supported = mcperf::delta_supported(instance, spec, event);
     instance.apply_delta(event, tlat_ms);
-    const bool inc = service::advance_model(instance, spec, event, state);
+    EXPECT_EQ(pre_supported, mcperf::delta_supported(instance, spec, event))
+        << "delta_supported flipped across the event it was deciding about";
+    const bool inc =
+        service::advance_model(instance, spec, event, state, pre_supported);
     if (incremental != nullptr) *incremental = inc;
     bounds::BoundOptions options = harness_options();
     if (!state.basis.empty()) options.warm.basis = &state.basis;
@@ -104,8 +112,12 @@ void expect_matches_cold(const DeltaHarness& harness,
 workload::Event random_demand_event(Rng& rng,
                                     const mcperf::Instance& instance) {
   workload::DemandDeltaEvent event;
-  event.node =
-      static_cast<graph::NodeId>(rng.uniform_index(instance.node_count()));
+  // Only live nodes issue demand: deltas targeting a departed node are
+  // rejected by apply_delta (their demand was drained on leave).
+  std::vector<graph::NodeId> live;
+  for (std::size_t n = 0; n < instance.node_count(); ++n)
+    if (instance.dist(n, n) != 0) live.push_back(static_cast<graph::NodeId>(n));
+  event.node = live[rng.uniform_index(live.size())];
   event.interval = rng.uniform_index(instance.interval_count());
   event.object = static_cast<workload::ObjectId>(
       rng.uniform_index(instance.object_count()));
@@ -149,6 +161,46 @@ workload::Event random_event(Rng& rng, const mcperf::Instance& instance) {
       const double choices[] = {60, 110, 140, 200};
       return workload::LatencyUpdateEvent{a, b,
                                           choices[rng.uniform_index(4)]};
+    }
+  }
+  return random_demand_event(rng, instance);
+}
+
+/// Tree-instance event mix: leaf leaves (membership shrinks from the leaves
+/// inward), up-link re-measures (the only latency update a tree instance
+/// accepts), and demand drift. Joins stay rejected on trees, so the mix
+/// never generates one.
+workload::Event random_tree_event(Rng& rng, const mcperf::Instance& instance) {
+  const auto& links = *instance.links;
+  const auto live = [&](std::size_t n) { return instance.dist(n, n) != 0; };
+  const double roll = rng.uniform();
+  if (roll < 0.2) {
+    std::vector<graph::NodeId> leaves;
+    for (std::size_t n = 0; n < instance.node_count(); ++n) {
+      if (!live(n) || instance.is_origin(n) || links.parent[n] < 0) continue;
+      bool live_child = false;
+      for (std::size_t m = 0; m < instance.node_count(); ++m)
+        if (links.parent[m] == static_cast<graph::NodeId>(n) && live(m))
+          live_child = true;
+      if (!live_child) leaves.push_back(static_cast<graph::NodeId>(n));
+    }
+    if (!leaves.empty())
+      return workload::NodeLeaveEvent{leaves[rng.uniform_index(leaves.size())]};
+  } else if (roll < 0.45) {
+    // Re-measure a live up-link: any live node's parent is live (leaves
+    // only happen once the whole subtree below is gone).
+    std::vector<graph::NodeId> children;
+    for (std::size_t n = 0; n < instance.node_count(); ++n)
+      if (live(n) && links.parent[n] >= 0)
+        children.push_back(static_cast<graph::NodeId>(n));
+    if (!children.empty()) {
+      const auto child = children[rng.uniform_index(children.size())];
+      const double factors[] = {0.5, 0.8, 1.5, 2.5};
+      const double fresh =
+          links.up_latency_ms[static_cast<std::size_t>(child)] *
+          factors[rng.uniform_index(4)];
+      return workload::LatencyUpdateEvent{
+          child, links.parent[static_cast<std::size_t>(child)], fresh};
     }
   }
   return random_demand_event(rng, instance);
@@ -322,9 +374,8 @@ TEST(DeltaDifferential, TreeFamilySequencesMatchColdRebuilds) {
     Rng rng(seed ^ 0x79EEULL);
     auto fuzz = test::fuzz_tree_instance(seed);
     const double tlat = fuzz.instance.links->tlat_ms;
-    // Tree instances carry a link model, so the stream is demand-only
-    // (joins/leaves/latency updates are rejected on them — see
-    // DeltaValidation). Capped closest instances leave the incremental
+    // Demand-only drift on tree instances; the topology-event mix has its
+    // own shard below. Capped closest instances leave the incremental
     // window and exercise the rebuild path differentially.
     DeltaHarness harness(std::move(fuzz.instance), fuzz.spec, tlat);
     const std::size_t events = 2 + rng.uniform_index(5);
@@ -337,6 +388,157 @@ TEST(DeltaDifferential, TreeFamilySequencesMatchColdRebuilds) {
                               std::to_string(e));
       if (HasFatalFailure()) return;
     }
+  }
+}
+
+// The widened window: gamma > 0 route blocks and SC/RC-provisioned joins
+// must stay on the incremental path — every event of every sequence here is
+// delta-patched, never rebuilt, and still matches a cold rebuild to 1e-7.
+TEST(DeltaDifferential, WidenedWindowSequencesStayIncremental) {
+  const auto base = test::fuzz_base_seed();
+  const auto count = test::fuzz_shard_count();
+  const mcperf::ClassSpec class_pool[] = {
+      mcperf::classes::general(),
+      mcperf::classes::caching(),
+      mcperf::classes::cooperative_caching(),
+      mcperf::classes::storage_constrained(),
+      mcperf::classes::replica_constrained(),
+      mcperf::classes::replica_constrained_per_object()};
+  for (std::size_t c = 0; c < count; ++c) {
+    const auto seed = base + 0x31DE0000ULL + c;
+    Rng rng(seed ^ 0x91DEULL);
+    const mcperf::QosScope scopes[] = {
+        mcperf::QosScope::PerUser, mcperf::QosScope::Overall,
+        mcperf::QosScope::PerObject, mcperf::QosScope::PerUserPerObject};
+    auto instance = test::random_instance(seed, 5 + rng.uniform_index(3), 3,
+                                          4, rng.bernoulli(0.5) ? 0.9 : 0.75);
+    std::get<mcperf::QosGoal>(instance.goal).scope =
+        scopes[rng.uniform_index(4)];
+    if (rng.bernoulli(0.5)) instance.costs.delta = 0.2;
+    // Most seeds price lateness so the model carries live route blocks;
+    // the rest pair gamma = 0 with a provisioned class so the SC/RC join
+    // path is exercised without routes too.
+    const double gammas[] = {0.005, 0.02, 0.1};
+    const bool routed = rng.bernoulli(0.75);
+    if (routed) instance.costs.gamma = gammas[rng.uniform_index(3)];
+    const auto spec =
+        routed ? class_pool[rng.uniform_index(std::size(class_pool))]
+               : class_pool[3 + rng.uniform_index(3)];
+    DeltaHarness harness(std::move(instance), spec, 150);
+    const std::size_t events = 3 + rng.uniform_index(6);
+    for (std::size_t e = 0; e < events; ++e) {
+      const auto event = random_event(rng, harness.instance);
+      // The achievability gate skips the initial build on seeds whose class
+      // cannot reach the goal; the first event then rebuilds by design.
+      const bool had_model = harness.state.valid;
+      bool incremental = false;
+      const auto detail = harness.step(event, &incremental);
+      const auto label = "seed " + std::to_string(seed) + " (" + spec.name +
+                         ") event " + std::to_string(e) + " [" +
+                         workload::event_kind(event) + "]";
+      if (had_model) EXPECT_TRUE(incremental) << label;
+      expect_matches_cold(harness, detail, label);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// Link-model instances without bandwidth caps are inside the widened
+// window too: leaf leaves and up-link re-measures delta-patch and match a
+// cold rebuild; capped instances run the same mix down the rebuild path.
+TEST(DeltaDifferential, TreeTopologyEventSequencesMatchColdRebuilds) {
+  const auto base = test::fuzz_base_seed();
+  const auto count = test::fuzz_shard_count();
+  for (std::size_t c = 0; c < count; ++c) {
+    const auto seed = base + 0x7E0E000ULL + c;
+    Rng rng(seed ^ 0x70E0ULL);
+    auto fuzz = test::fuzz_tree_instance(seed);
+    const double tlat = fuzz.instance.links->tlat_ms;
+    // Half the uncapped seeds price lateness so route blocks (and closest-
+    // assignment rows) ride the tree topology events.
+    if (!fuzz.capped && rng.bernoulli(0.5))
+      fuzz.instance.costs.gamma = 0.02;
+    DeltaHarness harness(std::move(fuzz.instance), fuzz.spec, tlat);
+    const std::size_t events = 2 + rng.uniform_index(5);
+    for (std::size_t e = 0; e < events; ++e) {
+      const auto event = random_tree_event(rng, harness.instance);
+      const bool had_model = harness.state.valid;
+      bool incremental = false;
+      const auto detail = harness.step(event, &incremental);
+      const auto label = "seed " + std::to_string(seed) + " (" +
+                         harness.spec.name + (fuzz.capped ? ", capped" : "") +
+                         ") event " + std::to_string(e) + " [" +
+                         workload::event_kind(event) + "]";
+      if (!fuzz.capped && had_model) EXPECT_TRUE(incremental) << label;
+      expect_matches_cold(harness, detail, label);
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// Batching equivalence: folding a burst into one on_batch call must land on
+// exactly the state the per-event path reaches — identical instance
+// (demand, liveness, latencies) and the same certified bound to 1e-7 —
+// while consuming one solve per burst.
+TEST(DeltaDifferential, BatchedSequencesMatchSequential) {
+  const auto base = test::fuzz_base_seed();
+  const auto count = test::fuzz_shard_count();
+  for (std::size_t c = 0; c < count; ++c) {
+    const auto seed = base + 0xBA7C0000ULL + c;
+    Rng rng(seed ^ 0xBA7CULL);
+    auto instance = test::random_instance(seed, 5 + rng.uniform_index(3), 3,
+                                          4, rng.bernoulli(0.5) ? 0.9 : 0.75);
+    if (rng.bernoulli(0.5)) instance.costs.gamma = 0.02;
+    service::DaemonOptions options;
+    options.spec = rng.bernoulli(0.3) ? mcperf::classes::storage_constrained()
+                                      : mcperf::classes::general();
+    options.tlat_ms = 150;
+    service::PlacementDaemon seq(instance, options);
+    service::PlacementDaemon bat(std::move(instance), options);
+    seq.start();
+    bat.start();
+    const std::size_t batches = 1 + rng.uniform_index(3);
+    for (std::size_t bi = 0; bi < batches; ++bi) {
+      // The burst is generated against the sequential daemon's rolling
+      // state, so every event is valid at its position in the batch.
+      workload::EventBatch batch;
+      service::EventOutcome last;
+      const std::size_t burst = 1 + rng.uniform_index(4);
+      for (std::size_t e = 0; e < burst; ++e) {
+        const auto event = random_event(rng, seq.instance());
+        last = seq.on_event(event);
+        batch.push_back(event);
+      }
+      const auto out = bat.on_batch(batch);
+      const auto label =
+          "seed " + std::to_string(seed) + " batch " + std::to_string(bi);
+      ASSERT_FALSE(last.rejected) << label << " " << last.error;
+      ASSERT_FALSE(out.rejected) << label << " " << out.error;
+      ASSERT_EQ(out.achievable, last.achievable) << label;
+      if (out.achievable && out.status == lp::SolveStatus::Optimal &&
+          last.status == lp::SolveStatus::Optimal)
+        EXPECT_NEAR(out.lower_bound, last.lower_bound,
+                    1e-7 * (1 + std::abs(last.lower_bound)))
+            << label;
+      const auto& a = seq.instance();
+      const auto& b = bat.instance();
+      ASSERT_EQ(a.node_count(), b.node_count()) << label;
+      for (std::size_t n = 0; n < a.node_count(); ++n) {
+        for (std::size_t m = 0; m < a.node_count(); ++m) {
+          EXPECT_EQ(a.dist(n, m), b.dist(n, m)) << label;
+          EXPECT_EQ(a.latencies(n, m), b.latencies(n, m)) << label;
+        }
+        for (std::size_t i = 0; i < a.interval_count(); ++i)
+          for (std::size_t k = 0; k < a.object_count(); ++k) {
+            EXPECT_EQ(a.demand.read(n, i, k), b.demand.read(n, i, k))
+                << label;
+            EXPECT_EQ(a.demand.write(n, i, k), b.demand.write(n, i, k))
+                << label;
+          }
+      }
+      if (HasFatalFailure() || HasNonfatalFailure()) return;
+    }
+    EXPECT_EQ(seq.events_seen(), bat.events_seen());
   }
 }
 

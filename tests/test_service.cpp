@@ -92,7 +92,7 @@ TEST(DeltaValidation, DemandCannotGoNegative) {
   EXPECT_EQ(instance.demand.read(0, 0, 0), 0);
 }
 
-TEST(DeltaValidation, JoinRejectedOnTreeInstances) {
+TEST(DeltaValidation, TreeInstanceTopologyEvents) {
   graph::TreeParams params;
   params.depth = 2;
   params.fanout = 2;
@@ -100,9 +100,61 @@ TEST(DeltaValidation, JoinRejectedOnTreeInstances) {
   Rng rng(3);
   auto instance =
       test::tree_instance(graph::tree(params, rng), 120, 1, 2, 0.9);
+  const auto& parent = instance.links->parent;
+  // A joiner carries no parent edge, so joins stay rejected on trees.
   expect_rejected(instance, workload::NodeJoinEvent{100, {}}, 120);
-  expect_rejected(instance, workload::NodeLeaveEvent{1}, 120);
-  expect_rejected(instance, workload::LatencyUpdateEvent{1, 2, 80}, 120);
+  // Membership shrinks from the leaves inward: an interior node (and the
+  // root) cannot leave while it still has live children.
+  graph::NodeId interior = -1, leaf = -1;
+  for (std::size_t n = 1; n < instance.node_count(); ++n) {
+    bool has_child = false;
+    for (std::size_t m = 0; m < instance.node_count(); ++m)
+      if (parent[m] == static_cast<graph::NodeId>(n)) has_child = true;
+    (has_child ? interior : leaf) = static_cast<graph::NodeId>(n);
+  }
+  ASSERT_GE(interior, 0);
+  ASSERT_GE(leaf, 0);
+  expect_rejected(instance, workload::NodeLeaveEvent{0}, 120);  // root/origin
+  expect_rejected(instance, workload::NodeLeaveEvent{interior}, 120);
+  // A latency update must re-measure an up-link; a non-adjacent pair (two
+  // leaves share no edge) is rejected.
+  graph::NodeId other_leaf = -1;
+  for (std::size_t n = 1; n < instance.node_count(); ++n)
+    if (static_cast<graph::NodeId>(n) != leaf &&
+        parent[static_cast<std::size_t>(leaf)] != static_cast<graph::NodeId>(n))
+      other_leaf = static_cast<graph::NodeId>(n);
+  bool other_is_leaf = true;
+  for (std::size_t m = 0; m < instance.node_count(); ++m)
+    if (parent[m] == other_leaf) other_is_leaf = false;
+  if (other_is_leaf)
+    expect_rejected(instance, workload::LatencyUpdateEvent{leaf, other_leaf, 80},
+                    120);
+  // Accepted: re-measure the leaf's up-link (latencies shift by the delta
+  // for every pair crossing it), then the leaf itself leaves.
+  const auto up = parent[static_cast<std::size_t>(leaf)];
+  const double before =
+      instance.latencies(static_cast<std::size_t>(leaf), 0);
+  const double old_link =
+      instance.links->up_latency_ms[static_cast<std::size_t>(leaf)];
+  instance.apply_delta(workload::LatencyUpdateEvent{leaf, up, old_link + 30},
+                       120);
+  EXPECT_NEAR(instance.latencies(static_cast<std::size_t>(leaf), 0),
+              before + 30, 1e-12);
+  instance.apply_delta(workload::NodeLeaveEvent{leaf}, 120);
+  EXPECT_EQ(instance.dist(static_cast<std::size_t>(leaf),
+                          static_cast<std::size_t>(leaf)),
+            0);
+  EXPECT_FALSE(std::isfinite(
+      instance.latencies(static_cast<std::size_t>(leaf), 0)));
+  // Once every leaf under it is gone, the interior node may leave too.
+  for (std::size_t m = 1; m < instance.node_count(); ++m)
+    if (parent[m] == interior && instance.dist(m, m) != 0)
+      instance.apply_delta(
+          workload::NodeLeaveEvent{static_cast<graph::NodeId>(m)}, 120);
+  instance.apply_delta(workload::NodeLeaveEvent{interior}, 120);
+  EXPECT_EQ(instance.dist(static_cast<std::size_t>(interior),
+                          static_cast<std::size_t>(interior)),
+            0);
 }
 
 TEST(DeltaValidation, JoinNeedsPositiveTlat) {
@@ -366,6 +418,149 @@ TEST(Service, CountersTrackEventsAndPivotSavings) {
   EXPECT_GT(sum("service.pivots_saved"), 0);
 }
 
+// The widened incremental window: with gamma > 0 (live route blocks) and
+// provisioned SC/RC classes, the whole drift script — joins included —
+// delta-patches; the only rebuild of the replay is the start() build.
+TEST(Service, WidenedWindowStaysIncremental) {
+  const mcperf::ClassSpec specs[] = {mcperf::classes::general(),
+                                     mcperf::classes::storage_constrained(),
+                                     mcperf::classes::replica_constrained()};
+  for (const auto& spec : specs) {
+    auto& registry = obs::Registry::global();
+    registry.enable(true);
+    registry.reset();
+    {
+      auto instance = service_instance();
+      instance.costs.gamma = 0.01;
+      service::PlacementDaemon daemon(std::move(instance),
+                                      daemon_options(spec));
+      daemon.start();
+      for (const auto& event : service_events()) {
+        const auto out = daemon.on_event(event);
+        ASSERT_FALSE(out.rejected) << spec.name << ": " << out.error;
+        EXPECT_TRUE(out.incremental) << spec.name << " " << out.kind;
+      }
+      EXPECT_EQ(daemon.status().rebuilds, 1u) << spec.name;
+      EXPECT_EQ(daemon.status().incremental, 7u) << spec.name;
+    }
+    const auto snapshot = registry.snapshot();
+    registry.enable(false);
+    const auto rebuilds = snapshot.find("service.rebuilds");
+    ASSERT_TRUE(rebuilds != snapshot.end()) << spec.name;
+    EXPECT_EQ(rebuilds->second.sum, 1) << spec.name;  // the start() build
+  }
+}
+
+// Batching: singleton batches replay the drift script bit-for-bit against
+// the per-event path (same solves, same decisions, same published plan),
+// and folding the script into two batches still lands on the same instance
+// and the same certified bound — with one solve per batch instead of one
+// per event.
+TEST(Service, BatchMatchesSequential) {
+  service::PlacementDaemon seq(service_instance(),
+                               daemon_options(mcperf::classes::general()));
+  service::PlacementDaemon one(service_instance(),
+                               daemon_options(mcperf::classes::general()));
+  service::PlacementDaemon bat(service_instance(),
+                               daemon_options(mcperf::classes::general()));
+  seq.start();
+  one.start();
+  bat.start();
+  const auto events = service_events();
+  service::EventOutcome last_seq;
+  for (const auto& event : events) {
+    last_seq = seq.on_event(event);
+    const auto folded = one.on_batch(workload::EventBatch{event});
+    // A batch of one is the event path with batch accounting: the solve,
+    // the audit, and the publish decision are bit-identical.
+    EXPECT_EQ(folded.kind, "batch[1]");
+    EXPECT_EQ(folded.incremental, last_seq.incremental);
+    EXPECT_EQ(folded.lower_bound, last_seq.lower_bound);
+    EXPECT_EQ(folded.published, last_seq.published);
+    EXPECT_EQ(folded.reason, last_seq.reason);
+  }
+  ASSERT_EQ(seq.has_plan(), one.has_plan());
+  ASSERT_TRUE(seq.has_plan());
+  EXPECT_EQ(seq.published_cost(), one.published_cost());
+  for (std::size_t n = 0; n < seq.instance().node_count(); ++n)
+    for (std::size_t i = 0; i < seq.instance().interval_count(); ++i)
+      for (std::size_t k = 0; k < seq.instance().object_count(); ++k)
+        EXPECT_EQ(seq.plan()(n, i, k), one.plan()(n, i, k))
+            << n << "," << i << "," << k;
+
+  // Folded batches: same instance, same certified bound, fewer solves.
+  const auto out1 = bat.on_batch(
+      workload::EventBatch(events.begin(), events.begin() + 4));
+  const auto out2 =
+      bat.on_batch(workload::EventBatch(events.begin() + 4, events.end()));
+  EXPECT_EQ(out1.kind, "batch[4]");
+  EXPECT_FALSE(out1.rejected);
+  EXPECT_TRUE(out1.incremental);
+  EXPECT_EQ(out1.index, 4u);
+  EXPECT_EQ(out2.kind, "batch[3]");
+  EXPECT_EQ(out2.index, 7u);
+  const auto& a = seq.instance();
+  const auto& b = bat.instance();
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (std::size_t n = 0; n < a.node_count(); ++n) {
+    for (std::size_t m = 0; m < a.node_count(); ++m) {
+      EXPECT_EQ(a.dist(n, m), b.dist(n, m));
+      EXPECT_EQ(a.latencies(n, m), b.latencies(n, m));
+    }
+    for (std::size_t i = 0; i < a.interval_count(); ++i)
+      for (std::size_t k = 0; k < a.object_count(); ++k) {
+        EXPECT_EQ(a.demand.read(n, i, k), b.demand.read(n, i, k));
+        EXPECT_EQ(a.demand.write(n, i, k), b.demand.write(n, i, k));
+      }
+  }
+  EXPECT_NEAR(out2.lower_bound, last_seq.lower_bound,
+              1e-7 * (1 + std::abs(last_seq.lower_bound)));
+  // Per-event accounting with per-batch solves: applied + rejected ==
+  // events on every path, but the batched series consumed one point per
+  // batch — 2 re-solves for the script instead of 7.
+  EXPECT_EQ(bat.status().events, 7u);
+  EXPECT_EQ(bat.status().applied, 7u);
+  EXPECT_EQ(bat.status().rejected, 0u);
+  EXPECT_EQ(bat.events_seen(), seq.events_seen());
+  EXPECT_EQ(seq.series().total_appended(), 8u);  // start + 7 events
+  EXPECT_EQ(bat.series().total_appended(), 3u);  // start + 2 batches
+}
+
+TEST(Service, BatchRejectsAtomically) {
+  service::PlacementDaemon daemon(service_instance(),
+                                  daemon_options(mcperf::classes::general()));
+  daemon.start();
+  const double cost = daemon.published_cost();
+  const double before = demand_sum(daemon.instance());
+  const double bound = daemon.status().lower_bound;
+  const workload::EventBatch batch = {
+      workload::DemandDeltaEvent{0, 0, 0, 2.0, 0.0},
+      workload::DemandDeltaEvent{99, 0, 0, 1.0, 0.0},  // invalid mid-batch
+      workload::DemandDeltaEvent{1, 1, 1, 1.0, 0.0},
+  };
+  const auto out = daemon.on_batch(batch);
+  EXPECT_TRUE(out.rejected);
+  EXPECT_EQ(out.kind, "batch[3]");
+  EXPECT_EQ(out.index, 3u);
+  EXPECT_FALSE(out.error.empty());
+  // Nothing moved: the valid events before and after the bad one were
+  // rolled back with it (all-or-nothing), and no solve ran.
+  EXPECT_EQ(demand_sum(daemon.instance()), before);
+  EXPECT_EQ(daemon.published_cost(), cost);
+  EXPECT_EQ(daemon.status().lower_bound, bound);
+  EXPECT_EQ(daemon.status().events, 3u);
+  EXPECT_EQ(daemon.status().rejected, 3u);
+  EXPECT_EQ(daemon.status().applied, 0u);
+  EXPECT_EQ(daemon.series().total_appended(), 2u);  // start + the reject
+  // The stream keeps flowing: the same batch minus the bad event applies.
+  const auto next = daemon.on_batch(
+      {workload::DemandDeltaEvent{0, 0, 0, 2.0, 0.0},
+       workload::DemandDeltaEvent{1, 1, 1, 1.0, 0.0}});
+  EXPECT_FALSE(next.rejected);
+  EXPECT_EQ(next.index, 5u);
+  EXPECT_EQ(daemon.status().applied, 2u);
+}
+
 TEST(Service, ChurnSoak) {
   auto instance = test::random_instance(123, 6, 3, 4, 0.85);
   service::PlacementDaemon daemon(
@@ -374,9 +569,13 @@ TEST(Service, ChurnSoak) {
   Rng rng(2024);
   std::size_t joins = 0;
   for (std::size_t step = 0; step < 40; ++step) {
+    // Demand moves at a live node (deltas on departed nodes are rejected).
+    std::vector<graph::NodeId> live_nodes;
+    for (std::size_t n = 0; n < daemon.instance().node_count(); ++n)
+      if (daemon.instance().dist(n, n) != 0)
+        live_nodes.push_back(static_cast<graph::NodeId>(n));
     workload::Event event = workload::DemandDeltaEvent{
-        static_cast<graph::NodeId>(
-            rng.uniform_index(daemon.instance().node_count())),
+        live_nodes[rng.uniform_index(live_nodes.size())],
         rng.uniform_index(3),
         static_cast<workload::ObjectId>(rng.uniform_index(4)),
         rng.uniform(0.0, 3.0), rng.bernoulli(0.3) ? 0.5 : 0.0};

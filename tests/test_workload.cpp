@@ -66,6 +66,123 @@ TEST(Trace, LoadRejectsGarbage) {
   EXPECT_THROW(Trace::load(buffer), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Event-stream parsing: every malformed line must be rejected with the
+// source, the 1-based line number, and the offending token in the message.
+
+/// Load `text` as an event stream named "events.txt" and return the
+/// rejection message (failing the test if it parses).
+std::string load_events_error(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    load_events(in, "events.txt");
+  } catch (const Error& err) {
+    return err.what();
+  }
+  ADD_FAILURE() << "expected load_events to reject: " << text;
+  return "";
+}
+
+void expect_mentions(const std::string& message, const std::string& needle) {
+  EXPECT_NE(message.find(needle), std::string::npos)
+      << "message '" << message << "' should mention '" << needle << "'";
+}
+
+TEST(Events, SaveLoadRoundTrip) {
+  const std::vector<Event> events{
+      DemandDeltaEvent{2, 5, 1, 3.25, -0.5},
+      NodeJoinEvent{120.5, {{0, 80.0}, {3, 95.25}}},
+      NodeLeaveEvent{4},
+      LatencyUpdateEvent{1, 2, 66.125},
+  };
+  std::stringstream buffer;
+  save_events(events, buffer);
+  const auto loaded = load_events(buffer);
+  ASSERT_EQ(loaded.size(), events.size());
+  const auto& d = std::get<DemandDeltaEvent>(loaded[0]);
+  EXPECT_EQ(d.node, 2);
+  EXPECT_EQ(d.interval, 5u);
+  EXPECT_EQ(d.object, 1);
+  EXPECT_DOUBLE_EQ(d.read_delta, 3.25);
+  EXPECT_DOUBLE_EQ(d.write_delta, -0.5);
+  const auto& j = std::get<NodeJoinEvent>(loaded[1]);
+  EXPECT_DOUBLE_EQ(j.default_latency_ms, 120.5);
+  ASSERT_EQ(j.latency_overrides.size(), 2u);
+  EXPECT_EQ(j.latency_overrides[1].first, 3);
+  EXPECT_DOUBLE_EQ(j.latency_overrides[1].second, 95.25);
+  EXPECT_EQ(std::get<NodeLeaveEvent>(loaded[2]).node, 4);
+  const auto& u = std::get<LatencyUpdateEvent>(loaded[3]);
+  EXPECT_EQ(u.a, 1);
+  EXPECT_EQ(u.b, 2);
+  EXPECT_DOUBLE_EQ(u.latency_ms, 66.125);
+}
+
+TEST(Events, LoadSkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "wanplace-events v1\n"
+      "# a comment\n"
+      "\n"
+      "leave 3\n");
+  const auto loaded = load_events(in);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(std::get<NodeLeaveEvent>(loaded[0]).node, 3);
+}
+
+TEST(Events, LoadRejectsMissingHeader) {
+  const auto message = load_events_error("demand 0 0 0 1 0\n");
+  expect_mentions(message, "events.txt:1");
+  expect_mentions(message, "wanplace-events v1");
+}
+
+TEST(Events, LoadReportsFileLineAndToken) {
+  // The bad token sits on line 3 (header is line 1).
+  const auto message = load_events_error(
+      "wanplace-events v1\n"
+      "demand 0 0 0 1 0\n"
+      "demand 0 0 zebra 1 0\n");
+  expect_mentions(message, "events.txt:3");
+  expect_mentions(message, "'zebra'");
+}
+
+TEST(Events, LoadRejectsPartiallyNumericTokens) {
+  // "3x" consumes a prefix under stol/stod; the whole token must parse.
+  expect_mentions(load_events_error("wanplace-events v1\nleave 3x\n"), "'3x'");
+  expect_mentions(
+      load_events_error("wanplace-events v1\ndemand 1.5 0 0 1 0\n"), "'1.5'");
+}
+
+TEST(Events, LoadRejectsNonFiniteNumbers) {
+  const auto nan_message = load_events_error(
+      "wanplace-events v1\ndemand 0 0 0 nan 0\n");
+  expect_mentions(nan_message, "events.txt:2");
+  expect_mentions(nan_message, "finite");
+  expect_mentions(
+      load_events_error("wanplace-events v1\nlatency 0 1 inf\n"), "finite");
+  expect_mentions(
+      load_events_error("wanplace-events v1\njoin -inf\n"), "finite");
+}
+
+TEST(Events, LoadRejectsMissingAndTrailingFields) {
+  expect_mentions(load_events_error("wanplace-events v1\ndemand 0 0 0 1\n"),
+                  "missing its write_delta field");
+  const auto trailing =
+      load_events_error("wanplace-events v1\nleave 2 surplus\n");
+  expect_mentions(trailing, "trailing");
+  expect_mentions(trailing, "'surplus'");
+}
+
+TEST(Events, LoadRejectsBadKindsAndOverrides) {
+  expect_mentions(load_events_error("wanplace-events v1\nexplode 1 2\n"),
+                  "'explode'");
+  expect_mentions(load_events_error("wanplace-events v1\njoin 100 0=50\n"),
+                  "node:latency");
+  expect_mentions(load_events_error("wanplace-events v1\njoin 100 0:oops\n"),
+                  "'oops'");
+  expect_mentions(
+      load_events_error("wanplace-events v1\ndemand 0 -2 0 1 0\n"),
+      "interval must be >= 0");
+}
+
 TEST(Demand, AggregationBucketsCorrectly) {
   const auto t = tiny_trace();
   const auto d = aggregate(t, 10);  // 10s intervals

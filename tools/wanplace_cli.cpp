@@ -25,7 +25,10 @@
 //       delta-patched and warm-started per event; a new plan is published
 //       only when it beats the incumbent by --margin (default 0.01) or the
 //       incumbent turned infeasible. --class NAME (default general),
-//       --max-events N to truncate the stream.
+//       --max-events N to truncate the stream. --batch N folds every N
+//       consecutive events into one atomic mutation + model patch + warm
+//       re-solve (a batch with any invalid event is rejected whole;
+//       applied + rejected still counts per event).
 //       --metrics-out FILE [--metrics-format prom|jsonl] exports service
 //       metrics after every event: `prom` rewrites FILE with the current
 //       Prometheus text exposition (scrape-style), `jsonl` appends one
@@ -325,6 +328,11 @@ int cmd_serve(const Args& args) {
   auto events = workload::load_events_file(events_path);
   const std::size_t max_events = args.get_size("max-events", events.size());
   if (events.size() > max_events) events.resize(max_events);
+  // --batch N folds every N consecutive events into one atomic instance
+  // mutation + model patch + warm re-solve (one publish decision per
+  // burst); 1 replays event by event.
+  const std::size_t batch_size = args.get_size("batch", 1);
+  WANPLACE_REQUIRE(batch_size >= 1, "--batch needs a positive burst size");
 
   service::DaemonOptions options;
   options.spec = parse_class(args.get("class", "general"));
@@ -364,16 +372,14 @@ int cmd_serve(const Args& args) {
     metrics_stream.flush();
   };
 
-  std::size_t incremental = 0, rejected = 0, pivots = 0;
+  std::size_t pivots = 0;
   const auto report = [&](const service::EventOutcome& outcome) {
     std::cout << "event " << outcome.index << " [" << outcome.kind << "] ";
     if (outcome.rejected) {
-      ++rejected;
       std::cout << "rejected: " << outcome.error << "\n";
       flush_metrics();
       return;
     }
-    incremental += outcome.incremental ? 1 : 0;
     pivots += outcome.pivots;
     std::cout << (outcome.incremental ? "incremental" : "rebuild")
               << (outcome.warm ? "+warm" : "") << " bound "
@@ -390,12 +396,24 @@ int cmd_serve(const Args& args) {
   };
 
   report(daemon.start());
-  for (const auto& event : events) report(daemon.on_event(event));
+  if (batch_size <= 1) {
+    for (const auto& event : events) report(daemon.on_event(event));
+  } else {
+    for (std::size_t start = 0; start < events.size(); start += batch_size) {
+      const auto last = std::min(events.size(), start + batch_size);
+      report(daemon.on_batch(workload::EventBatch(
+          events.begin() + static_cast<std::ptrdiff_t>(start),
+          events.begin() + static_cast<std::ptrdiff_t>(last))));
+    }
+  }
 
-  std::cout << "served " << daemon.events_seen() << " events: "
-            << incremental << " incremental, "
-            << daemon.events_seen() - incremental - rejected << " rebuilds, "
-            << rejected << " rejected, " << daemon.publishes()
+  // Event-level accounting from the status counters (a rejected batch
+  // counts each of its events; the start() build is not a drift rebuild).
+  const service::DaemonStatus counts = daemon.status();
+  std::cout << "served " << counts.events << " events: "
+            << counts.incremental << " incremental, "
+            << counts.rebuilds - 1 << " rebuilds, "
+            << counts.rejected << " rejected, " << daemon.publishes()
             << " publishes, " << pivots << " total pivots\n";
   if (daemon.has_plan())
     std::cout << "live plan cost "
